@@ -1,0 +1,30 @@
+//! # botscope-asn
+//!
+//! Autonomous-system intelligence for the botscope pipeline.
+//!
+//! The study enriches every log row with the ARIN registration data behind
+//! its ASN ("we leverage the external library whoisit to poll for whois
+//! information for all unique ASNs", paper §3.1), and its spoofing analysis
+//! (§5.2, Table 8) reasons about which ASNs a bot's traffic *should*
+//! originate from. Institutional logs and live whois are unavailable in a
+//! reproduction, so this crate provides:
+//!
+//! * [`registry`] — a synthetic ARIN-style whois directory covering every
+//!   ASN named in the paper's Table 8 plus the home networks of all
+//!   registry bots; numeric IDs use the real-world AS numbers where they
+//!   are public knowledge and synthetic ones otherwise,
+//! * [`catalog`] — the paper's Table 8 ground truth: for each flagged bot,
+//!   the dominant ASN and the suspicious minority ASNs,
+//! * [`prefix`] — deterministic IPv4 address allocation per ASN for the
+//!   traffic simulator, with exact reverse lookup.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod prefix;
+pub mod registry;
+
+pub use catalog::{spoof_catalog, SpoofProfile};
+pub use prefix::{asn_of_ip, format_ipv4, ip_for};
+pub use registry::{lookup, AsnKind, AsnRecord, WhoisDirectory};

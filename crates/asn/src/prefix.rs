@@ -1,0 +1,87 @@
+//! Deterministic IPv4 allocation per ASN.
+//!
+//! The traffic simulator needs to hand each simulated client an IP address
+//! whose ASN is recoverable, because the analysis pipeline stratifies by
+//! (ASN, IP hash, user agent) τ-tuples (paper §4.2). We allocate each
+//! directory entry a disjoint synthetic /16 inside `10.0.0.0/8`:
+//! `10.<directory-index>.<host-hi>.<host-lo>`. Reverse lookup is exact.
+
+use crate::registry::{AsnRecord, DIRECTORY};
+
+/// The IPv4 address (as a `u32`) of host `host_index` inside `asn_name`'s
+/// allocation. Host indices wrap modulo the /16 host space.
+///
+/// Returns `None` for ASN names not in the directory.
+///
+/// ```
+/// use botscope_asn::{asn_of_ip, ip_for};
+/// let ip = ip_for("GOOGLE", 7).unwrap();
+/// assert_eq!(asn_of_ip(ip).unwrap().name, "GOOGLE");
+/// ```
+pub fn ip_for(asn_name: &str, host_index: u32) -> Option<u32> {
+    let idx = DIRECTORY.iter().position(|r| r.name == asn_name)?;
+    let host = host_index % (1 << 16);
+    Some((10u32 << 24) | ((idx as u32) << 16) | host)
+}
+
+/// Reverse lookup: which ASN owns this simulated address?
+///
+/// Returns `None` for addresses outside `10.0.0.0/8` or beyond the
+/// directory's allocations.
+pub fn asn_of_ip(ip: u32) -> Option<&'static AsnRecord> {
+    if ip >> 24 != 10 {
+        return None;
+    }
+    let idx = ((ip >> 16) & 0xFF) as usize;
+    DIRECTORY.get(idx)
+}
+
+/// Dotted-quad formatting.
+pub fn format_ipv4(ip: u32) -> String {
+    format!("{}.{}.{}.{}", ip >> 24, (ip >> 16) & 0xFF, (ip >> 8) & 0xFF, ip & 0xFF)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_every_directory_entry() {
+        for rec in DIRECTORY {
+            let ip = ip_for(rec.name, 42).unwrap();
+            assert_eq!(asn_of_ip(ip).unwrap().name, rec.name);
+        }
+    }
+
+    #[test]
+    fn distinct_asns_get_distinct_prefixes() {
+        let a = ip_for("GOOGLE", 1).unwrap();
+        let b = ip_for("OVH", 1).unwrap();
+        assert_ne!(a >> 16, b >> 16);
+    }
+
+    #[test]
+    fn host_index_wraps() {
+        let a = ip_for("GOOGLE", 5).unwrap();
+        let b = ip_for("GOOGLE", 5 + (1 << 16)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unknown_asn_is_none() {
+        assert!(ip_for("NOT-AN-ASN", 0).is_none());
+    }
+
+    #[test]
+    fn non_simulated_space_is_none() {
+        assert!(asn_of_ip(0xC0A80101).is_none()); // 192.168.1.1
+        assert!(asn_of_ip(0x08080808).is_none()); // 8.8.8.8
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format_ipv4(0x0A0100FF), "10.1.0.255");
+        let ip = ip_for("GOOGLE", 1).unwrap();
+        assert!(format_ipv4(ip).starts_with("10.0.0."));
+    }
+}

@@ -1,0 +1,64 @@
+//! Criterion benches for the RFC 9309 substrate: parse and match
+//! throughput on the study's own policy files and on a large synthetic
+//! file stressing the 500 KiB path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use botscope_robotstxt::parser::parse;
+use botscope_robotstxt::RobotsTxt;
+use botscope_simnet::phases::PolicyVersion;
+
+fn paper_files(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parse_paper_files");
+    for v in PolicyVersion::ALL {
+        let text = v.robots_txt().to_string();
+        g.throughput(Throughput::Bytes(text.len() as u64));
+        g.bench_function(v.label(), |b| b.iter(|| parse(black_box(&text))));
+    }
+    g.finish();
+}
+
+fn large_file(c: &mut Criterion) {
+    // ~400 KiB of rules, near the RFC cap.
+    let mut text = String::from("User-agent: *\n");
+    let mut i = 0;
+    while text.len() < 400 * 1024 {
+        text.push_str(&format!("Disallow: /private/section-{i}/subsection/*\n"));
+        i += 1;
+    }
+    let mut g = c.benchmark_group("parse_large_file");
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("400KiB", |b| b.iter(|| parse(black_box(&text))));
+    g.finish();
+}
+
+fn matching(c: &mut Criterion) {
+    let doc = PolicyVersion::V2EndpointOnly.robots_txt();
+    let paths =
+        ["/page-data/item-001/page-data.json", "/news/item-042", "/people/person-0100", "/robots.txt"];
+    let agents = ["GPTBot", "Googlebot", "ClaudeBot", "unknown-bot"];
+    c.bench_function("is_allowed_v2", |b| {
+        b.iter(|| {
+            let mut allowed = 0u32;
+            for agent in &agents {
+                for path in &paths {
+                    if doc.is_allowed(black_box(agent), black_box(path)).allow {
+                        allowed += 1;
+                    }
+                }
+            }
+            allowed
+        })
+    });
+
+    // Wildcard-heavy matching.
+    let wild = RobotsTxt::parse(
+        "User-agent: *\nDisallow: /*/*/deep/*.json$\nDisallow: /a*b*c*d\nAllow: /a*b/ok\n",
+    );
+    c.bench_function("is_allowed_wildcards", |b| {
+        b.iter(|| wild.is_allowed(black_box("bot"), black_box("/x/y/deep/file.json")).allow)
+    });
+}
+
+criterion_group!(benches, paper_files, large_file, matching);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Extension analyses beyond the paper's published tables: adaptation
+//! speed (the §4.1 stated goal the paper leaves unquantified),
+//! promise-vs-practice, and honeypot corroboration of spoofing (§6
+//! future work).
+
+use botscope_core::pipeline::standardize;
+use botscope_core::{adaptation, honeypot, promise, spoofdetect};
+use botscope_simnet::scenario::phase_study;
+
+fn main() {
+    let cfg = botscope_bench::phase_config();
+    let study = phase_study(&cfg);
+
+    // Adaptation: how long until bots notice each new file?
+    let logs = standardize(&study.sim.records);
+    let lags = adaptation::awareness_lags(&logs, &study.schedule);
+    println!("{}", adaptation::render(&adaptation::by_category(&lags)));
+
+    // Promise vs practice.
+    let exp = botscope_core::Experiment::analyze(&study.sim.records, &study.schedule);
+    println!("{}", promise::render(&exp));
+
+    // Honeypot trap analysis + spoof corroboration.
+    let spoof = spoofdetect::detect(&logs.per_bot_records());
+    println!("{}", honeypot::render(&logs, &spoof));
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Figure 10: robots.txt re-check frequency by category.
+fn main() {
+    print!("{}", botscope_bench::full_report().figure10());
+}

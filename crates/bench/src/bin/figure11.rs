@@ -1,0 +1,4 @@
+//! Regenerates paper Figure 11: compliance shifts for spoofed bots.
+fn main() {
+    print!("{}", botscope_core::report::figure9(&botscope_bench::experiment(), true));
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Figure 2: sessions per bot category.
+fn main() {
+    print!("{}", botscope_bench::full_report().figure2());
+}

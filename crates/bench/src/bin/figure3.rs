@@ -1,0 +1,4 @@
+//! Regenerates paper Figure 3: CDF of bytes downloaded over time.
+fn main() {
+    print!("{}", botscope_bench::full_report().figure3());
+}

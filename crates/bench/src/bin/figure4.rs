@@ -1,0 +1,4 @@
+//! Regenerates paper Figure 4: sessions per day by category.
+fn main() {
+    print!("{}", botscope_bench::full_report().figure4());
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Figure 9: per-bot compliance shifts with significance.
+fn main() {
+    print!("{}", botscope_core::report::figure9(&botscope_bench::experiment(), false));
+}

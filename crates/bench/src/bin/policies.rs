@@ -1,0 +1,4 @@
+//! Prints the four deployed robots.txt files (paper Figures 5-8).
+fn main() {
+    print!("{}", botscope_core::report::policies());
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Table 10: z-scores / p-values per bot per directive.
+fn main() {
+    print!("{}", botscope_core::report::table10(&botscope_bench::experiment()));
+}

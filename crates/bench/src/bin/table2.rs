@@ -1,0 +1,4 @@
+//! Regenerates paper Table 2: dataset overview (all data vs known bots).
+fn main() {
+    print!("{}", botscope_bench::full_report().table2());
+}

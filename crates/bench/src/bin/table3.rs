@@ -1,0 +1,4 @@
+//! Regenerates paper Table 3: the 20 most active bots.
+fn main() {
+    print!("{}", botscope_bench::full_report().table3());
+}

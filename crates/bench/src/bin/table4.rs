@@ -1,0 +1,4 @@
+//! Regenerates paper Table 4: traffic per robots.txt version.
+fn main() {
+    print!("{}", botscope_core::report::table4(&botscope_bench::experiment()));
+}

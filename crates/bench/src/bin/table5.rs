@@ -1,0 +1,4 @@
+//! Regenerates paper Table 5: weighted category compliance per directive.
+fn main() {
+    print!("{}", botscope_core::report::table5(&botscope_bench::experiment()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Table 6: per-bot compliance and metadata.
+fn main() {
+    print!("{}", botscope_core::report::table6(&botscope_bench::experiment()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Table 7: bots that skipped the robots.txt check.
+fn main() {
+    print!("{}", botscope_core::report::table7(&botscope_bench::experiment()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Table 8: dominant vs suspicious ASNs per bot.
+fn main() {
+    print!("{}", botscope_bench::full_report().table8());
+}

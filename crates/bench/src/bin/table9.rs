@@ -1,0 +1,4 @@
+//! Regenerates paper Table 9: legitimate vs potentially spoofed volume.
+fn main() {
+    print!("{}", botscope_core::report::table9(&botscope_bench::experiment()));
+}

@@ -1,0 +1,585 @@
+//! Full-experiment analysis: the §4 pipeline end to end.
+//!
+//! Given the 8-week phase-study logs (generated or real), this module:
+//!
+//! 1. restricts to the experiment site,
+//! 2. standardizes user agents to canonical bots,
+//! 3. flags possible spoofing with the §5.2 ASN-dominance heuristic and
+//!    sets the flagged minority-network requests aside,
+//! 4. slices the four deployment phases,
+//! 5. computes, per bot per directive, the §4.2 compliance counts under
+//!    the experimental file and under the baseline file, with the pooled
+//!    two-proportion z-test between them (Table 10, Figures 9/11),
+//! 6. aggregates categories with access-weighted averages (Table 5),
+//! 7. derives the traffic summary per version (Table 4) and the
+//!    skipped-robots.txt rows (Table 7).
+
+use std::collections::BTreeMap;
+
+use botscope_stats::describe::WeightedMeanAccumulator;
+use botscope_stats::ztest::{two_proportion_z_test, ZTestResult};
+use botscope_useragent::{BotCategory, RobotsPromise};
+use botscope_weblog::filter::restrict_window;
+use botscope_weblog::record::AccessRecord;
+use botscope_weblog::session::{sessionize, SESSION_GAP_SECS};
+use botscope_weblog::time::Timestamp;
+
+use botscope_simnet::engine::GroundTruth;
+use botscope_simnet::phases::{is_exempt_agent, PhaseSchedule, PolicyVersion};
+use botscope_simnet::scenario::{phase_study, PhaseStudyOutput};
+use botscope_simnet::SimConfig;
+
+use crate::metrics::{crawl_delay_counts, disallow_counts, endpoint_counts, DirectiveCounts, CRAWL_DELAY_SECS};
+use crate::pipeline::{standardize, StandardizedLogs};
+use crate::recheck::checked_robots;
+use crate::spoofdetect::{detect, split_records, SpoofReport};
+
+/// The three experimental directives (paper §4.1, v1–v3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Directive {
+    /// v1: 30-second crawl delay.
+    CrawlDelay,
+    /// v2: `/page-data/*` endpoint only.
+    Endpoint,
+    /// v3: disallow everything.
+    Disallow,
+}
+
+impl Directive {
+    /// All directives in deployment order.
+    pub const ALL: [Directive; 3] = [Directive::CrawlDelay, Directive::Endpoint, Directive::Disallow];
+
+    /// Table column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Directive::CrawlDelay => "Crawl delay",
+            Directive::Endpoint => "Endpoint access",
+            Directive::Disallow => "Disallow all",
+        }
+    }
+
+    /// The robots.txt version that deploys this directive.
+    pub fn version(self) -> PolicyVersion {
+        match self {
+            Directive::CrawlDelay => PolicyVersion::V1CrawlDelay,
+            Directive::Endpoint => PolicyVersion::V2EndpointOnly,
+            Directive::Disallow => PolicyVersion::V3DisallowAll,
+        }
+    }
+
+    /// Compute this directive's compliance counts over a record set.
+    pub fn counts(self, records: &[&AccessRecord]) -> DirectiveCounts {
+        match self {
+            Directive::CrawlDelay => crawl_delay_counts(records, CRAWL_DELAY_SECS),
+            Directive::Endpoint => endpoint_counts(records),
+            Directive::Disallow => disallow_counts(records),
+        }
+    }
+}
+
+/// One bot × directive analysis row.
+#[derive(Debug, Clone)]
+pub struct BotDirectiveResult {
+    /// Canonical bot name.
+    pub bot: String,
+    /// Category.
+    pub category: BotCategory,
+    /// Public robots.txt promise.
+    pub promise: RobotsPromise,
+    /// Sponsoring entity.
+    pub sponsor: &'static str,
+    /// Counts under the baseline file.
+    pub baseline: DirectiveCounts,
+    /// Counts under the experimental file.
+    pub experiment: DirectiveCounts,
+    /// Pooled two-proportion z-test baseline→experiment (`None` = the
+    /// paper's `N/A`).
+    pub ztest: Option<ZTestResult>,
+    /// Whether the bot fetched robots.txt during the experimental phase.
+    pub checked_robots: bool,
+    /// Record count during the experimental phase (the Table 5 weight).
+    pub accesses: u64,
+}
+
+impl BotDirectiveResult {
+    /// Experiment-phase compliance ratio, if defined.
+    pub fn compliance(&self) -> Option<f64> {
+        self.experiment.ratio()
+    }
+
+    /// Whether the baseline→experiment shift is significant at p ≤ 0.05.
+    pub fn significant(&self) -> bool {
+        self.ztest.as_ref().is_some_and(|t| t.significant_at(0.05))
+    }
+}
+
+/// Table 4 row: traffic under one robots.txt version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseTraffic {
+    /// The deployed version.
+    pub version: PolicyVersion,
+    /// Sessionized site visits during the phase.
+    pub unique_site_visits: usize,
+    /// Distinct known bots observed.
+    pub unique_bot_visitors: usize,
+}
+
+/// Table 5 cell: weighted compliance and its total weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CategoryCell {
+    /// Access-weighted mean compliance.
+    pub compliance: f64,
+    /// Total accesses behind the mean.
+    pub weight: u64,
+}
+
+/// Table 5: category × directive.
+#[derive(Debug, Clone, Default)]
+pub struct CategoryTable {
+    /// Rows in category order.
+    pub rows: Vec<(BotCategory, BTreeMap<Directive, CategoryCell>, f64)>,
+    /// The access-weighted all-bot average per directive (bottom row).
+    pub directive_average: BTreeMap<Directive, f64>,
+}
+
+/// Everything the evaluation section needs.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Non-spoofed per-bot rows, per directive (Fig 9 / Tables 6, 10).
+    pub per_directive: BTreeMap<Directive, Vec<BotDirectiveResult>>,
+    /// Spoof-flagged per-bot rows, per directive (Fig 11 / Appendix A.2).
+    pub spoofed_per_directive: BTreeMap<Directive, Vec<BotDirectiveResult>>,
+    /// Table 4.
+    pub phase_traffic: Vec<PhaseTraffic>,
+    /// The §5.2 detection over the experiment-site logs (Table 8 inputs).
+    pub spoof_report: SpoofReport,
+    /// Legit vs spoofed request counts per directive phase (Table 9).
+    pub spoof_volume: BTreeMap<Directive, (u64, u64)>,
+    /// The generator's planted truth, when the logs came from simnet.
+    pub truth: Option<GroundTruth>,
+    /// The schedule analyzed.
+    pub schedule: PhaseSchedule,
+}
+
+/// Minimum accesses per phase for a bot to enter the per-bot analysis
+/// (paper §4.1: "filter out bots that accessed the site less than 5 times
+/// under any robots.txt version").
+pub const MIN_ACCESSES: usize = 5;
+
+impl Experiment {
+    /// Generate the phase study with `cfg` and analyze it.
+    pub fn run(cfg: &SimConfig) -> Experiment {
+        let PhaseStudyOutput { sim, schedule } = phase_study(cfg);
+        let mut exp = Experiment::analyze(&sim.records, &schedule);
+        exp.truth = Some(sim.truth);
+        exp
+    }
+
+    /// Analyze an arbitrary record set against a schedule.
+    pub fn analyze(records: &[AccessRecord], schedule: &PhaseSchedule) -> Experiment {
+        let site_name = format!("site-{:02}.example.edu", schedule.experiment_site);
+        let site_records: Vec<AccessRecord> =
+            records.iter().filter(|r| r.sitename == site_name).cloned().collect();
+
+        let logs = standardize(&site_records);
+        let spoof_report = detect(&logs.per_bot_records());
+
+        // "Checked robots.txt" (Table 7) is judged estate-wide: a bot that
+        // fetched any of the institution's robots.txt files during a phase
+        // demonstrably consulted policy, even if the fetch landed on a
+        // sister site.
+        let all_logs = standardize(records);
+        let robots_times: BTreeMap<String, Vec<u64>> = all_logs
+            .bots
+            .iter()
+            .map(|(name, view)| {
+                let times: Vec<u64> = view
+                    .records
+                    .iter()
+                    .filter(|r| r.is_robots_fetch())
+                    .map(|r| r.timestamp.unix())
+                    .collect();
+                (name.clone(), times)
+            })
+            .collect();
+
+        // Slice each bot's records into phases, separating spoofed ones.
+        let phase_of = |version: PolicyVersion| -> (Timestamp, Timestamp) {
+            schedule.window_of(version).expect("version scheduled")
+        };
+        let in_window = |r: &&AccessRecord, lo: Timestamp, hi: Timestamp| {
+            r.timestamp >= lo && r.timestamp < hi
+        };
+
+        let mut per_directive: BTreeMap<Directive, Vec<BotDirectiveResult>> = BTreeMap::new();
+        let mut spoofed_per_directive: BTreeMap<Directive, Vec<BotDirectiveResult>> = BTreeMap::new();
+        let mut spoof_volume: BTreeMap<Directive, (u64, u64)> = BTreeMap::new();
+        let (base_lo, base_hi) = phase_of(PolicyVersion::Base);
+
+        for directive in Directive::ALL {
+            let (lo, hi) = phase_of(directive.version());
+            let mut rows = Vec::new();
+            let mut spoofed_rows = Vec::new();
+            let mut volume = (0u64, 0u64);
+
+            for view in logs.bots.values() {
+                let (legit, spoofed) = match spoof_report.finding_for(&view.name) {
+                    Some(f) => split_records(f, &view.records),
+                    None => (view.records.clone(), Vec::new()),
+                };
+
+                let legit_base: Vec<&AccessRecord> =
+                    legit.iter().filter(|r| in_window(r, base_lo, base_hi)).copied().collect();
+                let legit_phase: Vec<&AccessRecord> =
+                    legit.iter().filter(|r| in_window(r, lo, hi)).copied().collect();
+                volume.0 += legit_phase.len() as u64;
+
+                // Exempt SEO bots are excluded from the *legitimate*
+                // per-bot analysis (they keep full access under v2/v3;
+                // the paper's Table 6 and Figure 9 omit them) — but their
+                // spoofed impostors are analyzed like everyone else's
+                // (the paper's Figure 11 shows Googlebot, bingbot and
+                // Baiduspider spoof instances).
+                let exempt = is_exempt_agent(&view.name);
+                if !exempt && legit_base.len() >= MIN_ACCESSES && legit_phase.len() >= MIN_ACCESSES
+                {
+                    let checked = robots_times
+                        .get(&view.name)
+                        .is_some_and(|ts| {
+                            ts.iter().any(|&t| t >= lo.unix() && t < hi.unix())
+                        });
+                    let mut row = make_row(view, directive, &legit_base, &legit_phase);
+                    row.checked_robots = checked || row.checked_robots;
+                    rows.push(row);
+                }
+
+                if !spoofed.is_empty() {
+                    let sp_base: Vec<&AccessRecord> =
+                        spoofed.iter().filter(|r| in_window(r, base_lo, base_hi)).copied().collect();
+                    let sp_phase: Vec<&AccessRecord> =
+                        spoofed.iter().filter(|r| in_window(r, lo, hi)).copied().collect();
+                    volume.1 += sp_phase.len() as u64;
+                    if !sp_base.is_empty() && !sp_phase.is_empty() {
+                        spoofed_rows.push(make_row(view, directive, &sp_base, &sp_phase));
+                    }
+                }
+            }
+            rows.sort_by(|a, b| a.bot.cmp(&b.bot));
+            spoofed_rows.sort_by(|a, b| a.bot.cmp(&b.bot));
+            per_directive.insert(directive, rows);
+            spoofed_per_directive.insert(directive, spoofed_rows);
+            spoof_volume.insert(directive, volume);
+        }
+
+        let phase_traffic = phase_traffic(&site_records, &logs, schedule);
+
+        Experiment {
+            per_directive,
+            spoofed_per_directive,
+            phase_traffic,
+            spoof_report,
+            spoof_volume,
+            truth: None,
+            schedule: schedule.clone(),
+        }
+    }
+
+    /// Table 5: access-weighted category compliance. Categories with no
+    /// dedicated row in the paper's table (archivers, developer helpers,
+    /// scrapers, AI agents, uncategorized) fold into "Other", matching the
+    /// paper's presentation.
+    pub fn category_table(&self) -> CategoryTable {
+        let mut categories: Vec<BotCategory> = Vec::new();
+        for rows in self.per_directive.values() {
+            for r in rows {
+                let cat = table5_category(r.category);
+                if !categories.contains(&cat) {
+                    categories.push(cat);
+                }
+            }
+        }
+        categories.sort();
+
+        let mut table = CategoryTable::default();
+        for cat in categories {
+            let mut cells: BTreeMap<Directive, CategoryCell> = BTreeMap::new();
+            let mut row_avg = Vec::new();
+            for directive in Directive::ALL {
+                let mut acc = WeightedMeanAccumulator::new();
+                let mut weight = 0u64;
+                for r in &self.per_directive[&directive] {
+                    if table5_category(r.category) == cat {
+                        if let Some(c) = r.compliance() {
+                            acc.add(c, r.accesses as f64);
+                            weight += r.accesses;
+                        }
+                    }
+                }
+                if let Some(m) = acc.finish() {
+                    cells.insert(directive, CategoryCell { compliance: m, weight });
+                    row_avg.push(m);
+                }
+            }
+            if cells.is_empty() {
+                continue;
+            }
+            let avg = row_avg.iter().sum::<f64>() / row_avg.len() as f64;
+            table.rows.push((cat, cells, avg));
+        }
+
+        for directive in Directive::ALL {
+            let mut acc = WeightedMeanAccumulator::new();
+            for r in &self.per_directive[&directive] {
+                if let Some(c) = r.compliance() {
+                    acc.add(c, r.accesses as f64);
+                }
+            }
+            if let Some(m) = acc.finish() {
+                table.directive_average.insert(directive, m);
+            }
+        }
+        table
+    }
+
+    /// Bots that skipped the robots.txt check during at least one
+    /// experimental phase (Table 7): (bot, per-directive (checked,
+    /// compliance)).
+    pub fn skipped_checks(&self) -> Vec<(String, SkippedChecks)> {
+        let mut per_bot: BTreeMap<String, SkippedChecks> = BTreeMap::new();
+        for (&directive, rows) in &self.per_directive {
+            for r in rows {
+                per_bot
+                    .entry(r.bot.clone())
+                    .or_default()
+                    .insert(directive, (r.checked_robots, r.compliance()));
+            }
+        }
+        per_bot
+            .into_iter()
+            .filter(|(_, dirs)| dirs.values().any(|&(checked, _)| !checked))
+            .collect()
+    }
+}
+
+/// Per-directive (checked robots.txt?, compliance) map of one bot —
+/// the Table 7 row payload.
+pub type SkippedChecks = BTreeMap<Directive, (bool, Option<f64>)>;
+
+/// The display category a bot takes in Table 5: the paper's nine rows,
+/// with everything else under "Other".
+pub fn table5_category(cat: BotCategory) -> BotCategory {
+    match cat {
+        BotCategory::AiAssistant
+        | BotCategory::AiDataScraper
+        | BotCategory::AiSearchCrawler
+        | BotCategory::Fetcher
+        | BotCategory::HeadlessBrowser
+        | BotCategory::IntelligenceGatherer
+        | BotCategory::SeoCrawler
+        | BotCategory::SearchEngineCrawler => cat,
+        _ => BotCategory::Other,
+    }
+}
+
+fn make_row(
+    view: &crate::pipeline::BotView<'_>,
+    directive: Directive,
+    base: &[&AccessRecord],
+    phase: &[&AccessRecord],
+) -> BotDirectiveResult {
+    let baseline = directive.counts(base);
+    let experiment = directive.counts(phase);
+    let ztest = two_proportion_z_test(
+        experiment.successes,
+        experiment.trials,
+        baseline.successes,
+        baseline.trials,
+    );
+    BotDirectiveResult {
+        bot: view.name.clone(),
+        category: view.category,
+        promise: view.promise,
+        sponsor: view.sponsor,
+        baseline,
+        experiment,
+        ztest,
+        checked_robots: checked_robots(phase),
+        accesses: phase.len() as u64,
+    }
+}
+
+/// Table 4: sessionized visits and distinct known bots per phase.
+fn phase_traffic(
+    site_records: &[AccessRecord],
+    logs: &StandardizedLogs<'_>,
+    schedule: &PhaseSchedule,
+) -> Vec<PhaseTraffic> {
+    schedule
+        .phases
+        .iter()
+        .map(|p| {
+            let phase_records = restrict_window(site_records, p.start, p.end);
+            let visits = sessionize(&phase_records, SESSION_GAP_SECS).len();
+            let bots = logs
+                .bots
+                .values()
+                .filter(|v| {
+                    v.records.iter().any(|r| r.timestamp >= p.start && r.timestamp < p.end)
+                })
+                .count();
+            PhaseTraffic {
+                version: p.version,
+                unique_site_visits: visits,
+                unique_bot_visitors: bots,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_experiment() -> Experiment {
+        // Small but dense enough for per-bot rows to form.
+        let cfg = SimConfig { scale: 0.25, sites: 3, ..SimConfig::default() };
+        Experiment::run(&cfg)
+    }
+
+    #[test]
+    fn directive_plumbing() {
+        assert_eq!(Directive::CrawlDelay.version(), PolicyVersion::V1CrawlDelay);
+        assert_eq!(Directive::Endpoint.version(), PolicyVersion::V2EndpointOnly);
+        assert_eq!(Directive::Disallow.version(), PolicyVersion::V3DisallowAll);
+        assert_eq!(Directive::ALL.len(), 3);
+    }
+
+    #[test]
+    fn end_to_end_rows_exist() {
+        let exp = test_experiment();
+        for d in Directive::ALL {
+            assert!(
+                exp.per_directive[&d].len() >= 10,
+                "{d:?} produced only {} rows",
+                exp.per_directive[&d].len()
+            );
+        }
+    }
+
+    #[test]
+    fn exempt_bots_absent_from_rows() {
+        let exp = test_experiment();
+        for d in Directive::ALL {
+            for row in &exp.per_directive[&d] {
+                assert!(!is_exempt_agent(&row.bot), "{} must be excluded", row.bot);
+            }
+        }
+    }
+
+    #[test]
+    fn obedient_bot_measures_high_disallow_compliance() {
+        let exp = test_experiment();
+        let rows = &exp.per_directive[&Directive::Disallow];
+        let gpt = rows.iter().find(|r| r.bot == "GPTBot");
+        if let Some(gpt) = gpt {
+            let c = gpt.compliance().unwrap();
+            assert!(c > 0.8, "GPTBot planted disallow=1.0, measured {c}");
+        }
+        let chat = rows.iter().find(|r| r.bot == "ChatGPT-User");
+        if let Some(chat) = chat {
+            assert!(chat.compliance().unwrap() > 0.8);
+        }
+    }
+
+    #[test]
+    fn defiant_bot_measures_low_disallow_compliance() {
+        let exp = test_experiment();
+        let rows = &exp.per_directive[&Directive::Disallow];
+        if let Some(headless) = rows.iter().find(|r| r.bot == "HeadlessChrome") {
+            let c = headless.compliance().unwrap();
+            assert!(c < 0.3, "HeadlessChrome planted disallow=0.011, measured {c}");
+        }
+    }
+
+    #[test]
+    fn crawl_delay_recovers_planted_ordering() {
+        let exp = test_experiment();
+        let rows = &exp.per_directive[&Directive::CrawlDelay];
+        let get = |name: &str| rows.iter().find(|r| r.bot == name).and_then(|r| r.compliance());
+        if let (Some(chat), Some(headless)) = (get("ChatGPT-User"), get("HeadlessChrome")) {
+            assert!(
+                chat > headless + 0.3,
+                "planted 0.91 vs 0.036; measured {chat} vs {headless}"
+            );
+        }
+    }
+
+    #[test]
+    fn category_table_shape() {
+        let exp = test_experiment();
+        let t = exp.category_table();
+        assert!(!t.rows.is_empty());
+        assert_eq!(t.directive_average.len(), 3);
+        for (_, cells, avg) in &t.rows {
+            for cell in cells.values() {
+                assert!((0.0..=1.0 + 1e-9).contains(&cell.compliance));
+                assert!(cell.weight > 0);
+            }
+            assert!((0.0..=1.0 + 1e-9).contains(avg));
+        }
+    }
+
+    #[test]
+    fn headline_result_strictness_ordering() {
+        // The paper's RQ1: compliance decreases as directives tighten —
+        // crawl delay beats both endpoint and disallow averages.
+        let exp = test_experiment();
+        let t = exp.category_table();
+        let cd = t.directive_average[&Directive::CrawlDelay];
+        let ep = t.directive_average[&Directive::Endpoint];
+        let da = t.directive_average[&Directive::Disallow];
+        assert!(cd > ep, "crawl delay {cd} should beat endpoint {ep}");
+        assert!(cd > da, "crawl delay {cd} should beat disallow {da}");
+    }
+
+    #[test]
+    fn phase_traffic_covers_four_versions() {
+        let exp = test_experiment();
+        assert_eq!(exp.phase_traffic.len(), 4);
+        let versions: Vec<PolicyVersion> = exp.phase_traffic.iter().map(|p| p.version).collect();
+        assert_eq!(versions, PolicyVersion::ALL.to_vec());
+        for p in &exp.phase_traffic {
+            assert!(p.unique_site_visits > 0, "{:?}", p.version);
+            assert!(p.unique_bot_visitors > 10, "{:?}", p.version);
+        }
+    }
+
+    #[test]
+    fn spoof_volume_is_small_minority() {
+        let exp = test_experiment();
+        for (d, &(legit, spoofed)) in &exp.spoof_volume {
+            assert!(legit > 0, "{d:?}");
+            // Paper Table 9: spoofed ≪ legit.
+            assert!(spoofed * 5 < legit, "{d:?}: {spoofed} spoofed vs {legit} legit");
+        }
+    }
+
+    #[test]
+    fn skipped_checks_contains_never_checkers() {
+        let exp = test_experiment();
+        let skipped = exp.skipped_checks();
+        let names: Vec<&str> = skipped.iter().map(|(n, _)| n.as_str()).collect();
+        // Axios and friends never check robots.txt (Table 7).
+        assert!(
+            names.iter().any(|n| ["Axios", "Iframely", "MicrosoftPreview", "Apache-HttpClient", "Slack-ImgProxy", "BrightEdge Crawler"].contains(n)),
+            "expected a Table 7 never-checker among {names:?}"
+        );
+    }
+
+    #[test]
+    fn truth_is_attached_by_run() {
+        let exp = test_experiment();
+        let truth = exp.truth.as_ref().expect("run() attaches truth");
+        assert!(truth.behaviors.contains_key("GPTBot"));
+    }
+}

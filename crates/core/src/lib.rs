@@ -1,0 +1,59 @@
+//! # botscope-core
+//!
+//! The paper's primary contribution, as a library: a pipeline that
+//! measures web-scraper compliance with `robots.txt` directives from
+//! anonymized access logs, with the exact metrics, statistics and
+//! confound analyses of *"Scrapers Selectively Respect robots.txt
+//! Directives"* (IMC '25).
+//!
+//! The pipeline stages:
+//!
+//! 1. [`pipeline`] — standardize raw user agents to canonical bot names
+//!    and categories (via `botscope-useragent`), producing a per-bot view
+//!    of a [`botscope_weblog::LogStore`];
+//! 2. [`spoofdetect`] — the §5.2 heuristic: flag a bot's minority-network
+//!    traffic when ≥90 % of it comes from one ASN; spoof-flagged records
+//!    are excluded from the main compliance analysis and reported
+//!    separately (Tables 8/9, Figure 11);
+//! 3. [`metrics`] — the three §4.2 compliance metrics: crawl-delay ratio
+//!    over τ-tuple-stratified inter-access deltas, endpoint-access ratio,
+//!    and disallow ratio;
+//! 4. [`analyze`] — the full experiment: slice the four deployment phases,
+//!    compute baseline/experiment compliance per bot, run the paired
+//!    two-proportion z-tests (Table 10), aggregate categories with
+//!    access-weighted averages (Table 5);
+//! 5. [`recheck`] — the §5.1 robots.txt re-check-frequency analysis
+//!    (Table 7, Figure 10);
+//! 6. [`report`] — render every table and figure of the paper's
+//!    evaluation from an analysis result.
+//!
+//! ```
+//! use botscope_core::analyze::Experiment;
+//! use botscope_simnet::SimConfig;
+//!
+//! // Small-scale end-to-end run: generate the 8-week phase study and
+//! // measure compliance back out of it.
+//! let cfg = SimConfig { scale: 0.02, sites: 4, ..SimConfig::default() };
+//! let exp = Experiment::run(&cfg);
+//! let table5 = exp.category_table();
+//! assert!(!table5.rows.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptation;
+pub mod analyze;
+pub mod honeypot;
+pub mod metrics;
+pub mod pipeline;
+pub mod promise;
+pub mod recheck;
+pub mod report;
+pub mod spoofdetect;
+pub mod tables;
+
+pub use analyze::{Directive, Experiment};
+pub use metrics::DirectiveCounts;
+pub use pipeline::BotView;
+pub use spoofdetect::SpoofReport;

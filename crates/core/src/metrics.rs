@@ -1,0 +1,230 @@
+//! The three compliance metrics of paper §4.2.
+//!
+//! All three reduce to a success/trial count so they can feed the pooled
+//! two-proportion z-test directly:
+//!
+//! * **crawl delay** — stratify a bot's accesses by τ = (ASN, IP hash,
+//!   user agent); within each τ sort by time and test each inter-access
+//!   delta against the 30-second requirement; a τ with a single access
+//!   counts as one compliant delta (the paper: "we count this as an
+//!   instance of compliance");
+//! * **endpoint access** — per user agent, the fraction of accesses that
+//!   hit an allowed target: `/robots.txt` (always permitted) or
+//!   `/page-data/*`;
+//! * **disallow** — per user agent, the fraction of accesses that hit
+//!   `/robots.txt`, the only permitted target under full denial.
+
+use botscope_weblog::record::AccessRecord;
+use botscope_weblog::store::LogStore;
+
+/// A success/trial pair; the unit every metric returns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirectiveCounts {
+    /// Compliant observations.
+    pub successes: u64,
+    /// Total observations.
+    pub trials: u64,
+}
+
+impl DirectiveCounts {
+    /// Compliance ratio; `None` when there are no trials.
+    pub fn ratio(&self) -> Option<f64> {
+        if self.trials == 0 {
+            None
+        } else {
+            Some(self.successes as f64 / self.trials as f64)
+        }
+    }
+
+    /// Merge two counts.
+    pub fn merge(&mut self, other: DirectiveCounts) {
+        self.successes += other.successes;
+        self.trials += other.trials;
+    }
+
+    /// As a `(successes, trials)` tuple for the z-test API.
+    pub fn as_tuple(&self) -> (u64, u64) {
+        (self.successes, self.trials)
+    }
+}
+
+/// The crawl-delay requirement of the paper's v1 file, in seconds.
+pub const CRAWL_DELAY_SECS: u64 = 30;
+
+/// Crawl-delay compliance for one user agent's records, stratified by
+/// τ-tuple exactly as §4.2 prescribes.
+///
+/// `records` must all belong to the same user agent (grouping is the
+/// caller's job — [`LogStore::by_tau`] keys include the agent); they may
+/// be unsorted.
+pub fn crawl_delay_counts(records: &[&AccessRecord], delay_secs: u64) -> DirectiveCounts {
+    use std::collections::BTreeMap;
+    let mut by_tau: BTreeMap<(&str, u64), Vec<u64>> = BTreeMap::new();
+    for r in records {
+        by_tau.entry((r.asn.as_str(), r.ip_hash)).or_default().push(r.timestamp.unix());
+    }
+    let mut counts = DirectiveCounts::default();
+    for (_, mut times) in by_tau {
+        times.sort_unstable();
+        if times.len() == 1 {
+            // Single access: counted as compliant.
+            counts.successes += 1;
+            counts.trials += 1;
+            continue;
+        }
+        for pair in times.windows(2) {
+            let delta = pair[1] - pair[0];
+            counts.trials += 1;
+            if delta >= delay_secs {
+                counts.successes += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Endpoint-access compliance: allowed targets are `/robots.txt` and the
+/// `/page-data/` prefix (paper §4.2, v2 analysis).
+pub fn endpoint_counts(records: &[&AccessRecord]) -> DirectiveCounts {
+    let mut counts = DirectiveCounts::default();
+    for r in records {
+        counts.trials += 1;
+        if r.is_robots_fetch() || r.uri_path.starts_with("/page-data/") {
+            counts.successes += 1;
+        }
+    }
+    counts
+}
+
+/// Disallow compliance: the only allowed target is `/robots.txt`
+/// (paper §4.2, v3 analysis).
+pub fn disallow_counts(records: &[&AccessRecord]) -> DirectiveCounts {
+    let mut counts = DirectiveCounts::default();
+    for r in records {
+        counts.trials += 1;
+        if r.is_robots_fetch() {
+            counts.successes += 1;
+        }
+    }
+    counts
+}
+
+/// Convenience: group a store per user agent and compute crawl-delay
+/// counts for each (used by the ablation bench).
+pub fn crawl_delay_by_useragent(store: &LogStore, delay_secs: u64) -> Vec<(String, DirectiveCounts)> {
+    store
+        .by_useragent()
+        .into_iter()
+        .map(|(ua, records)| (ua, crawl_delay_counts(&records, delay_secs)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use botscope_weblog::time::Timestamp;
+
+    fn rec(ip: u64, t: u64, path: &str) -> AccessRecord {
+        AccessRecord {
+            useragent: "bot".into(),
+            timestamp: Timestamp::from_unix(t),
+            ip_hash: ip,
+            asn: "GOOGLE".into(),
+            sitename: "s".into(),
+            uri_path: path.into(),
+            status: 200,
+            bytes: 1,
+            referer: None,
+        }
+    }
+
+    #[test]
+    fn crawl_delay_counting() {
+        // One τ, deltas 40 and 10: one compliant of two.
+        let rs = [rec(1, 0, "/a"), rec(1, 40, "/b"), rec(1, 50, "/c")];
+        let refs: Vec<&AccessRecord> = rs.iter().collect();
+        let c = crawl_delay_counts(&refs, 30);
+        assert_eq!(c, DirectiveCounts { successes: 1, trials: 2 });
+        assert_eq!(c.ratio(), Some(0.5));
+    }
+
+    #[test]
+    fn single_access_is_compliant() {
+        let rs = [rec(1, 0, "/a")];
+        let refs: Vec<&AccessRecord> = rs.iter().collect();
+        let c = crawl_delay_counts(&refs, 30);
+        assert_eq!(c, DirectiveCounts { successes: 1, trials: 1 });
+        assert_eq!(c.ratio(), Some(1.0));
+    }
+
+    #[test]
+    fn tau_stratification_separates_ips() {
+        // Two IPs interleaved in time. Pooled naively the deltas would be
+        // tiny; stratified each IP is slow and fully compliant — the
+        // paper's reason for τ-tuples.
+        let rs = [
+            rec(1, 0, "/a"),
+            rec(2, 5, "/a"),
+            rec(1, 60, "/b"),
+            rec(2, 65, "/b"),
+        ];
+        let refs: Vec<&AccessRecord> = rs.iter().collect();
+        let c = crawl_delay_counts(&refs, 30);
+        assert_eq!(c, DirectiveCounts { successes: 2, trials: 2 });
+    }
+
+    #[test]
+    fn exact_threshold_counts_as_compliant() {
+        let rs = [rec(1, 0, "/a"), rec(1, 30, "/b")];
+        let refs: Vec<&AccessRecord> = rs.iter().collect();
+        assert_eq!(crawl_delay_counts(&refs, 30).ratio(), Some(1.0));
+        let rs = [rec(1, 0, "/a"), rec(1, 29, "/b")];
+        let refs: Vec<&AccessRecord> = rs.iter().collect();
+        assert_eq!(crawl_delay_counts(&refs, 30).ratio(), Some(0.0));
+    }
+
+    #[test]
+    fn endpoint_metric() {
+        let rs = [
+            rec(1, 0, "/robots.txt"),
+            rec(1, 1, "/page-data/x/page-data.json"),
+            rec(1, 2, "/news/item-001"),
+            rec(1, 3, "/page-data-fake"), // prefix must include the slash
+        ];
+        let refs: Vec<&AccessRecord> = rs.iter().collect();
+        let c = endpoint_counts(&refs);
+        assert_eq!(c, DirectiveCounts { successes: 2, trials: 4 });
+    }
+
+    #[test]
+    fn disallow_metric() {
+        let rs = [rec(1, 0, "/robots.txt"), rec(1, 1, "/a"), rec(1, 2, "/b")];
+        let refs: Vec<&AccessRecord> = rs.iter().collect();
+        let c = disallow_counts(&refs);
+        assert_eq!(c, DirectiveCounts { successes: 1, trials: 3 });
+        assert!((c.ratio().unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let empty: Vec<&AccessRecord> = vec![];
+        assert_eq!(crawl_delay_counts(&empty, 30).trials, 0);
+        assert_eq!(endpoint_counts(&empty).trials, 0);
+        assert_eq!(disallow_counts(&empty).ratio(), None);
+    }
+
+    #[test]
+    fn merge_and_tuple() {
+        let mut a = DirectiveCounts { successes: 1, trials: 2 };
+        a.merge(DirectiveCounts { successes: 3, trials: 4 });
+        assert_eq!(a.as_tuple(), (4, 6));
+    }
+
+    #[test]
+    fn by_useragent_helper() {
+        let store = LogStore::new(vec![rec(1, 0, "/a"), rec(1, 100, "/b")]);
+        let per_ua = crawl_delay_by_useragent(&store, 30);
+        assert_eq!(per_ua.len(), 1);
+        assert_eq!(per_ua[0].1.ratio(), Some(1.0));
+    }
+}

@@ -1,0 +1,208 @@
+//! robots.txt re-check-frequency analysis (paper §5.1).
+//!
+//! Two outputs:
+//!
+//! * per-bot window coverage — did the bot re-fetch `robots.txt` within
+//!   every 12/24/48/72/168-hour window of the observation period?
+//!   (Figure 10 aggregates the proportion of bots per category that did),
+//! * per-bot-per-phase check booleans — did the bot fetch `robots.txt`
+//!   at all while a given experimental file was live? (Table 7's
+//!   "Checked robots.txt" columns).
+
+use std::collections::BTreeMap;
+
+use botscope_stats::window::{window_coverage, PAPER_WINDOWS_HOURS};
+use botscope_useragent::BotCategory;
+use botscope_weblog::record::AccessRecord;
+
+use crate::pipeline::StandardizedLogs;
+
+/// Per-bot re-check profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecheckProfile {
+    /// Canonical bot name.
+    pub bot: String,
+    /// Category.
+    pub category: BotCategory,
+    /// Times (unix secs) of robots.txt fetches.
+    pub check_times: Vec<u64>,
+    /// For each paper window length (hours → fully covered?).
+    pub covered: BTreeMap<u64, bool>,
+}
+
+impl RecheckProfile {
+    /// Whether the bot checked robots.txt at all.
+    pub fn ever_checked(&self) -> bool {
+        !self.check_times.is_empty()
+    }
+}
+
+/// Figure 10's series: per category, the proportion of (checking) bots
+/// that re-check within each window length.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecheckByCategory {
+    /// (category, window hours) → proportion in [0, 1].
+    pub proportions: BTreeMap<(BotCategory, u64), f64>,
+    /// Bots per category that fetched robots.txt at least once.
+    pub checking_bots: BTreeMap<BotCategory, usize>,
+}
+
+/// Build per-bot re-check profiles over an observation horizon.
+///
+/// `horizon_end` is the end of the dataset (unix secs); windows are
+/// anchored at each bot's first robots.txt fetch, per the paper.
+pub fn profiles(logs: &StandardizedLogs<'_>, horizon_end: u64) -> Vec<RecheckProfile> {
+    let mut out = Vec::new();
+    for view in logs.bots.values() {
+        let mut check_times: Vec<u64> = view
+            .records
+            .iter()
+            .filter(|r| r.is_robots_fetch())
+            .map(|r| r.timestamp.unix())
+            .collect();
+        check_times.sort_unstable();
+        let mut covered = BTreeMap::new();
+        for &h in &PAPER_WINDOWS_HOURS {
+            let ok = window_coverage(&check_times, h * 3600, horizon_end)
+                .map(|c| c.fully_covered())
+                .unwrap_or(false);
+            covered.insert(h, ok);
+        }
+        out.push(RecheckProfile {
+            bot: view.name.clone(),
+            category: view.category,
+            check_times,
+            covered,
+        });
+    }
+    out
+}
+
+/// Aggregate profiles into Figure 10's category proportions. Only bots
+/// that checked robots.txt at least once enter the denominator ("if they
+/// check it at all", §5.1).
+pub fn by_category(profiles: &[RecheckProfile]) -> RecheckByCategory {
+    let mut out = RecheckByCategory::default();
+    let mut per_cat: BTreeMap<BotCategory, Vec<&RecheckProfile>> = BTreeMap::new();
+    for p in profiles {
+        if p.ever_checked() {
+            per_cat.entry(p.category).or_default().push(p);
+        }
+    }
+    for (cat, ps) in per_cat {
+        out.checking_bots.insert(cat, ps.len());
+        for &h in &PAPER_WINDOWS_HOURS {
+            let covered = ps.iter().filter(|p| p.covered[&h]).count();
+            out.proportions.insert((cat, h), covered as f64 / ps.len() as f64);
+        }
+    }
+    out
+}
+
+/// Did `records` include a robots.txt fetch? (Table 7 per-phase column.)
+pub fn checked_robots(records: &[&AccessRecord]) -> bool {
+    records.iter().any(|r| r.is_robots_fetch())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::standardize;
+    use botscope_weblog::time::Timestamp;
+
+    fn rec(ua: &str, t: u64, path: &str) -> AccessRecord {
+        AccessRecord {
+            useragent: ua.into(),
+            timestamp: Timestamp::from_unix(t),
+            ip_hash: 1,
+            asn: "GOOGLE".into(),
+            sitename: "s".into(),
+            uri_path: path.into(),
+            status: 200,
+            bytes: 1,
+            referer: None,
+        }
+    }
+
+    const H: u64 = 3600;
+
+    #[test]
+    fn frequent_checker_covers_all_windows() {
+        // GPTBot checks every 10 hours for 15 days.
+        let mut records = Vec::new();
+        for i in 0..36 {
+            records.push(rec("Mozilla/5.0 (compatible; GPTBot/1.1)", i * 10 * H, "/robots.txt"));
+        }
+        let logs = standardize(&records);
+        let ps = profiles(&logs, 360 * H);
+        let gpt = ps.iter().find(|p| p.bot == "GPTBot").unwrap();
+        assert!(gpt.ever_checked());
+        for &h in &PAPER_WINDOWS_HOURS {
+            assert!(gpt.covered[&h], "window {h}h");
+        }
+    }
+
+    #[test]
+    fn sparse_checker_covers_only_long_windows() {
+        // Checks every 100 hours.
+        let mut records = Vec::new();
+        for i in 0..10 {
+            records.push(rec("Mozilla/5.0 (compatible; bingbot/2.0)", i * 100 * H, "/robots.txt"));
+        }
+        let logs = standardize(&records);
+        let ps = profiles(&logs, 1000 * H);
+        let bing = ps.iter().find(|p| p.bot == "bingbot").unwrap();
+        assert!(!bing.covered[&12]);
+        assert!(!bing.covered[&24]);
+        assert!(bing.covered[&168]);
+    }
+
+    #[test]
+    fn never_checker_excluded_from_category_proportions() {
+        let records = vec![
+            rec("axios/1.6.2", 0, "/a"),
+            rec("axios/1.6.2", 10, "/b"),
+            rec("Mozilla/5.0 (compatible; SemrushBot/7~bl)", 0, "/robots.txt"),
+        ];
+        let logs = standardize(&records);
+        let ps = profiles(&logs, 100 * H);
+        let axios = ps.iter().find(|p| p.bot == "Axios").unwrap();
+        assert!(!axios.ever_checked());
+        let agg = by_category(&ps);
+        assert!(!agg.checking_bots.contains_key(&BotCategory::Other) || agg.checking_bots[&BotCategory::Other] == 0 || {
+            // Axios is Other; SemrushBot is SEO. Other must not count Axios.
+            agg.checking_bots.get(&BotCategory::Other).copied().unwrap_or(0) == 0
+        });
+        assert_eq!(agg.checking_bots[&BotCategory::SeoCrawler], 1);
+    }
+
+    #[test]
+    fn category_proportions_bounds() {
+        let mut records = Vec::new();
+        // Two SEO bots: one dense checker, one single check.
+        for i in 0..40 {
+            records.push(rec("Mozilla/5.0 (compatible; SemrushBot/7~bl)", i * 6 * H, "/robots.txt"));
+        }
+        records.push(rec("Mozilla/5.0 (compatible; AhrefsBot/7.0)", 0, "/robots.txt"));
+        let logs = standardize(&records);
+        let ps = profiles(&logs, 240 * H);
+        let agg = by_category(&ps);
+        assert_eq!(agg.checking_bots[&BotCategory::SeoCrawler], 2);
+        for &h in &PAPER_WINDOWS_HOURS {
+            let p = agg.proportions[&(BotCategory::SeoCrawler, h)];
+            assert!((0.0..=1.0).contains(&p));
+        }
+        // Dense checker covers 12h windows, single-check bot does not →
+        // proportion is 0.5 at 12h.
+        assert!((agg.proportions[&(BotCategory::SeoCrawler, 12)] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn checked_robots_helper() {
+        let a = rec("x", 0, "/robots.txt");
+        let b = rec("x", 1, "/page");
+        assert!(checked_robots(&[&a, &b]));
+        assert!(!checked_robots(&[&b]));
+        assert!(!checked_robots(&[]));
+    }
+}

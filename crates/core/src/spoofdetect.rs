@@ -1,0 +1,231 @@
+//! User-agent spoofing detection (paper §5.2).
+//!
+//! "We develop an empirical heuristic that if a bot's traffic is
+//! associated ≥90 % of the time with one ASN, other ASNs associated with
+//! this user agent are likely spoofed." The detector takes a per-bot
+//! record set, finds the dominant ASN, and — when dominance clears the
+//! threshold and minority networks exist — flags every minority-network
+//! request as possibly spoofed.
+
+use std::collections::BTreeMap;
+
+use botscope_weblog::record::AccessRecord;
+
+/// The paper's dominance threshold.
+pub const DOMINANCE_THRESHOLD: f64 = 0.90;
+
+/// Detection result for one bot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpoofFinding {
+    /// Canonical bot name (or raw user agent when unstandardized).
+    pub bot: String,
+    /// The dominant ASN.
+    pub main_asn: String,
+    /// Share of traffic from the dominant ASN.
+    pub main_share: f64,
+    /// Minority ASNs with their request counts, descending by count then
+    /// name (deterministic).
+    pub suspicious: Vec<(String, u64)>,
+    /// Total requests observed for the bot.
+    pub total_requests: u64,
+    /// Requests flagged as possibly spoofed.
+    pub spoofed_requests: u64,
+}
+
+/// Whole-dataset spoofing report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpoofReport {
+    /// One finding per flagged bot, sorted by name.
+    pub findings: Vec<SpoofFinding>,
+}
+
+impl SpoofReport {
+    /// The finding for a bot, if flagged.
+    pub fn finding_for(&self, bot: &str) -> Option<&SpoofFinding> {
+        self.findings.iter().find(|f| f.bot == bot)
+    }
+
+    /// Total flagged requests across all bots.
+    pub fn total_spoofed(&self) -> u64 {
+        self.findings.iter().map(|f| f.spoofed_requests).sum()
+    }
+}
+
+/// Analyze one bot's records under the dominance heuristic.
+///
+/// Returns `None` when the bot is not flagged: fewer than `min_requests`
+/// observations, a single ASN, or dominance below `threshold`.
+pub fn analyze_bot(
+    bot: &str,
+    records: &[&AccessRecord],
+    threshold: f64,
+    min_requests: u64,
+) -> Option<SpoofFinding> {
+    assert!((0.0..=1.0).contains(&threshold), "threshold {threshold} not a probability");
+    let total = records.len() as u64;
+    if total < min_requests {
+        return None;
+    }
+    let mut per_asn: BTreeMap<&str, u64> = BTreeMap::new();
+    for r in records {
+        *per_asn.entry(r.asn.as_str()).or_default() += 1;
+    }
+    if per_asn.len() < 2 {
+        return None;
+    }
+    let (&main_asn, &main_count) =
+        per_asn.iter().max_by_key(|&(name, &count)| (count, std::cmp::Reverse(name))).expect("non-empty");
+    let main_share = main_count as f64 / total as f64;
+    if main_share < threshold {
+        return None;
+    }
+    let mut suspicious: Vec<(String, u64)> = per_asn
+        .iter()
+        .filter(|&(&name, _)| name != main_asn)
+        .map(|(&name, &count)| (name.to_string(), count))
+        .collect();
+    suspicious.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let spoofed_requests = suspicious.iter().map(|&(_, c)| c).sum();
+    Some(SpoofFinding {
+        bot: bot.to_string(),
+        main_asn: main_asn.to_string(),
+        main_share,
+        suspicious,
+        total_requests: total,
+        spoofed_requests,
+    })
+}
+
+/// Analyze a per-bot partition of the dataset with the paper's threshold
+/// and a minimum of 10 observations per bot.
+pub fn detect(per_bot: &BTreeMap<String, Vec<&AccessRecord>>) -> SpoofReport {
+    detect_with(per_bot, DOMINANCE_THRESHOLD, 10)
+}
+
+/// [`detect`] with explicit parameters (the §5.2 limitations call the 90 %
+/// threshold "somewhat arbitrary"; the ablation bench sweeps it here).
+pub fn detect_with(
+    per_bot: &BTreeMap<String, Vec<&AccessRecord>>,
+    threshold: f64,
+    min_requests: u64,
+) -> SpoofReport {
+    let mut findings: Vec<SpoofFinding> = per_bot
+        .iter()
+        .filter_map(|(bot, records)| analyze_bot(bot, records, threshold, min_requests))
+        .collect();
+    findings.sort_by(|a, b| a.bot.cmp(&b.bot));
+    SpoofReport { findings }
+}
+
+/// Partition one bot's records into (legitimate, possibly-spoofed) using a
+/// finding.
+pub fn split_records<'a>(
+    finding: &SpoofFinding,
+    records: &[&'a AccessRecord],
+) -> (Vec<&'a AccessRecord>, Vec<&'a AccessRecord>) {
+    records.iter().partition(|r| r.asn == finding.main_asn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use botscope_weblog::time::Timestamp;
+
+    fn rec(asn: &str, t: u64) -> AccessRecord {
+        AccessRecord {
+            useragent: "bot".into(),
+            timestamp: Timestamp::from_unix(t),
+            ip_hash: 1,
+            asn: asn.into(),
+            sitename: "s".into(),
+            uri_path: "/".into(),
+            status: 200,
+            bytes: 1,
+            referer: None,
+        }
+    }
+
+    fn refs(v: &[AccessRecord]) -> Vec<&AccessRecord> {
+        v.iter().collect()
+    }
+
+    #[test]
+    fn dominant_with_minority_is_flagged() {
+        let mut rs: Vec<AccessRecord> = (0..95).map(|t| rec("GOOGLE", t)).collect();
+        rs.push(rec("M247", 100));
+        rs.push(rec("M247", 101));
+        rs.push(rec("PROSPERO-AS", 102));
+        let f = analyze_bot("Googlebot", &refs(&rs), 0.9, 10).expect("flagged");
+        assert_eq!(f.main_asn, "GOOGLE");
+        assert!(f.main_share > 0.9);
+        assert_eq!(f.spoofed_requests, 3);
+        assert_eq!(f.suspicious[0], ("M247".to_string(), 2));
+        assert_eq!(f.suspicious[1], ("PROSPERO-AS".to_string(), 1));
+    }
+
+    #[test]
+    fn single_asn_not_flagged() {
+        let rs: Vec<AccessRecord> = (0..50).map(|t| rec("GOOGLE", t)).collect();
+        assert!(analyze_bot("b", &refs(&rs), 0.9, 10).is_none());
+    }
+
+    #[test]
+    fn balanced_traffic_not_flagged() {
+        let mut rs: Vec<AccessRecord> = (0..50).map(|t| rec("GOOGLE", t)).collect();
+        rs.extend((0..50).map(|t| rec("AMAZON-02", 100 + t)));
+        assert!(analyze_bot("b", &refs(&rs), 0.9, 10).is_none());
+    }
+
+    #[test]
+    fn few_requests_not_flagged() {
+        let rs = vec![rec("GOOGLE", 0), rec("M247", 1)];
+        assert!(analyze_bot("b", &refs(&rs), 0.9, 10).is_none());
+        // But allowed with min_requests 1.
+        assert!(analyze_bot("b", &refs(&rs), 0.5, 1).is_some());
+    }
+
+    #[test]
+    fn threshold_boundary() {
+        // Exactly 90%: 90 of 100.
+        let mut rs: Vec<AccessRecord> = (0..90).map(|t| rec("A", t)).collect();
+        rs.extend((0..10).map(|t| rec("B", 1000 + t)));
+        assert!(analyze_bot("b", &refs(&rs), 0.9, 10).is_some(), "90% meets ≥90%");
+        // 89 of 100 does not.
+        let mut rs: Vec<AccessRecord> = (0..89).map(|t| rec("A", t)).collect();
+        rs.extend((0..11).map(|t| rec("B", 1000 + t)));
+        assert!(analyze_bot("b", &refs(&rs), 0.9, 10).is_none());
+    }
+
+    #[test]
+    fn split_partitions_correctly() {
+        let mut rs: Vec<AccessRecord> = (0..95).map(|t| rec("GOOGLE", t)).collect();
+        rs.push(rec("M247", 100));
+        let all = refs(&rs);
+        let f = analyze_bot("b", &all, 0.9, 10).unwrap();
+        let (legit, spoofed) = split_records(&f, &all);
+        assert_eq!(legit.len(), 95);
+        assert_eq!(spoofed.len(), 1);
+        assert_eq!(spoofed[0].asn, "M247");
+    }
+
+    #[test]
+    fn report_totals() {
+        let mut per_bot: BTreeMap<String, Vec<&AccessRecord>> = BTreeMap::new();
+        let a: Vec<AccessRecord> =
+            (0..95).map(|t| rec("GOOGLE", t)).chain([rec("M247", 99)]).collect();
+        let b: Vec<AccessRecord> = (0..20).map(|t| rec("OVH", t)).collect();
+        per_bot.insert("flagged".into(), a.iter().collect());
+        per_bot.insert("clean".into(), b.iter().collect());
+        let report = detect(&per_bot);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.total_spoofed(), 1);
+        assert!(report.finding_for("flagged").is_some());
+        assert!(report.finding_for("clean").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a probability")]
+    fn bad_threshold_panics() {
+        let _ = analyze_bot("b", &[], 1.5, 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! Plain-text table and series rendering for the report binaries.
+
+/// A fixed-column text table with automatic width alignment.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// New table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the header arity.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns, a title line and a separator.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                line.push_str(cell);
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                if i + 1 < ncols {
+                    line.extend(std::iter::repeat_n(' ', pad));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with `places` decimal places.
+pub fn f(v: f64, places: usize) -> String {
+    format!("{v:.places$}")
+}
+
+/// Format an optional ratio, printing `N/A` for `None`.
+pub fn ratio(v: Option<f64>) -> String {
+    match v {
+        Some(v) => f(v, 3),
+        None => "N/A".to_string(),
+    }
+}
+
+/// Render a named (x, y) series as `label: x y` lines — the figure
+/// binaries emit these so the series can be diffed and plotted.
+pub fn series(title: &str, points: &[(String, f64)]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let width = points.iter().map(|(x, _)| x.chars().count()).max().unwrap_or(0);
+    for (x, y) in points {
+        let pad = width.saturating_sub(x.chars().count());
+        out.push_str(x);
+        out.extend(std::iter::repeat_n(' ', pad));
+        out.push_str(&format!("  {y:.4}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment() {
+        let mut t = TextTable::new("T", &["name", "n"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer-name".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "T");
+        assert!(lines[1].starts_with("name"));
+        // Both data rows have the number column starting at the same
+        // offset.
+        let off_a = lines[3].find('1').unwrap();
+        let off_b = lines[4].find("22").unwrap();
+        assert_eq!(off_a, off_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_enforced() {
+        let mut t = TextTable::new("T", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f(0.6094, 3), "0.609");
+        assert_eq!(ratio(Some(0.5)), "0.500");
+        assert_eq!(ratio(None), "N/A");
+    }
+
+    #[test]
+    fn series_rendering() {
+        let s = series("S", &[("2025-02-12".into(), 0.25), ("2025-02-13".into(), 1.0)]);
+        assert!(s.contains("2025-02-12  0.2500"));
+        assert!(s.contains("2025-02-13  1.0000"));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = TextTable::new("T", &["a"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.render().contains("a"));
+    }
+}

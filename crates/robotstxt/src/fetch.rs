@@ -1,0 +1,220 @@
+//! Fetch semantics and the crawler-side cache.
+//!
+//! RFC 9309 §2.3.1 specifies what a compliant crawler must assume from the
+//! HTTP status of the `robots.txt` fetch itself:
+//!
+//! * **2xx** — parse the body and obey it;
+//! * **3xx** — follow at least five redirect hops, then treat as the final
+//!   status (we model the *resolved* outcome, so redirects collapse into
+//!   one of the other cases);
+//! * **4xx** (including 404) — the file is "unavailable": crawl **without
+//!   restriction** (allow all);
+//! * **5xx** — the file is "unreachable": assume **complete disallow**
+//!   until a fresh fetch succeeds;
+//! * network failure — same as 5xx.
+//!
+//! [`RobotsCache`] models the client-side caching convention the paper
+//! measures in §5.1: Google's documented standard is to re-fetch every 24
+//! hours, but observed bots range from "every 12 h" to "never". The cache
+//! records every check time, which is exactly the signal the study's
+//! re-check-frequency analysis consumes.
+
+use crate::model::RobotsTxt;
+
+/// The resolved outcome of fetching `/robots.txt`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FetchOutcome {
+    /// 2xx with a body.
+    Success(String),
+    /// Resolved 4xx — unavailable.
+    ClientError(u16),
+    /// Resolved 5xx — unreachable.
+    ServerError(u16),
+    /// Transport-level failure (DNS, TCP, TLS).
+    NetworkError,
+}
+
+/// What a compliant crawler must enforce after a fetch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EffectivePolicy {
+    /// A parsed document to evaluate per request.
+    Policy(RobotsTxt),
+    /// Crawl without restriction (4xx outcome).
+    AllowAll,
+    /// Fetch nothing (5xx / network outcome).
+    DisallowAll,
+}
+
+impl EffectivePolicy {
+    /// Derive the policy a compliant crawler must apply from a fetch
+    /// outcome (RFC 9309 §2.3.1).
+    ///
+    /// ```
+    /// use botscope_robotstxt::{EffectivePolicy, FetchOutcome};
+    /// assert_eq!(
+    ///     EffectivePolicy::from_outcome(FetchOutcome::ClientError(404)),
+    ///     EffectivePolicy::AllowAll
+    /// );
+    /// assert_eq!(
+    ///     EffectivePolicy::from_outcome(FetchOutcome::ServerError(503)),
+    ///     EffectivePolicy::DisallowAll
+    /// );
+    /// ```
+    pub fn from_outcome(outcome: FetchOutcome) -> Self {
+        match outcome {
+            FetchOutcome::Success(body) => EffectivePolicy::Policy(RobotsTxt::parse(&body)),
+            FetchOutcome::ClientError(_) => EffectivePolicy::AllowAll,
+            FetchOutcome::ServerError(_) | FetchOutcome::NetworkError => {
+                EffectivePolicy::DisallowAll
+            }
+        }
+    }
+
+    /// Whether `agent` may fetch `path` under this policy.
+    pub fn is_allowed(&self, agent: &str, path: &str) -> bool {
+        match self {
+            EffectivePolicy::Policy(doc) => doc.is_allowed(agent, path).allow,
+            EffectivePolicy::AllowAll => true,
+            // robots.txt itself stays fetchable even in disallow-all.
+            EffectivePolicy::DisallowAll => path == "/robots.txt",
+        }
+    }
+
+    /// The crawl delay for `agent` under this policy.
+    pub fn crawl_delay(&self, agent: &str) -> Option<f64> {
+        match self {
+            EffectivePolicy::Policy(doc) => doc.crawl_delay(agent),
+            _ => None,
+        }
+    }
+}
+
+/// A crawler-side robots.txt cache with a fixed time-to-live.
+///
+/// Time is a plain `u64` of seconds (the simulator's clock); the cache
+/// records when each check happened so analyses can reconstruct the bot's
+/// re-check cadence.
+#[derive(Debug, Clone)]
+pub struct RobotsCache {
+    ttl_secs: u64,
+    cached: Option<(u64, EffectivePolicy)>,
+    check_times: Vec<u64>,
+}
+
+/// The convention Google documents and the paper cites: re-fetch daily.
+pub const DEFAULT_TTL_SECS: u64 = 24 * 3600;
+
+impl RobotsCache {
+    /// New cache with the given TTL in seconds.
+    pub fn new(ttl_secs: u64) -> Self {
+        Self { ttl_secs, cached: None, check_times: Vec::new() }
+    }
+
+    /// New cache with the 24-hour default TTL.
+    pub fn with_default_ttl() -> Self {
+        Self::new(DEFAULT_TTL_SECS)
+    }
+
+    /// Whether a fetch is needed at time `now` (no entry, or entry older
+    /// than the TTL).
+    pub fn needs_fetch(&self, now: u64) -> bool {
+        match &self.cached {
+            None => true,
+            Some((at, _)) => now.saturating_sub(*at) >= self.ttl_secs,
+        }
+    }
+
+    /// Store the result of a fetch performed at `now`.
+    pub fn store(&mut self, now: u64, policy: EffectivePolicy) {
+        self.check_times.push(now);
+        self.cached = Some((now, policy));
+    }
+
+    /// The currently cached policy, if fresh at `now`.
+    pub fn get(&self, now: u64) -> Option<&EffectivePolicy> {
+        match &self.cached {
+            Some((at, policy)) if now.saturating_sub(*at) < self.ttl_secs => Some(policy),
+            _ => None,
+        }
+    }
+
+    /// Every time a fetch was stored — the re-check trace the §5.1
+    /// analysis consumes.
+    pub fn check_times(&self) -> &[u64] {
+        &self.check_times
+    }
+
+    /// The configured TTL.
+    pub fn ttl_secs(&self) -> u64 {
+        self.ttl_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_mapping() {
+        assert!(matches!(
+            EffectivePolicy::from_outcome(FetchOutcome::Success("User-agent: *\nDisallow: /\n".into())),
+            EffectivePolicy::Policy(_)
+        ));
+        assert_eq!(EffectivePolicy::from_outcome(FetchOutcome::ClientError(404)), EffectivePolicy::AllowAll);
+        assert_eq!(EffectivePolicy::from_outcome(FetchOutcome::ClientError(401)), EffectivePolicy::AllowAll);
+        assert_eq!(EffectivePolicy::from_outcome(FetchOutcome::ServerError(500)), EffectivePolicy::DisallowAll);
+        assert_eq!(EffectivePolicy::from_outcome(FetchOutcome::NetworkError), EffectivePolicy::DisallowAll);
+    }
+
+    #[test]
+    fn allow_all_allows_everything() {
+        let p = EffectivePolicy::AllowAll;
+        assert!(p.is_allowed("any", "/deep/secret"));
+        assert_eq!(p.crawl_delay("any"), None);
+    }
+
+    #[test]
+    fn disallow_all_permits_only_robots_txt() {
+        let p = EffectivePolicy::DisallowAll;
+        assert!(!p.is_allowed("any", "/index.html"));
+        assert!(p.is_allowed("any", "/robots.txt"));
+    }
+
+    #[test]
+    fn parsed_policy_enforced() {
+        let p = EffectivePolicy::from_outcome(FetchOutcome::Success(
+            "User-agent: *\nDisallow: /private/\nCrawl-delay: 30\n".into(),
+        ));
+        assert!(!p.is_allowed("bot", "/private/x"));
+        assert!(p.is_allowed("bot", "/public"));
+        assert_eq!(p.crawl_delay("bot"), Some(30.0));
+    }
+
+    #[test]
+    fn cache_ttl_behaviour() {
+        let mut c = RobotsCache::new(100);
+        assert!(c.needs_fetch(0));
+        c.store(10, EffectivePolicy::AllowAll);
+        assert!(!c.needs_fetch(50));
+        assert!(c.get(50).is_some());
+        assert!(c.needs_fetch(110)); // 10 + 100 elapsed
+        assert!(c.get(110).is_none());
+        c.store(110, EffectivePolicy::DisallowAll);
+        assert_eq!(c.check_times(), &[10, 110]);
+    }
+
+    #[test]
+    fn default_ttl_is_24h() {
+        let c = RobotsCache::with_default_ttl();
+        assert_eq!(c.ttl_secs(), 86_400);
+    }
+
+    #[test]
+    fn time_going_backwards_is_tolerated() {
+        let mut c = RobotsCache::new(100);
+        c.store(1000, EffectivePolicy::AllowAll);
+        // A clock that jumps back must not panic; entry counts as fresh.
+        assert!(!c.needs_fetch(900));
+        assert!(c.get(900).is_some());
+    }
+}

@@ -1,0 +1,229 @@
+//! Line-level scanning of `robots.txt` text.
+//!
+//! The lexer is deliberately forgiving, matching the behaviour of the
+//! widely-deployed parsers the study validated its files against (the
+//! Google robots.txt parser): it strips a UTF-8 BOM, accepts `\n`, `\r\n`
+//! and bare `\r` line endings, strips `#` comments, trims whitespace around
+//! both the key and the value, and compares keys case-insensitively. It
+//! also accepts common misspellings of `user-agent` seen in the wild
+//! (`useragent`, `user agent`) and both `crawl-delay` spellings.
+
+/// One meaningful line of a robots.txt file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Line {
+    /// `User-agent: <token>`
+    UserAgent(String),
+    /// `Allow: <pattern>`
+    Allow(String),
+    /// `Disallow: <pattern>`
+    Disallow(String),
+    /// `Crawl-delay: <value>` (value kept raw; parsed later).
+    CrawlDelay(String),
+    /// `Sitemap: <url>`
+    Sitemap(String),
+    /// A `key: value` line with an unrecognized key (key lowercased).
+    Unknown {
+        /// Lowercased directive key.
+        key: String,
+        /// Raw value.
+        value: String,
+    },
+    /// A non-empty, non-comment line with no `:` separator.
+    Malformed(String),
+}
+
+/// A lexed line with its 1-based position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// 1-based line number in the input.
+    pub line_no: usize,
+    /// The recognized line.
+    pub line: Line,
+}
+
+/// Lex input text into meaningful lines. Blank lines and comment-only lines
+/// are dropped (group structure in RFC 9309 is determined by directives,
+/// not blank lines).
+pub fn lex(input: &str) -> Vec<Spanned> {
+    let input = input.strip_prefix('\u{feff}').unwrap_or(input);
+    let mut out = Vec::new();
+    for (idx, raw_line) in split_lines(input).into_iter().enumerate() {
+        let line_no = idx + 1;
+        // Strip comments: everything from the first '#'.
+        let body = match raw_line.find('#') {
+            Some(pos) => &raw_line[..pos],
+            None => raw_line,
+        };
+        let body = body.trim();
+        if body.is_empty() {
+            continue;
+        }
+        let Some(colon) = body.find(':') else {
+            out.push(Spanned { line_no, line: Line::Malformed(truncate(body, 80)) });
+            continue;
+        };
+        let key = body[..colon].trim().to_ascii_lowercase();
+        let value = body[colon + 1..].trim().to_string();
+        let line = match key.as_str() {
+            "user-agent" | "useragent" | "user agent" => Line::UserAgent(value),
+            "allow" => Line::Allow(value),
+            "disallow" | "dissallow" | "disalow" => Line::Disallow(value),
+            "crawl-delay" | "crawldelay" => Line::CrawlDelay(value),
+            "sitemap" | "site-map" => Line::Sitemap(value),
+            _ => Line::Unknown { key, value },
+        };
+        out.push(Spanned { line_no, line });
+    }
+    out
+}
+
+/// Split on `\n`, `\r\n`, or bare `\r`.
+fn split_lines(input: &str) -> Vec<&str> {
+    let mut lines = Vec::new();
+    let mut start = 0;
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\n' => {
+                lines.push(&input[start..i]);
+                i += 1;
+                start = i;
+            }
+            b'\r' => {
+                lines.push(&input[start..i]);
+                i += 1;
+                if i < bytes.len() && bytes[i] == b'\n' {
+                    i += 1;
+                }
+                start = i;
+            }
+            _ => i += 1,
+        }
+    }
+    if start <= input.len() {
+        lines.push(&input[start..]);
+    }
+    lines
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        s.to_string()
+    } else {
+        let mut end = max;
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        s[..end].to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_directives() {
+        let lines = lex("User-agent: Googlebot\nAllow: /\nDisallow: /secure/\n");
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].line, Line::UserAgent("Googlebot".into()));
+        assert_eq!(lines[1].line, Line::Allow("/".into()));
+        assert_eq!(lines[2].line, Line::Disallow("/secure/".into()));
+        assert_eq!(lines[0].line_no, 1);
+        assert_eq!(lines[2].line_no, 3);
+    }
+
+    #[test]
+    fn case_insensitive_keys() {
+        let lines = lex("USER-AGENT: x\nallow: /\nDISALLOW: /\nCRAWL-DELAY: 5\nSiTeMaP: u");
+        assert!(matches!(lines[0].line, Line::UserAgent(_)));
+        assert!(matches!(lines[1].line, Line::Allow(_)));
+        assert!(matches!(lines[2].line, Line::Disallow(_)));
+        assert!(matches!(lines[3].line, Line::CrawlDelay(_)));
+        assert!(matches!(lines[4].line, Line::Sitemap(_)));
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let lines = lex("# full comment line\nAllow: /x # trailing comment\n   # indented\n");
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].line, Line::Allow("/x".into()));
+        assert_eq!(lines[0].line_no, 2);
+    }
+
+    #[test]
+    fn blank_lines_dropped() {
+        let lines = lex("\n\n\nAllow: /\n\n");
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].line_no, 4);
+    }
+
+    #[test]
+    fn whitespace_trimmed() {
+        let lines = lex("  User-agent :   GPTBot  \n\tDisallow\t:\t/private\t\n");
+        assert_eq!(lines[0].line, Line::UserAgent("GPTBot".into()));
+        assert_eq!(lines[1].line, Line::Disallow("/private".into()));
+    }
+
+    #[test]
+    fn crlf_and_cr_endings() {
+        let lines = lex("Allow: /a\r\nAllow: /b\rAllow: /c");
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[2].line, Line::Allow("/c".into()));
+    }
+
+    #[test]
+    fn bom_stripped() {
+        let lines = lex("\u{feff}User-agent: *");
+        assert_eq!(lines[0].line, Line::UserAgent("*".into()));
+    }
+
+    #[test]
+    fn malformed_lines_flagged() {
+        let lines = lex("this is not a directive\nAllow: /\n");
+        assert_eq!(lines[0].line, Line::Malformed("this is not a directive".into()));
+        assert_eq!(lines[1].line, Line::Allow("/".into()));
+    }
+
+    #[test]
+    fn unknown_directives_preserved() {
+        let lines = lex("Host: example.com\nClean-param: ref /articles/\n");
+        assert_eq!(
+            lines[0].line,
+            Line::Unknown { key: "host".into(), value: "example.com".into() }
+        );
+        assert!(matches!(&lines[1].line, Line::Unknown { key, .. } if key == "clean-param"));
+    }
+
+    #[test]
+    fn empty_values_allowed() {
+        let lines = lex("Disallow:\nAllow:");
+        assert_eq!(lines[0].line, Line::Disallow(String::new()));
+        assert_eq!(lines[1].line, Line::Allow(String::new()));
+    }
+
+    #[test]
+    fn common_misspellings() {
+        let lines = lex("useragent: a\ncrawldelay: 3\ndissallow: /x");
+        assert!(matches!(lines[0].line, Line::UserAgent(_)));
+        assert!(matches!(lines[1].line, Line::CrawlDelay(_)));
+        assert!(matches!(lines[2].line, Line::Disallow(_)));
+    }
+
+    #[test]
+    fn sitemap_value_keeps_colon() {
+        let lines = lex("Sitemap: https://x.edu/sitemap.xml");
+        assert_eq!(lines[0].line, Line::Sitemap("https://x.edu/sitemap.xml".into()));
+    }
+
+    #[test]
+    fn long_malformed_truncated() {
+        let long = "z".repeat(500);
+        let lines = lex(&long);
+        match &lines[0].line {
+            Line::Malformed(t) => assert_eq!(t.len(), 80),
+            other => panic!("expected malformed, got {other:?}"),
+        }
+    }
+}

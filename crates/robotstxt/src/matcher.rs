@@ -1,0 +1,299 @@
+//! Access decisions: RFC 9309 matching semantics.
+//!
+//! Given a parsed document, a crawler product token and a request path,
+//! the matcher:
+//!
+//! 1. selects the applicable group set — the groups whose `User-agent:`
+//!    token is the **longest** case-insensitive boundary-prefix of the
+//!    crawler's token; if none match, the `*` groups apply; groups with the
+//!    same winning token are **merged** (RFC 9309 §2.2.1: "crawlers MUST
+//!    use the union of the groups' rules"),
+//! 2. evaluates every rule in the merged set against the path and picks the
+//!    most specific match (**most octets**, §2.2.2),
+//! 3. breaks ties in favour of `Allow`,
+//! 4. defaults to *allowed* when nothing matches,
+//! 5. always allows `/robots.txt` itself (§2.2.2: "the /robots.txt URI is
+//!    implicitly allowed").
+
+use crate::model::{RobotsTxt, Rule, RuleVerb};
+use crate::parser::normalize_agent;
+
+/// The outcome of an access check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// Whether the fetch is allowed.
+    pub allow: bool,
+    /// The rule that decided the outcome, if any (`None` means the default
+    /// allow applied: no group matched, or no rule matched the path).
+    pub matched_rule: Option<Rule>,
+    /// The user-agent token of the group set that applied (`"*"` for the
+    /// wildcard group, `None` if the document has no applicable group).
+    pub matched_agent: Option<String>,
+}
+
+impl Decision {
+    fn default_allow(agent: Option<String>) -> Self {
+        Decision { allow: true, matched_rule: None, matched_agent: agent }
+    }
+}
+
+impl RobotsTxt {
+    /// Decide whether `agent_token` may fetch `path`.
+    ///
+    /// `agent_token` is the crawler's product token (e.g. `"GPTBot"`), not
+    /// a full `User-Agent` header; use `botscope-useragent` to extract a
+    /// token from a header. `path` must begin with `/` (a missing slash is
+    /// tolerated and treated as `/` + path).
+    pub fn is_allowed(&self, agent_token: &str, path: &str) -> Decision {
+        let path_owned;
+        let path = if path.starts_with('/') {
+            path
+        } else {
+            path_owned = format!("/{path}");
+            &path_owned
+        };
+
+        // The robots.txt file itself is always fetchable.
+        if path == "/robots.txt" {
+            return Decision::default_allow(None);
+        }
+
+        let Some((agent, rules)) = self.applicable_rules(agent_token) else {
+            return Decision::default_allow(None);
+        };
+
+        // Most-specific match wins; Allow wins ties.
+        let mut best: Option<&Rule> = None;
+        for rule in rules {
+            if rule.pattern.is_empty() || !rule.pattern.matches(path) {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    let (rs, bs) = (rule.pattern.specificity(), b.pattern.specificity());
+                    rs > bs || (rs == bs && rule.verb == RuleVerb::Allow && b.verb == RuleVerb::Disallow)
+                }
+            };
+            if better {
+                best = Some(rule);
+            }
+        }
+
+        match best {
+            Some(rule) => Decision {
+                allow: rule.verb == RuleVerb::Allow,
+                matched_rule: Some(rule.clone()),
+                matched_agent: Some(agent),
+            },
+            None => Decision::default_allow(Some(agent)),
+        }
+    }
+
+    /// The crawl delay applying to `agent_token`, if any.
+    ///
+    /// Group selection follows the same most-specific-token rule as path
+    /// matching; when several groups merge, the **largest** declared delay
+    /// is returned (the conservative reading a compliant bot should take).
+    pub fn crawl_delay(&self, agent_token: &str) -> Option<f64> {
+        let token = normalize_agent(agent_token);
+        let winner = self.winning_token(&token)?;
+        self.groups
+            .iter()
+            .filter(|g| g.user_agents.contains(&winner))
+            .filter_map(|g| g.crawl_delay)
+            .fold(None, |acc: Option<f64>, d| Some(acc.map_or(d, |a| a.max(d))))
+    }
+
+    /// The merged rule set applying to `agent_token`, with the winning
+    /// group token. `None` when the document has no applicable group.
+    pub fn applicable_rules(&self, agent_token: &str) -> Option<(String, Vec<&Rule>)> {
+        let token = normalize_agent(agent_token);
+        let winner = self.winning_token(&token)?;
+        let rules = self
+            .groups
+            .iter()
+            .filter(|g| g.user_agents.contains(&winner))
+            .flat_map(|g| g.rules.iter())
+            .collect();
+        Some((winner, rules))
+    }
+
+    /// Find the most specific group token matching the normalized crawler
+    /// token: longest boundary-prefix wins; `*` is the fallback.
+    fn winning_token(&self, token: &str) -> Option<String> {
+        let mut best: Option<&str> = None;
+        let mut saw_wildcard = false;
+        for g in &self.groups {
+            for ua in &g.user_agents {
+                if ua == "*" {
+                    saw_wildcard = true;
+                    continue;
+                }
+                if token_matches(ua, token) && best.is_none_or(|b| ua.len() > b.len()) {
+                    best = Some(ua);
+                }
+            }
+        }
+        match best {
+            Some(b) => Some(b.to_string()),
+            None if saw_wildcard => Some("*".to_string()),
+            None => None,
+        }
+    }
+}
+
+/// Whether group token `group` applies to crawler token `crawler`
+/// (both lowercase): equal, or `group` is a prefix of `crawler` ending at a
+/// token boundary (`-`, `_`, or end). This gives `googlebot-news` the
+/// `googlebot` group when no more specific one exists, without letting a
+/// `google` group capture `googlebot`... unless the boundary allows it —
+/// `googlebot` does **not** start with `google-`/`google_`, so it does not.
+fn token_matches(group: &str, crawler: &str) -> bool {
+    if group == crawler {
+        return true;
+    }
+    if let Some(rest) = crawler.strip_prefix(group) {
+        return rest.starts_with('-') || rest.starts_with('_');
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const FIG1: &str = "User-agent: Googlebot\nAllow: /\nCrawl-delay: 15\n\nUser-agent: *\nAllow: /allowed-data/\nDisallow: /restricted-data/\nCrawl-delay: 30\n";
+
+    #[test]
+    fn figure1_semantics() {
+        let r = parse(FIG1);
+        assert!(r.is_allowed("Googlebot", "/restricted-data/page").allow);
+        assert!(!r.is_allowed("Bytespider", "/restricted-data/page").allow);
+        assert!(r.is_allowed("Bytespider", "/allowed-data/page").allow);
+        assert!(r.is_allowed("Bytespider", "/other").allow); // no rule matches → allow
+        assert_eq!(r.crawl_delay("Googlebot"), Some(15.0));
+        assert_eq!(r.crawl_delay("GPTBot"), Some(30.0));
+    }
+
+    #[test]
+    fn robots_txt_always_allowed() {
+        let r = RobotsTxt::disallow_all();
+        assert!(r.is_allowed("anybot", "/robots.txt").allow);
+        assert!(!r.is_allowed("anybot", "/index.html").allow);
+    }
+
+    #[test]
+    fn empty_doc_allows_everything() {
+        let r = parse("");
+        let d = r.is_allowed("GPTBot", "/anything");
+        assert!(d.allow);
+        assert!(d.matched_rule.is_none());
+        assert!(d.matched_agent.is_none());
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let r = parse("User-agent: *\nDisallow: /page\nAllow: /page-data/\n");
+        assert!(!r.is_allowed("x", "/page").allow);
+        assert!(!r.is_allowed("x", "/pagexyz").allow);
+        assert!(r.is_allowed("x", "/page-data/app.json").allow);
+    }
+
+    #[test]
+    fn allow_wins_ties() {
+        let r = parse("User-agent: *\nDisallow: /dir/\nAllow: /dir2/\n");
+        // Equal-length distinct patterns that both match can't exist, so
+        // craft a genuine tie: same pattern both verbs.
+        let r2 = parse("User-agent: *\nDisallow: /x\nAllow: /x\n");
+        assert!(r2.is_allowed("bot", "/x").allow);
+        assert!(!r.is_allowed("bot", "/dir/a").allow);
+    }
+
+    #[test]
+    fn most_specific_group_selected() {
+        let r = parse(
+            "User-agent: googlebot-news\nDisallow: /news-secret/\n\nUser-agent: googlebot\nDisallow: /general/\n\nUser-agent: *\nDisallow: /\n",
+        );
+        // googlebot-news gets only its own group.
+        let d = r.is_allowed("Googlebot-News", "/general/x");
+        assert!(d.allow, "news bot not bound by generic googlebot group");
+        assert!(!r.is_allowed("Googlebot-News", "/news-secret/x").allow);
+        // googlebot gets the googlebot group.
+        assert!(!r.is_allowed("Googlebot", "/general/x").allow);
+        assert!(r.is_allowed("Googlebot", "/news-secret/x").allow);
+        // unknown bots get the wildcard.
+        assert!(!r.is_allowed("GPTBot", "/anything").allow);
+    }
+
+    #[test]
+    fn group_token_boundary() {
+        let r = parse("User-agent: google\nDisallow: /\n");
+        // `googlebot` does not match group `google` (no boundary).
+        assert!(r.is_allowed("googlebot", "/x").allow);
+        // `google-images` does.
+        assert!(!r.is_allowed("google-images", "/x").allow);
+    }
+
+    #[test]
+    fn groups_with_same_token_merge() {
+        let r = parse(
+            "User-agent: a\nDisallow: /one\n\nUser-agent: b\nDisallow: /b\n\nUser-agent: a\nDisallow: /two\n",
+        );
+        assert!(!r.is_allowed("a", "/one").allow);
+        assert!(!r.is_allowed("a", "/two").allow);
+        assert!(r.is_allowed("a", "/b").allow);
+    }
+
+    #[test]
+    fn merged_crawl_delay_takes_max() {
+        let r = parse("User-agent: a\nCrawl-delay: 10\n\nUser-agent: a\nCrawl-delay: 40\n");
+        assert_eq!(r.crawl_delay("a"), Some(40.0));
+    }
+
+    #[test]
+    fn no_wildcard_group_means_unlisted_bot_unrestricted() {
+        let r = parse("User-agent: badbot\nDisallow: /\n");
+        assert!(r.is_allowed("goodbot", "/x").allow);
+        assert!(!r.is_allowed("badbot", "/x").allow);
+        assert_eq!(r.crawl_delay("goodbot"), None);
+    }
+
+    #[test]
+    fn full_ua_header_tolerated() {
+        let r = parse("User-agent: gptbot\nDisallow: /private/\n");
+        let d = r.is_allowed("GPTBot/1.0 (+https://openai.com/gptbot)", "/private/x");
+        assert!(!d.allow);
+    }
+
+    #[test]
+    fn missing_leading_slash_tolerated() {
+        let r = parse("User-agent: *\nDisallow: /secret\n");
+        assert!(!r.is_allowed("bot", "secret/files").allow);
+    }
+
+    #[test]
+    fn empty_disallow_restricts_nothing() {
+        let r = parse("User-agent: *\nDisallow:\n");
+        assert!(r.is_allowed("bot", "/x").allow);
+    }
+
+    #[test]
+    fn decision_reports_matched_rule() {
+        let r = parse("User-agent: *\nDisallow: /secure/*\n");
+        let d = r.is_allowed("bot", "/secure/admin");
+        assert!(!d.allow);
+        assert_eq!(d.matched_rule.unwrap().pattern.as_str(), "/secure/*");
+        assert_eq!(d.matched_agent.as_deref(), Some("*"));
+    }
+
+    #[test]
+    fn wildcard_pattern_specificity_example() {
+        // RFC example-style: /p beats nothing, /page beats /p, /*.html at
+        // length 7 beats /page at 5 for /page.html.
+        let r = parse("User-agent: *\nAllow: /p\nDisallow: /*.html\n");
+        assert!(r.is_allowed("b", "/page").allow);
+        assert!(!r.is_allowed("b", "/page.html").allow);
+    }
+}

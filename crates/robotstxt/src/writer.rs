@@ -1,0 +1,127 @@
+//! Serialization of a [`RobotsTxt`] document back to canonical text.
+//!
+//! The writer produces the conventional layout (one blank line between
+//! groups, `Sitemap:` lines last) so that the study's policy files render
+//! exactly as shown in the paper's Figures 5–8. Parsing the output yields
+//! a document equal to the original (round-trip property, tested here and
+//! in the crate's proptest suite).
+
+use std::fmt;
+
+use crate::model::RobotsTxt;
+
+impl fmt::Display for RobotsTxt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for group in &self.groups {
+            if !first {
+                writeln!(f)?;
+            }
+            first = false;
+            for ua in &group.user_agents {
+                writeln!(f, "User-agent: {}", display_agent(ua))?;
+            }
+            for rule in &group.rules {
+                writeln!(f, "{}: {}", rule.verb.as_str(), rule.pattern)?;
+            }
+            if let Some(delay) = group.crawl_delay {
+                if delay.fract() == 0.0 {
+                    writeln!(f, "Crawl-delay: {}", delay as u64)?;
+                } else {
+                    writeln!(f, "Crawl-delay: {delay}")?;
+                }
+            }
+        }
+        if !self.sitemaps.is_empty() {
+            if !first {
+                writeln!(f)?;
+            }
+            for s in &self.sitemaps {
+                writeln!(f, "Sitemap: {s}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Agents are stored lowercased; emit well-known names with their
+/// conventional capitalization for readability.
+fn display_agent(token: &str) -> String {
+    const CANONICAL: &[(&str, &str)] = &[
+        ("googlebot", "Googlebot"),
+        ("bingbot", "bingbot"),
+        ("slurp", "Slurp"),
+        ("yandexbot", "Yandexbot"),
+        ("duckduckbot", "DuckDuckBot"),
+        ("baiduspider", "BaiduSpider"),
+        ("duckassistbot", "DuckAssistBot"),
+        ("ia_archiver", "ia_archiver"),
+        ("gptbot", "GPTBot"),
+        ("claudebot", "ClaudeBot"),
+    ];
+    for (lower, canon) in CANONICAL {
+        if token == *lower {
+            return (*canon).to_string();
+        }
+    }
+    token.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::RobotsTxtBuilder;
+    use crate::parser::parse;
+
+    #[test]
+    fn writes_figure5_shape() {
+        let r = RobotsTxtBuilder::new()
+            .group(["*"], |g| {
+                g.allow("/").disallow("/404").disallow("/dev-404-page").disallow("/secure/*")
+            })
+            .build();
+        let text = r.to_string();
+        assert_eq!(
+            text,
+            "User-agent: *\nAllow: /\nDisallow: /404\nDisallow: /dev-404-page\nDisallow: /secure/*\n"
+        );
+    }
+
+    #[test]
+    fn blank_line_between_groups() {
+        let r = RobotsTxtBuilder::new()
+            .group(["Googlebot"], |g| g.allow("/"))
+            .group(["*"], |g| g.disallow("/"))
+            .build();
+        let text = r.to_string();
+        assert!(text.contains("Allow: /\n\nUser-agent: *"));
+    }
+
+    #[test]
+    fn integral_crawl_delay_has_no_decimal_point() {
+        let r = RobotsTxtBuilder::new().group(["*"], |g| g.crawl_delay(30.0)).build();
+        assert!(r.to_string().contains("Crawl-delay: 30\n"));
+        let r = RobotsTxtBuilder::new().group(["*"], |g| g.crawl_delay(2.5)).build();
+        assert!(r.to_string().contains("Crawl-delay: 2.5\n"));
+    }
+
+    #[test]
+    fn canonical_capitalization() {
+        let r = RobotsTxtBuilder::new().group(["GOOGLEBOT"], |g| g.allow("/")).build();
+        assert!(r.to_string().starts_with("User-agent: Googlebot\n"));
+    }
+
+    #[test]
+    fn roundtrip_equality() {
+        let r = RobotsTxtBuilder::new()
+            .group(["Googlebot", "bingbot"], |g| {
+                g.allow("/").disallow("/404").crawl_delay(15.0)
+            })
+            .group(["*"], |g| g.allow("/page-data/*").disallow("/"))
+            .sitemap("https://site.edu/sitemap-0.xml")
+            .build();
+        let reparsed = parse(&r.to_string());
+        assert_eq!(reparsed.groups, r.groups);
+        assert_eq!(reparsed.sitemaps, r.sitemaps);
+        assert!(reparsed.warnings.is_empty());
+    }
+}

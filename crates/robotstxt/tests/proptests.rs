@@ -1,0 +1,157 @@
+//! Property-based tests for the RFC 9309 implementation.
+
+use botscope_robotstxt::parser::parse;
+use botscope_robotstxt::pattern::{normalize_percent, PathPattern};
+use botscope_robotstxt::{RobotsTxt, RobotsTxtBuilder};
+use proptest::prelude::*;
+
+/// Strategy for plausible path-pattern strings.
+fn pattern_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("/[a-z0-9/*._-]{0,20}\\$?").expect("valid regex")
+}
+
+/// Strategy for plausible request paths.
+fn path_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("/[a-z0-9/._-]{0,30}").expect("valid regex")
+}
+
+proptest! {
+    #[test]
+    fn parser_never_panics(input in "\\PC*") {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_structured_garbage(
+        lines in prop::collection::vec("[ -~]{0,50}", 0..30)
+    ) {
+        let _ = parse(&lines.join("\n"));
+    }
+
+    #[test]
+    fn pattern_matching_never_panics(pat in "\\PC{0,40}", path in "\\PC{0,60}") {
+        let p = PathPattern::new(&pat);
+        let _ = p.matches(&path);
+    }
+
+    #[test]
+    fn literal_pattern_is_prefix_match(path in path_strategy(), extra in "[a-z0-9]{0,10}") {
+        // A wildcard-free, unanchored pattern matches exactly its prefixes.
+        let p = PathPattern::new(&path);
+        let extended = format!("{path}{extra}");
+        prop_assert!(p.matches(&extended), "{path} should match {extended}");
+    }
+
+    #[test]
+    fn anchored_literal_matches_only_itself(path in path_strategy()) {
+        if !path.contains('*') && !path.contains('$') {
+            let p = PathPattern::new(&format!("{path}$"));
+            prop_assert!(p.matches(&path));
+            let extended = format!("{path}x");
+            prop_assert!(!p.matches(&extended));
+        }
+    }
+
+    #[test]
+    fn normalize_is_idempotent(s in "\\PC{0,60}") {
+        let once = normalize_percent(&s);
+        let twice = normalize_percent(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn decision_is_deterministic(
+        pats in prop::collection::vec(pattern_strategy(), 0..10),
+        path in path_strategy(),
+    ) {
+        let mut body = String::from("User-agent: *\n");
+        for (i, p) in pats.iter().enumerate() {
+            if i % 2 == 0 {
+                body.push_str(&format!("Disallow: {p}\n"));
+            } else {
+                body.push_str(&format!("Allow: {p}\n"));
+            }
+        }
+        let doc = parse(&body);
+        let a = doc.is_allowed("testbot", &path);
+        let b = doc.is_allowed("testbot", &path);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn robots_txt_path_always_allowed(
+        pats in prop::collection::vec(pattern_strategy(), 0..10),
+        agent in "[a-z]{1,12}",
+    ) {
+        let mut body = String::from("User-agent: *\n");
+        for p in &pats {
+            body.push_str(&format!("Disallow: {p}\n"));
+        }
+        let doc = parse(&body);
+        prop_assert!(doc.is_allowed(&agent, "/robots.txt").allow);
+    }
+
+    #[test]
+    fn builder_roundtrip(
+        agents in prop::collection::vec("[a-z][a-z0-9-]{0,10}", 1..4),
+        allow_pats in prop::collection::vec(pattern_strategy(), 0..5),
+        disallow_pats in prop::collection::vec(pattern_strategy(), 0..5),
+        delay in prop::option::of(0u32..3600),
+    ) {
+        let built = RobotsTxtBuilder::new()
+            .group(agents.clone(), |mut g| {
+                for p in &allow_pats {
+                    g = g.allow(p);
+                }
+                for p in &disallow_pats {
+                    g = g.disallow(p);
+                }
+                if let Some(d) = delay {
+                    g = g.crawl_delay(d as f64);
+                }
+                g
+            })
+            .build();
+        let reparsed = parse(&built.to_string());
+        prop_assert_eq!(&reparsed.groups, &built.groups);
+        prop_assert!(reparsed.warnings.is_empty(), "warnings: {:?}", reparsed.warnings);
+    }
+
+    #[test]
+    fn disallow_all_blocks_all_but_robots(agent in "[a-z]{1,12}", path in path_strategy()) {
+        let doc = RobotsTxt::disallow_all();
+        let d = doc.is_allowed(&agent, &path);
+        if path == "/robots.txt" {
+            prop_assert!(d.allow);
+        } else {
+            prop_assert!(!d.allow);
+        }
+    }
+
+    #[test]
+    fn allow_all_allows_everything(agent in "[a-z]{1,12}", path in path_strategy()) {
+        prop_assert!(RobotsTxt::allow_all().is_allowed(&agent, &path).allow);
+    }
+
+    #[test]
+    fn adding_an_allow_rule_never_shrinks_access(
+        base_pats in prop::collection::vec(pattern_strategy(), 0..6),
+        new_allow in pattern_strategy(),
+        path in path_strategy(),
+    ) {
+        // Monotonicity: appending a (strictly longer-or-equal specificity
+        // aside) Allow rule can flip Disallow→Allow but a path that was
+        // allowed stays allowed UNLESS the new rule is more specific — an
+        // Allow rule can never cause a Disallow, so allowed stays allowed.
+        let mut body = String::from("User-agent: *\n");
+        for p in &base_pats {
+            body.push_str(&format!("Disallow: {p}\n"));
+        }
+        let before = parse(&body).is_allowed("bot", &path).allow;
+        body.push_str(&format!("Allow: {new_allow}\n"));
+        let after = parse(&body).is_allowed("bot", &path).allow;
+        if before {
+            prop_assert!(after, "allow rule must not revoke access");
+        }
+    }
+}

@@ -1,0 +1,482 @@
+//! The discrete-event generation engine.
+//!
+//! Each fleet bot is an independent process: a Poisson stream of sessions,
+//! each session a paced run of page fetches against one site, shaped by
+//! the robots.txt policy live on that site at that moment and by the
+//! bot's planted compliance profile. Bots are simulated one at a time in
+//! fleet order with a per-bot RNG derived from (seed, bot index), so the
+//! output is a pure function of the configuration — independent even of
+//! map iteration order.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use botscope_asn::ip_for;
+use botscope_weblog::iphash::IpHasher;
+use botscope_weblog::record::AccessRecord;
+use botscope_weblog::time::Timestamp;
+
+use crate::behavior::{BotBehavior, RobotsCheckPolicy};
+use crate::config::SimConfig;
+use crate::fleet::{build_fleet, SimBot};
+use crate::phases::{PhaseSchedule, PolicyVersion};
+use crate::site::{Page, PageKind, Site, DIRECTORY_SITE, EXPERIMENT_SITE};
+
+/// Ground truth planted by the generator, for validation by tests and the
+/// EXPERIMENTS.md harness.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    /// Planted behaviour per canonical bot name.
+    pub behaviors: BTreeMap<String, BotBehavior>,
+    /// Canonical names of the SEO-exempt agents present in the fleet.
+    pub exempt: Vec<String>,
+    /// Number of spoofed requests planted, per spoofed bot name.
+    pub spoofed_requests: BTreeMap<String, u64>,
+}
+
+/// The generator's output.
+#[derive(Debug, Clone, Default)]
+pub struct SimOutput {
+    /// All access records, time-sorted.
+    pub records: Vec<AccessRecord>,
+    /// What was planted.
+    pub truth: GroundTruth,
+}
+
+/// Exponential sample with the given mean.
+fn exp_sample(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    -mean * (1.0 - u).ln()
+}
+
+/// Derive a child seed; avoids correlated streams between bots.
+fn child_seed(seed: u64, stream: u64) -> u64 {
+    // splitmix-style mix.
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Run the generator for the given config and robots.txt schedule.
+pub fn simulate(cfg: &SimConfig, schedule: &PhaseSchedule) -> SimOutput {
+    cfg.assert_valid();
+    let estate = Site::estate(cfg.sites);
+    let fleet = build_fleet();
+    let hasher = IpHasher::from_seed(cfg.seed);
+
+    let mut records: Vec<AccessRecord> = Vec::new();
+    let mut truth = GroundTruth::default();
+
+    for (idx, bot) in fleet.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(child_seed(cfg.seed, idx as u64));
+        simulate_bot(cfg, schedule, &estate, bot, &hasher, &mut rng, &mut records);
+        truth.behaviors.insert(bot.spec.canonical.to_string(), bot.behavior.clone());
+        if bot.exempt {
+            truth.exempt.push(bot.spec.canonical.to_string());
+        }
+    }
+
+    if cfg.anon_traffic {
+        crate::anon::generate(cfg, &estate, &hasher, &mut records);
+    }
+    if cfg.spoofing {
+        let planted = crate::spoof::generate(cfg, schedule, &estate, &fleet, &hasher, &mut records);
+        truth.spoofed_requests = planted;
+    }
+
+    records.sort_by(|a, b| {
+        (a.timestamp, &a.useragent, a.ip_hash, &a.uri_path)
+            .cmp(&(b.timestamp, &b.useragent, b.ip_hash, &b.uri_path))
+    });
+    SimOutput { records, truth }
+}
+
+/// Simulate one bot over the whole horizon.
+fn simulate_bot(
+    cfg: &SimConfig,
+    schedule: &PhaseSchedule,
+    estate: &[Site],
+    bot: &SimBot,
+    hasher: &IpHasher,
+    rng: &mut StdRng,
+    out: &mut Vec<AccessRecord>,
+) {
+    let bb = &bot.behavior;
+    let horizon_secs = cfg.days as f64 * 86_400.0;
+    let daily_sessions = (bb.daily_hits * cfg.scale / bb.pages_per_session).max(1e-9);
+    let mean_gap_secs = 86_400.0 / daily_sessions;
+
+    // Diligent pollers fetch robots.txt on a timer, independent of
+    // sessions. Polling cadence does NOT scale with traffic volume —
+    // checking the rules is a fixed cost. The poll stream targets one
+    // ordinary site: the §5.1 re-check analysis pools robots.txt fetches
+    // across the estate, while the §4 compliance analysis reads only the
+    // experiment site, whose record mix must stay proportional to page
+    // traffic at every simulation scale.
+    if let RobotsCheckPolicy::Poll(hours) = bb.robots_check {
+        let interval = hours as f64 * 3600.0;
+        let site = &estate[estate.len() - 1];
+        let ip_index = rng.gen_range(0..bb.ip_pool);
+        let mut t = rng.gen_range(0.0..interval.min(horizon_secs));
+        while t < horizon_secs {
+            let now = cfg.start.plus_secs(t as u64);
+            emit(out, bot, hasher, ip_index, site, "/robots.txt", 430, 200, now);
+            // Small jitter so poll streams don't alias with window edges.
+            t += interval * rng.gen_range(0.90..0.99);
+        }
+    }
+
+    // Lazy-cache bookkeeping: one cache per bot (bots reuse one fetched
+    // policy across their crawl of the estate).
+    let mut last_check: Option<u64> = None;
+
+    let mut t = exp_sample(rng, mean_gap_secs);
+    while t < horizon_secs {
+        let now = cfg.start.plus_secs(t as u64);
+        session(schedule, estate, bot, hasher, rng, now, &mut last_check, out);
+        t += exp_sample(rng, mean_gap_secs);
+    }
+}
+
+/// Pick the session's target site.
+fn pick_site<'a>(estate: &'a [Site], rng: &mut StdRng, directory_affinity: f64) -> &'a Site {
+    if estate.len() > DIRECTORY_SITE && rng.gen_bool(directory_affinity.clamp(0.0, 1.0)) {
+        return &estate[DIRECTORY_SITE];
+    }
+    // Experiment site is the high-traffic one ("chosen because of its
+    // observed high bot traffic", §4.1): weight 30, others 1.
+    let weights: Vec<f64> =
+        estate.iter().map(|s| if s.index == EXPERIMENT_SITE { 30.0 } else { 1.0 }).collect();
+    let total: f64 = weights.iter().sum();
+    let mut pick = rng.gen_range(0.0..total);
+    for (site, w) in estate.iter().zip(weights) {
+        if pick < w {
+            return site;
+        }
+        pick -= w;
+    }
+    estate.last().expect("non-empty estate")
+}
+
+/// Pick a page for a normal (baseline-policy) access.
+fn pick_natural_page<'a>(site: &'a Site, rng: &mut StdRng, natural_pagedata: f64) -> &'a Page {
+    if rng.gen_bool(natural_pagedata.clamp(0.0, 1.0)) {
+        let pd = site.pages_of(PageKind::PageData);
+        if !pd.is_empty() {
+            return pd[rng.gen_range(0..pd.len())];
+        }
+    }
+    // Mostly content/directory, occasionally landing, rarely restricted
+    // (bots do stumble into /secure/* — the base file's disallows are the
+    // everyday compliance signal).
+    let roll: f64 = rng.gen_range(0.0..1.0);
+    let kind = if roll < 0.10 {
+        PageKind::Landing
+    } else if roll < 0.60 {
+        PageKind::Content
+    } else if roll < 0.97 {
+        PageKind::Directory
+    } else {
+        PageKind::Restricted
+    };
+    let pool = site.pages_of(kind);
+    if pool.is_empty() {
+        return &site.pages[rng.gen_range(0..site.pages.len())];
+    }
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// Pick a page that is not in the `/page-data/*` family (used for
+/// non-compliant fetches under the v2 endpoint restriction).
+fn pick_non_pagedata_page<'a>(site: &'a Site, rng: &mut StdRng) -> &'a Page {
+    let pool: Vec<&Page> =
+        site.pages.iter().filter(|p| p.kind != PageKind::PageData).collect();
+    if pool.is_empty() {
+        return &site.pages[0];
+    }
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// Emit one record.
+#[allow(clippy::too_many_arguments)]
+fn emit(
+    out: &mut Vec<AccessRecord>,
+    bot: &SimBot,
+    hasher: &IpHasher,
+    ip_index: u32,
+    site: &Site,
+    path: &str,
+    bytes: u64,
+    status: u16,
+    at: Timestamp,
+) {
+    let ip = ip_for(bot.spec.home_asn, ip_index)
+        .unwrap_or_else(|| panic!("unknown home ASN {} for {}", bot.spec.home_asn, bot.spec.canonical));
+    out.push(AccessRecord {
+        useragent: bot.ua_string.clone(),
+        timestamp: at,
+        ip_hash: hasher.hash_ipv4(ip),
+        asn: bot.spec.home_asn.to_string(),
+        sitename: site.name.clone(),
+        uri_path: path.to_string(),
+        status,
+        bytes,
+        referer: None,
+    });
+}
+
+/// One crawling session.
+#[allow(clippy::too_many_arguments)]
+fn session(
+    schedule: &PhaseSchedule,
+    estate: &[Site],
+    bot: &SimBot,
+    hasher: &IpHasher,
+    rng: &mut StdRng,
+    start: Timestamp,
+    last_check: &mut Option<u64>,
+    out: &mut Vec<AccessRecord>,
+) {
+    let bb = &bot.behavior;
+    let site = pick_site(estate, rng, bb.directory_affinity);
+    let ip_index = rng.gen_range(0..bb.ip_pool);
+
+    let mut now = start;
+
+    // Lazy-cache robots.txt fetch: refresh at the first crawl opportunity
+    // after the TTL lapses.
+    if let RobotsCheckPolicy::EveryHours(h) = bb.robots_check {
+        let due = match *last_check {
+            None => true,
+            Some(at) => now.unix().saturating_sub(at) >= h * 3600,
+        };
+        if due {
+            emit(out, bot, hasher, ip_index, site, "/robots.txt", 430, 200, now);
+            *last_check = Some(now.unix());
+            now = now.plus_secs(1 + exp_sample(rng, 2.0) as u64);
+        }
+    }
+
+    let version = schedule.policy_at(site.index, now);
+    let pages = 1 + exp_sample(rng, (bb.pages_per_session - 1.0).max(0.0)) as u64;
+
+    for i in 0..pages {
+        // Pacing between page fetches (the crawl-delay signal).
+        if i > 0 {
+            let comply_pace = match version {
+                PolicyVersion::V1CrawlDelay => rng.gen_bool(bb.compliance.crawl_delay),
+                _ => rng.gen_bool(bb.compliance.natural_slow),
+            };
+            let delta = if comply_pace {
+                30.0 + exp_sample(rng, 25.0)
+            } else {
+                1.0 + exp_sample(rng, bb.fast_pacing_secs)
+            };
+            now = now.plus_secs(delta.max(1.0) as u64);
+        }
+
+        // Target selection under the live policy.
+        let page: &Page = match version {
+            PolicyVersion::V3DisallowAll if !bot.exempt => {
+                if rng.gen_bool(bb.compliance.disallow) {
+                    // The bot obeys: instead of the page it re-consults the
+                    // policy file — the only permitted target. This is what
+                    // the paper's fully-compliant bots look like in the
+                    // logs (e.g. ChatGPT-User's all-robots.txt traffic
+                    // under disallow-all, Table 6).
+                    emit(out, bot, hasher, ip_index, site, "/robots.txt", 430, 200, now);
+                    continue;
+                }
+                pick_natural_page(site, rng, bb.compliance.natural_pagedata)
+            }
+            PolicyVersion::V2EndpointOnly if !bot.exempt => {
+                if rng.gen_bool(bb.compliance.endpoint) {
+                    let pd = site.pages_of(PageKind::PageData);
+                    if pd.is_empty() {
+                        continue;
+                    }
+                    pd[rng.gen_range(0..pd.len())]
+                } else {
+                    // A non-compliant fetch under v2 goes where the bot was
+                    // going anyway — which is *not* the page-data endpoint
+                    // (that family is a compliance signal now, and the
+                    // paper observes several bots shifting away from it:
+                    // the negative endpoint z-scores of Table 10).
+                    pick_non_pagedata_page(site, rng)
+                }
+            }
+            _ => pick_natural_page(site, rng, bb.compliance.natural_pagedata),
+        };
+
+        let jitter: f64 = rng.gen_range(0.5..1.5);
+        let bytes = ((page.bytes as f64) * bb.bytes_factor * jitter).max(200.0) as u64;
+        let status = if page.path == "/404" || page.path == "/dev-404-page" { 404 } else { 200 };
+        emit(out, bot, hasher, ip_index, site, &page.path, bytes, status, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phases::PhaseSchedule;
+
+    fn small_cfg() -> SimConfig {
+        SimConfig::test_small()
+    }
+
+    fn base_schedule(cfg: &SimConfig) -> PhaseSchedule {
+        PhaseSchedule::always_base(EXPERIMENT_SITE, cfg.start, cfg.end())
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let cfg = small_cfg();
+        let schedule = base_schedule(&cfg);
+        let a = simulate(&cfg, &schedule);
+        let b = simulate(&cfg, &schedule);
+        assert_eq!(a.records, b.records);
+        assert!(!a.records.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = small_cfg();
+        let schedule = base_schedule(&cfg);
+        let a = simulate(&cfg, &schedule);
+        let b = simulate(&SimConfig { seed: 1234, ..cfg.clone() }, &schedule);
+        assert_ne!(a.records, b.records);
+    }
+
+    #[test]
+    fn records_sorted_and_in_window() {
+        let cfg = small_cfg();
+        let schedule = base_schedule(&cfg);
+        let out = simulate(&cfg, &schedule);
+        assert!(out.records.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+        // Sessions may start just before the horizon and run slightly past
+        // it; allow one hour of slack.
+        let hard_end = cfg.end().plus_secs(3600 * 2);
+        assert!(out.records.iter().all(|r| r.timestamp >= cfg.start && r.timestamp < hard_end));
+    }
+
+    #[test]
+    fn heavy_bots_dominate() {
+        let cfg = SimConfig { days: 4, ..small_cfg() };
+        let schedule = base_schedule(&cfg);
+        let out = simulate(&cfg, &schedule);
+        let count = |needle: &str| {
+            out.records.iter().filter(|r| r.useragent.contains(needle)).count()
+        };
+        assert!(count("YisouSpider") > count("GPTBot"), "Table 3 ordering");
+        assert!(count("Applebot") > count("ClaudeBot"));
+    }
+
+    #[test]
+    fn robots_checks_present_for_checking_bots() {
+        let cfg = SimConfig { days: 4, scale: 0.05, ..small_cfg() };
+        let schedule = base_schedule(&cfg);
+        let out = simulate(&cfg, &schedule);
+        let robots_by_gpt = out
+            .records
+            .iter()
+            .filter(|r| r.useragent.contains("GPTBot") && r.is_robots_fetch())
+            .count();
+        assert!(robots_by_gpt > 0, "GPTBot checks robots.txt every 24h");
+        // Never-checkers never fetch it.
+        let robots_by_axios = out
+            .records
+            .iter()
+            .filter(|r| r.useragent.starts_with("axios") && r.is_robots_fetch())
+            .count();
+        assert_eq!(robots_by_axios, 0);
+    }
+
+    #[test]
+    fn disallow_all_suppresses_obedient_bots() {
+        // Whole horizon under v3: ChatGPT-User (disallow compliance 1.0)
+        // must fetch nothing but robots.txt; HeadlessChrome keeps crawling.
+        let cfg = SimConfig { days: 6, scale: 0.3, sites: 3, spoofing: false, anon_traffic: false, ..small_cfg() };
+        let schedule = PhaseSchedule {
+            phases: vec![crate::phases::Phase {
+                version: PolicyVersion::V3DisallowAll,
+                start: cfg.start,
+                end: cfg.end().plus_secs(86_400 * 2),
+            }],
+            experiment_site: EXPERIMENT_SITE,
+        };
+        let out = simulate(&cfg, &schedule);
+        let exp_site = "site-00.example.edu";
+        let gpt_pages = out
+            .records
+            .iter()
+            .filter(|r| {
+                r.useragent.contains("ChatGPT-User") && r.sitename == exp_site && !r.is_robots_fetch()
+            })
+            .count();
+        assert_eq!(gpt_pages, 0, "fully obedient bot fetched pages under disallow-all");
+        let headless_pages = out
+            .records
+            .iter()
+            .filter(|r| {
+                r.useragent.contains("HeadlessChrome") && r.sitename == exp_site && !r.is_robots_fetch()
+            })
+            .count();
+        assert!(headless_pages > 0, "headless browser should ignore disallow-all");
+    }
+
+    #[test]
+    fn exempt_bots_keep_crawling_under_v3() {
+        let cfg = SimConfig { days: 6, scale: 0.3, sites: 3, spoofing: false, anon_traffic: false, ..small_cfg() };
+        let schedule = PhaseSchedule {
+            phases: vec![crate::phases::Phase {
+                version: PolicyVersion::V3DisallowAll,
+                start: cfg.start,
+                end: cfg.end().plus_secs(86_400 * 2),
+            }],
+            experiment_site: EXPERIMENT_SITE,
+        };
+        let out = simulate(&cfg, &schedule);
+        let googlebot_pages = out
+            .records
+            .iter()
+            .filter(|r| {
+                r.useragent.contains("Googlebot/2.1")
+                    && r.sitename == "site-00.example.edu"
+                    && !r.is_robots_fetch()
+            })
+            .count();
+        assert!(googlebot_pages > 0, "exempt Googlebot must continue crawling");
+    }
+
+    #[test]
+    fn ground_truth_populated() {
+        let cfg = small_cfg();
+        let out = simulate(&cfg, &base_schedule(&cfg));
+        assert!(out.truth.behaviors.len() >= 120);
+        assert!(out.truth.exempt.iter().any(|n| n == "Googlebot"));
+        assert!(!out.truth.spoofed_requests.is_empty());
+    }
+
+    #[test]
+    fn asn_matches_home_network() {
+        let cfg = small_cfg();
+        let out = simulate(&SimConfig { spoofing: false, ..cfg.clone() }, &base_schedule(&cfg));
+        for r in out.records.iter().filter(|r| r.useragent.contains("ClaudeBot")) {
+            assert_eq!(r.asn, "AMAZON-02");
+        }
+    }
+
+    #[test]
+    fn scale_scales_volume() {
+        let cfg1 = SimConfig { scale: 0.02, anon_traffic: false, spoofing: false, ..small_cfg() };
+        let cfg2 = SimConfig { scale: 0.08, ..cfg1.clone() };
+        let schedule = base_schedule(&cfg1);
+        let n1 = simulate(&cfg1, &schedule).records.len() as f64;
+        let n2 = simulate(&cfg2, &schedule).records.len() as f64;
+        let ratio = n2 / n1;
+        assert!(ratio > 2.0 && ratio < 8.0, "4x scale gave ratio {ratio}");
+    }
+}

@@ -1,0 +1,567 @@
+//! Fleet assembly: one simulated bot per registry entry, calibrated to
+//! the paper's measurements.
+//!
+//! Calibration sources:
+//!
+//! * **volume** (`daily_hits`, `bytes_factor`) — Table 3: total hits over
+//!   the 40-day window ÷ 40, and GB scraped ÷ hits ÷ nominal page size,
+//! * **compliance** — Table 6's three per-bot compliance columns, with
+//!   the *natural* baseline parameters chosen to reproduce the sign of
+//!   the paper's Table 10 z-scores (e.g. GPTBot's large positive shifts
+//!   mean it is naturally fast and on-site-wide paths, but honours the
+//!   directives once deployed),
+//! * **cadence** — Table 7's never-checked rows and Figure 10's
+//!   category-level re-check proportions,
+//! * **exemption** — the eight SEO agents of §4.1 crawl unrestricted
+//!   under v2/v3.
+//!
+//! Bots the paper does not report individually receive category-default
+//! profiles (Table 5 row values) with deterministic per-bot jitter.
+
+use botscope_useragent::registry::{registry, BotSpec};
+use botscope_useragent::BotCategory;
+
+use crate::behavior::{BotBehavior, CompliancePolicy, RobotsCheckPolicy};
+use crate::phases::is_exempt_agent;
+
+/// One fleet member.
+#[derive(Debug, Clone)]
+pub struct SimBot {
+    /// Registry identity.
+    pub spec: &'static BotSpec,
+    /// The full `User-Agent` header this bot sends.
+    pub ua_string: String,
+    /// Behaviour profile.
+    pub behavior: BotBehavior,
+    /// Whether the bot is one of the eight SEO-exempt agents.
+    pub exempt: bool,
+}
+
+/// Build the full fleet from the registry.
+pub fn build_fleet() -> Vec<SimBot> {
+    let reg = registry();
+    reg.all()
+        .iter()
+        .map(|spec| {
+            let behavior = calibrate(spec);
+            behavior.assert_valid();
+            SimBot {
+                spec,
+                ua_string: ua_header(spec),
+                behavior,
+                exempt: is_exempt_agent(spec.canonical),
+            }
+        })
+        .collect()
+}
+
+/// Correct a target delta-compliance ratio for the cross-session deltas
+/// that are always ≥ 30 s: if a fraction `1/pages` of a τ-tuple's deltas
+/// are session boundaries, planting probability `p` yields a measured
+/// ratio `≈ p·(1-1/pages) + 1/pages`. Invert that so the *measured* value
+/// lands on the paper's number.
+fn invert_delta_mix(target: f64, pages_per_session: f64) -> f64 {
+    let cross = 1.0 / pages_per_session.max(1.0);
+    ((target - cross) / (1.0 - cross)).clamp(0.0, 1.0)
+}
+
+/// Deterministic small jitter in `[0, 1)` from a bot name (no RNG: fleet
+/// construction must be reproducible and order-free).
+fn name_jitter(name: &str) -> f64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The per-bot calibration. Names match the `botscope-useragent` registry.
+fn calibrate(spec: &'static BotSpec) -> BotBehavior {
+    // (daily_hits, pages/session, bytes_factor) from Table 3 where listed.
+    // Compliance columns (crawl, endpoint, disallow) from Table 6.
+    // natural_slow / natural_pagedata chosen per Table 10 z-signs.
+    // Cadence: Never per Table 7; hours otherwise.
+    let c = |crawl: f64, endpoint: f64, disallow: f64, nslow: f64, npd: f64| CompliancePolicy {
+        crawl_delay: crawl,
+        endpoint,
+        disallow,
+        natural_slow: nslow,
+        natural_pagedata: npd,
+    };
+    let b = |daily: f64,
+             pages: f64,
+             bytes: f64,
+             ips: u32,
+             comp: CompliancePolicy,
+             check: RobotsCheckPolicy,
+             dir: f64| {
+        BotBehavior {
+            daily_hits: daily,
+            pages_per_session: pages,
+            fast_pacing_secs: 8.0,
+            bytes_factor: bytes,
+            ip_pool: ips,
+            compliance: CompliancePolicy {
+                crawl_delay: invert_delta_mix(comp.crawl_delay, pages),
+                natural_slow: invert_delta_mix(comp.natural_slow, pages),
+                ..comp
+            },
+            robots_check: check,
+            directory_affinity: dir,
+        }
+    };
+    use RobotsCheckPolicy::{EveryHours, Never};
+
+    match spec.canonical {
+        // ---- Table 3 heavyweights ----
+        // YisouSpider paces slowly (it survives the crawl-delay analysis
+        // with the rest of the search-engine category, paper Table 5 row
+        // 0.780) but ignores access restrictions outright, and lives
+        // almost entirely on the people directory (§3.2).
+        "YisouSpider" => b(3037.0, 10.0, 3.5, 24, c(0.85, 0.30, 0.04, 0.82, 0.05), EveryHours(168), 0.88),
+        // Applebot's volume also concentrates on the directory site, which
+        // is why its experiment-site weight in Table 5 is modest relative
+        // to its Table 3 rank.
+        "Applebot" => b(2956.0, 6.0, 0.10, 16, c(0.841, 0.444, 0.043, 0.86, 0.45), EveryHours(300), 0.85),
+        "Baiduspider" => b(378.0, 5.0, 0.18, 8, c(1.0, 0.51, 0.0, 0.97, 0.10), Never, 0.10),
+        "bingbot" => b(322.0, 5.0, 3.2, 8, c(0.80, 0.40, 0.20, 0.78, 0.15), RobotsCheckPolicy::Poll(24), 0.08),
+        "meta-externalagent" => b(321.0, 6.0, 3.5, 6, c(0.60, 0.35, 0.70, 0.55, 0.20), EveryHours(24), 0.05),
+        "Googlebot" => b(228.0, 5.0, 4.8, 10, c(0.65, 0.40, 0.20, 0.66, 0.15), RobotsCheckPolicy::Poll(12), 0.08),
+        // Long sessions, many IPs: headless scrapers hammer in bursts, so
+        // their within-session deltas dominate and the measured crawl-delay
+        // ratio can sit near the paper's 0.036.
+        "HeadlessChrome" => b(209.0, 14.0, 7.5, 12, c(0.036, 0.278, 0.011, 0.07, 0.40), Never, 0.20),
+        "ChatGPT-User" => b(76.0, 3.0, 17.0, 5, c(0.910, 0.131, 1.0, 0.96, 0.14), EveryHours(200), 0.10),
+        "yandex.com/bots" => b(54.0, 5.0, 6.7, 4, c(0.992, 0.361, 0.363, 0.999, 0.40), RobotsCheckPolicy::Poll(12), 0.05),
+        "SemrushBot" => b(53.0, 6.0, 1.5, 4, c(0.521, 0.986, 0.993, 0.48, 0.20), RobotsCheckPolicy::Poll(12), 0.05),
+        "GPTBot" => b(31.0, 5.0, 10.5, 4, c(0.634, 0.305, 1.0, 0.25, 0.12), EveryHours(24), 0.08),
+        "dotbot" => b(27.0, 5.0, 0.5, 2, c(0.615, 1.0, 0.988, 0.62, 0.18), EveryHours(24), 0.05),
+        "Amazonbot" => b(25.0, 4.0, 3.6, 4, c(0.973, 1.0, 1.0, 0.96, 0.30), EveryHours(24), 0.05),
+        "AhrefsBot" => b(22.0, 5.0, 1.2, 3, c(0.697, 1.0, 1.0, 0.70, 0.20), RobotsCheckPolicy::Poll(12), 0.05),
+        "SkypeUriPreview" => b(21.0, 2.0, 5.6, 3, c(0.726, 0.0, 0.0, 0.70, 0.02), Never, 0.02),
+        "facebookexternalhit" => b(20.0, 2.0, 3.3, 3, c(0.920, 0.281, 0.375, 0.90, 0.10), EveryHours(72), 0.02),
+        "BrightEdge Crawler" => b(18.0, 4.0, 4.2, 2, c(1.0, 0.284, 0.0, 0.90, 0.20), Never, 0.05),
+        "Scrapy" => b(18.0, 8.0, 13.0, 10, c(0.30, 0.20, 0.05, 0.25, 0.25), RobotsCheckPolicy::Poll(12), 0.15),
+        "ClaudeBot" => b(17.0, 5.0, 6.8, 4, c(0.480, 1.0, 1.0, 0.45, 0.35), EveryHours(24), 0.08),
+        "Bytespider" => b(14.0, 5.0, 7.4, 5, c(0.398, 0.0, 0.02, 0.55, 0.15), EveryHours(120), 0.10),
+
+        // ---- Other Table 6 / Table 7 bots ----
+        "AcademicBotRTU" => b(9.0, 4.0, 1.0, 2, c(0.939, 0.032, 0.045, 0.95, 0.03), EveryHours(48), 0.30),
+        "Apache-HttpClient" => b(10.0, 4.0, 1.0, 8, c(0.091, 0.043, 0.0, 0.08, 0.04), Never, 0.10),
+        "Axios" => b(10.0, 3.0, 1.0, 8, c(0.060, 0.0, 0.0, 0.08, 0.02), Never, 0.10),
+        "Coccoc" => b(8.0, 5.0, 1.0, 2, c(0.704, 0.941, 0.929, 0.68, 0.15), EveryHours(24), 0.05),
+        "DataForSEOBot" => b(9.0, 5.0, 1.0, 2, c(0.573, 0.667, 0.024, 0.40, 0.15), EveryHours(24), 0.05),
+        "Go-http-client" => b(12.0, 4.0, 1.0, 10, c(0.474, 0.167, 0.012, 0.10, 0.02), EveryHours(96), 0.10),
+        "Iframely" => b(8.0, 2.0, 1.0, 2, c(0.254, 0.0, 0.0, 0.22, 0.01), Never, 0.02),
+        "MicrosoftPreview" => b(8.0, 2.0, 1.0, 2, c(0.294, 0.0, 0.0, 0.35, 0.01), Never, 0.02),
+        "PerplexityBot" => b(10.0, 4.0, 2.0, 3, c(0.933, 0.897, 0.202, 0.94, 0.50), EveryHours(200), 0.05),
+        "PetalBot" => b(9.0, 5.0, 1.0, 3, c(0.812, 0.643, 1.0, 0.79, 0.60), EveryHours(24), 0.05),
+        "Python-requests" => b(12.0, 4.0, 1.0, 12, c(0.462, 0.051, 0.0, 0.12, 0.01), EveryHours(120), 0.10),
+        "SemanticScholarBot" => b(9.0, 5.0, 1.0, 2, c(0.663, 1.0, 1.0, 0.20, 0.30), EveryHours(24), 0.20),
+        "SeznamBot" => b(8.0, 5.0, 1.0, 2, c(0.565, 0.833, 1.0, 0.58, 0.25), EveryHours(24), 0.05),
+        "Slack-ImgProxy" => b(8.0, 2.0, 1.0, 2, c(0.917, 0.0, 0.0, 0.92, 0.01), Never, 0.02),
+
+        // ---- SEO-exempt search bots without Table 6 rows ----
+        "Slurp" => b(6.0, 4.0, 1.0, 2, c(0.75, 0.5, 0.3, 0.75, 0.15), EveryHours(24), 0.05),
+        "Yandexbot" => b(7.0, 5.0, 1.0, 2, c(0.95, 0.5, 0.3, 0.95, 0.15), EveryHours(24), 0.05),
+        "DuckDuckBot" => b(6.0, 4.0, 1.0, 2, c(0.07, 0.0, 0.02, 0.10, 0.10), EveryHours(48), 0.05),
+        "DuckAssistBot" => b(5.0, 3.0, 1.0, 2, c(0.80, 0.5, 0.3, 0.80, 0.15), EveryHours(96), 0.05),
+        "ia_archiver" => b(5.0, 6.0, 1.0, 2, c(0.85, 0.6, 0.5, 0.85, 0.10), EveryHours(12), 0.05),
+        "Googlebot-Image" => b(8.0, 4.0, 2.0, 4, c(0.98, 0.0, 0.0, 0.97, 0.05), Never, 0.05),
+
+        // ---- Everything else: category defaults + deterministic jitter ----
+        _ => category_default(spec),
+    }
+}
+
+/// Category-default behaviour for bots the paper does not report
+/// individually. Values follow the paper's Table 5 category rows and
+/// Figure 10 cadence ordering.
+fn category_default(spec: &'static BotSpec) -> BotBehavior {
+    let j = name_jitter(spec.canonical); // [0,1), stable per name
+    let jig = |base: f64, spread: f64| (base + spread * (j - 0.5)).clamp(0.01, 1.0);
+
+    let (comp, check, daily, pages): (CompliancePolicy, RobotsCheckPolicy, f64, f64) =
+        match spec.category {
+            BotCategory::SeoCrawler => (
+                CompliancePolicy {
+                    crawl_delay: jig(0.635, 0.2),
+                    endpoint: jig(0.831, 0.2),
+                    disallow: jig(0.639, 0.2),
+                    natural_slow: jig(0.6, 0.2),
+                    natural_pagedata: 0.2,
+                },
+                if j < 0.45 {
+                    RobotsCheckPolicy::Poll(12)
+                } else if j < 0.60 {
+                    RobotsCheckPolicy::Poll(96)
+                } else {
+                    RobotsCheckPolicy::EveryHours(24)
+                },
+                4.0 + 8.0 * j,
+                5.0,
+            ),
+            BotCategory::SearchEngineCrawler => (
+                CompliancePolicy {
+                    crawl_delay: jig(0.78, 0.25),
+                    endpoint: jig(0.37, 0.25),
+                    disallow: jig(0.19, 0.2),
+                    natural_slow: jig(0.75, 0.2),
+                    natural_pagedata: 0.15,
+                },
+                if j < 0.30 {
+                    RobotsCheckPolicy::Poll(12)
+                } else if j < 0.55 {
+                    RobotsCheckPolicy::Poll(96)
+                } else {
+                    RobotsCheckPolicy::EveryHours(24)
+                },
+                4.0 + 8.0 * j,
+                5.0,
+            ),
+            BotCategory::AiDataScraper => (
+                CompliancePolicy {
+                    crawl_delay: jig(0.56, 0.3),
+                    endpoint: jig(0.35, 0.3),
+                    disallow: jig(0.77, 0.3),
+                    natural_slow: jig(0.45, 0.2),
+                    natural_pagedata: 0.25,
+                },
+                if j < 0.42 {
+                    RobotsCheckPolicy::Poll(12)
+                } else if j < 0.50 {
+                    RobotsCheckPolicy::Poll(96)
+                } else {
+                    RobotsCheckPolicy::EveryHours(48)
+                },
+                4.0 + 6.0 * j,
+                6.0,
+            ),
+            BotCategory::AiAssistant => (
+                CompliancePolicy {
+                    crawl_delay: jig(0.91, 0.15),
+                    endpoint: jig(0.13, 0.15),
+                    disallow: jig(0.9, 0.2),
+                    natural_slow: jig(0.9, 0.1),
+                    natural_pagedata: 0.1,
+                },
+                if j < 0.12 {
+                    RobotsCheckPolicy::Poll(12)
+                } else if j < 0.25 {
+                    RobotsCheckPolicy::Poll(150)
+                } else if j < 0.65 {
+                    RobotsCheckPolicy::EveryHours(200)
+                } else {
+                    RobotsCheckPolicy::Never
+                },
+                3.0 + 5.0 * j,
+                3.0,
+            ),
+            BotCategory::AiSearchCrawler => (
+                CompliancePolicy {
+                    crawl_delay: jig(0.895, 0.15),
+                    endpoint: jig(0.623, 0.25),
+                    disallow: jig(0.348, 0.25),
+                    natural_slow: jig(0.85, 0.15),
+                    natural_pagedata: 0.3,
+                },
+                if j < 0.12 {
+                    RobotsCheckPolicy::Poll(12)
+                } else if j < 0.25 {
+                    RobotsCheckPolicy::Poll(150)
+                } else if j < 0.65 {
+                    RobotsCheckPolicy::EveryHours(300)
+                } else {
+                    RobotsCheckPolicy::Never
+                },
+                3.0 + 6.0 * j,
+                4.0,
+            ),
+            BotCategory::AiAgent | BotCategory::UndocumentedAiAgent => (
+                CompliancePolicy {
+                    crawl_delay: jig(0.5, 0.4),
+                    endpoint: jig(0.3, 0.3),
+                    disallow: jig(0.3, 0.3),
+                    natural_slow: jig(0.4, 0.3),
+                    natural_pagedata: 0.15,
+                },
+                if j < 0.10 {
+                    RobotsCheckPolicy::Poll(96)
+                } else if j < 0.50 {
+                    RobotsCheckPolicy::EveryHours(168)
+                } else {
+                    RobotsCheckPolicy::Never
+                },
+                2.0 + 4.0 * j,
+                3.0,
+            ),
+            BotCategory::Fetcher => (
+                CompliancePolicy {
+                    crawl_delay: jig(0.925, 0.1),
+                    endpoint: jig(0.283, 0.25),
+                    disallow: jig(0.377, 0.25),
+                    natural_slow: jig(0.9, 0.1),
+                    natural_pagedata: 0.03,
+                },
+                if j < 0.25 {
+                    RobotsCheckPolicy::Poll(12)
+                } else if j < 0.45 {
+                    RobotsCheckPolicy::Poll(96)
+                } else {
+                    RobotsCheckPolicy::EveryHours(48)
+                },
+                5.0 + 7.0 * j,
+                2.0,
+            ),
+            BotCategory::HeadlessBrowser => (
+                CompliancePolicy {
+                    crawl_delay: jig(0.05, 0.08),
+                    endpoint: jig(0.28, 0.2),
+                    disallow: jig(0.02, 0.03),
+                    natural_slow: jig(0.08, 0.1),
+                    natural_pagedata: 0.35,
+                },
+                if j < 0.25 {
+                    RobotsCheckPolicy::Poll(12)
+                } else if j < 0.60 {
+                    RobotsCheckPolicy::EveryHours(48)
+                } else {
+                    RobotsCheckPolicy::Never
+                },
+                4.0 + 8.0 * j,
+                7.0,
+            ),
+            BotCategory::IntelligenceGatherer => (
+                CompliancePolicy {
+                    crawl_delay: jig(0.809, 0.2),
+                    endpoint: jig(0.372, 0.25),
+                    disallow: jig(0.094, 0.1),
+                    natural_slow: jig(0.75, 0.2),
+                    natural_pagedata: 0.15,
+                },
+                if j < 0.55 { RobotsCheckPolicy::Poll(12) } else { RobotsCheckPolicy::EveryHours(12) },
+                4.0 + 8.0 * j,
+                4.0,
+            ),
+            BotCategory::Archiver => (
+                CompliancePolicy {
+                    crawl_delay: jig(0.8, 0.2),
+                    endpoint: jig(0.65, 0.2),
+                    disallow: jig(0.6, 0.2),
+                    natural_slow: jig(0.7, 0.2),
+                    natural_pagedata: 0.1,
+                },
+                if j < 0.60 { RobotsCheckPolicy::Poll(12) } else { RobotsCheckPolicy::EveryHours(12) },
+                3.0 + 5.0 * j,
+                8.0,
+            ),
+            BotCategory::DeveloperHelper => (
+                CompliancePolicy {
+                    crawl_delay: jig(0.7, 0.2),
+                    endpoint: jig(0.5, 0.2),
+                    disallow: jig(0.4, 0.2),
+                    natural_slow: jig(0.7, 0.2),
+                    natural_pagedata: 0.05,
+                },
+                if j < 0.30 { RobotsCheckPolicy::Poll(24) } else { RobotsCheckPolicy::EveryHours(24) },
+                2.0 + 4.0 * j,
+                2.0,
+            ),
+            BotCategory::Scraper => (
+                CompliancePolicy {
+                    crawl_delay: jig(0.3, 0.25),
+                    endpoint: jig(0.2, 0.2),
+                    disallow: jig(0.08, 0.1),
+                    natural_slow: jig(0.25, 0.2),
+                    natural_pagedata: 0.3,
+                },
+                if j < 0.60 { RobotsCheckPolicy::Poll(12) } else { RobotsCheckPolicy::EveryHours(24) },
+                4.0 + 8.0 * j,
+                8.0,
+            ),
+            BotCategory::Other | BotCategory::Uncategorized => (
+                CompliancePolicy {
+                    crawl_delay: jig(0.486, 0.3),
+                    endpoint: jig(0.139, 0.15),
+                    disallow: jig(0.019, 0.03),
+                    natural_slow: jig(0.4, 0.3),
+                    natural_pagedata: 0.05,
+                },
+                if j < 0.20 {
+                    RobotsCheckPolicy::Poll(12)
+                } else if j < 0.35 {
+                    RobotsCheckPolicy::Poll(96)
+                } else if j < 0.70 {
+                    RobotsCheckPolicy::Never
+                } else {
+                    RobotsCheckPolicy::EveryHours(72)
+                },
+                4.0 + 8.0 * j,
+                3.0,
+            ),
+        };
+
+    BotBehavior {
+        daily_hits: daily,
+        pages_per_session: pages,
+        fast_pacing_secs: 6.0 + 10.0 * j,
+        bytes_factor: 0.5 + 2.0 * j,
+        ip_pool: 1 + (j * 4.0) as u32,
+        compliance: CompliancePolicy {
+            crawl_delay: invert_delta_mix(comp.crawl_delay, pages),
+            natural_slow: invert_delta_mix(comp.natural_slow, pages),
+            ..comp
+        },
+        robots_check: check,
+        directory_affinity: 0.05 + 0.1 * j,
+    }
+}
+
+/// A realistic `User-Agent` header for a registry bot.
+fn ua_header(spec: &'static BotSpec) -> String {
+    match spec.canonical {
+        "Googlebot" => "Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)".into(),
+        "bingbot" => "Mozilla/5.0 (compatible; bingbot/2.0; +http://www.bing.com/bingbot.htm)".into(),
+        "GPTBot" => "Mozilla/5.0 AppleWebKit/537.36 (KHTML, like Gecko); compatible; GPTBot/1.2; +https://openai.com/gptbot".into(),
+        "ChatGPT-User" => "Mozilla/5.0 AppleWebKit/537.36 (KHTML, like Gecko); compatible; ChatGPT-User/1.0; +https://openai.com/bot".into(),
+        "ClaudeBot" => "Mozilla/5.0 AppleWebKit/537.36 (KHTML, like Gecko; compatible; ClaudeBot/1.0; +claudebot@anthropic.com)".into(),
+        "Bytespider" => "Mozilla/5.0 (Linux; Android 5.0) AppleWebKit/537.36 (KHTML, like Gecko) Mobile Safari/537.36 (compatible; Bytespider; spider-feedback@bytedance.com)".into(),
+        "Applebot" => "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_15_7) AppleWebKit/605.1.15 (KHTML, like Gecko) Version/16.4 Safari/605.1.15 (Applebot/0.1; +http://www.apple.com/go/applebot)".into(),
+        "Amazonbot" => "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_10_1) AppleWebKit/600.2.5 (KHTML, like Gecko) Version/8.0.2 Safari/600.2.5 (Amazonbot/0.1; +https://developer.amazon.com/support/amazonbot)".into(),
+        "YisouSpider" => "Mozilla/5.0 (Windows NT 6.1; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/69.0.3497.81 YisouSpider/5.0 Safari/537.36".into(),
+        "HeadlessChrome" => "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 (KHTML, like Gecko) HeadlessChrome/119.0.6045.105 Safari/537.36".into(),
+        "Baiduspider" => "Mozilla/5.0 (compatible; Baiduspider/2.0; +http://www.baidu.com/search/spider.html)".into(),
+        "yandex.com/bots" => "Mozilla/5.0 (compatible; YandexBot/3.0; +http://yandex.com/bots)".into(),
+        "Python-requests" => "python-requests/2.31.0".into(),
+        "Go-http-client" => "Go-http-client/2.0".into(),
+        "Axios" => "axios/1.6.2".into(),
+        "Apache-HttpClient" => "Apache-HttpClient/4.5.14 (Java/17.0.8)".into(),
+        "Scrapy" => "Scrapy/2.11.0 (+https://scrapy.org)".into(),
+        "curl" => "curl/8.4.0".into(),
+        "Wget" => "Wget/1.21.4".into(),
+        "facebookexternalhit" => "facebookexternalhit/1.1 (+http://www.facebook.com/externalhit_uatext.php)".into(),
+        "meta-externalagent" => "meta-externalagent/1.1 (+https://developers.facebook.com/docs/sharing/webmasters/crawler)".into(),
+        "SemrushBot" => "Mozilla/5.0 (compatible; SemrushBot/7~bl; +http://www.semrush.com/bot.html)".into(),
+        "AhrefsBot" => "Mozilla/5.0 (compatible; AhrefsBot/7.0; +http://ahrefs.com/robot/)".into(),
+        "PerplexityBot" => "Mozilla/5.0 AppleWebKit/537.36 (KHTML, like Gecko; compatible; PerplexityBot/1.0; +https://perplexity.ai/perplexitybot)".into(),
+        "PetalBot" => "Mozilla/5.0 (compatible;PetalBot;+https://webmaster.petalsearch.com/site/petalbot)".into(),
+        "Operator" => "Mozilla/5.0 AppleWebKit/537.36 (KHTML, like Gecko; compatible; OpenAI-Operator/1.0; +https://openai.com/operator)".into(),
+        "Java-http-client" => "Java/17.0.8".into(),
+        "got" => "got (https://github.com/sindresorhus/got)".into(),
+        "colly" => "colly - https://github.com/gocolly/colly".into(),
+        "Faraday" => "Faraday v2.7.11".into(),
+        "Guzzle" => "GuzzleHttp/7.8".into(),
+        _ => format!(
+            "Mozilla/5.0 (compatible; {}/1.0; +https://bots.example/{})",
+            spec.canonical,
+            spec.canonical.to_ascii_lowercase().replace([' ', '/'], "-")
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_covers_registry() {
+        let fleet = build_fleet();
+        assert_eq!(fleet.len(), registry().len());
+        for bot in &fleet {
+            bot.behavior.assert_valid();
+            assert!(!bot.ua_string.is_empty());
+        }
+    }
+
+    #[test]
+    fn fleet_is_deterministic() {
+        let a = build_fleet();
+        let b = build_fleet();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.behavior, y.behavior, "{}", x.spec.canonical);
+            assert_eq!(x.ua_string, y.ua_string);
+        }
+    }
+
+    #[test]
+    fn table3_volume_ordering() {
+        let fleet = build_fleet();
+        let rate = |name: &str| {
+            fleet.iter().find(|b| b.spec.canonical == name).unwrap().behavior.daily_hits
+        };
+        assert!(rate("YisouSpider") > rate("Applebot"));
+        assert!(rate("Applebot") > rate("Baiduspider"));
+        assert!(rate("Baiduspider") > rate("GPTBot"));
+        assert!(rate("GPTBot") > rate("Bytespider"));
+    }
+
+    #[test]
+    fn exempt_flags() {
+        let fleet = build_fleet();
+        let exempt: Vec<&str> =
+            fleet.iter().filter(|b| b.exempt).map(|b| b.spec.canonical).collect();
+        assert!(exempt.contains(&"Googlebot"));
+        assert!(exempt.contains(&"bingbot"));
+        assert!(exempt.contains(&"ia_archiver"));
+        assert!(!exempt.contains(&"GPTBot"));
+        // Eight names, but registry may express some as separate entries
+        // (e.g. Baiduspider) — at least 7 must resolve.
+        assert!(exempt.len() >= 7, "{exempt:?}");
+    }
+
+    #[test]
+    fn never_checkers_match_table7() {
+        let fleet = build_fleet();
+        for name in ["Apache-HttpClient", "Axios", "BrightEdge Crawler", "Iframely", "MicrosoftPreview", "Slack-ImgProxy", "Googlebot-Image", "Baiduspider"] {
+            let bot = fleet.iter().find(|b| b.spec.canonical == name).unwrap();
+            assert_eq!(
+                bot.behavior.robots_check,
+                RobotsCheckPolicy::Never,
+                "{name} should never check robots.txt"
+            );
+        }
+        let gpt = fleet.iter().find(|b| b.spec.canonical == "GPTBot").unwrap();
+        assert_ne!(gpt.behavior.robots_check, RobotsCheckPolicy::Never);
+    }
+
+    #[test]
+    fn invert_delta_mix_roundtrip() {
+        // Planting p and measuring p(1-1/n)+1/n must recover the target.
+        for target in [0.2, 0.5, 0.9] {
+            for pages in [2.0, 5.0, 10.0] {
+                let p = invert_delta_mix(target, pages);
+                let measured = p * (1.0 - 1.0 / pages) + 1.0 / pages;
+                if target >= 1.0 / pages {
+                    assert!((measured - target).abs() < 1e-9, "t={target} n={pages}");
+                }
+            }
+        }
+        // Clamped at the extremes.
+        assert_eq!(invert_delta_mix(0.0, 5.0), 0.0);
+        assert_eq!(invert_delta_mix(1.0, 5.0), 1.0);
+    }
+
+    #[test]
+    fn jitter_is_stable_and_spread() {
+        assert_eq!(name_jitter("GPTBot"), name_jitter("GPTBot"));
+        assert_ne!(name_jitter("GPTBot"), name_jitter("ClaudeBot"));
+        let js: Vec<f64> = ["a", "b", "c", "d", "e"].iter().map(|n| name_jitter(n)).collect();
+        assert!(js.iter().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn ua_headers_resolve_back_to_spec() {
+        use botscope_useragent::registry::registry;
+        let reg = registry();
+        let fleet = build_fleet();
+        let mut misses = Vec::new();
+        for bot in &fleet {
+            match reg.match_user_agent(&bot.ua_string) {
+                Some(m) if m.canonical == bot.spec.canonical => {}
+                other => misses.push((bot.spec.canonical, other.map(|m| m.canonical))),
+            }
+        }
+        assert!(misses.is_empty(), "UA strings that do not resolve to their bot: {misses:?}");
+    }
+}

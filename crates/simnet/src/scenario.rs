@@ -1,0 +1,83 @@
+//! Canonical scenarios: the paper's two studies, packaged.
+//!
+//! * [`full_study`] — study 1 (paper §3): the 36-site estate observed for
+//!   46 days under the base robots.txt everywhere. Feeds Tables 2/3,
+//!   Figures 2/3/4, the re-check analysis (Figure 10) and the spoofing
+//!   analysis (Table 8/9).
+//! * [`phase_study`] — study 2 (paper §4): the four-version robots.txt
+//!   experiment on the high-traffic site, two weeks per version. Feeds
+//!   Tables 4/5/6/7/10 and Figures 9/11.
+
+use botscope_weblog::time::Timestamp;
+
+use crate::config::SimConfig;
+use crate::engine::{simulate, SimOutput};
+use crate::phases::PhaseSchedule;
+use crate::site::EXPERIMENT_SITE;
+
+/// Output of the phase study: records plus the schedule that produced
+/// them (the analysis slices per-phase windows out of it).
+#[derive(Debug, Clone)]
+pub struct PhaseStudyOutput {
+    /// The generator output.
+    pub sim: SimOutput,
+    /// The 4-phase schedule.
+    pub schedule: PhaseSchedule,
+}
+
+/// Study 1: passive observation of the whole estate under the base file.
+pub fn full_study(cfg: &SimConfig) -> SimOutput {
+    let schedule = PhaseSchedule::always_base(EXPERIMENT_SITE, cfg.start, cfg.end());
+    simulate(cfg, &schedule)
+}
+
+/// Study 2: the controlled robots.txt experiment. `cfg.start`/`cfg.days`
+/// are overridden by the 8-week schedule (starting 2025-01-15, matching
+/// the paper's January baseline).
+pub fn phase_study(cfg: &SimConfig) -> PhaseStudyOutput {
+    let start = Timestamp::from_date(2025, 1, 15);
+    let schedule = PhaseSchedule::paper_schedule(start, EXPERIMENT_SITE);
+    let (lo, hi) = schedule.bounds();
+    let cfg = SimConfig { start: lo, days: hi.days_since(lo), ..cfg.clone() };
+    let sim = simulate(&cfg, &schedule);
+    PhaseStudyOutput { sim, schedule }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use botscope_weblog::filter::restrict_window;
+    use crate::phases::PolicyVersion;
+
+    #[test]
+    fn full_study_runs() {
+        let cfg = SimConfig::test_small();
+        let out = full_study(&cfg);
+        assert!(!out.records.is_empty());
+        // Both bot and anonymous traffic present.
+        assert!(out.records.iter().any(|r| r.useragent.contains("YisouSpider")));
+        assert!(out.records.iter().any(|r| r.referer.is_some()));
+    }
+
+    #[test]
+    fn phase_study_covers_eight_weeks() {
+        let cfg = SimConfig { days: 0, scale: 0.02, sites: 4, ..SimConfig::default() };
+        let out = phase_study(&cfg);
+        let (lo, hi) = out.schedule.bounds();
+        assert_eq!(hi.days_since(lo), 56);
+        // Records exist in every phase window.
+        for v in PolicyVersion::ALL {
+            let (s, e) = out.schedule.window_of(v).unwrap();
+            let in_phase = restrict_window(&out.sim.records, s, e);
+            assert!(!in_phase.is_empty(), "no traffic in {v:?}");
+        }
+    }
+
+    #[test]
+    fn phase_study_deterministic() {
+        let cfg = SimConfig { scale: 0.02, sites: 4, ..SimConfig::default() };
+        let a = phase_study(&cfg);
+        let b = phase_study(&cfg);
+        assert_eq!(a.sim.records, b.sim.records);
+    }
+}

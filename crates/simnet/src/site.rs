@@ -1,0 +1,190 @@
+//! The simulated web estate.
+//!
+//! Thirty-six institution sites (paper §3.1: IT department, campus dining,
+//! a personnel directory, …). Each site owns a deterministic page
+//! inventory including the path families the experiment's robots.txt
+//! files regulate: `/page-data/*` (the endpoint v2 allows), `/404`,
+//! `/dev-404-page` and `/secure/*` (restricted by every version), and
+//! ordinary content pages. Site 0 is the high-traffic experiment site;
+//! site 1 is the people directory YisouSpider hammered (paper §3.2).
+
+/// A page's broad class, used by bots to bias their crawl mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageKind {
+    /// The site root and top-level navigation pages.
+    Landing,
+    /// Ordinary content (news, events, department pages).
+    Content,
+    /// Person profile pages (the directory site has thousands).
+    Directory,
+    /// Gatsby-style `/page-data/*.json` assets — "a common target for
+    /// scrapers" (paper §4.1).
+    PageData,
+    /// Paths the base robots.txt restricts (`/404`, `/dev-404-page`,
+    /// `/secure/*`).
+    Restricted,
+}
+
+/// One page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Page {
+    /// URI path.
+    pub path: String,
+    /// Class.
+    pub kind: PageKind,
+    /// Nominal transfer size in bytes.
+    pub bytes: u64,
+}
+
+/// One site with its inventory.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Hostname, `site-NN.example.edu`.
+    pub name: String,
+    /// Index in the estate.
+    pub index: usize,
+    /// Page inventory.
+    pub pages: Vec<Page>,
+}
+
+/// Index of the experiment site (robots.txt phases apply here).
+pub const EXPERIMENT_SITE: usize = 0;
+/// Index of the people-directory site.
+pub const DIRECTORY_SITE: usize = 1;
+
+impl Site {
+    /// Deterministically build site `index` of `total`.
+    pub fn build(index: usize, _total: usize) -> Site {
+        let name = format!("site-{index:02}.example.edu");
+        let mut pages = Vec::new();
+
+        pages.push(Page { path: "/".into(), kind: PageKind::Landing, bytes: 18_000 });
+        pages.push(Page { path: "/about".into(), kind: PageKind::Landing, bytes: 12_000 });
+        pages.push(Page { path: "/contact".into(), kind: PageKind::Landing, bytes: 9_000 });
+
+        // Content volume varies by site; the experiment site is rich.
+        let content_pages = match index {
+            EXPERIMENT_SITE => 120,
+            DIRECTORY_SITE => 30,
+            _ => 20 + (index * 7) % 40,
+        };
+        for i in 0..content_pages {
+            let (family, bytes) = match i % 3 {
+                0 => ("news", 26_000),
+                1 => ("events", 14_000),
+                _ => ("programs", 31_000),
+            };
+            pages.push(Page {
+                path: format!("/{family}/item-{i:03}"),
+                kind: PageKind::Content,
+                bytes,
+            });
+        }
+
+        // The directory site carries a large people directory; every site
+        // has a small one.
+        let people = if index == DIRECTORY_SITE { 400 } else { 12 };
+        for i in 0..people {
+            pages.push(Page {
+                path: format!("/people/person-{i:04}"),
+                kind: PageKind::Directory,
+                bytes: 22_000,
+            });
+        }
+
+        // Gatsby page-data mirrors of the content pages.
+        let page_data = content_pages.min(60);
+        for i in 0..page_data {
+            pages.push(Page {
+                path: format!("/page-data/item-{i:03}/page-data.json"),
+                kind: PageKind::PageData,
+                bytes: 4_500,
+            });
+        }
+        pages.push(Page {
+            path: "/page-data/index/page-data.json".into(),
+            kind: PageKind::PageData,
+            bytes: 3_000,
+        });
+
+        // Restricted paths from the base robots.txt (Figure 5).
+        pages.push(Page { path: "/404".into(), kind: PageKind::Restricted, bytes: 2_000 });
+        pages.push(Page { path: "/dev-404-page".into(), kind: PageKind::Restricted, bytes: 2_000 });
+        for i in 0..4 {
+            pages.push(Page {
+                path: format!("/secure/admin-{i}"),
+                kind: PageKind::Restricted,
+                bytes: 5_000,
+            });
+        }
+
+        Site { name, index, pages }
+    }
+
+    /// Build the whole estate.
+    pub fn estate(total: usize) -> Vec<Site> {
+        (0..total).map(|i| Site::build(i, total)).collect()
+    }
+
+    /// Pages of one kind.
+    pub fn pages_of(&self, kind: PageKind) -> Vec<&Page> {
+        self.pages.iter().filter(|p| p.kind == kind).collect()
+    }
+
+    /// Pages that are *not* restricted (the legitimate crawl surface).
+    pub fn crawlable(&self) -> Vec<&Page> {
+        self.pages.iter().filter(|p| p.kind != PageKind::Restricted).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estate_shape() {
+        let estate = Site::estate(36);
+        assert_eq!(estate.len(), 36);
+        assert_eq!(estate[0].name, "site-00.example.edu");
+        assert_eq!(estate[35].name, "site-35.example.edu");
+    }
+
+    #[test]
+    fn determinism() {
+        let a = Site::build(5, 36);
+        let b = Site::build(5, 36);
+        assert_eq!(a.pages, b.pages);
+    }
+
+    #[test]
+    fn directory_site_is_people_heavy() {
+        let estate = Site::estate(36);
+        let dir_people = estate[DIRECTORY_SITE].pages_of(PageKind::Directory).len();
+        let other_people = estate[3].pages_of(PageKind::Directory).len();
+        assert!(dir_people > 10 * other_people);
+    }
+
+    #[test]
+    fn every_site_has_the_regulated_paths() {
+        for site in Site::estate(36) {
+            assert!(site.pages.iter().any(|p| p.path == "/404"));
+            assert!(site.pages.iter().any(|p| p.path == "/dev-404-page"));
+            assert!(site.pages.iter().any(|p| p.path.starts_with("/secure/")));
+            assert!(!site.pages_of(PageKind::PageData).is_empty());
+        }
+    }
+
+    #[test]
+    fn crawlable_excludes_restricted() {
+        let site = Site::build(0, 36);
+        assert!(site.crawlable().iter().all(|p| p.kind != PageKind::Restricted));
+        assert!(site.crawlable().len() < site.pages.len());
+    }
+
+    #[test]
+    fn experiment_site_is_rich() {
+        let estate = Site::estate(36);
+        let exp = estate[EXPERIMENT_SITE].pages.len();
+        assert!(exp > estate[20].pages.len());
+    }
+}

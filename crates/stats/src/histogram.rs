@@ -1,0 +1,148 @@
+//! Fixed-width histograms.
+//!
+//! Used by the bench harness for latency/throughput shape reporting and by
+//! the ablation benches (e.g. the sessionization-gap sweep).
+
+/// A histogram with fixed-width bins over `[lo, hi)` plus underflow and
+/// overflow counters.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Create a histogram over `[lo, hi)` with `nbins` equal-width bins.
+    ///
+    /// # Panics
+    /// Panics if `nbins == 0`, `lo >= hi`, or either bound is non-finite.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(nbins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range [{lo}, {hi})");
+        Self { lo, hi, bins: vec![0; nbins], underflow: 0, overflow: 0, count: 0 }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            // Guard against floating-point edge landing exactly on len().
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total number of recorded observations, including under/overflow.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Per-bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// `(bin_center, count)` pairs for plotting.
+    pub fn centers(&self) -> Vec<(f64, u64)> {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + width * (i as f64 + 0.5), c))
+            .collect()
+    }
+
+    /// Render a compact single-line sparkline (for bench logs).
+    pub fn sparkline(&self) -> String {
+        const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.bins.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return "▁".repeat(self.bins.len());
+        }
+        self.bins
+            .iter()
+            .map(|&c| {
+                let idx = (c as f64 / max as f64 * (GLYPHS.len() - 1) as f64).round() as usize;
+                GLYPHS[idx]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.0);
+        h.record(0.5);
+        h.record(9.99);
+        h.record(5.0);
+        assert_eq!(h.bins()[0], 2);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.bins()[5], 1);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-0.1);
+        h.record(1.0); // hi is exclusive
+        h.record(55.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.bins().iter().sum::<u64>(), 0);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn centers_are_midpoints() {
+        let h = Histogram::new(0.0, 4.0, 4);
+        let centers: Vec<f64> = h.centers().iter().map(|&(c, _)| c).collect();
+        assert_eq!(centers, vec![0.5, 1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn sparkline_length_matches_bins() {
+        let mut h = Histogram::new(0.0, 1.0, 8);
+        for i in 0..100 {
+            h.record(i as f64 / 100.0);
+        }
+        assert_eq!(h.sparkline().chars().count(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn inverted_range_panics() {
+        let _ = Histogram::new(2.0, 1.0, 4);
+    }
+}

@@ -1,0 +1,157 @@
+//! Bot-name standardization: raw `User-Agent` header → canonical bot name.
+//!
+//! Reproduces the paper's §3.1 pipeline: exact substring matching against a
+//! corpus of known bot patterns, falling back to fuzzy string matching
+//! (Jaro-Winkler over candidate tokens) for near-miss spellings such as
+//! `Claude-Bot/1.0` or `semrush-bot`.
+
+use crate::distance::jaro_winkler;
+use crate::parse::UserAgent;
+use crate::registry::{BotRegistry, BotSpec};
+
+/// How a standardization result was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchKind {
+    /// A registry pattern appeared verbatim (case-insensitive) in the UA.
+    Exact,
+    /// A candidate token matched a canonical name by fuzzy similarity.
+    Fuzzy,
+}
+
+/// A successful standardization.
+#[derive(Debug, Clone, Copy)]
+pub struct Standardized {
+    /// The matched registry entry.
+    pub bot: &'static BotSpec,
+    /// How the match was found.
+    pub kind: MatchKind,
+    /// Similarity score (1.0 for exact matches).
+    pub score: f64,
+}
+
+/// Standardizer with a configurable fuzzy threshold.
+#[derive(Debug)]
+pub struct Standardizer {
+    registry: BotRegistry,
+    /// Minimum Jaro-Winkler similarity for a fuzzy match (default 0.93 —
+    /// high enough that `bingbot` does not claim `dotbot`).
+    pub fuzzy_threshold: f64,
+}
+
+impl Standardizer {
+    /// Standardizer over the built-in registry with the default threshold.
+    pub fn new() -> Self {
+        Self { registry: BotRegistry::builtin(), fuzzy_threshold: 0.93 }
+    }
+
+    /// Access the underlying registry.
+    pub fn registry(&self) -> &BotRegistry {
+        &self.registry
+    }
+
+    /// Standardize a raw header. Returns `None` for agents that match no
+    /// known bot (ordinary browsers, anonymous scrapers).
+    pub fn standardize(&self, header: &str) -> Option<Standardized> {
+        // Pass 1: substring patterns (the paper's regex corpus equivalent).
+        if let Some(bot) = self.registry.match_user_agent(header) {
+            return Some(Standardized { bot, kind: MatchKind::Exact, score: 1.0 });
+        }
+
+        // Pass 2: fuzzy matching over candidate tokens.
+        let parsed = UserAgent::parse(header);
+        let mut best: Option<(f64, &'static BotSpec)> = None;
+        for token in parsed.candidate_tokens() {
+            let token_norm = normalize_token(&token);
+            if token_norm.len() < 4 {
+                continue; // too short to match confidently
+            }
+            for bot in self.registry.all() {
+                let canon_norm = normalize_token(bot.canonical);
+                let score = jaro_winkler(&token_norm, &canon_norm);
+                if score >= self.fuzzy_threshold
+                    && best.is_none_or(|(s, _)| score > s)
+                {
+                    best = Some((score, bot));
+                }
+            }
+        }
+        best.map(|(score, bot)| Standardized { bot, kind: MatchKind::Fuzzy, score })
+    }
+}
+
+impl Default for Standardizer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Lowercase and strip separator characters so `Claude-Bot` and
+/// `claudebot` compare equal.
+fn normalize_token(s: &str) -> String {
+    s.chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_matches() {
+        let s = Standardizer::new();
+        for (ua, want) in [
+            ("Mozilla/5.0 (compatible; GPTBot/1.2)", "GPTBot"),
+            ("Mozilla/5.0 AppleWebKit/537.36 (compatible; ClaudeBot/1.0; +claudebot@anthropic.com)", "ClaudeBot"),
+            ("Bytespider; spider-feedback@bytedance.com", "Bytespider"),
+            ("python-requests/2.28.1", "Python-requests"),
+            ("Mozilla/5.0 (compatible; SemrushBot/7~bl; +http://www.semrush.com/bot.html)", "SemrushBot"),
+        ] {
+            let got = s.standardize(ua).unwrap_or_else(|| panic!("{ua} unmatched"));
+            assert_eq!(got.bot.canonical, want);
+            assert_eq!(got.kind, MatchKind::Exact);
+            assert_eq!(got.score, 1.0);
+        }
+    }
+
+    #[test]
+    fn fuzzy_matches_near_spellings() {
+        let s = Standardizer::new();
+        let got = s.standardize("Claude-Bot/2.1 (+https://anthropic.com)").expect("fuzzy match");
+        assert_eq!(got.bot.canonical, "ClaudeBot");
+        assert_eq!(got.kind, MatchKind::Fuzzy);
+        assert!(got.score >= s.fuzzy_threshold);
+    }
+
+    #[test]
+    fn browsers_do_not_match() {
+        let s = Standardizer::new();
+        assert!(s
+            .standardize("Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/120.0.0.0 Safari/537.36")
+            .is_none());
+        assert!(s.standardize("").is_none());
+    }
+
+    #[test]
+    fn short_tokens_do_not_fuzzy_match() {
+        let s = Standardizer::new();
+        // "Bot/1.0" alone must not fuzz onto anything.
+        assert!(s.standardize("Bot/1.0").is_none());
+    }
+
+    #[test]
+    fn fuzzy_does_not_cross_match_distinct_bots() {
+        let s = Standardizer::new();
+        let got = s.standardize("Mozilla/5.0 (compatible; bingbot/2.0)").unwrap();
+        assert_eq!(got.bot.canonical, "bingbot");
+        let got = s.standardize("Mozilla/5.0 (compatible; DotBot/1.2; https://moz.com)").unwrap();
+        assert_eq!(got.bot.canonical, "dotbot");
+    }
+
+    #[test]
+    fn normalize_token_strips_separators() {
+        assert_eq!(normalize_token("Claude-Bot"), "claudebot");
+        assert_eq!(normalize_token("meta_external.agent"), "metaexternalagent");
+    }
+}

@@ -1,0 +1,238 @@
+//! CSV persistence for access records.
+//!
+//! A small, standards-correct CSV implementation (RFC 4180 quoting) fixed
+//! to the ten-column record schema. Hand-rolled deliberately: the schema is
+//! static, so a serde stack would add dependency weight without value
+//! (see DESIGN.md §7).
+
+use std::fmt::Write as _;
+
+use crate::record::AccessRecord;
+use crate::time::Timestamp;
+
+/// The header row.
+pub const HEADER: &str = "useragent,timestamp,ip_hash,asn,sitename,uri_path,status,bytes,referer";
+
+/// Error decoding a CSV line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// 1-based line number (0 when unknown).
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CSV decode error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Quote a field if it contains a comma, quote, or newline.
+fn quote(field: &str, out: &mut String) {
+    if field.contains([',', '"', '\n', '\r']) {
+        out.push('"');
+        for ch in field.chars() {
+            if ch == '"' {
+                out.push('"');
+            }
+            out.push(ch);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+/// Encode one record as a CSV line (no trailing newline).
+pub fn encode_record(r: &AccessRecord) -> String {
+    let mut out = String::with_capacity(128);
+    quote(&r.useragent, &mut out);
+    out.push(',');
+    out.push_str(&r.timestamp.to_iso8601());
+    let _ = write!(out, ",{:016x},", r.ip_hash);
+    quote(&r.asn, &mut out);
+    out.push(',');
+    quote(&r.sitename, &mut out);
+    out.push(',');
+    quote(&r.uri_path, &mut out);
+    let _ = write!(out, ",{},{},", r.status, r.bytes);
+    quote(r.referer.as_deref().unwrap_or(""), &mut out);
+    out
+}
+
+/// Encode a full dataset with header.
+pub fn encode(records: &[AccessRecord]) -> String {
+    let mut out = String::with_capacity(records.len() * 128 + HEADER.len() + 1);
+    out.push_str(HEADER);
+    out.push('\n');
+    for r in records {
+        out.push_str(&encode_record(r));
+        out.push('\n');
+    }
+    out
+}
+
+/// Split one CSV line into fields honouring RFC 4180 quoting.
+fn split_csv_line(line: &str) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(ch) = chars.next() {
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => cur.push(ch),
+            }
+        } else {
+            match ch {
+                '"' if cur.is_empty() => in_quotes = true,
+                ',' => {
+                    fields.push(std::mem::take(&mut cur));
+                }
+                '"' => return Err("stray quote inside unquoted field".into()),
+                _ => cur.push(ch),
+            }
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted field".into());
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Decode one CSV line (not the header) into a record.
+pub fn decode_record(line: &str, line_no: usize) -> Result<AccessRecord, DecodeError> {
+    let err = |m: String| DecodeError { line: line_no, message: m };
+    let fields = split_csv_line(line).map_err(&err)?;
+    if fields.len() != 9 {
+        return Err(err(format!("expected 9 fields, got {}", fields.len())));
+    }
+    let timestamp = Timestamp::parse_iso8601(&fields[1]).map_err(|e| err(e.to_string()))?;
+    let ip_hash =
+        u64::from_str_radix(&fields[2], 16).map_err(|_| err(format!("bad ip_hash {:?}", fields[2])))?;
+    let status = fields[6].parse::<u16>().map_err(|_| err(format!("bad status {:?}", fields[6])))?;
+    let bytes = fields[7].parse::<u64>().map_err(|_| err(format!("bad bytes {:?}", fields[7])))?;
+    let referer = if fields[8].is_empty() { None } else { Some(fields[8].clone()) };
+    Ok(AccessRecord {
+        useragent: fields[0].clone(),
+        timestamp,
+        ip_hash,
+        asn: fields[3].clone(),
+        sitename: fields[4].clone(),
+        uri_path: fields[5].clone(),
+        status,
+        bytes,
+        referer,
+    })
+}
+
+/// Decode a full CSV document (header required).
+pub fn decode(text: &str) -> Result<Vec<AccessRecord>, DecodeError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h == HEADER => {}
+        Some((_, h)) => {
+            return Err(DecodeError { line: 1, message: format!("unexpected header {h:?}") })
+        }
+        None => return Ok(Vec::new()),
+    }
+    let mut out = Vec::new();
+    for (idx, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        out.push(decode_record(line, idx + 1)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(ua: &str, path: &str) -> AccessRecord {
+        AccessRecord {
+            useragent: ua.into(),
+            timestamp: Timestamp::from_date(2025, 2, 12),
+            ip_hash: 0xABCD,
+            asn: "GOOGLE".into(),
+            sitename: "site-00.example.edu".into(),
+            uri_path: path.into(),
+            status: 200,
+            bytes: 512,
+            referer: None,
+        }
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        let records = vec![sample("GPTBot/1.0", "/a"), sample("bingbot/2.0", "/b")];
+        let text = encode(&records);
+        let back = decode(&text).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn roundtrip_with_quoting() {
+        let mut r = sample("Mozilla/5.0 (compatible; X, \"quoted\"; +http://x)", "/q");
+        r.referer = Some("https://ref.example/with,comma".into());
+        let text = encode(&[r.clone()]);
+        let back = decode(&text).unwrap();
+        assert_eq!(back, vec![r]);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        assert_eq!(decode("").unwrap(), vec![]);
+        let enc = encode(&[]);
+        assert_eq!(decode(&enc).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert!(decode("nope\n").is_err());
+    }
+
+    #[test]
+    fn bad_fields_rejected() {
+        let good = encode(&[sample("a", "/")]);
+        let mut lines: Vec<&str> = good.lines().collect();
+        let tampered = lines[1].replace("2025-02-12T00:00:00Z", "not-a-time");
+        lines[1] = &tampered;
+        let text = lines.join("\n");
+        let e = decode(&text).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn field_count_enforced() {
+        let text = format!("{HEADER}\nonly,three,fields\n");
+        let e = decode(&text).unwrap_err();
+        assert!(e.message.contains("9 fields"));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let text = format!("{HEADER}\n\"unterminated,2025-02-12T00:00:00Z,0,a,b,/,200,1,\n");
+        assert!(decode(&text).is_err());
+    }
+
+    #[test]
+    fn ip_hash_is_hex() {
+        let r = sample("x", "/");
+        let line = encode_record(&r);
+        assert!(line.contains("000000000000abcd"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Preprocessing filters.
+//!
+//! The study removes "several IP hashes associated with vulnerability
+//! scanning tools and similar entities" (3 hashes, 294,362 accesses) and
+//! restricts analysis windows to the deployment period of each robots.txt
+//! version (paper §3.1, §4.1). These are the corresponding reusable
+//! filters.
+
+use std::collections::HashSet;
+
+use crate::record::AccessRecord;
+use crate::time::Timestamp;
+
+/// Remove all records whose IP hash is in `banned` (scanner removal).
+/// Returns the retained records and the number removed.
+pub fn remove_ip_hashes(records: Vec<AccessRecord>, banned: &HashSet<u64>) -> (Vec<AccessRecord>, usize) {
+    let before = records.len();
+    let kept: Vec<AccessRecord> =
+        records.into_iter().filter(|r| !banned.contains(&r.ip_hash)).collect();
+    let removed = before - kept.len();
+    (kept, removed)
+}
+
+/// Keep only records in `[start, end)`.
+pub fn restrict_window(records: &[AccessRecord], start: Timestamp, end: Timestamp) -> Vec<AccessRecord> {
+    assert!(start <= end, "window start after end");
+    records.iter().filter(|r| r.timestamp >= start && r.timestamp < end).cloned().collect()
+}
+
+/// Keep only records for one site.
+pub fn restrict_site<'a>(records: &'a [AccessRecord], sitename: &str) -> Vec<&'a AccessRecord> {
+    records.iter().filter(|r| r.sitename == sitename).collect()
+}
+
+/// Identify heavy hitters that look like vulnerability scanners: IP hashes
+/// whose request volume exceeds `share` of the whole dataset **and** whose
+/// error-status ratio (4xx/5xx) exceeds `error_ratio`. This reproduces the
+/// study's manual screening step as an automated heuristic.
+pub fn find_scanner_hashes(records: &[AccessRecord], share: f64, error_ratio: f64) -> HashSet<u64> {
+    assert!((0.0..=1.0).contains(&share) && (0.0..=1.0).contains(&error_ratio));
+    use std::collections::HashMap;
+    let mut per_ip: HashMap<u64, (u64, u64)> = HashMap::new(); // (total, errors)
+    for r in records {
+        let e = per_ip.entry(r.ip_hash).or_default();
+        e.0 += 1;
+        if r.status >= 400 {
+            e.1 += 1;
+        }
+    }
+    let n = records.len() as f64;
+    per_ip
+        .into_iter()
+        .filter(|&(_, (total, errors))| {
+            total as f64 / n > share && errors as f64 / total as f64 > error_ratio
+        })
+        .map(|(ip, _)| ip)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ip: u64, t: u64, status: u16, site: &str) -> AccessRecord {
+        AccessRecord {
+            useragent: "x".into(),
+            timestamp: Timestamp::from_unix(t),
+            ip_hash: ip,
+            asn: "GOOGLE".into(),
+            sitename: site.into(),
+            uri_path: "/".into(),
+            status,
+            bytes: 1,
+            referer: None,
+        }
+    }
+
+    #[test]
+    fn ip_removal() {
+        let records = vec![rec(1, 0, 200, "a"), rec(2, 1, 200, "a"), rec(1, 2, 200, "a")];
+        let banned: HashSet<u64> = [1].into_iter().collect();
+        let (kept, removed) = remove_ip_hashes(records, &banned);
+        assert_eq!(removed, 2);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].ip_hash, 2);
+    }
+
+    #[test]
+    fn window_restriction_half_open() {
+        let records = vec![rec(1, 10, 200, "a"), rec(1, 20, 200, "a"), rec(1, 30, 200, "a")];
+        let w = restrict_window(&records, Timestamp::from_unix(10), Timestamp::from_unix(30));
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn inverted_window_panics() {
+        let _ = restrict_window(&[], Timestamp::from_unix(10), Timestamp::from_unix(5));
+    }
+
+    #[test]
+    fn site_restriction() {
+        let records = vec![rec(1, 0, 200, "a"), rec(1, 1, 200, "b"), rec(1, 2, 200, "a")];
+        assert_eq!(restrict_site(&records, "a").len(), 2);
+        assert_eq!(restrict_site(&records, "z").len(), 0);
+    }
+
+    #[test]
+    fn scanner_detection() {
+        // IP 99 floods with 404s (60% of traffic, all errors); IP 1 is a
+        // modest legitimate client.
+        let mut records = Vec::new();
+        for t in 0..60 {
+            records.push(rec(99, t, 404, "a"));
+        }
+        for t in 0..40 {
+            records.push(rec(1, t, 200, "a"));
+        }
+        let scanners = find_scanner_hashes(&records, 0.25, 0.5);
+        assert!(scanners.contains(&99));
+        assert!(!scanners.contains(&1));
+    }
+
+    #[test]
+    fn quiet_dataset_has_no_scanners() {
+        let records: Vec<AccessRecord> = (0..100).map(|i| rec(i, i, 200, "a")).collect();
+        assert!(find_scanner_hashes(&records, 0.05, 0.5).is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+//! # botscope-weblog
+//!
+//! The web-log substrate: the anonymized access-record schema of the IMC
+//! '25 study (paper §3.1), plus everything needed to prepare such logs for
+//! analysis.
+//!
+//! * [`time`] — a minimal civil-time implementation (no external crates):
+//!   unix-second timestamps with ISO-8601 parsing/formatting, which is the
+//!   timestamp format of the study's dataset,
+//! * [`iphash`] — keyed SipHash-2-4, implemented in-crate, providing the
+//!   study's "one-way cryptographic hash of the web visitor's IP address",
+//! * [`record`] — the ten-field access record (useragent, timestamp, IP
+//!   hash, ASN, sitename, URI path, status, bytes, referer),
+//! * [`codec`] — a CSV reader/writer for record persistence,
+//! * [`session`] — 5-minute-gap sessionization (paper §3.2),
+//! * [`filter`] — the study's preprocessing filters (scanner removal,
+//!   date-range restriction),
+//! * [`summary`] — dataset overview statistics (paper Table 2),
+//! * [`store`] — an in-memory log store with the groupings the compliance
+//!   metrics need (τ-tuples, per-user-agent).
+//!
+//! ```
+//! use botscope_weblog::record::AccessRecord;
+//! use botscope_weblog::session::{sessionize, SESSION_GAP_SECS};
+//! use botscope_weblog::time::Timestamp;
+//!
+//! let mk = |t: u64, path: &str| AccessRecord {
+//!     useragent: "GPTBot/1.0".into(),
+//!     timestamp: Timestamp::from_unix(t),
+//!     ip_hash: 0xDEADBEEF,
+//!     asn: "MICROSOFT-CORP-MSN-AS-BLOCK".into(),
+//!     sitename: "site-00.example.edu".into(),
+//!     uri_path: path.into(),
+//!     status: 200,
+//!     bytes: 1024,
+//!     referer: None,
+//! };
+//! // Three accesses within the gap, one far later: two sessions.
+//! let records = vec![mk(0, "/a"), mk(100, "/b"), mk(200, "/c"), mk(10_000, "/d")];
+//! let sessions = sessionize(&records, SESSION_GAP_SECS);
+//! assert_eq!(sessions.len(), 2);
+//! assert_eq!(sessions[0].accesses, 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod filter;
+pub mod iphash;
+pub mod jsonl;
+pub mod record;
+pub mod session;
+pub mod store;
+pub mod summary;
+pub mod time;
+
+pub use iphash::IpHasher;
+pub use record::AccessRecord;
+pub use session::{sessionize, Session, SESSION_GAP_SECS};
+pub use store::LogStore;
+pub use summary::DatasetSummary;
+pub use time::Timestamp;

@@ -1,0 +1,101 @@
+//! The access-record schema.
+//!
+//! One row per page access, with exactly the ten fields the study's
+//! dataset carries (paper §3.1): useragent, timestamp, IP hash, ASN,
+//! sitename, URI path, status code, bytes, referer.
+
+use crate::time::Timestamp;
+
+/// One anonymized web access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessRecord {
+    /// Self-reported `User-Agent` header.
+    pub useragent: String,
+    /// Time of the request (UTC seconds).
+    pub timestamp: Timestamp,
+    /// One-way keyed hash of the visitor IP (see [`crate::iphash`]).
+    pub ip_hash: u64,
+    /// Autonomous-system name of the visitor's network (ARIN-style).
+    pub asn: String,
+    /// The base website accessed (e.g. `site-03.example.edu`).
+    pub sitename: String,
+    /// Requested resource path; with `sitename` forms the full URL.
+    pub uri_path: String,
+    /// HTTP status returned.
+    pub status: u16,
+    /// Bytes transmitted by the server.
+    pub bytes: u64,
+    /// Referring URL, if any.
+    pub referer: Option<String>,
+}
+
+impl AccessRecord {
+    /// The τ-tuple key of the study's §4.2 stratification:
+    /// (ASN, IP hash, user agent).
+    pub fn tau(&self) -> (String, u64, String) {
+        (self.asn.clone(), self.ip_hash, self.useragent.clone())
+    }
+
+    /// Borrowed form of the τ key, for grouping without allocation.
+    pub fn tau_ref(&self) -> (&str, u64, &str) {
+        (&self.asn, self.ip_hash, &self.useragent)
+    }
+
+    /// Whether this access fetched the robots.txt file itself.
+    pub fn is_robots_fetch(&self) -> bool {
+        self.uri_path == "/robots.txt"
+    }
+
+    /// Whether the full URL (site + path) matches another record's.
+    pub fn same_url(&self, other: &AccessRecord) -> bool {
+        self.sitename == other.sitename && self.uri_path == other.uri_path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AccessRecord {
+        AccessRecord {
+            useragent: "GPTBot/1.0".into(),
+            timestamp: Timestamp::from_unix(1_739_318_400),
+            ip_hash: 42,
+            asn: "MICROSOFT-CORP-MSN-AS-BLOCK".into(),
+            sitename: "site-00.example.edu".into(),
+            uri_path: "/page-data/index.json".into(),
+            status: 200,
+            bytes: 2048,
+            referer: None,
+        }
+    }
+
+    #[test]
+    fn tau_tuple() {
+        let r = sample();
+        let (asn, ip, ua) = r.tau();
+        assert_eq!(asn, "MICROSOFT-CORP-MSN-AS-BLOCK");
+        assert_eq!(ip, 42);
+        assert_eq!(ua, "GPTBot/1.0");
+        assert_eq!(r.tau_ref(), (asn.as_str(), 42, ua.as_str()));
+    }
+
+    #[test]
+    fn robots_fetch_detection() {
+        let mut r = sample();
+        assert!(!r.is_robots_fetch());
+        r.uri_path = "/robots.txt".into();
+        assert!(r.is_robots_fetch());
+        r.uri_path = "/robots.txt.bak".into();
+        assert!(!r.is_robots_fetch());
+    }
+
+    #[test]
+    fn same_url() {
+        let a = sample();
+        let mut b = sample();
+        assert!(a.same_url(&b));
+        b.uri_path = "/other".into();
+        assert!(!a.same_url(&b));
+    }
+}

@@ -1,0 +1,171 @@
+//! In-memory log store with the groupings the compliance metrics need.
+//!
+//! The §4.2 metrics stratify accesses "into sets of accesses associated
+//! with a unique triple τᵢ = (ASN, IP hash, user-agent)" and then also
+//! aggregate per user agent. `LogStore` owns a record set and serves both
+//! groupings with deterministic ordering.
+
+use std::collections::BTreeMap;
+
+use crate::record::AccessRecord;
+use crate::time::Timestamp;
+
+/// An owned, sorted collection of access records.
+#[derive(Debug, Clone, Default)]
+pub struct LogStore {
+    records: Vec<AccessRecord>,
+}
+
+impl LogStore {
+    /// Build a store; records are sorted by (time, user agent, IP hash)
+    /// for determinism.
+    pub fn new(mut records: Vec<AccessRecord>) -> Self {
+        records.sort_by(|a, b| {
+            (a.timestamp, &a.useragent, a.ip_hash, &a.uri_path)
+                .cmp(&(b.timestamp, &b.useragent, b.ip_hash, &b.uri_path))
+        });
+        Self { records }
+    }
+
+    /// The records, time-sorted.
+    pub fn records(&self) -> &[AccessRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Earliest and latest timestamps, if any records exist.
+    pub fn time_bounds(&self) -> Option<(Timestamp, Timestamp)> {
+        Some((self.records.first()?.timestamp, self.records.last()?.timestamp))
+    }
+
+    /// Group record indices by τ-tuple (ASN, IP hash, user agent).
+    /// Within each group, indices are in time order. BTreeMap keys give a
+    /// deterministic iteration order.
+    pub fn by_tau(&self) -> BTreeMap<(String, u64, String), Vec<&AccessRecord>> {
+        let mut map: BTreeMap<(String, u64, String), Vec<&AccessRecord>> = BTreeMap::new();
+        for r in &self.records {
+            map.entry(r.tau()).or_default().push(r);
+        }
+        map
+    }
+
+    /// Group records by raw user-agent string.
+    pub fn by_useragent(&self) -> BTreeMap<String, Vec<&AccessRecord>> {
+        let mut map: BTreeMap<String, Vec<&AccessRecord>> = BTreeMap::new();
+        for r in &self.records {
+            map.entry(r.useragent.clone()).or_default().push(r);
+        }
+        map
+    }
+
+    /// The robots.txt fetch times (unix secs) per user agent.
+    pub fn robots_checks_by_useragent(&self) -> BTreeMap<String, Vec<u64>> {
+        let mut map: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+        for r in &self.records {
+            if r.is_robots_fetch() {
+                map.entry(r.useragent.clone()).or_default().push(r.timestamp.unix());
+            }
+        }
+        map
+    }
+
+    /// Append records (store re-sorts).
+    pub fn extend(&mut self, more: Vec<AccessRecord>) {
+        self.records.extend(more);
+        self.records.sort_by(|a, b| {
+            (a.timestamp, &a.useragent, a.ip_hash, &a.uri_path)
+                .cmp(&(b.timestamp, &b.useragent, b.ip_hash, &b.uri_path))
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ua: &str, ip: u64, t: u64, path: &str) -> AccessRecord {
+        AccessRecord {
+            useragent: ua.into(),
+            timestamp: Timestamp::from_unix(t),
+            ip_hash: ip,
+            asn: "GOOGLE".into(),
+            sitename: "s".into(),
+            uri_path: path.into(),
+            status: 200,
+            bytes: 1,
+            referer: None,
+        }
+    }
+
+    #[test]
+    fn sorting_and_bounds() {
+        let store = LogStore::new(vec![rec("b", 1, 50, "/"), rec("a", 1, 10, "/"), rec("c", 1, 99, "/")]);
+        assert_eq!(store.len(), 3);
+        let (lo, hi) = store.time_bounds().unwrap();
+        assert_eq!(lo.unix(), 10);
+        assert_eq!(hi.unix(), 99);
+        assert!(store.records().windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+    }
+
+    #[test]
+    fn tau_grouping() {
+        let store = LogStore::new(vec![
+            rec("a", 1, 0, "/x"),
+            rec("a", 1, 5, "/y"),
+            rec("a", 2, 0, "/x"),
+            rec("b", 1, 0, "/x"),
+        ]);
+        let groups = store.by_tau();
+        assert_eq!(groups.len(), 3);
+        let key = ("GOOGLE".to_string(), 1u64, "a".to_string());
+        assert_eq!(groups[&key].len(), 2);
+        // Time order within group.
+        assert!(groups[&key][0].timestamp <= groups[&key][1].timestamp);
+    }
+
+    #[test]
+    fn useragent_grouping() {
+        let store = LogStore::new(vec![rec("a", 1, 0, "/"), rec("a", 2, 1, "/"), rec("b", 3, 2, "/")]);
+        let groups = store.by_useragent();
+        assert_eq!(groups["a"].len(), 2);
+        assert_eq!(groups["b"].len(), 1);
+    }
+
+    #[test]
+    fn robots_checks() {
+        let store = LogStore::new(vec![
+            rec("a", 1, 10, "/robots.txt"),
+            rec("a", 1, 20, "/page"),
+            rec("a", 1, 30, "/robots.txt"),
+            rec("b", 2, 5, "/page"),
+        ]);
+        let checks = store.robots_checks_by_useragent();
+        assert_eq!(checks["a"], vec![10, 30]);
+        assert!(!checks.contains_key("b"));
+    }
+
+    #[test]
+    fn extend_resorts() {
+        let mut store = LogStore::new(vec![rec("a", 1, 100, "/")]);
+        store.extend(vec![rec("a", 1, 1, "/")]);
+        assert_eq!(store.records()[0].timestamp.unix(), 1);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn empty_store() {
+        let store = LogStore::default();
+        assert!(store.is_empty());
+        assert!(store.time_bounds().is_none());
+        assert!(store.by_tau().is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! Dataset overview statistics (paper Table 2).
+//!
+//! Table 2 reports, for the full dataset and for the known-bot subset:
+//! unique IP addresses, unique user agents, average bytes scraped per
+//! session, unique ASNs, total bytes scraped, total page visits (the
+//! session-collapsed row count) and unique page visits (distinct URLs).
+
+use std::collections::HashSet;
+
+use crate::record::AccessRecord;
+use crate::session::{sessionize, SESSION_GAP_SECS};
+
+/// The Table 2 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSummary {
+    /// Distinct IP hashes.
+    pub unique_ips: usize,
+    /// Distinct raw user-agent strings.
+    pub unique_user_agents: usize,
+    /// Mean bytes per session.
+    pub avg_bytes_per_session: f64,
+    /// Distinct ASNs.
+    pub unique_asns: usize,
+    /// Total bytes transferred.
+    pub total_bytes: u64,
+    /// Number of sessions (the paper's "total page visits" after
+    /// session-collapsing).
+    pub total_page_visits: usize,
+    /// Distinct (sitename, path) URLs.
+    pub unique_page_visits: usize,
+    /// Raw (pre-sessionization) record count.
+    pub raw_records: usize,
+}
+
+impl DatasetSummary {
+    /// Compute the summary over a record set using the paper's 5-minute
+    /// session gap.
+    pub fn compute(records: &[AccessRecord]) -> DatasetSummary {
+        Self::compute_with_gap(records, SESSION_GAP_SECS)
+    }
+
+    /// Compute with a custom session gap (used by the ablation bench).
+    pub fn compute_with_gap(records: &[AccessRecord], gap_secs: u64) -> DatasetSummary {
+        let mut ips: HashSet<u64> = HashSet::new();
+        let mut uas: HashSet<&str> = HashSet::new();
+        let mut asns: HashSet<&str> = HashSet::new();
+        let mut urls: HashSet<(&str, &str)> = HashSet::new();
+        let mut total_bytes = 0u64;
+        for r in records {
+            ips.insert(r.ip_hash);
+            uas.insert(&r.useragent);
+            asns.insert(&r.asn);
+            urls.insert((&r.sitename, &r.uri_path));
+            total_bytes += r.bytes;
+        }
+        let sessions = sessionize(records, gap_secs);
+        let avg = if sessions.is_empty() {
+            0.0
+        } else {
+            total_bytes as f64 / sessions.len() as f64
+        };
+        DatasetSummary {
+            unique_ips: ips.len(),
+            unique_user_agents: uas.len(),
+            avg_bytes_per_session: avg,
+            unique_asns: asns.len(),
+            total_bytes,
+            total_page_visits: sessions.len(),
+            unique_page_visits: urls.len(),
+            raw_records: records.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Timestamp;
+
+    fn rec(ua: &str, ip: u64, asn: &str, t: u64, path: &str, bytes: u64) -> AccessRecord {
+        AccessRecord {
+            useragent: ua.into(),
+            timestamp: Timestamp::from_unix(t),
+            ip_hash: ip,
+            asn: asn.into(),
+            sitename: "s".into(),
+            uri_path: path.into(),
+            status: 200,
+            bytes,
+            referer: None,
+        }
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let s = DatasetSummary::compute(&[]);
+        assert_eq!(s.unique_ips, 0);
+        assert_eq!(s.total_bytes, 0);
+        assert_eq!(s.avg_bytes_per_session, 0.0);
+        assert_eq!(s.total_page_visits, 0);
+    }
+
+    #[test]
+    fn counts() {
+        let records = vec![
+            rec("a", 1, "GOOGLE", 0, "/x", 100),
+            rec("a", 1, "GOOGLE", 60, "/y", 100),
+            rec("b", 2, "OVH", 0, "/x", 300),
+        ];
+        let s = DatasetSummary::compute(&records);
+        assert_eq!(s.unique_ips, 2);
+        assert_eq!(s.unique_user_agents, 2);
+        assert_eq!(s.unique_asns, 2);
+        assert_eq!(s.total_bytes, 500);
+        assert_eq!(s.raw_records, 3);
+        assert_eq!(s.unique_page_visits, 2); // /x and /y
+        assert_eq!(s.total_page_visits, 2); // two sessions
+        assert!((s.avg_bytes_per_session - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn session_gap_changes_visit_count() {
+        // Two accesses 10 minutes apart: one session with a 15-minute gap,
+        // two with the paper's 5-minute gap.
+        let records = vec![rec("a", 1, "GOOGLE", 0, "/x", 1), rec("a", 1, "GOOGLE", 600, "/y", 1)];
+        assert_eq!(DatasetSummary::compute(&records).total_page_visits, 2);
+        assert_eq!(DatasetSummary::compute_with_gap(&records, 900).total_page_visits, 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the web-log substrate.
+
+use botscope_weblog::codec::{decode, encode};
+use botscope_weblog::record::AccessRecord;
+use botscope_weblog::session::sessionize;
+use botscope_weblog::store::LogStore;
+use botscope_weblog::summary::DatasetSummary;
+use botscope_weblog::time::Timestamp;
+use proptest::prelude::*;
+
+/// Arbitrary record with adversarial string fields.
+fn record_strategy() -> impl Strategy<Value = AccessRecord> {
+    (
+        "[ -~]{0,60}",                    // useragent: printable ASCII incl. quotes/commas
+        0u64..4_102_444_800,              // timestamp: epoch..2100
+        any::<u64>(),                     // ip hash
+        "[A-Za-z0-9_-]{1,24}",            // asn
+        "[a-z0-9.-]{1,30}",               // sitename
+        "/[ -~]{0,40}",                   // path
+        100u16..600,                      // status
+        0u64..10_000_000,                 // bytes
+        proptest::option::of("[ -~]{1,40}"),
+    )
+        .prop_map(
+            |(useragent, secs, ip_hash, asn, sitename, uri_path, status, bytes, referer)| {
+                AccessRecord {
+                    useragent,
+                    timestamp: Timestamp::from_unix(secs),
+                    ip_hash,
+                    asn,
+                    sitename,
+                    uri_path,
+                    status,
+                    bytes,
+                    referer,
+                }
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn csv_roundtrip(records in prop::collection::vec(record_strategy(), 0..30)) {
+        // Fields containing raw newlines can't survive a line-oriented
+        // format unquoted; our strategy avoids them, quoting handles the
+        // rest (commas, quotes).
+        let text = encode(&records);
+        let back = decode(&text).expect("decode what we encoded");
+        prop_assert_eq!(back, records);
+    }
+
+    #[test]
+    fn timestamp_roundtrip(secs in 0u64..4_102_444_800) {
+        let t = Timestamp::from_unix(secs);
+        let parsed = Timestamp::parse_iso8601(&t.to_iso8601()).expect("own output parses");
+        prop_assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn civil_fields_in_range(secs in 0u64..4_102_444_800) {
+        let c = Timestamp::from_unix(secs).civil();
+        prop_assert!((1..=12).contains(&c.month));
+        prop_assert!((1..=31).contains(&c.day));
+        prop_assert!(c.hour < 24 && c.minute < 60 && c.second < 60);
+        prop_assert!((1970..=2100).contains(&c.year));
+    }
+
+    #[test]
+    fn sessionize_conserves_accesses_and_bytes(
+        records in prop::collection::vec(record_strategy(), 0..60),
+        gap in 1u64..100_000,
+    ) {
+        let sessions = sessionize(&records, gap);
+        let total_accesses: u64 = sessions.iter().map(|s| s.accesses).sum();
+        prop_assert_eq!(total_accesses, records.len() as u64);
+        let total_bytes: u64 = sessions.iter().map(|s| s.bytes).sum();
+        let expect: u64 = records.iter().map(|r| r.bytes).sum();
+        prop_assert_eq!(total_bytes, expect);
+    }
+
+    #[test]
+    fn sessionize_monotone_in_gap(
+        records in prop::collection::vec(record_strategy(), 0..60),
+        gap in 1u64..50_000,
+    ) {
+        // A larger gap can only merge sessions, never split them.
+        let small = sessionize(&records, gap).len();
+        let large = sessionize(&records, gap * 2).len();
+        prop_assert!(large <= small, "gap {gap}: {small} vs {large}");
+    }
+
+    #[test]
+    fn sessions_never_cross_entities(
+        records in prop::collection::vec(record_strategy(), 0..40),
+    ) {
+        for s in sessionize(&records, 300) {
+            let members: Vec<&AccessRecord> = records
+                .iter()
+                .filter(|r| {
+                    r.useragent == s.useragent && r.ip_hash == s.ip_hash && r.asn == s.asn
+                })
+                .collect();
+            prop_assert!(s.accesses as usize <= members.len());
+        }
+    }
+
+    #[test]
+    fn store_is_sorted_and_total_preserved(
+        records in prop::collection::vec(record_strategy(), 0..50),
+    ) {
+        let n = records.len();
+        let store = LogStore::new(records);
+        prop_assert_eq!(store.len(), n);
+        prop_assert!(store.records().windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+        let grouped: usize = store.by_tau().values().map(|v| v.len()).sum();
+        prop_assert_eq!(grouped, n);
+    }
+
+    #[test]
+    fn summary_counts_bounded_by_records(
+        records in prop::collection::vec(record_strategy(), 0..50),
+    ) {
+        let s = DatasetSummary::compute(&records);
+        prop_assert!(s.unique_ips <= records.len());
+        prop_assert!(s.unique_user_agents <= records.len());
+        prop_assert!(s.unique_asns <= records.len());
+        prop_assert!(s.total_page_visits <= records.len());
+        prop_assert!(s.unique_page_visits <= records.len());
+        prop_assert_eq!(s.raw_records, records.len());
+        prop_assert_eq!(s.total_bytes, records.iter().map(|r| r.bytes).sum::<u64>());
+    }
+}

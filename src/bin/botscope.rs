@@ -1,0 +1,208 @@
+//! The `botscope` command-line tool.
+//!
+//! Subcommands for the workflows a site operator or researcher runs
+//! day-to-day, each a thin shell over the library:
+//!
+//! ```text
+//! botscope check <robots.txt> <agent> <path>...   access decisions
+//! botscope audit <robots.txt>                     lint a policy file
+//! botscope diff <old> <new> [agent...]            what changed, for whom
+//! botscope analyze <access.csv>                   per-bot compliance report
+//! botscope simulate [days] [scale] [out.csv]      generate synthetic logs
+//! ```
+
+use std::process::ExitCode;
+
+use botscope::core::metrics::{crawl_delay_counts, CRAWL_DELAY_SECS};
+use botscope::core::pipeline::standardize;
+use botscope::core::spoofdetect::detect;
+use botscope::robots::audit::audit;
+use botscope::robots::diff::{diff, summarize};
+use botscope::robots::RobotsTxt;
+use botscope::simnet::{scenario, SimConfig};
+use botscope::weblog::codec;
+
+const USAGE: &str = "botscope — robots.txt compliance toolkit
+
+USAGE:
+  botscope check <robots.txt> <agent> <path>...
+      Print ALLOW/DENY (and crawl delay) for each path.
+  botscope audit <robots.txt>
+      Lint the policy: dead rules, contradictions, missing wildcard group.
+  botscope diff <old-robots.txt> <new-robots.txt> [agent]...
+      Report decision flips over the file's own rule paths.
+      Agents default to: Googlebot GPTBot ClaudeBot Bytespider *anybot*.
+  botscope analyze <access.csv>
+      Standardize user agents and report per-bot pacing and spoof signals.
+      CSV columns: useragent,timestamp,ip_hash,asn,sitename,uri_path,status,bytes,referer
+  botscope simulate [days=7] [scale=0.05] [out.csv]
+      Generate a synthetic access log (stdout or out.csv).
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("audit") => cmd_audit(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let [file, agent, paths @ ..] = args else {
+        return Err("usage: botscope check <robots.txt> <agent> <path>...".into());
+    };
+    if paths.is_empty() {
+        return Err("no paths given".into());
+    }
+    let doc = RobotsTxt::parse(&read_file(file)?);
+    if !doc.warnings.is_empty() {
+        eprintln!("note: {} parse warning(s); run `botscope audit` for details", doc.warnings.len());
+    }
+    if let Some(delay) = doc.crawl_delay(agent) {
+        println!("crawl delay for {agent}: {delay}s");
+    }
+    for path in paths {
+        let d = doc.is_allowed(agent, path);
+        let verdict = if d.allow { "ALLOW" } else { "DENY " };
+        match d.matched_rule {
+            Some(rule) => println!("{verdict} {path}  ({}: {})", rule.verb.as_str(), rule.pattern),
+            None => println!("{verdict} {path}  (default)"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_audit(args: &[String]) -> Result<(), String> {
+    let [file] = args else {
+        return Err("usage: botscope audit <robots.txt>".into());
+    };
+    let doc = RobotsTxt::parse(&read_file(file)?);
+    for w in &doc.warnings {
+        println!("parse: {w:?}");
+    }
+    let findings = audit(&doc);
+    if findings.is_empty() && doc.warnings.is_empty() {
+        println!("clean: {} group(s), {} rule(s), no findings", doc.groups.len(), doc.rule_count());
+    }
+    for f in &findings {
+        println!("audit: {f:?}");
+    }
+    Ok(())
+}
+
+fn cmd_diff(args: &[String]) -> Result<(), String> {
+    let [old_file, new_file, agents @ ..] = args else {
+        return Err("usage: botscope diff <old> <new> [agent]...".into());
+    };
+    let old = RobotsTxt::parse(&read_file(old_file)?);
+    let new = RobotsTxt::parse(&read_file(new_file)?);
+
+    let default_agents = ["Googlebot", "GPTBot", "ClaudeBot", "Bytespider", "anybot"];
+    let agents: Vec<&str> = if agents.is_empty() {
+        default_agents.to_vec()
+    } else {
+        agents.iter().map(String::as_str).collect()
+    };
+
+    // Probe over every rule path mentioned in either file, plus roots.
+    let mut paths: Vec<String> = vec!["/".into()];
+    for doc in [&old, &new] {
+        for g in &doc.groups {
+            for r in &g.rules {
+                let raw = r.pattern.as_str().trim_end_matches(['*', '$']).to_string();
+                if !raw.is_empty() && !paths.contains(&raw) {
+                    paths.push(raw.clone());
+                    paths.push(format!("{}probe", raw.trim_end_matches('/').to_owned() + "/"));
+                }
+            }
+        }
+    }
+    let path_refs: Vec<&str> = paths.iter().map(String::as_str).collect();
+    let changes = diff(&old, &new, &agents, &path_refs);
+    let (tightened, loosened) = summarize(&changes);
+    println!("{} change(s): {tightened} tightened, {loosened} loosened", changes.len());
+    for c in &changes {
+        println!("  {c:?}");
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let [file] = args else {
+        return Err("usage: botscope analyze <access.csv>".into());
+    };
+    let records = codec::decode(&read_file(file)?).map_err(|e| e.to_string())?;
+    println!("{} records", records.len());
+    let logs = standardize(&records);
+    println!(
+        "{} known bots ({} records), {} anonymous records\n",
+        logs.bots.len(),
+        logs.known_bot_records(),
+        logs.anonymous.len()
+    );
+    println!("{:<28} {:>8} {:>14}", "bot", "records", "pace>=30s");
+    for view in logs.bots.values() {
+        let counts = crawl_delay_counts(&view.records, CRAWL_DELAY_SECS);
+        println!(
+            "{:<28} {:>8} {:>14}",
+            view.name,
+            view.records.len(),
+            counts.ratio().map(|r| format!("{r:.3}")).unwrap_or_else(|| "-".into())
+        );
+    }
+    let spoof = detect(&logs.per_bot_records());
+    if spoof.findings.is_empty() {
+        println!("\nno spoofing signals (≥90% single-ASN dominance heuristic)");
+    } else {
+        println!("\npossible spoofing:");
+        for f in &spoof.findings {
+            println!(
+                "  {}: {} requests outside {} ({:.1}% dominant)",
+                f.bot,
+                f.spoofed_requests,
+                f.main_asn,
+                f.main_share * 100.0
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let days: u64 = args.first().map(|s| s.parse().map_err(|_| "bad days")).transpose()?.unwrap_or(7);
+    let scale: f64 =
+        args.get(1).map(|s| s.parse().map_err(|_| "bad scale")).transpose()?.unwrap_or(0.05);
+    let out_path = args.get(2);
+
+    let cfg = SimConfig { days, scale, ..SimConfig::default() };
+    cfg.assert_valid();
+    let out = scenario::full_study(&cfg);
+    let csv = codec::encode(&out.records);
+    match out_path {
+        Some(path) => {
+            std::fs::write(path, &csv).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("{} records -> {path}", out.records.len());
+        }
+        None => print!("{csv}"),
+    }
+    Ok(())
+}

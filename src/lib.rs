@@ -1,0 +1,84 @@
+//! # botscope
+//!
+//! A toolkit for measuring web-scraper compliance with `robots.txt`
+//! directives — a full, from-scratch reproduction of *"Scrapers
+//! Selectively Respect robots.txt Directives: Evidence From a Large-Scale
+//! Empirical Study"* (IMC '25).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | Module | Crate | What it gives you |
+//! |---|---|---|
+//! | [`robots`] | `botscope-robotstxt` | RFC 9309 parser/matcher, crawl-delay & sitemap extensions, fetch semantics, builder |
+//! | [`useragent`] | `botscope-useragent` | bot registry (~130 crawlers), UA standardization, categories |
+//! | [`asn`] | `botscope-asn` | whois directory, spoofing catalog, simulated IP allocation |
+//! | [`weblog`] | `botscope-weblog` | access-record schema, civil time, IP hashing, CSV codec, sessionization |
+//! | [`stats`] | `botscope-stats` | two-proportion z-test, normal distribution, ECDFs, window coverage |
+//! | [`simnet`] | `botscope-simnet` | deterministic synthetic traffic generator (the data substrate) |
+//! | [`core`] | `botscope-core` | the compliance-measurement pipeline and report generation |
+//!
+//! ## Quickstart: is this bot allowed?
+//!
+//! ```
+//! use botscope::robots::RobotsTxt;
+//!
+//! let policy = RobotsTxt::parse("User-agent: *\nDisallow: /secure/*\nCrawl-delay: 30\n");
+//! assert!(!policy.is_allowed("GPTBot", "/secure/grades").allow);
+//! assert!(policy.is_allowed("GPTBot", "/courses").allow);
+//! assert_eq!(policy.crawl_delay("GPTBot"), Some(30.0));
+//! ```
+//!
+//! ## Quickstart: measure compliance from logs
+//!
+//! ```
+//! use botscope::core::Experiment;
+//! use botscope::simnet::SimConfig;
+//!
+//! // Generate the paper's 8-week robots.txt experiment synthetically and
+//! // measure scraper compliance back out of the logs.
+//! let cfg = SimConfig { scale: 0.02, sites: 4, ..SimConfig::default() };
+//! let experiment = Experiment::run(&cfg);
+//! let table5 = experiment.category_table();
+//! assert!(!table5.rows.is_empty());
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench/src/bin/` for
+//! the binaries that regenerate every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// RFC 9309 Robots Exclusion Protocol implementation.
+pub mod robots {
+    pub use botscope_robotstxt::*;
+}
+
+/// User-agent intelligence: registry, standardization, categories.
+pub mod useragent {
+    pub use botscope_useragent::*;
+}
+
+/// Autonomous-system intelligence: whois directory, spoof catalog.
+pub mod asn {
+    pub use botscope_asn::*;
+}
+
+/// Web-log substrate: records, time, hashing, sessions, codecs.
+pub mod weblog {
+    pub use botscope_weblog::*;
+}
+
+/// Statistics: z-tests, normal distribution, ECDFs, window coverage.
+pub mod stats {
+    pub use botscope_stats::*;
+}
+
+/// Deterministic synthetic traffic generation.
+pub mod simnet {
+    pub use botscope_simnet::*;
+}
+
+/// The compliance-measurement pipeline (the paper's contribution).
+pub mod core {
+    pub use botscope_core::*;
+}

@@ -1,0 +1,105 @@
+//! End-to-end tests of the `botscope` command-line binary.
+
+use std::process::{Command, Output};
+
+fn botscope(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_botscope"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("botscope-test-{}-{name}", std::process::id()));
+    std::fs::write(&path, content).expect("write temp file");
+    path
+}
+
+#[test]
+fn help_prints_usage() {
+    for args in [vec!["help"], vec!["--help"], vec![]] {
+        let out = botscope(&args);
+        assert!(out.status.success());
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("USAGE"), "{text}");
+        assert!(text.contains("botscope check"));
+    }
+}
+
+#[test]
+fn unknown_subcommand_fails() {
+    let out = botscope(&["frobnicate"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown subcommand"));
+}
+
+#[test]
+fn check_reports_decisions() {
+    let robots = write_temp(
+        "check.txt",
+        "User-agent: *\nAllow: /page-data/*\nDisallow: /\nCrawl-delay: 30\n",
+    );
+    let out = botscope(&[
+        "check",
+        robots.to_str().unwrap(),
+        "GPTBot",
+        "/page-data/x.json",
+        "/news/item",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ALLOW /page-data/x.json"), "{text}");
+    assert!(text.contains("DENY  /news/item"), "{text}");
+    assert!(text.contains("crawl delay for GPTBot: 30s"), "{text}");
+    let _ = std::fs::remove_file(robots);
+}
+
+#[test]
+fn check_missing_file_fails_cleanly() {
+    let out = botscope(&["check", "/no/such/file", "bot", "/x"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn audit_flags_problems_and_clean_files() {
+    let bad = write_temp("audit-bad.txt", "User-agent: *\nDisallow: /x\nDisallow: /x\n");
+    let out = botscope(&["audit", bad.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("DuplicateRule"));
+    let _ = std::fs::remove_file(bad);
+
+    let good = write_temp("audit-good.txt", "User-agent: *\nDisallow: /secure/*\n");
+    let out = botscope(&["audit", good.to_str().unwrap()]);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("clean"));
+    let _ = std::fs::remove_file(good);
+}
+
+#[test]
+fn diff_reports_tightening() {
+    let old = write_temp("diff-old.txt", "User-agent: *\nAllow: /\n");
+    let new = write_temp("diff-new.txt", "User-agent: *\nDisallow: /\n");
+    let out = botscope(&["diff", old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("tightened"), "{text}");
+    assert!(text.contains("AccessChanged"), "{text}");
+    let _ = std::fs::remove_file(old);
+    let _ = std::fs::remove_file(new);
+}
+
+#[test]
+fn simulate_then_analyze_roundtrip() {
+    let csv = std::env::temp_dir().join(format!("botscope-test-{}-sim.csv", std::process::id()));
+    let out = botscope(&["simulate", "2", "0.02", csv.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(csv.exists());
+
+    let out = botscope(&["analyze", csv.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("known bots"), "{text}");
+    assert!(text.contains("YisouSpider") || text.contains("Applebot"), "{text}");
+    let _ = std::fs::remove_file(csv);
+}

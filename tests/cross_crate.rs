@@ -1,0 +1,118 @@
+//! Cross-crate consistency: the static data in the useragent, asn and
+//! simnet crates must agree with each other — the generator and analyzer
+//! meet through these tables.
+
+use std::collections::BTreeSet;
+
+use botscope::asn::catalog::SPOOF_CATALOG;
+use botscope::asn::registry::lookup;
+use botscope::robots::parser::parse;
+use botscope::simnet::phases::{PolicyVersion, EXEMPT_AGENTS};
+use botscope::useragent::registry::registry;
+
+#[test]
+fn every_bot_home_asn_resolves() {
+    for bot in registry().all() {
+        assert!(
+            lookup(bot.home_asn).is_some(),
+            "{}'s home ASN {} missing from the whois directory",
+            bot.canonical,
+            bot.home_asn
+        );
+    }
+}
+
+#[test]
+fn spoof_catalog_bots_exist_in_registry() {
+    let reg = registry();
+    for profile in SPOOF_CATALOG {
+        assert!(
+            reg.by_name(profile.bot).is_some(),
+            "Table 8 bot {} missing from registry",
+            profile.bot
+        );
+    }
+}
+
+#[test]
+fn spoof_catalog_main_asn_matches_registry_home() {
+    let reg = registry();
+    for profile in SPOOF_CATALOG {
+        let spec = reg.by_name(profile.bot).unwrap();
+        assert_eq!(
+            spec.home_asn, profile.main_asn,
+            "{}: registry home ASN and Table 8 main ASN disagree",
+            profile.bot
+        );
+    }
+}
+
+#[test]
+fn exempt_agents_resolve_in_registry() {
+    let reg = registry();
+    for agent in EXEMPT_AGENTS {
+        assert!(reg.by_name(agent).is_some(), "exempt agent {agent} missing from registry");
+    }
+}
+
+#[test]
+fn policy_files_grant_exempt_agents_access() {
+    for version in [PolicyVersion::V2EndpointOnly, PolicyVersion::V3DisallowAll] {
+        let doc = version.robots_txt();
+        for agent in EXEMPT_AGENTS {
+            assert!(
+                doc.is_allowed(agent, "/news/item-001").allow,
+                "{agent} should keep access under {version:?}"
+            );
+            assert!(
+                !doc.is_allowed(agent, "/secure/x").allow,
+                "{agent} still barred from /secure under {version:?}"
+            );
+        }
+        // A non-exempt agent is restricted.
+        assert!(!doc.is_allowed("GPTBot", "/news/item-001").allow);
+    }
+}
+
+#[test]
+fn policy_files_roundtrip_through_own_parser() {
+    // The paper validated its files with the Google parser; we validate
+    // with ours: serialize, reparse, same semantics, no warnings.
+    for version in PolicyVersion::ALL {
+        let doc = version.robots_txt();
+        let reparsed = parse(&doc.to_string());
+        assert!(reparsed.warnings.is_empty(), "{version:?}: {:?}", reparsed.warnings);
+        for agent in ["GPTBot", "Googlebot", "randombot"] {
+            for path in ["/", "/page-data/x/page-data.json", "/secure/a", "/404", "/news/item"] {
+                assert_eq!(
+                    doc.is_allowed(agent, path).allow,
+                    reparsed.is_allowed(agent, path).allow,
+                    "{version:?} {agent} {path}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn registry_patterns_do_not_shadow_each_other_exactly() {
+    // Two bots must never share an identical pattern.
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for bot in registry().all() {
+        for pat in bot.patterns {
+            assert!(seen.insert(pat), "pattern {pat:?} appears twice ({})", bot.canonical);
+        }
+    }
+}
+
+#[test]
+fn suspicious_asns_are_distinct_from_home_networks() {
+    // A Table 8 suspicious ASN must not be the flagged bot's own home —
+    // otherwise the generator would plant legitimate traffic there and
+    // the detector could never separate them.
+    for profile in SPOOF_CATALOG {
+        for asn in profile.suspicious_asns {
+            assert_ne!(*asn, profile.main_asn, "{}", profile.bot);
+        }
+    }
+}
