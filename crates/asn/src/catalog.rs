@@ -71,16 +71,8 @@ pub const SPOOF_CATALOG: &[SpoofProfile] = &[
         main_asn: "MICROSOFT-CORP-MSN-AS-BLOCK",
         suspicious_asns: &["BORUSANTELEKOM-AS"],
     },
-    SpoofProfile {
-        bot: "Google Web Preview",
-        main_asn: "GOOGLE",
-        suspicious_asns: &["AMAZON-02"],
-    },
-    SpoofProfile {
-        bot: "Googlebot-Image",
-        main_asn: "GOOGLE",
-        suspicious_asns: &["AMAZON-02"],
-    },
+    SpoofProfile { bot: "Google Web Preview", main_asn: "GOOGLE", suspicious_asns: &["AMAZON-02"] },
+    SpoofProfile { bot: "Googlebot-Image", main_asn: "GOOGLE", suspicious_asns: &["AMAZON-02"] },
     SpoofProfile {
         bot: "Googlebot",
         main_asn: "GOOGLE",

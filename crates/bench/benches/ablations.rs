@@ -39,10 +39,8 @@ fn ablation_match_precedence(c: &mut Criterion) {
         true
     };
 
-    let flips: usize = paths
-        .iter()
-        .filter(|p| doc.is_allowed("bot", p).allow != first_match(p))
-        .count();
+    let flips: usize =
+        paths.iter().filter(|p| doc.is_allowed("bot", p).allow != first_match(p)).count();
     println!("[ablation] longest-match vs first-match decision flips: {flips}/{}", paths.len());
 
     let mut g = c.benchmark_group("ablation_precedence");

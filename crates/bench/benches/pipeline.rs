@@ -25,20 +25,14 @@ fn bench_pipeline(c: &mut Criterion) {
 
     g.bench_function("standardize", |b| b.iter(|| standardize(black_box(&records))));
 
-    g.bench_function("sessionize_5min", |b| {
-        b.iter(|| sessionize(black_box(&records), 300))
-    });
+    g.bench_function("sessionize_5min", |b| b.iter(|| sessionize(black_box(&records), 300)));
 
     let logs = standardize(&records);
     let per_bot = logs.per_bot_records();
     g.bench_function("spoof_detect", |b| b.iter(|| detect(black_box(&per_bot))));
 
     // Metric throughput over the busiest bot.
-    let busiest = per_bot
-        .values()
-        .max_by_key(|v| v.len())
-        .cloned()
-        .expect("non-empty dataset");
+    let busiest = per_bot.values().max_by_key(|v| v.len()).cloned().expect("non-empty dataset");
     g.throughput(Throughput::Elements(busiest.len() as u64));
     g.bench_function("crawl_delay_metric", |b| {
         b.iter_batched(

@@ -34,8 +34,12 @@ fn large_file(c: &mut Criterion) {
 
 fn matching(c: &mut Criterion) {
     let doc = PolicyVersion::V2EndpointOnly.robots_txt();
-    let paths =
-        ["/page-data/item-001/page-data.json", "/news/item-042", "/people/person-0100", "/robots.txt"];
+    let paths = [
+        "/page-data/item-001/page-data.json",
+        "/news/item-042",
+        "/people/person-0100",
+        "/robots.txt",
+    ];
     let agents = ["GPTBot", "Googlebot", "ClaudeBot", "unknown-bot"];
     c.bench_function("is_allowed_v2", |b| {
         b.iter(|| {

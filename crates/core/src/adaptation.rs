@@ -35,10 +35,7 @@ pub struct AwarenessLag {
 ///
 /// Lags use estate-wide robots.txt fetches (a bot that refreshed any of
 /// the institution's policy files demonstrably re-consulted policy).
-pub fn awareness_lags(
-    logs: &StandardizedLogs<'_>,
-    schedule: &PhaseSchedule,
-) -> Vec<AwarenessLag> {
+pub fn awareness_lags(logs: &StandardizedLogs<'_>, schedule: &PhaseSchedule) -> Vec<AwarenessLag> {
     let mut out = Vec::new();
     for view in logs.bots.values() {
         let mut checks: Vec<u64> = view
@@ -49,10 +46,8 @@ pub fn awareness_lags(
             .collect();
         checks.sort_unstable();
         for phase in &schedule.phases {
-            let first = checks
-                .iter()
-                .find(|&&t| t >= phase.start.unix() && t < phase.end.unix())
-                .copied();
+            let first =
+                checks.iter().find(|&&t| t >= phase.start.unix() && t < phase.end.unix()).copied();
             out.push(AwarenessLag {
                 bot: view.name.clone(),
                 category: view.category,

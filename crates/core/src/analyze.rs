@@ -29,7 +29,9 @@ use botscope_simnet::phases::{is_exempt_agent, PhaseSchedule, PolicyVersion};
 use botscope_simnet::scenario::{phase_study, PhaseStudyOutput};
 use botscope_simnet::SimConfig;
 
-use crate::metrics::{crawl_delay_counts, disallow_counts, endpoint_counts, DirectiveCounts, CRAWL_DELAY_SECS};
+use crate::metrics::{
+    crawl_delay_counts, disallow_counts, endpoint_counts, DirectiveCounts, CRAWL_DELAY_SECS,
+};
 use crate::pipeline::{standardize, StandardizedLogs};
 use crate::recheck::checked_robots;
 use crate::spoofdetect::{detect, split_records, SpoofReport};
@@ -47,7 +49,8 @@ pub enum Directive {
 
 impl Directive {
     /// All directives in deployment order.
-    pub const ALL: [Directive; 3] = [Directive::CrawlDelay, Directive::Endpoint, Directive::Disallow];
+    pub const ALL: [Directive; 3] =
+        [Directive::CrawlDelay, Directive::Endpoint, Directive::Disallow];
 
     /// Table column label.
     pub fn label(self) -> &'static str {
@@ -207,12 +210,12 @@ impl Experiment {
         let phase_of = |version: PolicyVersion| -> (Timestamp, Timestamp) {
             schedule.window_of(version).expect("version scheduled")
         };
-        let in_window = |r: &&AccessRecord, lo: Timestamp, hi: Timestamp| {
-            r.timestamp >= lo && r.timestamp < hi
-        };
+        let in_window =
+            |r: &&AccessRecord, lo: Timestamp, hi: Timestamp| r.timestamp >= lo && r.timestamp < hi;
 
         let mut per_directive: BTreeMap<Directive, Vec<BotDirectiveResult>> = BTreeMap::new();
-        let mut spoofed_per_directive: BTreeMap<Directive, Vec<BotDirectiveResult>> = BTreeMap::new();
+        let mut spoofed_per_directive: BTreeMap<Directive, Vec<BotDirectiveResult>> =
+            BTreeMap::new();
         let mut spoof_volume: BTreeMap<Directive, (u64, u64)> = BTreeMap::new();
         let (base_lo, base_hi) = phase_of(PolicyVersion::Base);
 
@@ -245,17 +248,18 @@ impl Experiment {
                 {
                     let checked = robots_times
                         .get(&view.name)
-                        .is_some_and(|ts| {
-                            ts.iter().any(|&t| t >= lo.unix() && t < hi.unix())
-                        });
+                        .is_some_and(|ts| ts.iter().any(|&t| t >= lo.unix() && t < hi.unix()));
                     let mut row = make_row(view, directive, &legit_base, &legit_phase);
                     row.checked_robots = checked || row.checked_robots;
                     rows.push(row);
                 }
 
                 if !spoofed.is_empty() {
-                    let sp_base: Vec<&AccessRecord> =
-                        spoofed.iter().filter(|r| in_window(r, base_lo, base_hi)).copied().collect();
+                    let sp_base: Vec<&AccessRecord> = spoofed
+                        .iter()
+                        .filter(|r| in_window(r, base_lo, base_hi))
+                        .copied()
+                        .collect();
                     let sp_phase: Vec<&AccessRecord> =
                         spoofed.iter().filter(|r| in_window(r, lo, hi)).copied().collect();
                     volume.1 += sp_phase.len() as u64;
@@ -423,9 +427,7 @@ fn phase_traffic(
             let bots = logs
                 .bots
                 .values()
-                .filter(|v| {
-                    v.records.iter().any(|r| r.timestamp >= p.start && r.timestamp < p.end)
-                })
+                .filter(|v| v.records.iter().any(|r| r.timestamp >= p.start && r.timestamp < p.end))
                 .count();
             PhaseTraffic {
                 version: p.version,
@@ -507,10 +509,7 @@ mod tests {
         let rows = &exp.per_directive[&Directive::CrawlDelay];
         let get = |name: &str| rows.iter().find(|r| r.bot == name).and_then(|r| r.compliance());
         if let (Some(chat), Some(headless)) = (get("ChatGPT-User"), get("HeadlessChrome")) {
-            assert!(
-                chat > headless + 0.3,
-                "planted 0.91 vs 0.036; measured {chat} vs {headless}"
-            );
+            assert!(chat > headless + 0.3, "planted 0.91 vs 0.036; measured {chat} vs {headless}");
         }
     }
 
@@ -571,7 +570,15 @@ mod tests {
         let names: Vec<&str> = skipped.iter().map(|(n, _)| n.as_str()).collect();
         // Axios and friends never check robots.txt (Table 7).
         assert!(
-            names.iter().any(|n| ["Axios", "Iframely", "MicrosoftPreview", "Apache-HttpClient", "Slack-ImgProxy", "BrightEdge Crawler"].contains(n)),
+            names.iter().any(|n| [
+                "Axios",
+                "Iframely",
+                "MicrosoftPreview",
+                "Apache-HttpClient",
+                "Slack-ImgProxy",
+                "BrightEdge Crawler"
+            ]
+            .contains(n)),
             "expected a Table 7 never-checker among {names:?}"
         );
     }

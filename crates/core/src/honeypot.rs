@@ -206,7 +206,12 @@ mod tests {
         }
         // GPTBot: clean.
         for t in 0..25 {
-            records.push(rec("Mozilla/5.0 (compatible; GPTBot/1.1)", "MICROSOFT-CORP-MSN-AS-BLOCK", t, "/page"));
+            records.push(rec(
+                "Mozilla/5.0 (compatible; GPTBot/1.1)",
+                "MICROSOFT-CORP-MSN-AS-BLOCK",
+                t,
+                "/page",
+            ));
         }
         let logs = standardize(&records);
         let rows = trap_report(&logs, 10);

@@ -111,7 +111,10 @@ pub fn disallow_counts(records: &[&AccessRecord]) -> DirectiveCounts {
 
 /// Convenience: group a store per user agent and compute crawl-delay
 /// counts for each (used by the ablation bench).
-pub fn crawl_delay_by_useragent(store: &LogStore, delay_secs: u64) -> Vec<(String, DirectiveCounts)> {
+pub fn crawl_delay_by_useragent(
+    store: &LogStore,
+    delay_secs: u64,
+) -> Vec<(String, DirectiveCounts)> {
     store
         .by_useragent()
         .into_iter()
@@ -162,12 +165,7 @@ mod tests {
         // Two IPs interleaved in time. Pooled naively the deltas would be
         // tiny; stratified each IP is slow and fully compliant — the
         // paper's reason for τ-tuples.
-        let rs = [
-            rec(1, 0, "/a"),
-            rec(2, 5, "/a"),
-            rec(1, 60, "/b"),
-            rec(2, 65, "/b"),
-        ];
+        let rs = [rec(1, 0, "/a"), rec(2, 5, "/a"), rec(1, 60, "/b"), rec(2, 65, "/b")];
         let refs: Vec<&AccessRecord> = rs.iter().collect();
         let c = crawl_delay_counts(&refs, 30);
         assert_eq!(c, DirectiveCounts { successes: 2, trials: 2 });

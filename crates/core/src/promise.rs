@@ -51,10 +51,8 @@ pub fn promise_table(exp: &Experiment) -> PromiseTable {
     let mut table = PromiseTable::default();
     for directive in Directive::ALL {
         for promise in [RobotsPromise::Yes, RobotsPromise::No, RobotsPromise::Unknown] {
-            let rows: Vec<&BotDirectiveResult> = exp.per_directive[&directive]
-                .iter()
-                .filter(|r| r.promise == promise)
-                .collect();
+            let rows: Vec<&BotDirectiveResult> =
+                exp.per_directive[&directive].iter().filter(|r| r.promise == promise).collect();
             let mut acc = WeightedMeanAccumulator::new();
             let mut weight = 0u64;
             for r in &rows {

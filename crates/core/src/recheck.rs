@@ -169,10 +169,14 @@ mod tests {
         let axios = ps.iter().find(|p| p.bot == "Axios").unwrap();
         assert!(!axios.ever_checked());
         let agg = by_category(&ps);
-        assert!(!agg.checking_bots.contains_key(&BotCategory::Other) || agg.checking_bots[&BotCategory::Other] == 0 || {
-            // Axios is Other; SemrushBot is SEO. Other must not count Axios.
-            agg.checking_bots.get(&BotCategory::Other).copied().unwrap_or(0) == 0
-        });
+        assert!(
+            !agg.checking_bots.contains_key(&BotCategory::Other)
+                || agg.checking_bots[&BotCategory::Other] == 0
+                || {
+                    // Axios is Other; SemrushBot is SEO. Other must not count Axios.
+                    agg.checking_bots.get(&BotCategory::Other).copied().unwrap_or(0) == 0
+                }
+        );
         assert_eq!(agg.checking_bots[&BotCategory::SeoCrawler], 1);
     }
 
@@ -181,7 +185,11 @@ mod tests {
         let mut records = Vec::new();
         // Two SEO bots: one dense checker, one single check.
         for i in 0..40 {
-            records.push(rec("Mozilla/5.0 (compatible; SemrushBot/7~bl)", i * 6 * H, "/robots.txt"));
+            records.push(rec(
+                "Mozilla/5.0 (compatible; SemrushBot/7~bl)",
+                i * 6 * H,
+                "/robots.txt",
+            ));
         }
         records.push(rec("Mozilla/5.0 (compatible; AhrefsBot/7.0)", 0, "/robots.txt"));
         let logs = standardize(&records);

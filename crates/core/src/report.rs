@@ -190,8 +190,7 @@ impl FullStudyReport {
         map: &BTreeMap<BotCategory, T>,
         n: usize,
     ) -> Vec<BotCategory> {
-        let mut cats: Vec<(BotCategory, f64)> =
-            map.iter().map(|(&c, &v)| (c, v.into())).collect();
+        let mut cats: Vec<(BotCategory, f64)> = map.iter().map(|(&c, &v)| (c, v.into())).collect();
         cats.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         cats.into_iter().take(n).map(|(c, _)| c).collect()
     }
@@ -205,13 +204,17 @@ impl FullStudyReport {
         cats.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         let edges: Vec<u64> =
             (0..self.days).map(|d| self.start.plus_secs((d + 1) * 86_400 - 1).unix()).collect();
-        let mut out = String::from("Figure 3. CDF of bytes downloaded over time (top 5 categories by bytes)\n");
+        let mut out = String::from(
+            "Figure 3. CDF of bytes downloaded over time (top 5 categories by bytes)\n",
+        );
         for (cat, _) in cats.into_iter().take(5) {
             let curve = self.category_bytes_cdf[&cat].curve(&edges);
             let points: Vec<(String, f64)> = curve
                 .iter()
                 .enumerate()
-                .map(|(d, &y)| (self.start.plus_secs(d as u64 * 86_400).to_iso8601()[..10].to_string(), y))
+                .map(|(d, &y)| {
+                    (self.start.plus_secs(d as u64 * 86_400).to_iso8601()[..10].to_string(), y)
+                })
                 .collect();
             out.push_str(&series(&format!("-- {}", cat.name()), &points));
         }
@@ -224,7 +227,8 @@ impl FullStudyReport {
             &self.category_sessions.iter().map(|(&c, &v)| (c, v as f64)).collect(),
             5,
         );
-        let mut out = String::from("Figure 4. Scraper sessions per day (top 5 categories by sessions)\n");
+        let mut out =
+            String::from("Figure 4. Scraper sessions per day (top 5 categories by sessions)\n");
         for cat in top {
             let points: Vec<(String, f64)> = (0..self.days)
                 .map(|d| {
@@ -239,8 +243,7 @@ impl FullStudyReport {
 
     /// Figure 10: proportion of bots re-checking robots.txt per window.
     pub fn figure10(&self) -> String {
-        let mut out =
-            String::from("Figure 10. Frequency of robots.txt checks across bot types\n");
+        let mut out = String::from("Figure 10. Frequency of robots.txt checks across bot types\n");
         let mut t = TextTable::new(
             "(proportion of checking bots that re-check within each window)",
             &["Category", "12h", "24h", "48h", "72h", "168h", "#bots"],
@@ -354,8 +357,7 @@ pub fn table6(exp: &Experiment) -> String {
     for (i, d) in Directive::ALL.iter().enumerate() {
         for r in &exp.per_directive[d] {
             bots.entry(r.bot.clone()).or_default()[i] = r.compliance();
-            meta.entry(r.bot.clone())
-                .or_insert((r.sponsor, r.category, r.promise.label()));
+            meta.entry(r.bot.clone()).or_insert((r.sponsor, r.category, r.promise.label()));
         }
     }
     for (bot, cols) in &bots {
@@ -426,8 +428,7 @@ pub fn table10(exp: &Experiment) -> String {
     let mut bots: BTreeMap<String, [Option<(f64, f64)>; 3]> = BTreeMap::new();
     for (i, d) in Directive::ALL.iter().enumerate() {
         for r in &exp.per_directive[d] {
-            bots.entry(r.bot.clone()).or_default()[i] =
-                r.ztest.as_ref().map(|z| (z.z, z.p_value));
+            bots.entry(r.bot.clone()).or_default()[i] = r.ztest.as_ref().map(|z| (z.z, z.p_value));
         }
     }
     let cell = |v: Option<(f64, f64)>| -> (String, String) {
@@ -479,7 +480,12 @@ pub fn figure9(exp: &Experiment, spoofed: bool) -> String {
 pub fn policies() -> String {
     use botscope_simnet::phases::PolicyVersion;
     let mut out = String::new();
-    for (fig, v) in [(5, PolicyVersion::Base), (6, PolicyVersion::V1CrawlDelay), (7, PolicyVersion::V2EndpointOnly), (8, PolicyVersion::V3DisallowAll)] {
+    for (fig, v) in [
+        (5, PolicyVersion::Base),
+        (6, PolicyVersion::V1CrawlDelay),
+        (7, PolicyVersion::V2EndpointOnly),
+        (8, PolicyVersion::V3DisallowAll),
+    ] {
         out.push_str(&format!("Figure {fig}. {} robots.txt\n", v.label()));
         out.push_str(&v.robots_txt().to_string());
         out.push('\n');
@@ -568,7 +574,9 @@ mod tests {
     fn experiment_tables_render() {
         let cfg = SimConfig { scale: 0.15, sites: 3, ..SimConfig::default() };
         let exp = crate::analyze::Experiment::run(&cfg);
-        for text in [table4(&exp), table5(&exp), table6(&exp), table7(&exp), table9(&exp), table10(&exp)] {
+        for text in
+            [table4(&exp), table5(&exp), table6(&exp), table7(&exp), table9(&exp), table10(&exp)]
+        {
             assert!(text.lines().count() >= 4, "{text}");
         }
         let f9 = figure9(&exp, false);

@@ -73,8 +73,10 @@ pub fn analyze_bot(
     if per_asn.len() < 2 {
         return None;
     }
-    let (&main_asn, &main_count) =
-        per_asn.iter().max_by_key(|&(name, &count)| (count, std::cmp::Reverse(name))).expect("non-empty");
+    let (&main_asn, &main_count) = per_asn
+        .iter()
+        .max_by_key(|&(name, &count)| (count, std::cmp::Reverse(name)))
+        .expect("non-empty");
     let main_share = main_count as f64 / total as f64;
     if main_share < threshold {
         return None;

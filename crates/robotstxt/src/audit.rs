@@ -117,10 +117,8 @@ pub fn audit(doc: &RobotsTxt) -> Vec<AuditFinding> {
                 });
             }
             if rule.pattern.is_empty() {
-                findings.push(AuditFinding::EmptyPattern {
-                    agent: agent.to_string(),
-                    verb: rule.verb,
-                });
+                findings
+                    .push(AuditFinding::EmptyPattern { agent: agent.to_string(), verb: rule.verb });
             }
         }
         for rule in &rules {
@@ -128,8 +126,7 @@ pub fn audit(doc: &RobotsTxt) -> Vec<AuditFinding> {
                 RuleVerb::Allow => RuleVerb::Disallow,
                 RuleVerb::Disallow => RuleVerb::Allow,
             };
-            if seen.contains(&(opposite, rule.pattern.as_str()))
-                && rule.verb == RuleVerb::Disallow
+            if seen.contains(&(opposite, rule.pattern.as_str())) && rule.verb == RuleVerb::Disallow
             {
                 findings.push(AuditFinding::ContradictoryRules {
                     agent: agent.to_string(),
@@ -203,7 +200,9 @@ mod tests {
     fn contradiction_detected() {
         let doc = parse("User-agent: *\nAllow: /x\nDisallow: /x\n");
         let f = audit(&doc);
-        assert!(f.iter().any(|x| matches!(x, AuditFinding::ContradictoryRules { pattern, .. } if pattern == "/x")));
+        assert!(f.iter().any(
+            |x| matches!(x, AuditFinding::ContradictoryRules { pattern, .. } if pattern == "/x")
+        ));
     }
 
     #[test]
@@ -217,7 +216,9 @@ mod tests {
     fn empty_pattern_detected() {
         let doc = parse("User-agent: *\nDisallow:\n");
         let f = audit(&doc);
-        assert!(f.iter().any(|x| matches!(x, AuditFinding::EmptyPattern { verb: RuleVerb::Disallow, .. })));
+        assert!(f
+            .iter()
+            .any(|x| matches!(x, AuditFinding::EmptyPattern { verb: RuleVerb::Disallow, .. })));
     }
 
     #[test]
@@ -245,7 +246,9 @@ mod tests {
     fn excessive_delay_detected() {
         let doc = parse("User-agent: slowbot\nCrawl-delay: 3600\n");
         let f = audit(&doc);
-        assert!(f.iter().any(|x| matches!(x, AuditFinding::ExcessiveCrawlDelay { seconds, .. } if *seconds == 3600.0)));
+        assert!(f.iter().any(
+            |x| matches!(x, AuditFinding::ExcessiveCrawlDelay { seconds, .. } if *seconds == 3600.0)
+        ));
     }
 
     #[test]

@@ -106,9 +106,8 @@ mod tests {
 
     #[test]
     fn multi_agent_group() {
-        let r = RobotsTxtBuilder::new()
-            .group(["Googlebot", "bingbot"], |g| g.disallow("/404"))
-            .build();
+        let r =
+            RobotsTxtBuilder::new().group(["Googlebot", "bingbot"], |g| g.disallow("/404")).build();
         assert_eq!(r.groups[0].user_agents, vec!["googlebot", "bingbot"]);
     }
 

@@ -61,11 +61,7 @@ pub fn diff(
         let was = old.crawl_delay(agent);
         let now = new.crawl_delay(agent);
         if was != now {
-            changes.push(PolicyChange::CrawlDelayChanged {
-                agent: (*agent).to_string(),
-                was,
-                now,
-            });
+            changes.push(PolicyChange::CrawlDelayChanged { agent: (*agent).to_string(), was, now });
         }
     }
     changes
@@ -141,7 +137,11 @@ mod tests {
         let changes = diff(&base, &v1, &["GPTBot"], &["/"]);
         assert_eq!(
             changes,
-            vec![PolicyChange::CrawlDelayChanged { agent: "GPTBot".into(), was: None, now: Some(30.0) }]
+            vec![PolicyChange::CrawlDelayChanged {
+                agent: "GPTBot".into(),
+                was: None,
+                now: Some(30.0)
+            }]
         );
     }
 

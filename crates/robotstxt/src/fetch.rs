@@ -157,13 +157,27 @@ mod tests {
     #[test]
     fn outcome_mapping() {
         assert!(matches!(
-            EffectivePolicy::from_outcome(FetchOutcome::Success("User-agent: *\nDisallow: /\n".into())),
+            EffectivePolicy::from_outcome(FetchOutcome::Success(
+                "User-agent: *\nDisallow: /\n".into()
+            )),
             EffectivePolicy::Policy(_)
         ));
-        assert_eq!(EffectivePolicy::from_outcome(FetchOutcome::ClientError(404)), EffectivePolicy::AllowAll);
-        assert_eq!(EffectivePolicy::from_outcome(FetchOutcome::ClientError(401)), EffectivePolicy::AllowAll);
-        assert_eq!(EffectivePolicy::from_outcome(FetchOutcome::ServerError(500)), EffectivePolicy::DisallowAll);
-        assert_eq!(EffectivePolicy::from_outcome(FetchOutcome::NetworkError), EffectivePolicy::DisallowAll);
+        assert_eq!(
+            EffectivePolicy::from_outcome(FetchOutcome::ClientError(404)),
+            EffectivePolicy::AllowAll
+        );
+        assert_eq!(
+            EffectivePolicy::from_outcome(FetchOutcome::ClientError(401)),
+            EffectivePolicy::AllowAll
+        );
+        assert_eq!(
+            EffectivePolicy::from_outcome(FetchOutcome::ServerError(500)),
+            EffectivePolicy::DisallowAll
+        );
+        assert_eq!(
+            EffectivePolicy::from_outcome(FetchOutcome::NetworkError),
+            EffectivePolicy::DisallowAll
+        );
     }
 
     #[test]

@@ -72,7 +72,10 @@ impl RobotsTxt {
                 None => true,
                 Some(b) => {
                     let (rs, bs) = (rule.pattern.specificity(), b.pattern.specificity());
-                    rs > bs || (rs == bs && rule.verb == RuleVerb::Allow && b.verb == RuleVerb::Disallow)
+                    rs > bs
+                        || (rs == bs
+                            && rule.verb == RuleVerb::Allow
+                            && b.verb == RuleVerb::Disallow)
                 }
             };
             if better {

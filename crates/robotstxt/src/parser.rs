@@ -77,9 +77,7 @@ pub fn parse(input: &str) -> RobotsTxt {
                     }
                 }
             }
-            Line::Allow(value) | Line::Disallow(value)
-                if state == State::Preamble =>
-            {
+            Line::Allow(value) | Line::Disallow(value) if state == State::Preamble => {
                 let _ = value;
                 warnings.push(ParseWarning::RuleOutsideGroup { line: spanned.line_no });
             }
@@ -104,10 +102,9 @@ pub fn parse(input: &str) -> RobotsTxt {
                     Ok(secs) if secs >= 0.0 && secs.is_finite() => {
                         groups.last_mut().expect("in group").crawl_delay = Some(secs);
                     }
-                    _ => warnings.push(ParseWarning::BadCrawlDelay {
-                        line: spanned.line_no,
-                        value,
-                    }),
+                    _ => {
+                        warnings.push(ParseWarning::BadCrawlDelay { line: spanned.line_no, value })
+                    }
                 }
                 state = State::InRules;
             }
@@ -200,7 +197,9 @@ mod tests {
     fn bad_crawl_delay_warned() {
         let r = parse("User-agent: *\nCrawl-delay: soon\n");
         assert_eq!(r.groups[0].crawl_delay, None);
-        assert!(matches!(&r.warnings[0], ParseWarning::BadCrawlDelay { value, .. } if value == "soon"));
+        assert!(
+            matches!(&r.warnings[0], ParseWarning::BadCrawlDelay { value, .. } if value == "soon")
+        );
         let r = parse("User-agent: *\nCrawl-delay: -5\n");
         assert_eq!(r.groups[0].crawl_delay, None);
     }

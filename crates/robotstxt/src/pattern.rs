@@ -119,7 +119,9 @@ impl PathPattern {
                 }
             }
         }
-        if self.anchored && self.segments.len() > 1 && self.segments.last().is_some_and(|s| s.is_empty())
+        if self.anchored
+            && self.segments.len() > 1
+            && self.segments.last().is_some_and(|s| s.is_empty())
         {
             // Pattern ended `*$` — the `*` eats the rest; always fine.
             return true;
@@ -146,10 +148,7 @@ fn find_from(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
     if from >= haystack.len() || haystack.len() - from < needle.len() {
         return None;
     }
-    haystack[from..]
-        .windows(needle.len())
-        .position(|w| w == needle)
-        .map(|p| p + from)
+    haystack[from..].windows(needle.len()).position(|w| w == needle).map(|p| p + from)
 }
 
 /// Percent-normalization shared by patterns and paths.

@@ -113,9 +113,7 @@ mod tests {
     #[test]
     fn roundtrip_equality() {
         let r = RobotsTxtBuilder::new()
-            .group(["Googlebot", "bingbot"], |g| {
-                g.allow("/").disallow("/404").crawl_delay(15.0)
-            })
+            .group(["Googlebot", "bingbot"], |g| g.allow("/").disallow("/404").crawl_delay(15.0))
             .group(["*"], |g| g.allow("/page-data/*").disallow("/"))
             .sitemap("https://site.edu/sitemap-0.xml")
             .build();

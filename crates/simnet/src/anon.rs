@@ -18,8 +18,7 @@ use crate::config::SimConfig;
 use crate::site::{PageKind, Site};
 
 /// Residential/consumer networks anonymous visitors arrive from.
-const ANON_ASNS: [&str; 5] =
-    ["COMCAST-7922", "ATT-7018", "VERIZON-701", "DTAG", "UNIVERSITY-NET"];
+const ANON_ASNS: [&str; 5] = ["COMCAST-7922", "ATT-7018", "VERIZON-701", "DTAG", "UNIVERSITY-NET"];
 
 /// Browser UA templates; `{v}` is replaced with a per-entity version.
 const BROWSER_TEMPLATES: [&str; 4] = [
@@ -35,7 +34,8 @@ const ENTITIES_AT_SCALE_1: f64 = 3000.0;
 /// Generate the anonymous traffic into `out`.
 pub fn generate(cfg: &SimConfig, estate: &[Site], hasher: &IpHasher, out: &mut Vec<AccessRecord>) {
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xA11_0A11);
-    let entities = ((ENTITIES_AT_SCALE_1 * cfg.scale * cfg.days as f64 / 46.0).ceil() as usize).max(1);
+    let entities =
+        ((ENTITIES_AT_SCALE_1 * cfg.scale * cfg.days as f64 / 46.0).ceil() as usize).max(1);
     let horizon = cfg.days * 86_400;
 
     for e in 0..entities {

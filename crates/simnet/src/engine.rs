@@ -88,8 +88,12 @@ pub fn simulate(cfg: &SimConfig, schedule: &PhaseSchedule) -> SimOutput {
     }
 
     records.sort_by(|a, b| {
-        (a.timestamp, &a.useragent, a.ip_hash, &a.uri_path)
-            .cmp(&(b.timestamp, &b.useragent, b.ip_hash, &b.uri_path))
+        (a.timestamp, &a.useragent, a.ip_hash, &a.uri_path).cmp(&(
+            b.timestamp,
+            &b.useragent,
+            b.ip_hash,
+            &b.uri_path,
+        ))
     });
     SimOutput { records, truth }
 }
@@ -192,8 +196,7 @@ fn pick_natural_page<'a>(site: &'a Site, rng: &mut StdRng, natural_pagedata: f64
 /// Pick a page that is not in the `/page-data/*` family (used for
 /// non-compliant fetches under the v2 endpoint restriction).
 fn pick_non_pagedata_page<'a>(site: &'a Site, rng: &mut StdRng) -> &'a Page {
-    let pool: Vec<&Page> =
-        site.pages.iter().filter(|p| p.kind != PageKind::PageData).collect();
+    let pool: Vec<&Page> = site.pages.iter().filter(|p| p.kind != PageKind::PageData).collect();
     if pool.is_empty() {
         return &site.pages[0];
     }
@@ -213,8 +216,9 @@ fn emit(
     status: u16,
     at: Timestamp,
 ) {
-    let ip = ip_for(bot.spec.home_asn, ip_index)
-        .unwrap_or_else(|| panic!("unknown home ASN {} for {}", bot.spec.home_asn, bot.spec.canonical));
+    let ip = ip_for(bot.spec.home_asn, ip_index).unwrap_or_else(|| {
+        panic!("unknown home ASN {} for {}", bot.spec.home_asn, bot.spec.canonical)
+    });
     out.push(AccessRecord {
         useragent: bot.ua_string.clone(),
         timestamp: at,
@@ -367,9 +371,8 @@ mod tests {
         let cfg = SimConfig { days: 4, ..small_cfg() };
         let schedule = base_schedule(&cfg);
         let out = simulate(&cfg, &schedule);
-        let count = |needle: &str| {
-            out.records.iter().filter(|r| r.useragent.contains(needle)).count()
-        };
+        let count =
+            |needle: &str| out.records.iter().filter(|r| r.useragent.contains(needle)).count();
         assert!(count("YisouSpider") > count("GPTBot"), "Table 3 ordering");
         assert!(count("Applebot") > count("ClaudeBot"));
     }
@@ -398,7 +401,14 @@ mod tests {
     fn disallow_all_suppresses_obedient_bots() {
         // Whole horizon under v3: ChatGPT-User (disallow compliance 1.0)
         // must fetch nothing but robots.txt; HeadlessChrome keeps crawling.
-        let cfg = SimConfig { days: 6, scale: 0.3, sites: 3, spoofing: false, anon_traffic: false, ..small_cfg() };
+        let cfg = SimConfig {
+            days: 6,
+            scale: 0.3,
+            sites: 3,
+            spoofing: false,
+            anon_traffic: false,
+            ..small_cfg()
+        };
         let schedule = PhaseSchedule {
             phases: vec![crate::phases::Phase {
                 version: PolicyVersion::V3DisallowAll,
@@ -413,7 +423,9 @@ mod tests {
             .records
             .iter()
             .filter(|r| {
-                r.useragent.contains("ChatGPT-User") && r.sitename == exp_site && !r.is_robots_fetch()
+                r.useragent.contains("ChatGPT-User")
+                    && r.sitename == exp_site
+                    && !r.is_robots_fetch()
             })
             .count();
         assert_eq!(gpt_pages, 0, "fully obedient bot fetched pages under disallow-all");
@@ -421,7 +433,9 @@ mod tests {
             .records
             .iter()
             .filter(|r| {
-                r.useragent.contains("HeadlessChrome") && r.sitename == exp_site && !r.is_robots_fetch()
+                r.useragent.contains("HeadlessChrome")
+                    && r.sitename == exp_site
+                    && !r.is_robots_fetch()
             })
             .count();
         assert!(headless_pages > 0, "headless browser should ignore disallow-all");
@@ -429,7 +443,14 @@ mod tests {
 
     #[test]
     fn exempt_bots_keep_crawling_under_v3() {
-        let cfg = SimConfig { days: 6, scale: 0.3, sites: 3, spoofing: false, anon_traffic: false, ..small_cfg() };
+        let cfg = SimConfig {
+            days: 6,
+            scale: 0.3,
+            sites: 3,
+            spoofing: false,
+            anon_traffic: false,
+            ..small_cfg()
+        };
         let schedule = PhaseSchedule {
             phases: vec![crate::phases::Phase {
                 version: PolicyVersion::V3DisallowAll,

@@ -119,46 +119,114 @@ fn calibrate(spec: &'static BotSpec) -> BotBehavior {
         // with the rest of the search-engine category, paper Table 5 row
         // 0.780) but ignores access restrictions outright, and lives
         // almost entirely on the people directory (§3.2).
-        "YisouSpider" => b(3037.0, 10.0, 3.5, 24, c(0.85, 0.30, 0.04, 0.82, 0.05), EveryHours(168), 0.88),
+        "YisouSpider" => {
+            b(3037.0, 10.0, 3.5, 24, c(0.85, 0.30, 0.04, 0.82, 0.05), EveryHours(168), 0.88)
+        }
         // Applebot's volume also concentrates on the directory site, which
         // is why its experiment-site weight in Table 5 is modest relative
         // to its Table 3 rank.
-        "Applebot" => b(2956.0, 6.0, 0.10, 16, c(0.841, 0.444, 0.043, 0.86, 0.45), EveryHours(300), 0.85),
+        "Applebot" => {
+            b(2956.0, 6.0, 0.10, 16, c(0.841, 0.444, 0.043, 0.86, 0.45), EveryHours(300), 0.85)
+        }
         "Baiduspider" => b(378.0, 5.0, 0.18, 8, c(1.0, 0.51, 0.0, 0.97, 0.10), Never, 0.10),
-        "bingbot" => b(322.0, 5.0, 3.2, 8, c(0.80, 0.40, 0.20, 0.78, 0.15), RobotsCheckPolicy::Poll(24), 0.08),
-        "meta-externalagent" => b(321.0, 6.0, 3.5, 6, c(0.60, 0.35, 0.70, 0.55, 0.20), EveryHours(24), 0.05),
-        "Googlebot" => b(228.0, 5.0, 4.8, 10, c(0.65, 0.40, 0.20, 0.66, 0.15), RobotsCheckPolicy::Poll(12), 0.08),
+        "bingbot" => b(
+            322.0,
+            5.0,
+            3.2,
+            8,
+            c(0.80, 0.40, 0.20, 0.78, 0.15),
+            RobotsCheckPolicy::Poll(24),
+            0.08,
+        ),
+        "meta-externalagent" => {
+            b(321.0, 6.0, 3.5, 6, c(0.60, 0.35, 0.70, 0.55, 0.20), EveryHours(24), 0.05)
+        }
+        "Googlebot" => b(
+            228.0,
+            5.0,
+            4.8,
+            10,
+            c(0.65, 0.40, 0.20, 0.66, 0.15),
+            RobotsCheckPolicy::Poll(12),
+            0.08,
+        ),
         // Long sessions, many IPs: headless scrapers hammer in bursts, so
         // their within-session deltas dominate and the measured crawl-delay
         // ratio can sit near the paper's 0.036.
-        "HeadlessChrome" => b(209.0, 14.0, 7.5, 12, c(0.036, 0.278, 0.011, 0.07, 0.40), Never, 0.20),
-        "ChatGPT-User" => b(76.0, 3.0, 17.0, 5, c(0.910, 0.131, 1.0, 0.96, 0.14), EveryHours(200), 0.10),
-        "yandex.com/bots" => b(54.0, 5.0, 6.7, 4, c(0.992, 0.361, 0.363, 0.999, 0.40), RobotsCheckPolicy::Poll(12), 0.05),
-        "SemrushBot" => b(53.0, 6.0, 1.5, 4, c(0.521, 0.986, 0.993, 0.48, 0.20), RobotsCheckPolicy::Poll(12), 0.05),
+        "HeadlessChrome" => {
+            b(209.0, 14.0, 7.5, 12, c(0.036, 0.278, 0.011, 0.07, 0.40), Never, 0.20)
+        }
+        "ChatGPT-User" => {
+            b(76.0, 3.0, 17.0, 5, c(0.910, 0.131, 1.0, 0.96, 0.14), EveryHours(200), 0.10)
+        }
+        "yandex.com/bots" => b(
+            54.0,
+            5.0,
+            6.7,
+            4,
+            c(0.992, 0.361, 0.363, 0.999, 0.40),
+            RobotsCheckPolicy::Poll(12),
+            0.05,
+        ),
+        "SemrushBot" => b(
+            53.0,
+            6.0,
+            1.5,
+            4,
+            c(0.521, 0.986, 0.993, 0.48, 0.20),
+            RobotsCheckPolicy::Poll(12),
+            0.05,
+        ),
         "GPTBot" => b(31.0, 5.0, 10.5, 4, c(0.634, 0.305, 1.0, 0.25, 0.12), EveryHours(24), 0.08),
         "dotbot" => b(27.0, 5.0, 0.5, 2, c(0.615, 1.0, 0.988, 0.62, 0.18), EveryHours(24), 0.05),
         "Amazonbot" => b(25.0, 4.0, 3.6, 4, c(0.973, 1.0, 1.0, 0.96, 0.30), EveryHours(24), 0.05),
-        "AhrefsBot" => b(22.0, 5.0, 1.2, 3, c(0.697, 1.0, 1.0, 0.70, 0.20), RobotsCheckPolicy::Poll(12), 0.05),
+        "AhrefsBot" => {
+            b(22.0, 5.0, 1.2, 3, c(0.697, 1.0, 1.0, 0.70, 0.20), RobotsCheckPolicy::Poll(12), 0.05)
+        }
         "SkypeUriPreview" => b(21.0, 2.0, 5.6, 3, c(0.726, 0.0, 0.0, 0.70, 0.02), Never, 0.02),
-        "facebookexternalhit" => b(20.0, 2.0, 3.3, 3, c(0.920, 0.281, 0.375, 0.90, 0.10), EveryHours(72), 0.02),
+        "facebookexternalhit" => {
+            b(20.0, 2.0, 3.3, 3, c(0.920, 0.281, 0.375, 0.90, 0.10), EveryHours(72), 0.02)
+        }
         "BrightEdge Crawler" => b(18.0, 4.0, 4.2, 2, c(1.0, 0.284, 0.0, 0.90, 0.20), Never, 0.05),
-        "Scrapy" => b(18.0, 8.0, 13.0, 10, c(0.30, 0.20, 0.05, 0.25, 0.25), RobotsCheckPolicy::Poll(12), 0.15),
+        "Scrapy" => b(
+            18.0,
+            8.0,
+            13.0,
+            10,
+            c(0.30, 0.20, 0.05, 0.25, 0.25),
+            RobotsCheckPolicy::Poll(12),
+            0.15,
+        ),
         "ClaudeBot" => b(17.0, 5.0, 6.8, 4, c(0.480, 1.0, 1.0, 0.45, 0.35), EveryHours(24), 0.08),
-        "Bytespider" => b(14.0, 5.0, 7.4, 5, c(0.398, 0.0, 0.02, 0.55, 0.15), EveryHours(120), 0.10),
+        "Bytespider" => {
+            b(14.0, 5.0, 7.4, 5, c(0.398, 0.0, 0.02, 0.55, 0.15), EveryHours(120), 0.10)
+        }
 
         // ---- Other Table 6 / Table 7 bots ----
-        "AcademicBotRTU" => b(9.0, 4.0, 1.0, 2, c(0.939, 0.032, 0.045, 0.95, 0.03), EveryHours(48), 0.30),
+        "AcademicBotRTU" => {
+            b(9.0, 4.0, 1.0, 2, c(0.939, 0.032, 0.045, 0.95, 0.03), EveryHours(48), 0.30)
+        }
         "Apache-HttpClient" => b(10.0, 4.0, 1.0, 8, c(0.091, 0.043, 0.0, 0.08, 0.04), Never, 0.10),
         "Axios" => b(10.0, 3.0, 1.0, 8, c(0.060, 0.0, 0.0, 0.08, 0.02), Never, 0.10),
         "Coccoc" => b(8.0, 5.0, 1.0, 2, c(0.704, 0.941, 0.929, 0.68, 0.15), EveryHours(24), 0.05),
-        "DataForSEOBot" => b(9.0, 5.0, 1.0, 2, c(0.573, 0.667, 0.024, 0.40, 0.15), EveryHours(24), 0.05),
-        "Go-http-client" => b(12.0, 4.0, 1.0, 10, c(0.474, 0.167, 0.012, 0.10, 0.02), EveryHours(96), 0.10),
+        "DataForSEOBot" => {
+            b(9.0, 5.0, 1.0, 2, c(0.573, 0.667, 0.024, 0.40, 0.15), EveryHours(24), 0.05)
+        }
+        "Go-http-client" => {
+            b(12.0, 4.0, 1.0, 10, c(0.474, 0.167, 0.012, 0.10, 0.02), EveryHours(96), 0.10)
+        }
         "Iframely" => b(8.0, 2.0, 1.0, 2, c(0.254, 0.0, 0.0, 0.22, 0.01), Never, 0.02),
         "MicrosoftPreview" => b(8.0, 2.0, 1.0, 2, c(0.294, 0.0, 0.0, 0.35, 0.01), Never, 0.02),
-        "PerplexityBot" => b(10.0, 4.0, 2.0, 3, c(0.933, 0.897, 0.202, 0.94, 0.50), EveryHours(200), 0.05),
+        "PerplexityBot" => {
+            b(10.0, 4.0, 2.0, 3, c(0.933, 0.897, 0.202, 0.94, 0.50), EveryHours(200), 0.05)
+        }
         "PetalBot" => b(9.0, 5.0, 1.0, 3, c(0.812, 0.643, 1.0, 0.79, 0.60), EveryHours(24), 0.05),
-        "Python-requests" => b(12.0, 4.0, 1.0, 12, c(0.462, 0.051, 0.0, 0.12, 0.01), EveryHours(120), 0.10),
-        "SemanticScholarBot" => b(9.0, 5.0, 1.0, 2, c(0.663, 1.0, 1.0, 0.20, 0.30), EveryHours(24), 0.20),
+        "Python-requests" => {
+            b(12.0, 4.0, 1.0, 12, c(0.462, 0.051, 0.0, 0.12, 0.01), EveryHours(120), 0.10)
+        }
+        "SemanticScholarBot" => {
+            b(9.0, 5.0, 1.0, 2, c(0.663, 1.0, 1.0, 0.20, 0.30), EveryHours(24), 0.20)
+        }
         "SeznamBot" => b(8.0, 5.0, 1.0, 2, c(0.565, 0.833, 1.0, 0.58, 0.25), EveryHours(24), 0.05),
         "Slack-ImgProxy" => b(8.0, 2.0, 1.0, 2, c(0.917, 0.0, 0.0, 0.92, 0.01), Never, 0.02),
 
@@ -182,225 +250,226 @@ fn category_default(spec: &'static BotSpec) -> BotBehavior {
     let j = name_jitter(spec.canonical); // [0,1), stable per name
     let jig = |base: f64, spread: f64| (base + spread * (j - 0.5)).clamp(0.01, 1.0);
 
-    let (comp, check, daily, pages): (CompliancePolicy, RobotsCheckPolicy, f64, f64) =
-        match spec.category {
-            BotCategory::SeoCrawler => (
-                CompliancePolicy {
-                    crawl_delay: jig(0.635, 0.2),
-                    endpoint: jig(0.831, 0.2),
-                    disallow: jig(0.639, 0.2),
-                    natural_slow: jig(0.6, 0.2),
-                    natural_pagedata: 0.2,
-                },
-                if j < 0.45 {
-                    RobotsCheckPolicy::Poll(12)
-                } else if j < 0.60 {
-                    RobotsCheckPolicy::Poll(96)
-                } else {
-                    RobotsCheckPolicy::EveryHours(24)
-                },
-                4.0 + 8.0 * j,
-                5.0,
-            ),
-            BotCategory::SearchEngineCrawler => (
-                CompliancePolicy {
-                    crawl_delay: jig(0.78, 0.25),
-                    endpoint: jig(0.37, 0.25),
-                    disallow: jig(0.19, 0.2),
-                    natural_slow: jig(0.75, 0.2),
-                    natural_pagedata: 0.15,
-                },
-                if j < 0.30 {
-                    RobotsCheckPolicy::Poll(12)
-                } else if j < 0.55 {
-                    RobotsCheckPolicy::Poll(96)
-                } else {
-                    RobotsCheckPolicy::EveryHours(24)
-                },
-                4.0 + 8.0 * j,
-                5.0,
-            ),
-            BotCategory::AiDataScraper => (
-                CompliancePolicy {
-                    crawl_delay: jig(0.56, 0.3),
-                    endpoint: jig(0.35, 0.3),
-                    disallow: jig(0.77, 0.3),
-                    natural_slow: jig(0.45, 0.2),
-                    natural_pagedata: 0.25,
-                },
-                if j < 0.42 {
-                    RobotsCheckPolicy::Poll(12)
-                } else if j < 0.50 {
-                    RobotsCheckPolicy::Poll(96)
-                } else {
-                    RobotsCheckPolicy::EveryHours(48)
-                },
-                4.0 + 6.0 * j,
-                6.0,
-            ),
-            BotCategory::AiAssistant => (
-                CompliancePolicy {
-                    crawl_delay: jig(0.91, 0.15),
-                    endpoint: jig(0.13, 0.15),
-                    disallow: jig(0.9, 0.2),
-                    natural_slow: jig(0.9, 0.1),
-                    natural_pagedata: 0.1,
-                },
-                if j < 0.12 {
-                    RobotsCheckPolicy::Poll(12)
-                } else if j < 0.25 {
-                    RobotsCheckPolicy::Poll(150)
-                } else if j < 0.65 {
-                    RobotsCheckPolicy::EveryHours(200)
-                } else {
-                    RobotsCheckPolicy::Never
-                },
-                3.0 + 5.0 * j,
-                3.0,
-            ),
-            BotCategory::AiSearchCrawler => (
-                CompliancePolicy {
-                    crawl_delay: jig(0.895, 0.15),
-                    endpoint: jig(0.623, 0.25),
-                    disallow: jig(0.348, 0.25),
-                    natural_slow: jig(0.85, 0.15),
-                    natural_pagedata: 0.3,
-                },
-                if j < 0.12 {
-                    RobotsCheckPolicy::Poll(12)
-                } else if j < 0.25 {
-                    RobotsCheckPolicy::Poll(150)
-                } else if j < 0.65 {
-                    RobotsCheckPolicy::EveryHours(300)
-                } else {
-                    RobotsCheckPolicy::Never
-                },
-                3.0 + 6.0 * j,
-                4.0,
-            ),
-            BotCategory::AiAgent | BotCategory::UndocumentedAiAgent => (
-                CompliancePolicy {
-                    crawl_delay: jig(0.5, 0.4),
-                    endpoint: jig(0.3, 0.3),
-                    disallow: jig(0.3, 0.3),
-                    natural_slow: jig(0.4, 0.3),
-                    natural_pagedata: 0.15,
-                },
-                if j < 0.10 {
-                    RobotsCheckPolicy::Poll(96)
-                } else if j < 0.50 {
-                    RobotsCheckPolicy::EveryHours(168)
-                } else {
-                    RobotsCheckPolicy::Never
-                },
-                2.0 + 4.0 * j,
-                3.0,
-            ),
-            BotCategory::Fetcher => (
-                CompliancePolicy {
-                    crawl_delay: jig(0.925, 0.1),
-                    endpoint: jig(0.283, 0.25),
-                    disallow: jig(0.377, 0.25),
-                    natural_slow: jig(0.9, 0.1),
-                    natural_pagedata: 0.03,
-                },
-                if j < 0.25 {
-                    RobotsCheckPolicy::Poll(12)
-                } else if j < 0.45 {
-                    RobotsCheckPolicy::Poll(96)
-                } else {
-                    RobotsCheckPolicy::EveryHours(48)
-                },
-                5.0 + 7.0 * j,
-                2.0,
-            ),
-            BotCategory::HeadlessBrowser => (
-                CompliancePolicy {
-                    crawl_delay: jig(0.05, 0.08),
-                    endpoint: jig(0.28, 0.2),
-                    disallow: jig(0.02, 0.03),
-                    natural_slow: jig(0.08, 0.1),
-                    natural_pagedata: 0.35,
-                },
-                if j < 0.25 {
-                    RobotsCheckPolicy::Poll(12)
-                } else if j < 0.60 {
-                    RobotsCheckPolicy::EveryHours(48)
-                } else {
-                    RobotsCheckPolicy::Never
-                },
-                4.0 + 8.0 * j,
-                7.0,
-            ),
-            BotCategory::IntelligenceGatherer => (
-                CompliancePolicy {
-                    crawl_delay: jig(0.809, 0.2),
-                    endpoint: jig(0.372, 0.25),
-                    disallow: jig(0.094, 0.1),
-                    natural_slow: jig(0.75, 0.2),
-                    natural_pagedata: 0.15,
-                },
-                if j < 0.55 { RobotsCheckPolicy::Poll(12) } else { RobotsCheckPolicy::EveryHours(12) },
-                4.0 + 8.0 * j,
-                4.0,
-            ),
-            BotCategory::Archiver => (
-                CompliancePolicy {
-                    crawl_delay: jig(0.8, 0.2),
-                    endpoint: jig(0.65, 0.2),
-                    disallow: jig(0.6, 0.2),
-                    natural_slow: jig(0.7, 0.2),
-                    natural_pagedata: 0.1,
-                },
-                if j < 0.60 { RobotsCheckPolicy::Poll(12) } else { RobotsCheckPolicy::EveryHours(12) },
-                3.0 + 5.0 * j,
-                8.0,
-            ),
-            BotCategory::DeveloperHelper => (
-                CompliancePolicy {
-                    crawl_delay: jig(0.7, 0.2),
-                    endpoint: jig(0.5, 0.2),
-                    disallow: jig(0.4, 0.2),
-                    natural_slow: jig(0.7, 0.2),
-                    natural_pagedata: 0.05,
-                },
-                if j < 0.30 { RobotsCheckPolicy::Poll(24) } else { RobotsCheckPolicy::EveryHours(24) },
-                2.0 + 4.0 * j,
-                2.0,
-            ),
-            BotCategory::Scraper => (
-                CompliancePolicy {
-                    crawl_delay: jig(0.3, 0.25),
-                    endpoint: jig(0.2, 0.2),
-                    disallow: jig(0.08, 0.1),
-                    natural_slow: jig(0.25, 0.2),
-                    natural_pagedata: 0.3,
-                },
-                if j < 0.60 { RobotsCheckPolicy::Poll(12) } else { RobotsCheckPolicy::EveryHours(24) },
-                4.0 + 8.0 * j,
-                8.0,
-            ),
-            BotCategory::Other | BotCategory::Uncategorized => (
-                CompliancePolicy {
-                    crawl_delay: jig(0.486, 0.3),
-                    endpoint: jig(0.139, 0.15),
-                    disallow: jig(0.019, 0.03),
-                    natural_slow: jig(0.4, 0.3),
-                    natural_pagedata: 0.05,
-                },
-                if j < 0.20 {
-                    RobotsCheckPolicy::Poll(12)
-                } else if j < 0.35 {
-                    RobotsCheckPolicy::Poll(96)
-                } else if j < 0.70 {
-                    RobotsCheckPolicy::Never
-                } else {
-                    RobotsCheckPolicy::EveryHours(72)
-                },
-                4.0 + 8.0 * j,
-                3.0,
-            ),
-        };
+    let (comp, check, daily, pages): (CompliancePolicy, RobotsCheckPolicy, f64, f64) = match spec
+        .category
+    {
+        BotCategory::SeoCrawler => (
+            CompliancePolicy {
+                crawl_delay: jig(0.635, 0.2),
+                endpoint: jig(0.831, 0.2),
+                disallow: jig(0.639, 0.2),
+                natural_slow: jig(0.6, 0.2),
+                natural_pagedata: 0.2,
+            },
+            if j < 0.45 {
+                RobotsCheckPolicy::Poll(12)
+            } else if j < 0.60 {
+                RobotsCheckPolicy::Poll(96)
+            } else {
+                RobotsCheckPolicy::EveryHours(24)
+            },
+            4.0 + 8.0 * j,
+            5.0,
+        ),
+        BotCategory::SearchEngineCrawler => (
+            CompliancePolicy {
+                crawl_delay: jig(0.78, 0.25),
+                endpoint: jig(0.37, 0.25),
+                disallow: jig(0.19, 0.2),
+                natural_slow: jig(0.75, 0.2),
+                natural_pagedata: 0.15,
+            },
+            if j < 0.30 {
+                RobotsCheckPolicy::Poll(12)
+            } else if j < 0.55 {
+                RobotsCheckPolicy::Poll(96)
+            } else {
+                RobotsCheckPolicy::EveryHours(24)
+            },
+            4.0 + 8.0 * j,
+            5.0,
+        ),
+        BotCategory::AiDataScraper => (
+            CompliancePolicy {
+                crawl_delay: jig(0.56, 0.3),
+                endpoint: jig(0.35, 0.3),
+                disallow: jig(0.77, 0.3),
+                natural_slow: jig(0.45, 0.2),
+                natural_pagedata: 0.25,
+            },
+            if j < 0.42 {
+                RobotsCheckPolicy::Poll(12)
+            } else if j < 0.50 {
+                RobotsCheckPolicy::Poll(96)
+            } else {
+                RobotsCheckPolicy::EveryHours(48)
+            },
+            4.0 + 6.0 * j,
+            6.0,
+        ),
+        BotCategory::AiAssistant => (
+            CompliancePolicy {
+                crawl_delay: jig(0.91, 0.15),
+                endpoint: jig(0.13, 0.15),
+                disallow: jig(0.9, 0.2),
+                natural_slow: jig(0.9, 0.1),
+                natural_pagedata: 0.1,
+            },
+            if j < 0.12 {
+                RobotsCheckPolicy::Poll(12)
+            } else if j < 0.25 {
+                RobotsCheckPolicy::Poll(150)
+            } else if j < 0.65 {
+                RobotsCheckPolicy::EveryHours(200)
+            } else {
+                RobotsCheckPolicy::Never
+            },
+            3.0 + 5.0 * j,
+            3.0,
+        ),
+        BotCategory::AiSearchCrawler => (
+            CompliancePolicy {
+                crawl_delay: jig(0.895, 0.15),
+                endpoint: jig(0.623, 0.25),
+                disallow: jig(0.348, 0.25),
+                natural_slow: jig(0.85, 0.15),
+                natural_pagedata: 0.3,
+            },
+            if j < 0.12 {
+                RobotsCheckPolicy::Poll(12)
+            } else if j < 0.25 {
+                RobotsCheckPolicy::Poll(150)
+            } else if j < 0.65 {
+                RobotsCheckPolicy::EveryHours(300)
+            } else {
+                RobotsCheckPolicy::Never
+            },
+            3.0 + 6.0 * j,
+            4.0,
+        ),
+        BotCategory::AiAgent | BotCategory::UndocumentedAiAgent => (
+            CompliancePolicy {
+                crawl_delay: jig(0.5, 0.4),
+                endpoint: jig(0.3, 0.3),
+                disallow: jig(0.3, 0.3),
+                natural_slow: jig(0.4, 0.3),
+                natural_pagedata: 0.15,
+            },
+            if j < 0.10 {
+                RobotsCheckPolicy::Poll(96)
+            } else if j < 0.50 {
+                RobotsCheckPolicy::EveryHours(168)
+            } else {
+                RobotsCheckPolicy::Never
+            },
+            2.0 + 4.0 * j,
+            3.0,
+        ),
+        BotCategory::Fetcher => (
+            CompliancePolicy {
+                crawl_delay: jig(0.925, 0.1),
+                endpoint: jig(0.283, 0.25),
+                disallow: jig(0.377, 0.25),
+                natural_slow: jig(0.9, 0.1),
+                natural_pagedata: 0.03,
+            },
+            if j < 0.25 {
+                RobotsCheckPolicy::Poll(12)
+            } else if j < 0.45 {
+                RobotsCheckPolicy::Poll(96)
+            } else {
+                RobotsCheckPolicy::EveryHours(48)
+            },
+            5.0 + 7.0 * j,
+            2.0,
+        ),
+        BotCategory::HeadlessBrowser => (
+            CompliancePolicy {
+                crawl_delay: jig(0.05, 0.08),
+                endpoint: jig(0.28, 0.2),
+                disallow: jig(0.02, 0.03),
+                natural_slow: jig(0.08, 0.1),
+                natural_pagedata: 0.35,
+            },
+            if j < 0.25 {
+                RobotsCheckPolicy::Poll(12)
+            } else if j < 0.60 {
+                RobotsCheckPolicy::EveryHours(48)
+            } else {
+                RobotsCheckPolicy::Never
+            },
+            4.0 + 8.0 * j,
+            7.0,
+        ),
+        BotCategory::IntelligenceGatherer => (
+            CompliancePolicy {
+                crawl_delay: jig(0.809, 0.2),
+                endpoint: jig(0.372, 0.25),
+                disallow: jig(0.094, 0.1),
+                natural_slow: jig(0.75, 0.2),
+                natural_pagedata: 0.15,
+            },
+            if j < 0.55 { RobotsCheckPolicy::Poll(12) } else { RobotsCheckPolicy::EveryHours(12) },
+            4.0 + 8.0 * j,
+            4.0,
+        ),
+        BotCategory::Archiver => (
+            CompliancePolicy {
+                crawl_delay: jig(0.8, 0.2),
+                endpoint: jig(0.65, 0.2),
+                disallow: jig(0.6, 0.2),
+                natural_slow: jig(0.7, 0.2),
+                natural_pagedata: 0.1,
+            },
+            if j < 0.60 { RobotsCheckPolicy::Poll(12) } else { RobotsCheckPolicy::EveryHours(12) },
+            3.0 + 5.0 * j,
+            8.0,
+        ),
+        BotCategory::DeveloperHelper => (
+            CompliancePolicy {
+                crawl_delay: jig(0.7, 0.2),
+                endpoint: jig(0.5, 0.2),
+                disallow: jig(0.4, 0.2),
+                natural_slow: jig(0.7, 0.2),
+                natural_pagedata: 0.05,
+            },
+            if j < 0.30 { RobotsCheckPolicy::Poll(24) } else { RobotsCheckPolicy::EveryHours(24) },
+            2.0 + 4.0 * j,
+            2.0,
+        ),
+        BotCategory::Scraper => (
+            CompliancePolicy {
+                crawl_delay: jig(0.3, 0.25),
+                endpoint: jig(0.2, 0.2),
+                disallow: jig(0.08, 0.1),
+                natural_slow: jig(0.25, 0.2),
+                natural_pagedata: 0.3,
+            },
+            if j < 0.60 { RobotsCheckPolicy::Poll(12) } else { RobotsCheckPolicy::EveryHours(24) },
+            4.0 + 8.0 * j,
+            8.0,
+        ),
+        BotCategory::Other | BotCategory::Uncategorized => (
+            CompliancePolicy {
+                crawl_delay: jig(0.486, 0.3),
+                endpoint: jig(0.139, 0.15),
+                disallow: jig(0.019, 0.03),
+                natural_slow: jig(0.4, 0.3),
+                natural_pagedata: 0.05,
+            },
+            if j < 0.20 {
+                RobotsCheckPolicy::Poll(12)
+            } else if j < 0.35 {
+                RobotsCheckPolicy::Poll(96)
+            } else if j < 0.70 {
+                RobotsCheckPolicy::Never
+            } else {
+                RobotsCheckPolicy::EveryHours(72)
+            },
+            4.0 + 8.0 * j,
+            3.0,
+        ),
+    };
 
     BotBehavior {
         daily_hits: daily,
@@ -513,7 +582,16 @@ mod tests {
     #[test]
     fn never_checkers_match_table7() {
         let fleet = build_fleet();
-        for name in ["Apache-HttpClient", "Axios", "BrightEdge Crawler", "Iframely", "MicrosoftPreview", "Slack-ImgProxy", "Googlebot-Image", "Baiduspider"] {
+        for name in [
+            "Apache-HttpClient",
+            "Axios",
+            "BrightEdge Crawler",
+            "Iframely",
+            "MicrosoftPreview",
+            "Slack-ImgProxy",
+            "Googlebot-Image",
+            "Baiduspider",
+        ] {
             let bot = fleet.iter().find(|b| b.spec.canonical == name).unwrap();
             assert_eq!(
                 bot.behavior.robots_check,

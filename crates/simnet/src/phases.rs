@@ -67,12 +67,10 @@ impl PolicyVersion {
             g.allow("/").disallow("/404").disallow("/dev-404-page").disallow("/secure/*")
         };
         match self {
-            PolicyVersion::Base => {
-                RobotsTxtBuilder::new().group(["*"], base_rules).build()
+            PolicyVersion::Base => RobotsTxtBuilder::new().group(["*"], base_rules).build(),
+            PolicyVersion::V1CrawlDelay => {
+                RobotsTxtBuilder::new().group(["*"], |g| base_rules(g).crawl_delay(30.0)).build()
             }
-            PolicyVersion::V1CrawlDelay => RobotsTxtBuilder::new()
-                .group(["*"], |g| base_rules(g).crawl_delay(30.0))
-                .build(),
             PolicyVersion::V2EndpointOnly => {
                 let mut b = RobotsTxtBuilder::new();
                 for agent in EXEMPT_AGENTS {

@@ -46,8 +46,8 @@ pub fn phase_study(cfg: &SimConfig) -> PhaseStudyOutput {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use botscope_weblog::filter::restrict_window;
     use crate::phases::PolicyVersion;
+    use botscope_weblog::filter::restrict_window;
 
     #[test]
     fn full_study_runs() {

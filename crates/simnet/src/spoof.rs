@@ -56,9 +56,9 @@ pub fn generate(
         let Some(victim) = fleet.iter().find(|b| b.spec.canonical == profile.bot) else {
             continue;
         };
-        let total = spoof_budget(profile.bot, profile.suspicious_asns.len()) * cfg.scale
-            * cfg.days as f64
-            / 40.0;
+        let total =
+            spoof_budget(profile.bot, profile.suspicious_asns.len()) * cfg.scale * cfg.days as f64
+                / 40.0;
         // At least one request per suspicious ASN so Table 8 rows are
         // rediscoverable at any scale.
         for (ai, asn) in profile.suspicious_asns.iter().enumerate() {
@@ -132,9 +132,7 @@ mod tests {
             let profile = SPOOF_CATALOG
                 .iter()
                 .find(|p| {
-                    fleet
-                        .iter()
-                        .any(|b| b.spec.canonical == p.bot && b.ua_string == r.useragent)
+                    fleet.iter().any(|b| b.spec.canonical == p.bot && b.ua_string == r.useragent)
                 })
                 .expect("spoof record belongs to a catalog bot");
             assert!(

@@ -129,10 +129,7 @@ impl TimeSeriesCdf {
     /// assert_eq!(curve, vec![0.0, 0.25, 0.25, 1.0, 1.0]);
     /// ```
     pub fn curve(&self, bucket_edges: &[u64]) -> Vec<f64> {
-        assert!(
-            bucket_edges.windows(2).all(|w| w[0] <= w[1]),
-            "bucket edges must be ascending"
-        );
+        assert!(bucket_edges.windows(2).all(|w| w[0] <= w[1]), "bucket edges must be ascending");
         let total = self.total();
         if total <= 0.0 {
             return vec![0.0; bucket_edges.len()];

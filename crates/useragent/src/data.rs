@@ -36,75 +36,189 @@ pub const BOTS: &[BotSpec] = &[
     bot!("Bytespider", ["bytespider"], AiDataScraper, "ByteDance", No, "CHINANET-BACKBONE"),
     bot!("meta-externalagent", ["meta-externalagent"], AiDataScraper, "Meta", Yes, "FACEBOOK"),
     bot!("CCBot", ["ccbot"], AiDataScraper, "Common Crawl", Yes, "AMAZON-AES"),
-    bot!("Applebot-Extended", ["applebot-extended"], AiDataScraper, "Apple", Yes, "APPLE-ENGINEERING"),
+    bot!(
+        "Applebot-Extended",
+        ["applebot-extended"],
+        AiDataScraper,
+        "Apple",
+        Yes,
+        "APPLE-ENGINEERING"
+    ),
     bot!("FacebookBot", ["facebookbot"], AiDataScraper, "Meta", Yes, "FACEBOOK"),
     bot!("Google-Extended", ["google-extended"], AiDataScraper, "Google", Yes, "GOOGLE"),
-    bot!("Google-CloudVertexBot", ["google-cloudvertexbot"], AiDataScraper, "Google", Yes, "GOOGLE-CLOUD-PLATFORM"),
-    bot!("cohere-training-data-crawler", ["cohere-training-data"], AiDataScraper, "Cohere", Unknown, "AMAZON-02"),
+    bot!(
+        "Google-CloudVertexBot",
+        ["google-cloudvertexbot"],
+        AiDataScraper,
+        "Google",
+        Yes,
+        "GOOGLE-CLOUD-PLATFORM"
+    ),
+    bot!(
+        "cohere-training-data-crawler",
+        ["cohere-training-data"],
+        AiDataScraper,
+        "Cohere",
+        Unknown,
+        "AMAZON-02"
+    ),
     bot!("AI2Bot", ["ai2bot"], AiDataScraper, "Allen AI", Yes, "AMAZON-02"),
     bot!("PanguBot", ["pangubot"], AiDataScraper, "Huawei", Unknown, "HWCLOUDS-AS-AP"),
     bot!("Diffbot", ["diffbot"], AiDataScraper, "Diffbot", No, "MICROSOFT-CORP-AS"),
     bot!("TikTokSpider", ["tiktokspider"], AiDataScraper, "ByteDance", No, "CHINANET-BACKBONE"),
     bot!("img2dataset", ["img2dataset"], AiDataScraper, "Open Source", Unknown, "OVH"),
     bot!("Timpibot", ["timpibot"], AiDataScraper, "Timpi", Unknown, "AMAZON-02"),
-    bot!("VelenPublicWebCrawler", ["velenpublicwebcrawler"], AiDataScraper, "Velen", Yes, "HETZNER-AS"),
-    bot!("Webzio-Extended", ["webzio-extended"], AiDataScraper, "Webz.io", Unknown, "DIGITALOCEAN-ASN"),
+    bot!(
+        "VelenPublicWebCrawler",
+        ["velenpublicwebcrawler"],
+        AiDataScraper,
+        "Velen",
+        Yes,
+        "HETZNER-AS"
+    ),
+    bot!(
+        "Webzio-Extended",
+        ["webzio-extended"],
+        AiDataScraper,
+        "Webz.io",
+        Unknown,
+        "DIGITALOCEAN-ASN"
+    ),
     bot!("Kangaroo Bot", ["kangaroo bot"], AiDataScraper, "Kangaroo", Unknown, "ALIBABA-CN-NET"),
     bot!("Sidetrade indexer bot", ["sidetrade"], AiDataScraper, "Sidetrade", Unknown, "OVH"),
-
     // ===================== AI assistants =====================
-    bot!("ChatGPT-User", ["chatgpt-user"], AiAssistant, "OpenAI", Yes, "MICROSOFT-CORP-MSN-AS-BLOCK"),
+    bot!(
+        "ChatGPT-User",
+        ["chatgpt-user"],
+        AiAssistant,
+        "OpenAI",
+        Yes,
+        "MICROSOFT-CORP-MSN-AS-BLOCK"
+    ),
     bot!("Claude-User", ["claude-user"], AiAssistant, "Anthropic", Yes, "AMAZON-02"),
     bot!("Perplexity-User", ["perplexity-user"], AiAssistant, "Perplexity", No, "AMAZON-02"),
-    bot!("Meta-ExternalFetcher", ["meta-externalfetcher"], AiAssistant, "Meta", Unknown, "FACEBOOK"),
-    bot!("MistralAI-User", ["mistralai-user"], AiAssistant, "Mistral", Yes, "GOOGLE-CLOUD-PLATFORM"),
-    bot!("DuckAssistBot", ["duckassistbot"], AiAssistant, "DuckDuckGo", Yes, "MICROSOFT-CORP-MSN-AS-BLOCK"),
+    bot!(
+        "Meta-ExternalFetcher",
+        ["meta-externalfetcher"],
+        AiAssistant,
+        "Meta",
+        Unknown,
+        "FACEBOOK"
+    ),
+    bot!(
+        "MistralAI-User",
+        ["mistralai-user"],
+        AiAssistant,
+        "Mistral",
+        Yes,
+        "GOOGLE-CLOUD-PLATFORM"
+    ),
+    bot!(
+        "DuckAssistBot",
+        ["duckassistbot"],
+        AiAssistant,
+        "DuckDuckGo",
+        Yes,
+        "MICROSOFT-CORP-MSN-AS-BLOCK"
+    ),
     bot!("Cohere-AI", ["cohere-ai"], AiAssistant, "Cohere", Unknown, "AMAZON-02"),
     bot!("YouBot", ["youbot"], AiAssistant, "You.com", Yes, "AMAZON-02"),
     bot!("iAskBot", ["iaskbot"], AiAssistant, "iAsk", Unknown, "CLOUDFLARENET"),
     bot!("LinerBot", ["linerbot"], AiAssistant, "Liner", Unknown, "AMAZON-02"),
-
     // ===================== AI search crawlers =====================
     bot!("Applebot", ["applebot"], AiSearchCrawler, "Apple", Yes, "APPLE-ENGINEERING"),
     bot!("Amazonbot", ["amazonbot"], AiSearchCrawler, "Amazon", Yes, "AMAZON-AES"),
     bot!("PerplexityBot", ["perplexitybot"], AiSearchCrawler, "Perplexity", No, "AMAZON-02"),
-    bot!("OAI-SearchBot", ["oai-searchbot"], AiSearchCrawler, "OpenAI", Yes, "MICROSOFT-CORP-MSN-AS-BLOCK"),
+    bot!(
+        "OAI-SearchBot",
+        ["oai-searchbot"],
+        AiSearchCrawler,
+        "OpenAI",
+        Yes,
+        "MICROSOFT-CORP-MSN-AS-BLOCK"
+    ),
     bot!("Claude-SearchBot", ["claude-searchbot"], AiSearchCrawler, "Anthropic", Yes, "AMAZON-02"),
     bot!("Andibot", ["andibot"], AiSearchCrawler, "Andi", Unknown, "GOOGLE-CLOUD-PLATFORM"),
     bot!("PhindBot", ["phindbot"], AiSearchCrawler, "Phind", Unknown, "AMAZON-02"),
     bot!("ExaBot-AI", ["exabot-ai"], AiSearchCrawler, "Exa", Unknown, "AMAZON-02"),
-
     // ===================== AI agents =====================
-    bot!("Operator", ["operator/openai", "openai-operator"], AiAgent, "OpenAI", Yes, "MICROSOFT-CORP-MSN-AS-BLOCK"),
+    bot!(
+        "Operator",
+        ["operator/openai", "openai-operator"],
+        AiAgent,
+        "OpenAI",
+        Yes,
+        "MICROSOFT-CORP-MSN-AS-BLOCK"
+    ),
     bot!("Claude-Agent", ["claude-agent"], AiAgent, "Anthropic", Yes, "AMAZON-02"),
     bot!("Google-Mariner", ["google-mariner"], AiAgent, "Google", Yes, "GOOGLE"),
     bot!("NovaAct", ["novaact"], AiAgent, "Amazon", Unknown, "AMAZON-AES"),
     bot!("Devin", ["devin/"], AiAgent, "Cognition", Unknown, "AMAZON-02"),
     bot!("Manus", ["manus/"], AiAgent, "Monica", Unknown, "ALIBABA-CN-NET"),
-
     // ================= Undocumented AI agents =================
     bot!("AgentQ", ["agentq"], UndocumentedAiAgent, "Unknown", Unknown, "DIGITALOCEAN-ASN"),
     bot!("AutoAgentX", ["autoagentx"], UndocumentedAiAgent, "Unknown", Unknown, "M247"),
     bot!("BrowserPilot", ["browserpilot"], UndocumentedAiAgent, "Unknown", Unknown, "CONTABO"),
-
     // ================= Search engine crawlers =================
     bot!("Googlebot", ["googlebot/", "googlebot)"], SearchEngineCrawler, "Google", Yes, "GOOGLE"),
     bot!("Googlebot-Image", ["googlebot-image"], SearchEngineCrawler, "Google", Yes, "GOOGLE"),
     bot!("Googlebot-News", ["googlebot-news"], SearchEngineCrawler, "Google", Yes, "GOOGLE"),
     bot!("Googlebot-Video", ["googlebot-video"], SearchEngineCrawler, "Google", Yes, "GOOGLE"),
-    bot!("bingbot", ["bingbot"], SearchEngineCrawler, "Microsoft", Yes, "MICROSOFT-CORP-MSN-AS-BLOCK"),
+    bot!(
+        "bingbot",
+        ["bingbot"],
+        SearchEngineCrawler,
+        "Microsoft",
+        Yes,
+        "MICROSOFT-CORP-MSN-AS-BLOCK"
+    ),
     bot!("Slurp", ["slurp"], SearchEngineCrawler, "Yahoo", Yes, "YAHOO-INC"),
-    bot!("DuckDuckBot", ["duckduckbot"], SearchEngineCrawler, "DuckDuckGo", Yes, "MICROSOFT-CORP-MSN-AS-BLOCK"),
+    bot!(
+        "DuckDuckBot",
+        ["duckduckbot"],
+        SearchEngineCrawler,
+        "DuckDuckGo",
+        Yes,
+        "MICROSOFT-CORP-MSN-AS-BLOCK"
+    ),
     bot!("Baiduspider", ["baiduspider"], SearchEngineCrawler, "Baidu", Yes, "CHINA169-Backbone"),
     bot!("Yandexbot", ["yandexbot"], SearchEngineCrawler, "Yandex", Yes, "YANDEX"),
     bot!("yandex.com/bots", ["yandex.com/bots"], SearchEngineCrawler, "Yandex", Yes, "YANDEX"),
-    bot!("YisouSpider", ["yisouspider", "yisou spider"], SearchEngineCrawler, "Yisou", No, "ALIBABA-CN-NET"),
-    bot!("Sogou web spider", ["sogou web spider"], SearchEngineCrawler, "Sogou", Yes, "CHINANET-BACKBONE"),
-    bot!("360Spider", ["360spider"], SearchEngineCrawler, "Qihoo 360", Unknown, "CHINA169-Backbone"),
+    bot!(
+        "YisouSpider",
+        ["yisouspider", "yisou spider"],
+        SearchEngineCrawler,
+        "Yisou",
+        No,
+        "ALIBABA-CN-NET"
+    ),
+    bot!(
+        "Sogou web spider",
+        ["sogou web spider"],
+        SearchEngineCrawler,
+        "Sogou",
+        Yes,
+        "CHINANET-BACKBONE"
+    ),
+    bot!(
+        "360Spider",
+        ["360spider"],
+        SearchEngineCrawler,
+        "Qihoo 360",
+        Unknown,
+        "CHINA169-Backbone"
+    ),
     bot!("PetalBot", ["petalbot"], SearchEngineCrawler, "Huawei", Yes, "HWCLOUDS-AS-AP"),
     bot!("Coccoc", ["coccoc"], SearchEngineCrawler, "Coc Coc", Yes, "VNPT-AS-VN"),
     bot!("SeznamBot", ["seznambot"], SearchEngineCrawler, "Seznam.cz", Yes, "SEZNAM-CZ"),
-    bot!("SemanticScholarBot", ["semanticscholarbot"], SearchEngineCrawler, "Allen AI", Yes, "AMAZON-02"),
+    bot!(
+        "SemanticScholarBot",
+        ["semanticscholarbot"],
+        SearchEngineCrawler,
+        "Allen AI",
+        Yes,
+        "AMAZON-02"
+    ),
     bot!("Yeti", ["naverbot", "yeti/"], SearchEngineCrawler, "Naver", Yes, "NAVER-KR"),
     bot!("Daumoa", ["daumoa"], SearchEngineCrawler, "Kakao", Yes, "KAKAO-AS-KR-KR51"),
     bot!("Mail.RU_Bot", ["mail.ru_bot"], SearchEngineCrawler, "VK", Yes, "MAILRU-AS"),
@@ -116,23 +230,49 @@ pub const BOTS: &[BotSpec] = &[
     bot!("Exabot", ["exabot/"], SearchEngineCrawler, "Exalead", Yes, "ORANGE-BUSINESS"),
     bot!("Teoma", ["teoma"], SearchEngineCrawler, "Ask.com", Yes, "ASK-COM"),
     bot!("BraveBot", ["bravebot"], SearchEngineCrawler, "Brave", Yes, "AMAZON-02"),
-
     // ===================== SEO crawlers =====================
     bot!("SemrushBot", ["semrushbot"], SeoCrawler, "Semrush", Yes, "SEMRUSH-AS"),
     bot!("AhrefsBot", ["ahrefsbot"], SeoCrawler, "Ahrefs", Yes, "OVH"),
     bot!("dotbot", ["dotbot"], SeoCrawler, "Moz", Yes, "AMAZON-02"),
-    bot!("BrightEdge Crawler", ["brightedge"], SeoCrawler, "BrightEdge", Yes, "GOOGLE-CLOUD-PLATFORM"),
-    bot!("DataForSEOBot", ["dataforseobot", "dataforseo-bot"], SeoCrawler, "DataForSEO", Yes, "HETZNER-AS"),
+    bot!(
+        "BrightEdge Crawler",
+        ["brightedge"],
+        SeoCrawler,
+        "BrightEdge",
+        Yes,
+        "GOOGLE-CLOUD-PLATFORM"
+    ),
+    bot!(
+        "DataForSEOBot",
+        ["dataforseobot", "dataforseo-bot"],
+        SeoCrawler,
+        "DataForSEO",
+        Yes,
+        "HETZNER-AS"
+    ),
     bot!("MJ12bot", ["mj12bot"], SeoCrawler, "Majestic", Yes, "DISTRIBUTED-MAJESTIC"),
     bot!("BLEXBot", ["blexbot"], SeoCrawler, "WebMeUp", Yes, "HETZNER-AS"),
     bot!("serpstatbot", ["serpstatbot"], SeoCrawler, "Serpstat", Yes, "HETZNER-AS"),
     bot!("SISTRIX Crawler", ["sistrix"], SeoCrawler, "SISTRIX", Yes, "SISTRIX-AS"),
     bot!("SEOkicks", ["seokicks"], SeoCrawler, "SEOkicks", Yes, "HETZNER-AS"),
-    bot!("Screaming Frog SEO Spider", ["screaming frog"], SeoCrawler, "Screaming Frog", Yes, "VARIOUS-RESIDENTIAL"),
+    bot!(
+        "Screaming Frog SEO Spider",
+        ["screaming frog"],
+        SeoCrawler,
+        "Screaming Frog",
+        Yes,
+        "VARIOUS-RESIDENTIAL"
+    ),
     bot!("Barkrowler", ["barkrowler"], SeoCrawler, "Babbar", Yes, "OVH"),
-    bot!("AwarioBot", ["awariobot", "awariosmartbot"], SeoCrawler, "Awario", Yes, "DIGITALOCEAN-ASN"),
+    bot!(
+        "AwarioBot",
+        ["awariobot", "awariosmartbot"],
+        SeoCrawler,
+        "Awario",
+        Yes,
+        "DIGITALOCEAN-ASN"
+    ),
     bot!("OnCrawl", ["oncrawl"], SeoCrawler, "OnCrawl", Yes, "OVH"),
-
     // ===================== Fetchers =====================
     bot!("facebookexternalhit", ["facebookexternalhit"], Fetcher, "Meta", No, "FACEBOOK"),
     bot!("Twitterbot", ["twitterbot"], Fetcher, "X Corp", Yes, "TWITTER"),
@@ -142,33 +282,72 @@ pub const BOTS: &[BotSpec] = &[
     bot!("Discordbot", ["discordbot"], Fetcher, "Discord", Yes, "GOOGLE-CLOUD-PLATFORM"),
     bot!("Pinterestbot", ["pinterestbot", "pinterest/"], Fetcher, "Pinterest", Yes, "AMAZON-02"),
     bot!("redditbot", ["redditbot"], Fetcher, "Reddit", Yes, "AMAZON-02"),
-    bot!("Slackbot-LinkExpanding", ["slackbot-linkexpanding"], Fetcher, "Salesforce", Yes, "AMAZON-AES"),
+    bot!(
+        "Slackbot-LinkExpanding",
+        ["slackbot-linkexpanding"],
+        Fetcher,
+        "Salesforce",
+        Yes,
+        "AMAZON-AES"
+    ),
     bot!("Snap URL Preview Service", ["snap url preview"], Fetcher, "Snap", No, "AMAZON-AES"),
     bot!("Google Web Preview", ["google web preview"], Fetcher, "Google", No, "GOOGLE"),
     bot!("AppleNewsBot", ["applenewsbot"], Fetcher, "Apple", Yes, "APPLE-ENGINEERING"),
     bot!("Embedly", ["embedly"], Fetcher, "Medium", Yes, "AMAZON-AES"),
     bot!("Quora-Bot", ["quora-bot"], Fetcher, "Quora", Unknown, "AMAZON-02"),
     bot!("BitlyBot", ["bitlybot"], Fetcher, "Bitly", Unknown, "AMAZON-AES"),
-
     // ===================== Archivers =====================
     bot!("ia_archiver", ["ia_archiver"], Archiver, "Internet Archive", Yes, "INTERNET-ARCHIVE"),
-    bot!("archive.org_bot", ["archive.org_bot"], Archiver, "Internet Archive", Yes, "INTERNET-ARCHIVE"),
+    bot!(
+        "archive.org_bot",
+        ["archive.org_bot"],
+        Archiver,
+        "Internet Archive",
+        Yes,
+        "INTERNET-ARCHIVE"
+    ),
     bot!("heritrix", ["heritrix"], Archiver, "Internet Archive", Yes, "INTERNET-ARCHIVE"),
     bot!("Arquivo-web-crawler", ["arquivo-web-crawler"], Archiver, "Arquivo.pt", Yes, "FCCN-PT"),
     bot!("NiceCrawler", ["nicecrawler"], Archiver, "NiceCrawler", Unknown, "HETZNER-AS"),
-
     // ================= Intelligence gatherers =================
     bot!("ZoominfoBot", ["zoominfobot"], IntelligenceGatherer, "ZoomInfo", Unknown, "AMAZON-AES"),
     bot!("BuiltWith", ["builtwith"], IntelligenceGatherer, "BuiltWith", Unknown, "AMAZON-02"),
-    bot!("DataproviderBot", ["dataprovider"], IntelligenceGatherer, "Dataprovider.com", Yes, "LEASEWEB-NL"),
-    bot!("TurnitinBot", ["turnitinbot", "turnitin"], IntelligenceGatherer, "Turnitin", Yes, "TURNITIN-AS"),
-    bot!("Omgilibot", ["omgilibot", "omgili/"], IntelligenceGatherer, "Webz.io", Unknown, "DIGITALOCEAN-ASN"),
+    bot!(
+        "DataproviderBot",
+        ["dataprovider"],
+        IntelligenceGatherer,
+        "Dataprovider.com",
+        Yes,
+        "LEASEWEB-NL"
+    ),
+    bot!(
+        "TurnitinBot",
+        ["turnitinbot", "turnitin"],
+        IntelligenceGatherer,
+        "Turnitin",
+        Yes,
+        "TURNITIN-AS"
+    ),
+    bot!(
+        "Omgilibot",
+        ["omgilibot", "omgili/"],
+        IntelligenceGatherer,
+        "Webz.io",
+        Unknown,
+        "DIGITALOCEAN-ASN"
+    ),
     bot!("MeltwaterNews", ["meltwater"], IntelligenceGatherer, "Meltwater", Unknown, "AMAZON-02"),
     bot!("CriteoBot", ["criteobot"], IntelligenceGatherer, "Criteo", Unknown, "CRITEO-AS"),
     bot!("ImagesiftBot", ["imagesiftbot"], IntelligenceGatherer, "Hive", Yes, "DIGITALOCEAN-ASN"),
-    bot!("CincrawData", ["cincraw"], IntelligenceGatherer, "Cincraw", Unknown, "NTT-COMMUNICATIONS"),
+    bot!(
+        "CincrawData",
+        ["cincraw"],
+        IntelligenceGatherer,
+        "Cincraw",
+        Unknown,
+        "NTT-COMMUNICATIONS"
+    ),
     bot!("PiplBot", ["piplbot"], IntelligenceGatherer, "Pipl", Unknown, "AMAZON-AES"),
-
     // ================= Developer helpers =================
     bot!("UptimeRobot", ["uptimerobot"], DeveloperHelper, "UptimeRobot", Unknown, "M247"),
     bot!("Pingdom", ["pingdom"], DeveloperHelper, "SolarWinds", Unknown, "PINGDOM-AS"),
@@ -177,25 +356,50 @@ pub const BOTS: &[BotSpec] = &[
     bot!("W3C_Validator", ["w3c_validator"], DeveloperHelper, "W3C", Yes, "W3C-MIT"),
     bot!("Chrome-Lighthouse", ["chrome-lighthouse"], DeveloperHelper, "Google", No, "GOOGLE"),
     bot!("GoogleOther", ["googleother"], DeveloperHelper, "Google", Yes, "GOOGLE"),
-    bot!("Google-InspectionTool", ["google-inspectiontool"], DeveloperHelper, "Google", Yes, "GOOGLE"),
+    bot!(
+        "Google-InspectionTool",
+        ["google-inspectiontool"],
+        DeveloperHelper,
+        "Google",
+        Yes,
+        "GOOGLE"
+    ),
     bot!("AdsBot-Google", ["adsbot-google"], DeveloperHelper, "Google", Yes, "GOOGLE"),
-    bot!("Google-Site-Verification", ["google-site-verification"], DeveloperHelper, "Google", Yes, "GOOGLE"),
-
+    bot!(
+        "Google-Site-Verification",
+        ["google-site-verification"],
+        DeveloperHelper,
+        "Google",
+        Yes,
+        "GOOGLE"
+    ),
     // ===================== Scrapers =====================
     bot!("Scrapy", ["scrapy"], Scraper, "Open Source", Unknown, "DIGITALOCEAN-ASN"),
     bot!("colly", ["colly - "], Scraper, "Open Source", Unknown, "DIGITALOCEAN-ASN"),
     bot!("HTTrack", ["httrack"], Scraper, "Open Source", Unknown, "VARIOUS-RESIDENTIAL"),
     bot!("webcopier", ["webcopier"], Scraper, "MaximumSoft", No, "VARIOUS-RESIDENTIAL"),
-    bot!("NodeCrawler", ["node-crawler", "nodecrawler"], Scraper, "Open Source", Unknown, "DIGITALOCEAN-ASN"),
-
+    bot!(
+        "NodeCrawler",
+        ["node-crawler", "nodecrawler"],
+        Scraper,
+        "Open Source",
+        Unknown,
+        "DIGITALOCEAN-ASN"
+    ),
     // ================= Headless browsers =================
-    bot!("HeadlessChrome", ["headlesschrome"], HeadlessBrowser, "Open Source", Unknown, "DIGITALOCEAN-ASN"),
+    bot!(
+        "HeadlessChrome",
+        ["headlesschrome"],
+        HeadlessBrowser,
+        "Open Source",
+        Unknown,
+        "DIGITALOCEAN-ASN"
+    ),
     bot!("PhantomJS", ["phantomjs"], HeadlessBrowser, "Open Source", Unknown, "OVH"),
     bot!("Puppeteer", ["puppeteer"], HeadlessBrowser, "Google", Unknown, "AMAZON-02"),
     bot!("Playwright", ["playwright"], HeadlessBrowser, "Microsoft", Unknown, "MICROSOFT-CORP-AS"),
     bot!("Selenium", ["selenium"], HeadlessBrowser, "Open Source", Unknown, "HETZNER-AS"),
     bot!("Electron", ["electron/"], HeadlessBrowser, "OpenJS", Unknown, "VARIOUS-RESIDENTIAL"),
-
     // =============== HTTP libraries & preview proxies ("Other") ===============
     bot!("Python-requests", ["python-requests"], Other, "Open Source", Unknown, "DIGITALOCEAN-ASN"),
     bot!("python-urllib", ["python-urllib"], Other, "Open Source", Unknown, "DIGITALOCEAN-ASN"),
@@ -212,9 +416,30 @@ pub const BOTS: &[BotSpec] = &[
     bot!("Wget", ["wget/"], Other, "Open Source", Unknown, "VARIOUS-RESIDENTIAL"),
     bot!("Guzzle", ["guzzlehttp"], Other, "Open Source", Unknown, "OVH"),
     bot!("Faraday", ["faraday v"], Other, "Open Source", Unknown, "HETZNER-AS"),
-    bot!("got", ["got (https://github.com/sindresorhus/got)"], Other, "Open Source", Unknown, "AMAZON-02"),
-    bot!("SkypeUriPreview", ["skypeuripreview"], Other, "Microsoft", Yes, "MICROSOFT-CORP-MSN-AS-BLOCK"),
-    bot!("MicrosoftPreview", ["microsoftpreview"], Other, "Microsoft", Yes, "MICROSOFT-CORP-MSN-AS-BLOCK"),
+    bot!(
+        "got",
+        ["got (https://github.com/sindresorhus/got)"],
+        Other,
+        "Open Source",
+        Unknown,
+        "AMAZON-02"
+    ),
+    bot!(
+        "SkypeUriPreview",
+        ["skypeuripreview"],
+        Other,
+        "Microsoft",
+        Yes,
+        "MICROSOFT-CORP-MSN-AS-BLOCK"
+    ),
+    bot!(
+        "MicrosoftPreview",
+        ["microsoftpreview"],
+        Other,
+        "Microsoft",
+        Yes,
+        "MICROSOFT-CORP-MSN-AS-BLOCK"
+    ),
     bot!("Slack-ImgProxy", ["slack-imgproxy"], Other, "Salesforce", No, "AMAZON-AES"),
     bot!("Iframely", ["iframely"], Other, "Itteco", Yes, "AMAZON-AES"),
     bot!("AcademicBotRTU", ["academicbotrtu"], Other, "Riga Technical", Unknown, "LATNET"),
@@ -235,8 +460,14 @@ mod tests {
     fn seo_exempt_list_is_complete() {
         // The eight SEO-exempt agents of paper §4.1 must all be resolvable.
         let exempt = [
-            "Googlebot", "Slurp", "bingbot", "Yandexbot", "DuckDuckBot", "Baiduspider",
-            "DuckAssistBot", "ia_archiver",
+            "Googlebot",
+            "Slurp",
+            "bingbot",
+            "Yandexbot",
+            "DuckDuckBot",
+            "Baiduspider",
+            "DuckAssistBot",
+            "ia_archiver",
         ];
         for name in exempt {
             assert!(

@@ -31,8 +31,7 @@ impl AgentClass {
 }
 
 /// Tokens that indicate an interactive browser when no bot pattern matched.
-const BROWSER_MARKERS: [&str; 6] =
-    ["mozilla/", "chrome/", "safari/", "firefox/", "edg/", "opera/"];
+const BROWSER_MARKERS: [&str; 6] = ["mozilla/", "chrome/", "safari/", "firefox/", "edg/", "opera/"];
 
 /// Classify a raw `User-Agent` header against the registry.
 ///

@@ -98,12 +98,7 @@ pub fn jaro_winkler(a: &str, b: &str) -> f64 {
     const PREFIX_SCALE: f64 = 0.1;
     const MAX_PREFIX: usize = 4;
     let j = jaro(a, b);
-    let prefix = a
-        .chars()
-        .zip(b.chars())
-        .take(MAX_PREFIX)
-        .take_while(|(x, y)| x == y)
-        .count();
+    let prefix = a.chars().zip(b.chars()).take(MAX_PREFIX).take_while(|(x, y)| x == y).count();
     j + prefix as f64 * PREFIX_SCALE * (1.0 - j)
 }
 

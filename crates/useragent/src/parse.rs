@@ -106,7 +106,10 @@ mod tests {
             "Mozilla/5.0 (compatible; Googlebot/2.1; +http://www.google.com/bot.html)",
         );
         assert_eq!(ua.products[0].name, "Mozilla");
-        assert_eq!(ua.comments, vec!["compatible", "Googlebot/2.1", "+http://www.google.com/bot.html"]);
+        assert_eq!(
+            ua.comments,
+            vec!["compatible", "Googlebot/2.1", "+http://www.google.com/bot.html"]
+        );
         let tokens = ua.candidate_tokens();
         assert!(tokens.iter().any(|t| t == "Googlebot"));
         assert!(!tokens.iter().any(|t| t.eq_ignore_ascii_case("compatible")));
@@ -152,7 +155,9 @@ mod tests {
 
     #[test]
     fn candidate_tokens_drop_urls() {
-        let ua = UserAgent::parse("Mozilla/5.0 (compatible; bingbot/2.0; +http://www.bing.com/bingbot.htm)");
+        let ua = UserAgent::parse(
+            "Mozilla/5.0 (compatible; bingbot/2.0; +http://www.bing.com/bingbot.htm)",
+        );
         let tokens = ua.candidate_tokens();
         assert!(tokens.iter().any(|t| t == "bingbot"));
         assert!(!tokens.iter().any(|t| t.starts_with("+http")));

@@ -138,7 +138,12 @@ mod tests {
             assert!(!bot.patterns.is_empty(), "{} has no patterns", bot.canonical);
             for p in bot.patterns {
                 assert!(!p.is_empty());
-                assert_eq!(*p, p.to_ascii_lowercase(), "{} pattern {p} not lowercase", bot.canonical);
+                assert_eq!(
+                    *p,
+                    p.to_ascii_lowercase(),
+                    "{} pattern {p} not lowercase",
+                    bot.canonical
+                );
             }
         }
     }
@@ -146,9 +151,7 @@ mod tests {
     #[test]
     fn longest_pattern_wins() {
         let reg = registry();
-        let image = reg
-            .match_user_agent("Googlebot-Image/1.0")
-            .expect("image bot matched");
+        let image = reg.match_user_agent("Googlebot-Image/1.0").expect("image bot matched");
         assert_eq!(image.canonical, "Googlebot-Image");
         let plain = reg
             .match_user_agent("Mozilla/5.0 (compatible; Googlebot/2.1)")
@@ -210,7 +213,9 @@ mod tests {
     #[test]
     fn unknown_ua_matches_nothing() {
         let reg = registry();
-        assert!(reg.match_user_agent("Mozilla/5.0 (Windows NT 10.0) Chrome/120 Safari/537").is_none());
+        assert!(reg
+            .match_user_agent("Mozilla/5.0 (Windows NT 10.0) Chrome/120 Safari/537")
+            .is_none());
         assert!(reg.by_name("no-such-bot").is_none());
     }
 

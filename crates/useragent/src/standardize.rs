@@ -68,9 +68,7 @@ impl Standardizer {
             for bot in self.registry.all() {
                 let canon_norm = normalize_token(bot.canonical);
                 let score = jaro_winkler(&token_norm, &canon_norm);
-                if score >= self.fuzzy_threshold
-                    && best.is_none_or(|(s, _)| score > s)
-                {
+                if score >= self.fuzzy_threshold && best.is_none_or(|(s, _)| score > s) {
                     best = Some((score, bot));
                 }
             }
@@ -88,10 +86,7 @@ impl Default for Standardizer {
 /// Lowercase and strip separator characters so `Claude-Bot` and
 /// `claudebot` compare equal.
 fn normalize_token(s: &str) -> String {
-    s.chars()
-        .filter(|c| c.is_ascii_alphanumeric())
-        .map(|c| c.to_ascii_lowercase())
-        .collect()
+    s.chars().filter(|c| c.is_ascii_alphanumeric()).map(|c| c.to_ascii_lowercase()).collect()
 }
 
 #[cfg(test)]

@@ -120,9 +120,10 @@ pub fn decode_record(line: &str, line_no: usize) -> Result<AccessRecord, DecodeE
         return Err(err(format!("expected 9 fields, got {}", fields.len())));
     }
     let timestamp = Timestamp::parse_iso8601(&fields[1]).map_err(|e| err(e.to_string()))?;
-    let ip_hash =
-        u64::from_str_radix(&fields[2], 16).map_err(|_| err(format!("bad ip_hash {:?}", fields[2])))?;
-    let status = fields[6].parse::<u16>().map_err(|_| err(format!("bad status {:?}", fields[6])))?;
+    let ip_hash = u64::from_str_radix(&fields[2], 16)
+        .map_err(|_| err(format!("bad ip_hash {:?}", fields[2])))?;
+    let status =
+        fields[6].parse::<u16>().map_err(|_| err(format!("bad status {:?}", fields[6])))?;
     let bytes = fields[7].parse::<u64>().map_err(|_| err(format!("bad bytes {:?}", fields[7])))?;
     let referer = if fields[8].is_empty() { None } else { Some(fields[8].clone()) };
     Ok(AccessRecord {

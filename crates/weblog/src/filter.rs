@@ -13,7 +13,10 @@ use crate::time::Timestamp;
 
 /// Remove all records whose IP hash is in `banned` (scanner removal).
 /// Returns the retained records and the number removed.
-pub fn remove_ip_hashes(records: Vec<AccessRecord>, banned: &HashSet<u64>) -> (Vec<AccessRecord>, usize) {
+pub fn remove_ip_hashes(
+    records: Vec<AccessRecord>,
+    banned: &HashSet<u64>,
+) -> (Vec<AccessRecord>, usize) {
     let before = records.len();
     let kept: Vec<AccessRecord> =
         records.into_iter().filter(|r| !banned.contains(&r.ip_hash)).collect();
@@ -22,7 +25,11 @@ pub fn remove_ip_hashes(records: Vec<AccessRecord>, banned: &HashSet<u64>) -> (V
 }
 
 /// Keep only records in `[start, end)`.
-pub fn restrict_window(records: &[AccessRecord], start: Timestamp, end: Timestamp) -> Vec<AccessRecord> {
+pub fn restrict_window(
+    records: &[AccessRecord],
+    start: Timestamp,
+    end: Timestamp,
+) -> Vec<AccessRecord> {
     assert!(start <= end, "window start after end");
     records.iter().filter(|r| r.timestamp >= start && r.timestamp < end).cloned().collect()
 }

@@ -24,7 +24,10 @@ impl IpHasher {
     /// one seed drives everything).
     pub fn from_seed(seed: u64) -> Self {
         // Two fixed distinct tweaks; splitmix64 expansion.
-        Self { k0: splitmix64(seed ^ 0x9E37_79B9_7F4A_7C15), k1: splitmix64(seed ^ 0xD1B5_4A32_D192_ED03) }
+        Self {
+            k0: splitmix64(seed ^ 0x9E37_79B9_7F4A_7C15),
+            k1: splitmix64(seed ^ 0xD1B5_4A32_D192_ED03),
+        }
     }
 
     /// Hash an IPv4 address.

@@ -60,9 +60,7 @@ pub fn sessionize(records: &[AccessRecord], gap_secs: u64) -> Vec<Session> {
         group.sort_by_key(|r| r.timestamp);
         let mut current: Option<Session> = None;
         for r in group {
-            let extend = current
-                .as_ref()
-                .is_some_and(|s| r.timestamp.secs_since(s.end) < gap_secs);
+            let extend = current.as_ref().is_some_and(|s| r.timestamp.secs_since(s.end) < gap_secs);
             if extend {
                 let s = current.as_mut().expect("extend implies current");
                 s.end = r.timestamp;
@@ -92,7 +90,9 @@ pub fn sessionize(records: &[AccessRecord], gap_secs: u64) -> Vec<Session> {
             sessions.push(done);
         }
     }
-    sessions.sort_by(|a, b| (a.start, &a.useragent, a.ip_hash).cmp(&(b.start, &b.useragent, b.ip_hash)));
+    sessions.sort_by(|a, b| {
+        (a.start, &a.useragent, a.ip_hash).cmp(&(b.start, &b.useragent, b.ip_hash))
+    });
     sessions
 }
 
@@ -116,7 +116,8 @@ mod tests {
 
     #[test]
     fn contiguous_accesses_one_session() {
-        let rs = vec![rec("a", 1, 0, "/x", 10), rec("a", 1, 100, "/y", 20), rec("a", 1, 250, "/z", 30)];
+        let rs =
+            vec![rec("a", 1, 0, "/x", 10), rec("a", 1, 100, "/y", 20), rec("a", 1, 250, "/z", 30)];
         let ss = sessionize(&rs, SESSION_GAP_SECS);
         assert_eq!(ss.len(), 1);
         assert_eq!(ss[0].accesses, 3);
@@ -127,7 +128,11 @@ mod tests {
 
     #[test]
     fn gap_splits_sessions() {
-        let rs = vec![rec("a", 1, 0, "/x", 1), rec("a", 1, 299, "/y", 1), rec("a", 1, 299 + 300, "/z", 1)];
+        let rs = vec![
+            rec("a", 1, 0, "/x", 1),
+            rec("a", 1, 299, "/y", 1),
+            rec("a", 1, 299 + 300, "/z", 1),
+        ];
         let ss = sessionize(&rs, 300);
         // 0→299 is within gap; 299→599 is exactly the gap → split.
         assert_eq!(ss.len(), 2);
@@ -158,7 +163,8 @@ mod tests {
 
     #[test]
     fn unsorted_input_handled() {
-        let rs = vec![rec("a", 1, 200, "/y", 1), rec("a", 1, 0, "/x", 1), rec("a", 1, 100, "/z", 1)];
+        let rs =
+            vec![rec("a", 1, 200, "/y", 1), rec("a", 1, 0, "/x", 1), rec("a", 1, 100, "/z", 1)];
         let ss = sessionize(&rs, 300);
         assert_eq!(ss.len(), 1);
         assert_eq!(ss[0].start, Timestamp::from_unix(0));
@@ -175,11 +181,7 @@ mod tests {
 
     #[test]
     fn output_is_deterministic() {
-        let rs = vec![
-            rec("b", 2, 0, "/x", 1),
-            rec("a", 1, 0, "/x", 1),
-            rec("c", 3, 50, "/x", 1),
-        ];
+        let rs = vec![rec("b", 2, 0, "/x", 1), rec("a", 1, 0, "/x", 1), rec("c", 3, 50, "/x", 1)];
         let a = sessionize(&rs, 300);
         let b = sessionize(&rs, 300);
         assert_eq!(a, b);

@@ -21,8 +21,12 @@ impl LogStore {
     /// for determinism.
     pub fn new(mut records: Vec<AccessRecord>) -> Self {
         records.sort_by(|a, b| {
-            (a.timestamp, &a.useragent, a.ip_hash, &a.uri_path)
-                .cmp(&(b.timestamp, &b.useragent, b.ip_hash, &b.uri_path))
+            (a.timestamp, &a.useragent, a.ip_hash, &a.uri_path).cmp(&(
+                b.timestamp,
+                &b.useragent,
+                b.ip_hash,
+                &b.uri_path,
+            ))
         });
         Self { records }
     }
@@ -82,8 +86,12 @@ impl LogStore {
     pub fn extend(&mut self, more: Vec<AccessRecord>) {
         self.records.extend(more);
         self.records.sort_by(|a, b| {
-            (a.timestamp, &a.useragent, a.ip_hash, &a.uri_path)
-                .cmp(&(b.timestamp, &b.useragent, b.ip_hash, &b.uri_path))
+            (a.timestamp, &a.useragent, a.ip_hash, &a.uri_path).cmp(&(
+                b.timestamp,
+                &b.useragent,
+                b.ip_hash,
+                &b.uri_path,
+            ))
         });
     }
 }
@@ -108,7 +116,8 @@ mod tests {
 
     #[test]
     fn sorting_and_bounds() {
-        let store = LogStore::new(vec![rec("b", 1, 50, "/"), rec("a", 1, 10, "/"), rec("c", 1, 99, "/")]);
+        let store =
+            LogStore::new(vec![rec("b", 1, 50, "/"), rec("a", 1, 10, "/"), rec("c", 1, 99, "/")]);
         assert_eq!(store.len(), 3);
         let (lo, hi) = store.time_bounds().unwrap();
         assert_eq!(lo.unix(), 10);
@@ -134,7 +143,8 @@ mod tests {
 
     #[test]
     fn useragent_grouping() {
-        let store = LogStore::new(vec![rec("a", 1, 0, "/"), rec("a", 2, 1, "/"), rec("b", 3, 2, "/")]);
+        let store =
+            LogStore::new(vec![rec("a", 1, 0, "/"), rec("a", 2, 1, "/"), rec("b", 3, 2, "/")]);
         let groups = store.by_useragent();
         assert_eq!(groups["a"].len(), 2);
         assert_eq!(groups["b"].len(), 1);

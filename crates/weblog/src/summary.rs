@@ -54,11 +54,8 @@ impl DatasetSummary {
             total_bytes += r.bytes;
         }
         let sessions = sessionize(records, gap_secs);
-        let avg = if sessions.is_empty() {
-            0.0
-        } else {
-            total_bytes as f64 / sessions.len() as f64
-        };
+        let avg =
+            if sessions.is_empty() { 0.0 } else { total_bytes as f64 / sessions.len() as f64 };
         DatasetSummary {
             unique_ips: ips.len(),
             unique_user_agents: uas.len(),

@@ -231,8 +231,8 @@ mod tests {
             0u64,
             86_399,
             86_400,
-            951_782_399,  // 2000-02-28T23:59:59
-            951_782_400,  // 2000-02-29 (leap century)
+            951_782_399,   // 2000-02-28T23:59:59
+            951_782_400,   // 2000-02-29 (leap century)
             1_709_164_800, // 2024-02-29 (leap)
             1_739_318_400,
             4_102_444_800, // 2100-01-01 (not leap)
@@ -306,7 +306,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "month")]
     fn from_civil_validates() {
-        let _ = Timestamp::from_civil(Civil { year: 2025, month: 13, day: 1, hour: 0, minute: 0, second: 0 });
+        let _ = Timestamp::from_civil(Civil {
+            year: 2025,
+            month: 13,
+            day: 1,
+            hour: 0,
+            minute: 0,
+            second: 0,
+        });
     }
 
     #[test]

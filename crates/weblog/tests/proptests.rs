@@ -11,14 +11,14 @@ use proptest::prelude::*;
 /// Arbitrary record with adversarial string fields.
 fn record_strategy() -> impl Strategy<Value = AccessRecord> {
     (
-        "[ -~]{0,60}",                    // useragent: printable ASCII incl. quotes/commas
-        0u64..4_102_444_800,              // timestamp: epoch..2100
-        any::<u64>(),                     // ip hash
-        "[A-Za-z0-9_-]{1,24}",            // asn
-        "[a-z0-9.-]{1,30}",               // sitename
-        "/[ -~]{0,40}",                   // path
-        100u16..600,                      // status
-        0u64..10_000_000,                 // bytes
+        "[ -~]{0,60}",         // useragent: printable ASCII incl. quotes/commas
+        0u64..4_102_444_800,   // timestamp: epoch..2100
+        any::<u64>(),          // ip hash
+        "[A-Za-z0-9_-]{1,24}", // asn
+        "[a-z0-9.-]{1,30}",    // sitename
+        "/[ -~]{0,40}",        // path
+        100u16..600,           // status
+        0u64..10_000_000,      // bytes
         proptest::option::of("[ -~]{1,40}"),
     )
         .prop_map(

@@ -12,7 +12,10 @@ use botscope::simnet::SimConfig;
 
 fn main() {
     let cfg = SimConfig { scale: 0.15, ..SimConfig::default() };
-    println!("Simulating the 8-week robots.txt experiment (seed {}, scale {})...\n", cfg.seed, cfg.scale);
+    println!(
+        "Simulating the 8-week robots.txt experiment (seed {}, scale {})...\n",
+        cfg.seed, cfg.scale
+    );
     let exp = Experiment::run(&cfg);
 
     // Traffic stayed stable across deployments (paper Table 4).
@@ -24,14 +27,17 @@ fn main() {
     // RQ1: which directive do bots comply with most?
     let t = exp.category_table();
     let avg = |d: Directive| t.directive_average.get(&d).copied().unwrap_or(f64::NAN);
-    println!("RQ1  Crawl delay {:.3}  >  Endpoint {:.3}  ~  Disallow {:.3}", avg(Directive::CrawlDelay), avg(Directive::Endpoint), avg(Directive::Disallow));
+    println!(
+        "RQ1  Crawl delay {:.3}  >  Endpoint {:.3}  ~  Disallow {:.3}",
+        avg(Directive::CrawlDelay),
+        avg(Directive::Endpoint),
+        avg(Directive::Disallow)
+    );
     println!("     => bots are less likely to comply with stricter directives\n");
 
     // RQ2: which category is most compliant overall?
-    if let Some((cat, _, best)) = t
-        .rows
-        .iter()
-        .max_by(|a, b| a.2.partial_cmp(&b.2).expect("no NaN"))
+    if let Some((cat, _, best)) =
+        t.rows.iter().max_by(|a, b| a.2.partial_cmp(&b.2).expect("no NaN"))
     {
         println!("RQ2  Most compliant category: {} (average {:.3})\n", cat.name(), best);
     }

@@ -88,10 +88,7 @@ fn main() {
     for path in ["/", "/news/item-001", "/secure/admin", "/people/person-0001"] {
         t = bot.crawl(&origin, path, t);
     }
-    println!(
-        "\nScenario 1: fetched {:?}, refused {:?}\n",
-        bot.fetched, bot.refused
-    );
+    println!("\nScenario 1: fetched {:?}, refused {:?}\n", bot.fetched, bot.refused);
     assert_eq!(bot.refused, vec!["/secure/admin"]);
 
     // Scenario 2: robots.txt is down (5xx) — RFC 9309 demands full stop.

@@ -20,7 +20,12 @@ fn main() {
          Sitemap: https://example.edu/sitemap/sitemap-0.xml\n",
     );
 
-    println!("Parsed {} groups, {} rules, {} sitemap(s)\n", robots.groups.len(), robots.rule_count(), robots.sitemaps().len());
+    println!(
+        "Parsed {} groups, {} rules, {} sitemap(s)\n",
+        robots.groups.len(),
+        robots.rule_count(),
+        robots.sitemaps().len()
+    );
 
     // 2. Ask access questions for different crawlers.
     for (agent, path) in [
@@ -59,9 +64,6 @@ fn main() {
         ("robots.txt returns 503", FetchOutcome::ServerError(503)),
     ] {
         let policy = EffectivePolicy::from_outcome(outcome);
-        println!(
-            "{label}: may fetch /anything? {}",
-            policy.is_allowed("anybot", "/anything")
-        );
+        println!("{label}: may fetch /anything? {}", policy.is_allowed("anybot", "/anything"));
     }
 }

@@ -16,7 +16,11 @@ fn main() {
     let cfg = SimConfig { scale: 0.2, ..SimConfig::default() };
     println!("Generating 46 days of traffic across {} sites (seed {})...", cfg.sites, cfg.seed);
     let out = scenario::full_study(&cfg);
-    println!("{} records; {} bots have planted spoof traffic\n", out.records.len(), out.truth.spoofed_requests.len());
+    println!(
+        "{} records; {} bots have planted spoof traffic\n",
+        out.records.len(),
+        out.truth.spoofed_requests.len()
+    );
 
     let logs = standardize(&out.records);
     let per_bot = logs.per_bot_records();

@@ -8,7 +8,7 @@
 //! botscope audit <robots.txt>                     lint a policy file
 //! botscope diff <old> <new> [agent...]            what changed, for whom
 //! botscope analyze <access.csv>                   per-bot compliance report
-//! botscope simulate [days] [scale] [out.csv]      generate synthetic logs
+//! botscope simulate [days] [scale] [out.csv] [seed]   generate synthetic logs
 //! ```
 
 use std::process::ExitCode;
@@ -35,8 +35,10 @@ USAGE:
   botscope analyze <access.csv>
       Standardize user agents and report per-bot pacing and spoof signals.
       CSV columns: useragent,timestamp,ip_hash,asn,sitename,uri_path,status,bytes,referer
-  botscope simulate [days=7] [scale=0.05] [out.csv]
-      Generate a synthetic access log (stdout or out.csv).
+  botscope simulate [days=7] [scale=0.05] [out.csv] [seed=9309]
+      Generate a synthetic access log (stdout or out.csv; pass \"-\" for
+      out.csv to pipe a seeded run to stdout). The same seed always
+      yields a byte-identical log.
 ";
 
 fn main() -> ExitCode {
@@ -75,7 +77,10 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     }
     let doc = RobotsTxt::parse(&read_file(file)?);
     if !doc.warnings.is_empty() {
-        eprintln!("note: {} parse warning(s); run `botscope audit` for details", doc.warnings.len());
+        eprintln!(
+            "note: {} parse warning(s); run `botscope audit` for details",
+            doc.warnings.len()
+        );
     }
     if let Some(delay) = doc.crawl_delay(agent) {
         println!("crawl delay for {agent}: {delay}s");
@@ -188,12 +193,25 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
-    let days: u64 = args.first().map(|s| s.parse().map_err(|_| "bad days")).transpose()?.unwrap_or(7);
+    let days: u64 =
+        args.first().map(|s| s.parse().map_err(|_| "bad days")).transpose()?.unwrap_or(7);
     let scale: f64 =
         args.get(1).map(|s| s.parse().map_err(|_| "bad scale")).transpose()?.unwrap_or(0.05);
-    let out_path = args.get(2);
+    // "-" selects stdout explicitly, so a seed can be combined with piping.
+    let out_path = args.get(2).filter(|p| p.as_str() != "-");
+    let seed: u64 = args
+        .get(3)
+        .map(|s| s.parse().map_err(|_| "bad seed"))
+        .transpose()?
+        .unwrap_or_else(|| SimConfig::default().seed);
+    if days == 0 {
+        return Err("days must be at least 1".into());
+    }
+    if !(scale > 0.0 && scale.is_finite()) {
+        return Err(format!("scale must be a positive number, got {scale}"));
+    }
 
-    let cfg = SimConfig { days, scale, ..SimConfig::default() };
+    let cfg = SimConfig { days, scale, seed, ..SimConfig::default() };
     cfg.assert_valid();
     let out = scenario::full_study(&cfg);
     let csv = codec::encode(&out.records);

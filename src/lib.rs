@@ -48,6 +48,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+// Run the README's Rust code blocks as doctests so the documented
+// quickstart can never drift from the actual API.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
+
 /// RFC 9309 Robots Exclusion Protocol implementation.
 pub mod robots {
     pub use botscope_robotstxt::*;

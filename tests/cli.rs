@@ -3,10 +3,7 @@
 use std::process::{Command, Output};
 
 fn botscope(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_botscope"))
-        .args(args)
-        .output()
-        .expect("binary runs")
+    Command::new(env!("CARGO_BIN_EXE_botscope")).args(args).output().expect("binary runs")
 }
 
 fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
@@ -40,13 +37,8 @@ fn check_reports_decisions() {
         "check.txt",
         "User-agent: *\nAllow: /page-data/*\nDisallow: /\nCrawl-delay: 30\n",
     );
-    let out = botscope(&[
-        "check",
-        robots.to_str().unwrap(),
-        "GPTBot",
-        "/page-data/x.json",
-        "/news/item",
-    ]);
+    let out =
+        botscope(&["check", robots.to_str().unwrap(), "GPTBot", "/page-data/x.json", "/news/item"]);
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("ALLOW /page-data/x.json"), "{text}");
@@ -87,6 +79,51 @@ fn diff_reports_tightening() {
     assert!(text.contains("AccessChanged"), "{text}");
     let _ = std::fs::remove_file(old);
     let _ = std::fs::remove_file(new);
+}
+
+#[test]
+fn simulate_seed_is_deterministic() {
+    let pid = std::process::id();
+    let run = |name: &str, seed: &str| {
+        let path = std::env::temp_dir().join(format!("botscope-test-{pid}-{name}.csv"));
+        let out = botscope(&["simulate", "1", "0.02", path.to_str().unwrap(), seed]);
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let bytes = std::fs::read(&path).expect("read simulated csv");
+        let _ = std::fs::remove_file(&path);
+        bytes
+    };
+    let first = run("seed-a", "42");
+    let second = run("seed-b", "42");
+    assert_eq!(first, second, "same seed must yield a byte-identical log");
+    let other = run("seed-c", "43");
+    assert_ne!(first, other, "different seeds should yield different logs");
+}
+
+#[test]
+fn simulate_rejects_bad_seed() {
+    let out = botscope(&["simulate", "1", "0.02", "/dev/null", "not-a-seed"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad seed"));
+}
+
+#[test]
+fn simulate_rejects_degenerate_config_cleanly() {
+    let out = botscope(&["simulate", "0"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("days must be at least 1"));
+
+    let out = botscope(&["simulate", "1", "-0.5"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("scale must be a positive number"));
+}
+
+#[test]
+fn simulate_dash_writes_seeded_log_to_stdout() {
+    let out = botscope(&["simulate", "1", "0.02", "-", "42"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let again = botscope(&["simulate", "1", "0.02", "-", "42"]);
+    assert_eq!(out.stdout, again.stdout, "seeded stdout runs must be identical");
+    assert!(!out.stdout.is_empty());
 }
 
 #[test]

@@ -35,7 +35,10 @@ fn rq1_compliance_decreases_with_strictness() {
     let cd = t.directive_average[&Directive::CrawlDelay];
     let ep = t.directive_average[&Directive::Endpoint];
     let da = t.directive_average[&Directive::Disallow];
-    assert!(cd > ep && cd > da, "crawl delay {cd:.3} must beat endpoint {ep:.3} and disallow {da:.3}");
+    assert!(
+        cd > ep && cd > da,
+        "crawl delay {cd:.3} must beat endpoint {ep:.3} and disallow {da:.3}"
+    );
 }
 
 // ---- RQ2: SEO crawlers most respectful, headless least -----------------
@@ -43,14 +46,16 @@ fn rq1_compliance_decreases_with_strictness() {
 #[test]
 fn rq2_seo_most_compliant_headless_least() {
     let t = experiment().category_table();
-    let avg = |cat: BotCategory| {
-        t.rows.iter().find(|(c, _, _)| *c == cat).map(|(_, _, a)| *a)
-    };
+    let avg = |cat: BotCategory| t.rows.iter().find(|(c, _, _)| *c == cat).map(|(_, _, a)| *a);
     let seo = avg(BotCategory::SeoCrawler).expect("SEO row");
     let headless = avg(BotCategory::HeadlessBrowser).expect("headless row");
     for (cat, _, a) in &t.rows {
         assert!(seo >= *a - 1e-9, "SEO ({seo:.3}) must top the table; {} has {a:.3}", cat.name());
-        assert!(headless <= *a + 0.12, "headless ({headless:.3}) must be near the bottom; {} has {a:.3}", cat.name());
+        assert!(
+            headless <= *a + 0.12,
+            "headless ({headless:.3}) must be near the bottom; {} has {a:.3}",
+            cat.name()
+        );
     }
 }
 

@@ -1,0 +1,300 @@
+//! Self-contained stand-in for the subset of the `criterion` API that the
+//! botscope benches use. The build image has no access to crates.io, so
+//! the workspace vendors this crate by path.
+//!
+//! Call sites keep the upstream surface (`criterion_group!`,
+//! `criterion_main!`, `Criterion::bench_function`, benchmark groups with
+//! throughput and parametrized inputs, `iter_batched`, `black_box`).
+//! Instead of upstream's statistical engine this harness runs an adaptive
+//! warm-up, measures a fixed wall-clock budget per benchmark, and prints
+//! mean ns/iter plus derived throughput — enough to compare hot paths
+//! run-over-run and to keep `cargo bench` working offline. Expect more
+//! run-to-run noise than real criterion; commit trends, not single runs.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget spent measuring each benchmark after warm-up.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Iterations per timing batch are tuned so one batch costs about this.
+const BATCH_TARGET: Duration = Duration::from_millis(10);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <substring>` filters benchmarks like upstream.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-') && a != "--bench");
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Benchmark a single routine.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.filter, &id.to_string(), None, &mut routine);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Report per-iteration throughput alongside timing.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark a routine within the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&self.criterion.filter, &label, self.throughput, &mut routine);
+        self
+    }
+
+    /// Benchmark a routine parametrized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&self.criterion.filter, &label, self.throughput, &mut |b| routine(b, input));
+        self
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parametrized benchmark.
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` identifier.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { function: Some(function.into()), parameter: parameter.to_string() }
+    }
+
+    /// Identifier carrying only the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { function: None, parameter: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.function {
+            Some(function) => write!(f, "{function}/{}", self.parameter),
+            None => write!(f, "{}", self.parameter),
+        }
+    }
+}
+
+/// Work processed per iteration, for derived rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` sizes its batches. This harness always runs one
+/// setup per routine call, so the variants only document intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-create input on every iteration.
+    PerIteration,
+}
+
+/// Passed to every benchmark closure; collects timing.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by `iter`/`iter_batched`.
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up and size a batch so timer overhead stays negligible.
+        let once = time_once(&mut routine);
+        let per_batch =
+            (BATCH_TARGET.as_nanos() / once.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+        let started = Instant::now();
+        let mut iters = 0u64;
+        let mut spent = Duration::ZERO;
+        while started.elapsed() < MEASURE_BUDGET {
+            let batch_started = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            spent += batch_started.elapsed();
+            iters += per_batch;
+        }
+        self.mean_ns = spent.as_nanos() as f64 / iters.max(1) as f64;
+        self.iters = iters;
+    }
+
+    /// Time `routine` over inputs built by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let started = Instant::now();
+        let mut iters = 0u64;
+        let mut spent = Duration::ZERO;
+        while started.elapsed() < MEASURE_BUDGET {
+            let input = setup();
+            let call_started = Instant::now();
+            black_box(routine(input));
+            spent += call_started.elapsed();
+            iters += 1;
+        }
+        self.mean_ns = spent.as_nanos() as f64 / iters.max(1) as f64;
+        self.iters = iters;
+    }
+}
+
+fn time_once<O, F: FnMut() -> O>(routine: &mut F) -> Duration {
+    let started = Instant::now();
+    black_box(routine());
+    started.elapsed()
+}
+
+fn run_one(
+    filter: &Option<String>,
+    label: &str,
+    throughput: Option<Throughput>,
+    routine: &mut dyn FnMut(&mut Bencher),
+) {
+    if let Some(f) = filter {
+        if !label.contains(f.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher { mean_ns: 0.0, iters: 0 };
+    routine(&mut bencher);
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  {:>12}/s", human(n as f64 * 1e9 / bencher.mean_ns)),
+        Throughput::Bytes(n) => format!("  {:>10}B/s", human(n as f64 * 1e9 / bencher.mean_ns)),
+    });
+    println!(
+        "bench: {label:<48} {:>14} ns/iter  ({} iters){}",
+        format_ns(bencher.mean_ns),
+        bencher.iters,
+        rate.unwrap_or_default()
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 100.0 {
+        format!("{:.0}", ns)
+    } else {
+        format!("{:.1}", ns)
+    }
+}
+
+fn human(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2}k", rate / 1e3)
+    } else {
+        format!("{:.1}", rate)
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut ran = 0u64;
+        let mut c = Criterion { filter: None };
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion { filter: None };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("f", |b| b.iter(|| black_box(2 + 2)));
+        g.bench_with_input(BenchmarkId::new("param", 3), &3u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,58 @@
+//! `any::<T>()` for primitive types.
+
+use core::marker::PhantomData;
+
+use rand::{Rng, RngCore};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary {
+    /// Sample an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+/// The full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: PhantomData }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values only: a full bit-pattern f64 (NaN, infinities)
+        // poisons ordinary arithmetic properties.
+        rng.gen_range(-1e12f64..1e12)
+    }
+}

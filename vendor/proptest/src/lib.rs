@@ -1,0 +1,112 @@
+//! Self-contained stand-in for the subset of the `proptest` API that the
+//! botscope test suites use. The build image has no access to crates.io,
+//! so the workspace vendors this crate by path.
+//!
+//! Call sites keep the upstream surface — `proptest! { ... }`,
+//! `prop_assert*!`, bare string-literal regex strategies, numeric range
+//! strategies, `any::<T>()`, tuples, `prop::collection::vec`,
+//! `prop::option::of`, `proptest::string::string_regex`, `.prop_map(..)`
+//! and `#![proptest_config(ProptestConfig::with_cases(n))]`.
+//!
+//! Differences from upstream, deliberate for an offline harness:
+//!
+//! * no shrinking — a failing case panics with the sampled inputs instead
+//!   of a minimized counterexample,
+//! * the regex strategy implements the small pattern subset the suites
+//!   actually use (literals, classes, `\PC`, `*`, `?`, `{m,n}`), and
+//! * runs are deterministic: the RNG seed derives from the test name, so
+//!   failures reproduce exactly across runs.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The glob import every suite starts from.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec`, `prop::option::of`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::string;
+    }
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples the strategies `cases` times and runs
+/// the body on each sample.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            cfg = ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (cfg = ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::rng_for_test(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                // Materialize the report eagerly: the body is free to move
+                // the bindings (there is no shrinking pass to rerun them).
+                let inputs = {
+                    let mut s = ::std::string::String::new();
+                    $(s.push_str(&::std::format!("  {} = {:?}\n", stringify!($arg), &$arg));)+
+                    s
+                };
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                if let ::std::result::Result::Err(cause) = outcome {
+                    ::std::eprintln!(
+                        "proptest {} failed at case {}/{} with inputs:\n{}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        inputs
+                    );
+                    ::std::panic::resume_unwind(cause);
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { ::std::assert!($($tt)*) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { ::std::assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { ::std::assert_ne!($($tt)*) };
+}

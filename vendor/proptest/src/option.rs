@@ -1,0 +1,29 @@
+//! Option strategies (`prop::option::of`).
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy returned by [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// `Some` of the inner strategy three times out of four, `None` otherwise
+/// (upstream's default weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.gen_bool(0.75) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! A generator for the small regex subset the botscope suites use as
+//! string strategies:
+//!
+//! * literal characters,
+//! * character classes `[a-z0-9._-]` (ranges plus literal members; a `-`
+//!   that is first or last in the class is literal),
+//! * the escapes `\PC` (any non-control character), `\$`, `\.`, `\\`,
+//!   `\*`, `\?`, and
+//! * the quantifiers `*`, `?`, `{n}`, `{m,n}` applied to the previous
+//!   atom.
+//!
+//! Alternation, groups, anchors and negated classes are not implemented;
+//! patterns using them are rejected with [`Error`] so a new test pattern
+//! fails loudly rather than sampling from the wrong distribution.
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Rejected pattern, with the reason.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(pub String);
+
+/// An unbounded `*` samples at most this many repetitions.
+const STAR_MAX: u32 = 16;
+
+/// Sampled in place of `\PC` roughly one time in ten, so "any printable
+/// character" strategies exercise multi-byte UTF-8 too.
+const NON_ASCII_SAMPLES: &[char] = &['é', 'ß', 'λ', 'Ж', '中', '\u{00A0}', '\u{2028}', '😀'];
+
+#[derive(Clone, Debug)]
+enum Atom {
+    Literal(char),
+    /// Inclusive character ranges, pre-expanded from a `[...]` class.
+    Class(Vec<(char, char)>),
+    /// `\PC`: any character outside the Unicode control category.
+    NonControl,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Quant {
+    min: u32,
+    max: u32,
+}
+
+/// Strategy returned by [`string_regex`].
+#[derive(Clone, Debug)]
+pub struct RegexGeneratorStrategy {
+    elements: Vec<(Atom, Quant)>,
+}
+
+/// Compile `pattern` into a string-producing strategy.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    let mut chars = pattern.chars().peekable();
+    let mut elements: Vec<(Atom, Quant)> = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '\\' => match chars.next() {
+                Some('P') => match chars.next() {
+                    Some('C') => Atom::NonControl,
+                    other => {
+                        return Err(Error(format!("unsupported escape \\P{other:?}")));
+                    }
+                },
+                Some(esc @ ('$' | '.' | '*' | '?' | '\\' | '[' | ']' | '{' | '}' | '/')) => {
+                    Atom::Literal(esc)
+                }
+                other => return Err(Error(format!("unsupported escape \\{other:?}"))),
+            },
+            '[' => Atom::Class(parse_class(&mut chars)?),
+            '*' | '?' | '{' | '}' | ']' => {
+                return Err(Error(format!("dangling {c:?} in {pattern:?}")));
+            }
+            '(' | ')' | '|' | '^' | '$' | '.' | '+' => {
+                return Err(Error(format!("unsupported regex feature {c:?} in {pattern:?}")));
+            }
+            literal => Atom::Literal(literal),
+        };
+        let quant = match chars.peek() {
+            Some('*') => {
+                chars.next();
+                Quant { min: 0, max: STAR_MAX }
+            }
+            Some('?') => {
+                chars.next();
+                Quant { min: 0, max: 1 }
+            }
+            Some('{') => {
+                chars.next();
+                parse_counted_quant(&mut chars)?
+            }
+            _ => Quant { min: 1, max: 1 },
+        };
+        elements.push((atom, quant));
+    }
+    Ok(RegexGeneratorStrategy { elements })
+}
+
+fn parse_class(
+    chars: &mut core::iter::Peekable<core::str::Chars<'_>>,
+) -> Result<Vec<(char, char)>, Error> {
+    let mut ranges: Vec<(char, char)> = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars.next().ok_or_else(|| Error("unterminated class".into()))?;
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    ranges.push((p, p));
+                }
+                if ranges.is_empty() {
+                    return Err(Error("empty character class".into()));
+                }
+                return Ok(ranges);
+            }
+            '^' if ranges.is_empty() && pending.is_none() => {
+                return Err(Error("negated classes unsupported".into()));
+            }
+            '\\' => {
+                let esc = chars.next().ok_or_else(|| Error("trailing backslash".into()))?;
+                if let Some(p) = pending {
+                    ranges.push((p, p));
+                }
+                pending = Some(esc);
+            }
+            '-' => match (pending.take(), chars.peek()) {
+                // `-` with a pending start and a non-`]` successor: range.
+                (Some(start), Some(&end)) if end != ']' => {
+                    chars.next();
+                    if start > end {
+                        return Err(Error(format!("inverted range {start}-{end}")));
+                    }
+                    ranges.push((start, end));
+                }
+                // Literal `-` (leading, trailing, or after a completed range).
+                (prev, _) => {
+                    if let Some(p) = prev {
+                        ranges.push((p, p));
+                    }
+                    ranges.push(('-', '-'));
+                }
+            },
+            member => {
+                if let Some(p) = pending {
+                    ranges.push((p, p));
+                }
+                pending = Some(member);
+            }
+        }
+    }
+}
+
+fn parse_counted_quant(
+    chars: &mut core::iter::Peekable<core::str::Chars<'_>>,
+) -> Result<Quant, Error> {
+    let mut first = String::new();
+    let mut second: Option<String> = None;
+    loop {
+        let c = chars.next().ok_or_else(|| Error("unterminated quantifier".into()))?;
+        match c {
+            '}' => break,
+            ',' if second.is_none() => second = Some(String::new()),
+            d if d.is_ascii_digit() => match &mut second {
+                Some(s) => s.push(d),
+                None => first.push(d),
+            },
+            other => return Err(Error(format!("bad quantifier char {other:?}"))),
+        }
+    }
+    let min: u32 = first.parse().map_err(|_| Error("bad quantifier minimum".into()))?;
+    let max: u32 = match second {
+        None => min,
+        Some(s) if s.is_empty() => min + STAR_MAX,
+        Some(s) => s.parse().map_err(|_| Error("bad quantifier maximum".into()))?,
+    };
+    if min > max {
+        return Err(Error(format!("quantifier {{{min},{max}}} inverted")));
+    }
+    Ok(Quant { min, max })
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (atom, quant) in &self.elements {
+            let count = if quant.min == quant.max {
+                quant.min
+            } else {
+                rng.gen_range(quant.min..quant.max + 1)
+            };
+            for _ in 0..count {
+                out.push(sample_atom(atom, rng));
+            }
+        }
+        out
+    }
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(ranges) => {
+            let total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+            let mut pick = rng.gen_range(0u32..total);
+            for (lo, hi) in ranges {
+                let span = *hi as u32 - *lo as u32 + 1;
+                if pick < span {
+                    return char::from_u32(*lo as u32 + pick).expect("class range stays in char");
+                }
+                pick -= span;
+            }
+            unreachable!("pick bounded by total")
+        }
+        Atom::NonControl => {
+            if rng.gen_bool(0.1) {
+                NON_ASCII_SAMPLES[rng.gen_range(0..NON_ASCII_SAMPLES.len())]
+            } else {
+                char::from_u32(rng.gen_range(0x20u32..0x7F)).expect("printable ASCII")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for_test;
+
+    fn samples(pattern: &str, n: usize) -> Vec<String> {
+        let strat = string_regex(pattern).expect("pattern compiles");
+        let mut rng = rng_for_test(pattern);
+        (0..n).map(|_| strat.generate(&mut rng)).collect()
+    }
+
+    #[test]
+    fn corpus_patterns_compile_and_match_shape() {
+        for s in samples("/[a-z0-9/*._-]{0,20}\\$?", 200) {
+            assert!(s.starts_with('/'));
+            assert!(s.len() <= 22);
+        }
+        for s in samples("[a-z]{1,12}", 200) {
+            assert!(!s.is_empty() && s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+        for s in samples("[ -~]{0,50}", 200) {
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+        for s in samples("[A-Za-z0-9_-]{1,24}", 200) {
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'));
+        }
+        for s in samples("\\PC*", 200) {
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+        for s in samples("[a-z][a-z0-9-]{0,10}", 200) {
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn unsupported_features_are_rejected() {
+        assert!(string_regex("(a|b)").is_err());
+        assert!(string_regex("[^a]").is_err());
+        assert!(string_regex("a+").is_err());
+        assert!(string_regex("[unterminated").is_err());
+    }
+}

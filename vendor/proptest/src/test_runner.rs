@@ -1,0 +1,41 @@
+//! Test configuration and the deterministic RNG behind every strategy.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The generator strategies draw from. Re-exported so downstream code can
+/// name it in `impl Strategy` signatures.
+pub type TestRng = StdRng;
+
+/// Per-test configuration. Only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` sampled cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the heavier generator-backed
+        // suites fast while still exercising a meaningful sample.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic seed derived from the test name (FNV-1a), so a failing
+/// property reproduces identically on every run.
+pub fn rng_for_test(name: &str) -> TestRng {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash)
+}
