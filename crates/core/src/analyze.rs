@@ -19,22 +19,22 @@ use std::collections::BTreeMap;
 use botscope_stats::describe::WeightedMeanAccumulator;
 use botscope_stats::ztest::{two_proportion_z_test, ZTestResult};
 use botscope_useragent::{BotCategory, RobotsPromise};
-use botscope_weblog::filter::restrict_window;
 use botscope_weblog::record::AccessRecord;
-use botscope_weblog::session::{sessionize, SESSION_GAP_SECS};
+use botscope_weblog::session::SESSION_GAP_SECS;
+use botscope_weblog::table::{LogTable, RecordRow};
 use botscope_weblog::time::Timestamp;
 
 use botscope_simnet::engine::GroundTruth;
 use botscope_simnet::phases::{is_exempt_agent, PhaseSchedule, PolicyVersion};
-use botscope_simnet::scenario::{phase_study, PhaseStudyOutput};
+use botscope_simnet::scenario::{phase_study_table, PhaseStudyTableOutput};
 use botscope_simnet::SimConfig;
 
 use crate::metrics::{
-    crawl_delay_counts, disallow_counts, endpoint_counts, DirectiveCounts, CRAWL_DELAY_SECS,
+    crawl_delay_counts, crawl_delay_counts_rows, disallow_counts, disallow_counts_rows,
+    endpoint_counts, endpoint_counts_rows, DirectiveCounts, PathClasses, CRAWL_DELAY_SECS,
 };
-use crate::pipeline::{standardize, StandardizedLogs};
-use crate::recheck::checked_robots;
-use crate::spoofdetect::{detect, split_records, SpoofReport};
+use crate::pipeline::{standardize_rows, standardize_table, BotRowView, StandardizedTable};
+use crate::spoofdetect::{detect_rows, split_rows, SpoofReport};
 
 /// The three experimental directives (paper §4.1, v1–v3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -76,6 +76,15 @@ impl Directive {
             Directive::CrawlDelay => crawl_delay_counts(records, CRAWL_DELAY_SECS),
             Directive::Endpoint => endpoint_counts(records),
             Directive::Disallow => disallow_counts(records),
+        }
+    }
+
+    /// Row-native [`Directive::counts`].
+    pub fn counts_rows(self, classes: &PathClasses, rows: &[&RecordRow]) -> DirectiveCounts {
+        match self {
+            Directive::CrawlDelay => crawl_delay_counts_rows(rows, CRAWL_DELAY_SECS),
+            Directive::Endpoint => endpoint_counts_rows(classes, rows),
+            Directive::Disallow => disallow_counts_rows(classes, rows),
         }
     }
 }
@@ -172,46 +181,56 @@ pub const MIN_ACCESSES: usize = 5;
 impl Experiment {
     /// Generate the phase study with `cfg` and analyze it.
     pub fn run(cfg: &SimConfig) -> Experiment {
-        let PhaseStudyOutput { sim, schedule } = phase_study(cfg);
-        let mut exp = Experiment::analyze(&sim.records, &schedule);
+        let PhaseStudyTableOutput { sim, schedule } = phase_study_table(cfg);
+        let mut exp = Experiment::analyze_table(&sim.table, &schedule);
         exp.truth = Some(sim.truth);
         exp
     }
 
-    /// Analyze an arbitrary record set against a schedule.
+    /// Analyze an arbitrary record set against a schedule. Thin adapter
+    /// over [`Experiment::analyze_table`]: the records are interned once
+    /// and every downstream stage runs on symbol-keyed rows.
     pub fn analyze(records: &[AccessRecord], schedule: &PhaseSchedule) -> Experiment {
-        let site_name = format!("site-{:02}.example.edu", schedule.experiment_site);
-        let site_records: Vec<AccessRecord> =
-            records.iter().filter(|r| r.sitename == site_name).cloned().collect();
+        Experiment::analyze_table(&LogTable::from_records(records), schedule)
+    }
 
-        let logs = standardize(&site_records);
-        let spoof_report = detect(&logs.per_bot_records());
+    /// Analyze an interned table against a schedule — the native path.
+    pub fn analyze_table(table: &LogTable, schedule: &PhaseSchedule) -> Experiment {
+        let site_name = format!("site-{:02}.example.edu", schedule.experiment_site);
+        let classes = PathClasses::new(table);
+        let site_rows: Vec<&RecordRow> = match table.interner().get(&site_name) {
+            Some(site) => table.rows().iter().filter(|r| r.sitename == site).collect(),
+            None => Vec::new(),
+        };
+
+        let logs = standardize_rows(table, site_rows.iter().copied());
+        let spoof_report = detect_rows(table, &logs.per_bot_rows());
 
         // "Checked robots.txt" (Table 7) is judged estate-wide: a bot that
         // fetched any of the institution's robots.txt files during a phase
         // demonstrably consulted policy, even if the fetch landed on a
         // sister site.
-        let all_logs = standardize(records);
+        let all_logs = standardize_table(table);
         let robots_times: BTreeMap<String, Vec<u64>> = all_logs
             .bots
             .iter()
             .map(|(name, view)| {
                 let times: Vec<u64> = view
-                    .records
+                    .rows
                     .iter()
-                    .filter(|r| r.is_robots_fetch())
+                    .filter(|r| classes.is_robots(r.uri_path))
                     .map(|r| r.timestamp.unix())
                     .collect();
                 (name.clone(), times)
             })
             .collect();
 
-        // Slice each bot's records into phases, separating spoofed ones.
+        // Slice each bot's rows into phases, separating spoofed ones.
         let phase_of = |version: PolicyVersion| -> (Timestamp, Timestamp) {
             schedule.window_of(version).expect("version scheduled")
         };
         let in_window =
-            |r: &&AccessRecord, lo: Timestamp, hi: Timestamp| r.timestamp >= lo && r.timestamp < hi;
+            |r: &&RecordRow, lo: Timestamp, hi: Timestamp| r.timestamp >= lo && r.timestamp < hi;
 
         let mut per_directive: BTreeMap<Directive, Vec<BotDirectiveResult>> = BTreeMap::new();
         let mut spoofed_per_directive: BTreeMap<Directive, Vec<BotDirectiveResult>> =
@@ -227,13 +246,13 @@ impl Experiment {
 
             for view in logs.bots.values() {
                 let (legit, spoofed) = match spoof_report.finding_for(&view.name) {
-                    Some(f) => split_records(f, &view.records),
-                    None => (view.records.clone(), Vec::new()),
+                    Some(f) => split_rows(f, table, &view.rows),
+                    None => (view.rows.clone(), Vec::new()),
                 };
 
-                let legit_base: Vec<&AccessRecord> =
+                let legit_base: Vec<&RecordRow> =
                     legit.iter().filter(|r| in_window(r, base_lo, base_hi)).copied().collect();
-                let legit_phase: Vec<&AccessRecord> =
+                let legit_phase: Vec<&RecordRow> =
                     legit.iter().filter(|r| in_window(r, lo, hi)).copied().collect();
                 volume.0 += legit_phase.len() as u64;
 
@@ -249,22 +268,22 @@ impl Experiment {
                     let checked = robots_times
                         .get(&view.name)
                         .is_some_and(|ts| ts.iter().any(|&t| t >= lo.unix() && t < hi.unix()));
-                    let mut row = make_row(view, directive, &legit_base, &legit_phase);
+                    let mut row = make_row(view, &classes, directive, &legit_base, &legit_phase);
                     row.checked_robots = checked || row.checked_robots;
                     rows.push(row);
                 }
 
                 if !spoofed.is_empty() {
-                    let sp_base: Vec<&AccessRecord> = spoofed
+                    let sp_base: Vec<&RecordRow> = spoofed
                         .iter()
                         .filter(|r| in_window(r, base_lo, base_hi))
                         .copied()
                         .collect();
-                    let sp_phase: Vec<&AccessRecord> =
+                    let sp_phase: Vec<&RecordRow> =
                         spoofed.iter().filter(|r| in_window(r, lo, hi)).copied().collect();
                     volume.1 += sp_phase.len() as u64;
                     if !sp_base.is_empty() && !sp_phase.is_empty() {
-                        spoofed_rows.push(make_row(view, directive, &sp_base, &sp_phase));
+                        spoofed_rows.push(make_row(view, &classes, directive, &sp_base, &sp_phase));
                     }
                 }
             }
@@ -275,7 +294,7 @@ impl Experiment {
             spoof_volume.insert(directive, volume);
         }
 
-        let phase_traffic = phase_traffic(&site_records, &logs, schedule);
+        let phase_traffic = phase_traffic(table, &site_rows, &logs, schedule);
 
         Experiment {
             per_directive,
@@ -386,13 +405,14 @@ pub fn table5_category(cat: BotCategory) -> BotCategory {
 }
 
 fn make_row(
-    view: &crate::pipeline::BotView<'_>,
+    view: &BotRowView<'_>,
+    classes: &PathClasses,
     directive: Directive,
-    base: &[&AccessRecord],
-    phase: &[&AccessRecord],
+    base: &[&RecordRow],
+    phase: &[&RecordRow],
 ) -> BotDirectiveResult {
-    let baseline = directive.counts(base);
-    let experiment = directive.counts(phase);
+    let baseline = directive.counts_rows(classes, base);
+    let experiment = directive.counts_rows(classes, phase);
     let ztest = two_proportion_z_test(
         experiment.successes,
         experiment.trials,
@@ -407,27 +427,29 @@ fn make_row(
         baseline,
         experiment,
         ztest,
-        checked_robots: checked_robots(phase),
+        checked_robots: phase.iter().any(|r| classes.is_robots(r.uri_path)),
         accesses: phase.len() as u64,
     }
 }
 
 /// Table 4: sessionized visits and distinct known bots per phase.
 fn phase_traffic(
-    site_records: &[AccessRecord],
-    logs: &StandardizedLogs<'_>,
+    table: &LogTable,
+    site_rows: &[&RecordRow],
+    logs: &StandardizedTable<'_>,
     schedule: &PhaseSchedule,
 ) -> Vec<PhaseTraffic> {
     schedule
         .phases
         .iter()
         .map(|p| {
-            let phase_records = restrict_window(site_records, p.start, p.end);
-            let visits = sessionize(&phase_records, SESSION_GAP_SECS).len();
+            let phase_rows =
+                site_rows.iter().filter(|r| r.timestamp >= p.start && r.timestamp < p.end).copied();
+            let visits = table.count_sessions(phase_rows, SESSION_GAP_SECS);
             let bots = logs
                 .bots
                 .values()
-                .filter(|v| v.records.iter().any(|r| r.timestamp >= p.start && r.timestamp < p.end))
+                .filter(|v| v.rows.iter().any(|r| r.timestamp >= p.start && r.timestamp < p.end))
                 .count();
             PhaseTraffic {
                 version: p.version,

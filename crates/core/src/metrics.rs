@@ -14,8 +14,10 @@
 //! * **disallow** — per user agent, the fraction of accesses that hit
 //!   `/robots.txt`, the only permitted target under full denial.
 
+use botscope_weblog::intern::Sym;
 use botscope_weblog::record::AccessRecord;
 use botscope_weblog::store::LogStore;
+use botscope_weblog::table::{LogTable, RecordRow};
 
 /// A success/trial pair; the unit every metric returns.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -103,6 +105,104 @@ pub fn disallow_counts(records: &[&AccessRecord]) -> DirectiveCounts {
     for r in records {
         counts.trials += 1;
         if r.is_robots_fetch() {
+            counts.successes += 1;
+        }
+    }
+    counts
+}
+
+// ---------------------------------------------------------------------
+// Row-native metrics (the interned hot path).
+// ---------------------------------------------------------------------
+
+/// Per-symbol path classification, computed once per table so the
+/// row-native metrics never touch a string.
+#[derive(Debug, Clone)]
+pub struct PathClasses {
+    flags: Vec<u8>,
+}
+
+impl PathClasses {
+    const ROBOTS: u8 = 1;
+    const PAGE_DATA: u8 = 2;
+
+    /// Classify every interned string of `table` (non-path symbols
+    /// simply get no flags).
+    pub fn new(table: &LogTable) -> PathClasses {
+        let flags = table
+            .interner()
+            .iter()
+            .map(|(_, s)| {
+                let mut f = 0u8;
+                if s == "/robots.txt" {
+                    f |= Self::ROBOTS;
+                }
+                if s.starts_with("/page-data/") {
+                    f |= Self::PAGE_DATA;
+                }
+                f
+            })
+            .collect();
+        PathClasses { flags }
+    }
+
+    /// Whether the symbol is exactly `/robots.txt`.
+    pub fn is_robots(&self, path: Sym) -> bool {
+        self.flags[path.index()] & Self::ROBOTS != 0
+    }
+
+    /// Whether the symbol starts with `/page-data/`.
+    pub fn is_page_data(&self, path: Sym) -> bool {
+        self.flags[path.index()] & Self::PAGE_DATA != 0
+    }
+}
+
+/// Row-native [`crawl_delay_counts`]: τ-stratification keyed by
+/// `(ASN symbol, IP hash)` instead of strings.
+pub fn crawl_delay_counts_rows(rows: &[&RecordRow], delay_secs: u64) -> DirectiveCounts {
+    use std::collections::HashMap;
+    let mut by_tau: HashMap<(Sym, u64), Vec<u64>> = HashMap::new();
+    for r in rows {
+        by_tau.entry((r.asn, r.ip_hash)).or_default().push(r.timestamp.unix());
+    }
+    let mut counts = DirectiveCounts::default();
+    for (_, mut times) in by_tau {
+        times.sort_unstable();
+        if times.len() == 1 {
+            // Single access: counted as compliant.
+            counts.successes += 1;
+            counts.trials += 1;
+            continue;
+        }
+        for pair in times.windows(2) {
+            let delta = pair[1] - pair[0];
+            counts.trials += 1;
+            if delta >= delay_secs {
+                counts.successes += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Row-native [`endpoint_counts`].
+pub fn endpoint_counts_rows(classes: &PathClasses, rows: &[&RecordRow]) -> DirectiveCounts {
+    let mut counts = DirectiveCounts::default();
+    for r in rows {
+        counts.trials += 1;
+        if classes.is_robots(r.uri_path) || classes.is_page_data(r.uri_path) {
+            counts.successes += 1;
+        }
+    }
+    counts
+}
+
+/// Row-native [`disallow_counts`].
+pub fn disallow_counts_rows(classes: &PathClasses, rows: &[&RecordRow]) -> DirectiveCounts {
+    let mut counts = DirectiveCounts::default();
+    for r in rows {
+        counts.trials += 1;
+        if classes.is_robots(r.uri_path) {
             counts.successes += 1;
         }
     }
@@ -216,6 +316,29 @@ mod tests {
         let mut a = DirectiveCounts { successes: 1, trials: 2 };
         a.merge(DirectiveCounts { successes: 3, trials: 4 });
         assert_eq!(a.as_tuple(), (4, 6));
+    }
+
+    #[test]
+    fn row_metrics_match_record_metrics() {
+        let records = vec![
+            rec(1, 0, "/robots.txt"),
+            rec(1, 40, "/page-data/x/page-data.json"),
+            rec(1, 50, "/news/item-001"),
+            rec(2, 5, "/page-data-fake"),
+            rec(2, 65, "/a"),
+        ];
+        let table = LogTable::from_records(&records);
+        let classes = PathClasses::new(&table);
+        let row_refs: Vec<&RecordRow> = table.rows().iter().collect();
+        let rec_refs: Vec<&AccessRecord> = records.iter().collect();
+
+        assert_eq!(crawl_delay_counts_rows(&row_refs, 30), crawl_delay_counts(&rec_refs, 30));
+        assert_eq!(endpoint_counts_rows(&classes, &row_refs), endpoint_counts(&rec_refs));
+        assert_eq!(disallow_counts_rows(&classes, &row_refs), disallow_counts(&rec_refs));
+
+        let empty_rows: Vec<&RecordRow> = vec![];
+        assert_eq!(crawl_delay_counts_rows(&empty_rows, 30).trials, 0);
+        assert_eq!(endpoint_counts_rows(&classes, &empty_rows).ratio(), None);
     }
 
     #[test]

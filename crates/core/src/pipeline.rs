@@ -8,6 +8,7 @@ use std::collections::BTreeMap;
 
 use botscope_useragent::{BotCategory, Standardizer};
 use botscope_weblog::record::AccessRecord;
+use botscope_weblog::table::{LogTable, RecordRow};
 
 /// A known bot's slice of the dataset.
 #[derive(Debug, Clone)]
@@ -89,6 +90,99 @@ pub fn filter_min_records<'a>(logs: &mut StandardizedLogs<'a>, min: usize) {
     logs.bots.retain(|_, v| v.records.len() >= min);
 }
 
+// ---------------------------------------------------------------------
+// Row-native standardization (the interned hot path).
+// ---------------------------------------------------------------------
+
+/// A known bot's slice of a [`LogTable`].
+#[derive(Debug, Clone)]
+pub struct BotRowView<'t> {
+    /// Canonical name (registry spelling).
+    pub name: String,
+    /// Category.
+    pub category: BotCategory,
+    /// Whether the operator publicly promises to respect robots.txt.
+    pub promise: botscope_useragent::RobotsPromise,
+    /// Sponsoring entity.
+    pub sponsor: &'static str,
+    /// The bot's rows, in input order.
+    pub rows: Vec<&'t RecordRow>,
+}
+
+/// The standardized table: known bots by name, plus everything that did
+/// not match the corpus.
+#[derive(Debug, Clone)]
+pub struct StandardizedTable<'t> {
+    /// The table the row views borrow from.
+    pub table: &'t LogTable,
+    /// Known-bot views, keyed by canonical name (deterministic order).
+    pub bots: BTreeMap<String, BotRowView<'t>>,
+    /// Rows from agents that matched no known bot.
+    pub anonymous: Vec<&'t RecordRow>,
+}
+
+impl<'t> StandardizedTable<'t> {
+    /// Total rows attributed to known bots.
+    pub fn known_bot_records(&self) -> usize {
+        self.bots.values().map(|v| v.rows.len()).sum()
+    }
+
+    /// Per-bot row slices as the spoof detector expects them.
+    pub fn per_bot_rows(&self) -> BTreeMap<String, Vec<&'t RecordRow>> {
+        self.bots.iter().map(|(k, v)| (k.clone(), v.rows.clone())).collect()
+    }
+
+    /// Bots in a category.
+    pub fn in_category(&self, category: BotCategory) -> Vec<&BotRowView<'t>> {
+        self.bots.values().filter(|v| v.category == category).collect()
+    }
+}
+
+/// Standardize a whole table. See [`standardize_rows`].
+pub fn standardize_table(table: &LogTable) -> StandardizedTable<'_> {
+    standardize_rows(table, table.rows())
+}
+
+/// Standardize a row subset of a table. Each distinct user-agent
+/// *symbol* is standardized once and cached in a dense array, so the
+/// per-row cost is one integer index — the interned equivalent of
+/// [`standardize`]'s string-keyed cache.
+pub fn standardize_rows<'t>(
+    table: &'t LogTable,
+    rows: impl IntoIterator<Item = &'t RecordRow>,
+) -> StandardizedTable<'t> {
+    let standardizer = Standardizer::new();
+    // cache[sym.index()]: None = unseen, Some(None) = anonymous,
+    // Some(Some(spec)) = known bot.
+    let mut cache: Vec<Option<Option<&'static botscope_useragent::BotSpec>>> =
+        vec![None; table.interner().len()];
+    let mut out = StandardizedTable { table, bots: BTreeMap::new(), anonymous: Vec::new() };
+
+    for row in rows {
+        let idx = row.useragent.index();
+        let spec = *cache[idx].get_or_insert_with(|| {
+            standardizer.standardize(table.resolve(row.useragent)).map(|s| s.bot)
+        });
+        match spec {
+            Some(bot) => {
+                out.bots
+                    .entry(bot.canonical.to_string())
+                    .or_insert_with(|| BotRowView {
+                        name: bot.canonical.to_string(),
+                        category: bot.category,
+                        promise: bot.respects_robots,
+                        sponsor: bot.sponsor,
+                        rows: Vec::new(),
+                    })
+                    .rows
+                    .push(row);
+            }
+            None => out.anonymous.push(row),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +255,31 @@ mod tests {
         let logs = standardize(&[]);
         assert!(logs.bots.is_empty());
         assert!(logs.anonymous.is_empty());
+    }
+
+    #[test]
+    fn table_standardization_matches_record_path() {
+        let records = vec![
+            rec("Mozilla/5.0 (compatible; GPTBot/1.1)", 0),
+            rec("Mozilla/5.0 (compatible; GPTBot/1.2)", 1),
+            rec("Mozilla/5.0 (compatible; bingbot/2.0)", 2),
+            rec("Mozilla/5.0 (Windows NT 10.0) Chrome/120 Safari/537", 3),
+        ];
+        let table = LogTable::from_records(&records);
+        let by_rows = standardize_table(&table);
+        let by_records = standardize(&records);
+        assert_eq!(by_rows.bots.len(), by_records.bots.len());
+        assert_eq!(by_rows.known_bot_records(), by_records.known_bot_records());
+        assert_eq!(by_rows.anonymous.len(), by_records.anonymous.len());
+        for (name, view) in &by_rows.bots {
+            let rec_view = &by_records.bots[name];
+            assert_eq!(view.category, rec_view.category);
+            assert_eq!(view.sponsor, rec_view.sponsor);
+            let materialized: Vec<AccessRecord> =
+                view.rows.iter().map(|r| table.materialize(r)).collect();
+            let expected: Vec<AccessRecord> = rec_view.records.iter().map(|&r| r.clone()).collect();
+            assert_eq!(materialized, expected);
+        }
+        assert_eq!(by_rows.in_category(BotCategory::AiDataScraper).len(), 1);
     }
 }

@@ -15,7 +15,8 @@ use botscope_stats::window::{window_coverage, PAPER_WINDOWS_HOURS};
 use botscope_useragent::BotCategory;
 use botscope_weblog::record::AccessRecord;
 
-use crate::pipeline::StandardizedLogs;
+use crate::metrics::PathClasses;
+use crate::pipeline::{StandardizedLogs, StandardizedTable};
 
 /// Per-bot re-check profile.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,6 +59,36 @@ pub fn profiles(logs: &StandardizedLogs<'_>, horizon_end: u64) -> Vec<RecheckPro
             .records
             .iter()
             .filter(|r| r.is_robots_fetch())
+            .map(|r| r.timestamp.unix())
+            .collect();
+        check_times.sort_unstable();
+        let mut covered = BTreeMap::new();
+        for &h in &PAPER_WINDOWS_HOURS {
+            let ok = window_coverage(&check_times, h * 3600, horizon_end)
+                .map(|c| c.fully_covered())
+                .unwrap_or(false);
+            covered.insert(h, ok);
+        }
+        out.push(RecheckProfile {
+            bot: view.name.clone(),
+            category: view.category,
+            check_times,
+            covered,
+        });
+    }
+    out
+}
+
+/// Row-native [`profiles`]: robots.txt fetches are recognized by path
+/// symbol, so the scan is string-free.
+pub fn profiles_table(logs: &StandardizedTable<'_>, horizon_end: u64) -> Vec<RecheckProfile> {
+    let classes = PathClasses::new(logs.table);
+    let mut out = Vec::new();
+    for view in logs.bots.values() {
+        let mut check_times: Vec<u64> = view
+            .rows
+            .iter()
+            .filter(|r| classes.is_robots(r.uri_path))
             .map(|r| r.timestamp.unix())
             .collect();
         check_times.sort_unstable();

@@ -15,14 +15,15 @@ use std::collections::BTreeMap;
 use botscope_stats::ecdf::TimeSeriesCdf;
 use botscope_useragent::BotCategory;
 use botscope_weblog::record::AccessRecord;
-use botscope_weblog::session::{sessionize, Session, SESSION_GAP_SECS};
+use botscope_weblog::session::{Session, SESSION_GAP_SECS};
 use botscope_weblog::summary::DatasetSummary;
+use botscope_weblog::table::{LogTable, RecordRow};
 use botscope_weblog::time::Timestamp;
 
 use crate::analyze::{Directive, Experiment};
-use crate::pipeline::standardize;
-use crate::recheck::{by_category, profiles, RecheckByCategory};
-use crate::spoofdetect::{detect, SpoofReport};
+use crate::pipeline::standardize_table;
+use crate::recheck::{by_category, profiles_table, RecheckByCategory};
+use crate::spoofdetect::{detect_rows, SpoofReport};
 use crate::tables::{f, ratio, series, TextTable};
 
 /// Per-bot aggregate used by Table 3.
@@ -64,14 +65,21 @@ pub struct FullStudyReport {
 }
 
 impl FullStudyReport {
-    /// Compute all aggregates from a record set.
+    /// Compute all aggregates from a record set (thin adapter over
+    /// [`FullStudyReport::from_table`]).
     pub fn new(records: &[AccessRecord]) -> FullStudyReport {
-        let logs = standardize(records);
-        let all = DatasetSummary::compute(records);
+        FullStudyReport::from_table(&LogTable::from_records(records))
+    }
 
-        let known_records: Vec<AccessRecord> =
-            logs.bots.values().flat_map(|v| v.records.iter().map(|&r| r.clone())).collect();
-        let known = DatasetSummary::compute(&known_records);
+    /// Compute all aggregates from an interned table — the native path.
+    pub fn from_table(table: &LogTable) -> FullStudyReport {
+        let logs = standardize_table(table);
+        let all = DatasetSummary::compute_table(table);
+
+        let known_rows: Vec<&RecordRow> =
+            logs.bots.values().flat_map(|v| v.rows.iter().copied()).collect();
+        let known =
+            DatasetSummary::compute_rows_with_gap(known_rows.iter().copied(), SESSION_GAP_SECS);
 
         let mut bot_stats: Vec<BotStat> = logs
             .bots
@@ -79,24 +87,25 @@ impl FullStudyReport {
             .map(|v| BotStat {
                 name: v.name.clone(),
                 category: v.category,
-                hits: v.records.len() as u64,
-                bytes: v.records.iter().map(|r| r.bytes).sum(),
+                hits: v.rows.len() as u64,
+                bytes: v.rows.iter().map(|r| r.bytes).sum(),
             })
             .collect();
         bot_stats.sort_by(|a, b| b.hits.cmp(&a.hits).then(a.name.cmp(&b.name)));
 
-        let start = records.iter().map(|r| r.timestamp).min().unwrap_or_default().day_start();
-        let end = records.iter().map(|r| r.timestamp).max().unwrap_or_default();
+        let start = table.rows().iter().map(|r| r.timestamp).min().unwrap_or_default().day_start();
+        let end = table.rows().iter().map(|r| r.timestamp).max().unwrap_or_default();
         let days = end.days_since(start) + 1;
 
         // Category of a session = category of its (standardized) agent.
         let mut ua_category: BTreeMap<&str, BotCategory> = BTreeMap::new();
         for v in logs.bots.values() {
-            for r in &v.records {
-                ua_category.insert(r.useragent.as_str(), v.category);
+            for r in &v.rows {
+                ua_category.insert(table.resolve(r.useragent), v.category);
             }
         }
-        let sessions: Vec<Session> = sessionize(&known_records, SESSION_GAP_SECS);
+        let sessions: Vec<Session> =
+            table.sessionize_rows(known_rows.iter().copied(), SESSION_GAP_SECS);
         let mut category_sessions: BTreeMap<BotCategory, u64> = BTreeMap::new();
         let mut category_daily_sessions: BTreeMap<(BotCategory, u64), u64> = BTreeMap::new();
         let mut category_bytes_cdf: BTreeMap<BotCategory, TimeSeriesCdf> = BTreeMap::new();
@@ -109,8 +118,8 @@ impl FullStudyReport {
         }
 
         let horizon_end = end.unix() + 1;
-        let recheck = by_category(&profiles(&logs, horizon_end));
-        let spoof = detect(&logs.per_bot_records());
+        let recheck = by_category(&profiles_table(&logs, horizon_end));
+        let spoof = detect_rows(table, &logs.per_bot_rows());
 
         FullStudyReport {
             all,

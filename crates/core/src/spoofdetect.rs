@@ -9,7 +9,9 @@
 
 use std::collections::BTreeMap;
 
+use botscope_weblog::intern::Sym;
 use botscope_weblog::record::AccessRecord;
+use botscope_weblog::table::{LogTable, RecordRow};
 
 /// The paper's dominance threshold.
 pub const DOMINANCE_THRESHOLD: f64 = 0.90;
@@ -128,6 +130,90 @@ pub fn split_records<'a>(
     records.iter().partition(|r| r.asn == finding.main_asn)
 }
 
+// ---------------------------------------------------------------------
+// Row-native detection (the interned hot path).
+// ---------------------------------------------------------------------
+
+/// Row-native [`analyze_bot`]: per-ASN counts are keyed by symbol, and
+/// names are resolved only for the finding itself.
+pub fn analyze_bot_rows(
+    table: &LogTable,
+    bot: &str,
+    rows: &[&RecordRow],
+    threshold: f64,
+    min_requests: u64,
+) -> Option<SpoofFinding> {
+    assert!((0.0..=1.0).contains(&threshold), "threshold {threshold} not a probability");
+    let total = rows.len() as u64;
+    if total < min_requests {
+        return None;
+    }
+    use std::collections::HashMap;
+    let mut per_asn: HashMap<Sym, u64> = HashMap::new();
+    for r in rows {
+        *per_asn.entry(r.asn).or_default() += 1;
+    }
+    if per_asn.len() < 2 {
+        return None;
+    }
+    let (&main_asn, &main_count) = per_asn
+        .iter()
+        .max_by_key(|&(&sym, &count)| (count, std::cmp::Reverse(table.resolve(sym))))
+        .expect("non-empty");
+    let main_share = main_count as f64 / total as f64;
+    if main_share < threshold {
+        return None;
+    }
+    let mut suspicious: Vec<(String, u64)> = per_asn
+        .iter()
+        .filter(|&(&sym, _)| sym != main_asn)
+        .map(|(&sym, &count)| (table.resolve(sym).to_string(), count))
+        .collect();
+    suspicious.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let spoofed_requests = suspicious.iter().map(|&(_, c)| c).sum();
+    Some(SpoofFinding {
+        bot: bot.to_string(),
+        main_asn: table.resolve(main_asn).to_string(),
+        main_share,
+        suspicious,
+        total_requests: total,
+        spoofed_requests,
+    })
+}
+
+/// Row-native [`detect`] over a per-bot partition of a table.
+pub fn detect_rows(table: &LogTable, per_bot: &BTreeMap<String, Vec<&RecordRow>>) -> SpoofReport {
+    detect_rows_with(table, per_bot, DOMINANCE_THRESHOLD, 10)
+}
+
+/// [`detect_rows`] with explicit parameters.
+pub fn detect_rows_with(
+    table: &LogTable,
+    per_bot: &BTreeMap<String, Vec<&RecordRow>>,
+    threshold: f64,
+    min_requests: u64,
+) -> SpoofReport {
+    let mut findings: Vec<SpoofFinding> = per_bot
+        .iter()
+        .filter_map(|(bot, rows)| analyze_bot_rows(table, bot, rows, threshold, min_requests))
+        .collect();
+    findings.sort_by(|a, b| a.bot.cmp(&b.bot));
+    SpoofReport { findings }
+}
+
+/// Row-native [`split_records`].
+pub fn split_rows<'t>(
+    finding: &SpoofFinding,
+    table: &LogTable,
+    rows: &[&'t RecordRow],
+) -> (Vec<&'t RecordRow>, Vec<&'t RecordRow>) {
+    match table.interner().get(&finding.main_asn) {
+        Some(main) => rows.iter().partition(|r| r.asn == main),
+        // The main ASN never occurs in this table: everything is minority.
+        None => (Vec::new(), rows.to_vec()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,5 +315,46 @@ mod tests {
     #[should_panic(expected = "not a probability")]
     fn bad_threshold_panics() {
         let _ = analyze_bot("b", &[], 1.5, 1);
+    }
+
+    #[test]
+    fn row_detection_matches_record_detection() {
+        let mut rs: Vec<AccessRecord> = (0..95).map(|t| rec("GOOGLE", t)).collect();
+        rs.push(rec("M247", 100));
+        rs.push(rec("M247", 101));
+        rs.push(rec("PROSPERO-AS", 102));
+        let table = LogTable::from_records(&rs);
+        let row_refs: Vec<&RecordRow> = table.rows().iter().collect();
+
+        let by_rows = analyze_bot_rows(&table, "Googlebot", &row_refs, 0.9, 10).expect("flagged");
+        let by_records = analyze_bot("Googlebot", &refs(&rs), 0.9, 10).expect("flagged");
+        assert_eq!(by_rows, by_records);
+
+        let (legit, spoofed) = split_rows(&by_rows, &table, &row_refs);
+        assert_eq!(legit.len(), 95);
+        assert_eq!(spoofed.len(), 3);
+
+        let mut per_bot: BTreeMap<String, Vec<&RecordRow>> = BTreeMap::new();
+        per_bot.insert("Googlebot".into(), row_refs);
+        let report = detect_rows(&table, &per_bot);
+        assert_eq!(report.findings, vec![by_records]);
+    }
+
+    #[test]
+    fn split_rows_with_foreign_main_asn() {
+        let rs = vec![rec("OVH", 0), rec("OVH", 1)];
+        let table = LogTable::from_records(&rs);
+        let row_refs: Vec<&RecordRow> = table.rows().iter().collect();
+        let finding = SpoofFinding {
+            bot: "b".into(),
+            main_asn: "NOT-PRESENT".into(),
+            main_share: 1.0,
+            suspicious: vec![],
+            total_requests: 2,
+            spoofed_requests: 0,
+        };
+        let (legit, spoofed) = split_rows(&finding, &table, &row_refs);
+        assert!(legit.is_empty());
+        assert_eq!(spoofed.len(), 2);
     }
 }

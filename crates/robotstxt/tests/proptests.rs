@@ -133,6 +133,133 @@ proptest! {
         prop_assert!(RobotsTxt::allow_all().is_allowed(&agent, &path).allow);
     }
 
+    // ---- percent-encoding corpus (RFC 9309 §2.2.2) ----
+
+    #[test]
+    fn percent_encoded_pattern_matches_plain_path(path in "/[a-zA-Z0-9._~-]{0,24}") {
+        // Encoding every octet except the separator must not change the
+        // match set: %XX triplets normalize to the octets they encode.
+        let encoded: String = path
+            .bytes()
+            .map(|b| if b == b'/' { "/".to_string() } else { format!("%{b:02x}") })
+            .collect();
+        prop_assert!(PathPattern::new(&encoded).matches(&path), "{encoded} vs {path}");
+        prop_assert!(PathPattern::new(&path).matches(&encoded), "{path} vs {encoded}");
+        // And prefix semantics survive encoding.
+        let extended = format!("{path}x");
+        prop_assert!(PathPattern::new(&encoded).matches(&extended));
+    }
+
+    #[test]
+    fn percent_hex_case_is_insensitive(path in "/[a-zA-Z0-9._~-]{0,24}") {
+        let lower: String = path
+            .bytes()
+            .map(|b| if b == b'/' { "/".to_string() } else { format!("%{b:02x}") })
+            .collect();
+        let upper = lower.to_ascii_uppercase();
+        prop_assert_eq!(normalize_percent(&lower), normalize_percent(&upper));
+    }
+
+    #[test]
+    fn percent_2f_stays_distinct_from_slash(
+        a in "[a-z0-9]{1,8}",
+        b in "[a-z0-9]{1,8}",
+    ) {
+        // RFC 9309: %2F encodes a path separator and must not compare
+        // equal to a literal `/` — `/a%2Fb` and `/a/b` are distinct.
+        let encoded = format!("/{a}%2F{b}");
+        let literal = format!("/{a}/{b}");
+        prop_assert!(!PathPattern::new(&encoded).matches(&literal));
+        prop_assert!(!PathPattern::new(&literal).matches(&encoded));
+        // Both casings of the triplet are the same encoded separator.
+        let lower = format!("/{a}%2f{b}");
+        prop_assert!(PathPattern::new(&lower).matches(&encoded));
+        prop_assert!(PathPattern::new(&encoded).matches(&lower));
+    }
+
+    #[test]
+    fn malformed_triplets_match_verbatim(
+        head in "/[a-z0-9]{0,10}",
+        trailer in "%[g-z]{0,2}",
+        lone_hex in "[0-9a-f]{0,1}",
+    ) {
+        // A malformed %-sequence (truncated triplet or non-hex digits)
+        // is kept verbatim, so the pattern still matches its own text.
+        let path = format!("{head}{trailer}{lone_hex}");
+        prop_assert!(PathPattern::new(&path).matches(&path), "{path}");
+    }
+
+    // ---- `$` anchor + `*` interaction corpus ----
+
+    #[test]
+    fn trailing_star_dollar_equals_plain_prefix(
+        base in path_strategy(),
+        probe in path_strategy(),
+    ) {
+        // `X*$` anchors after a wildcard that eats the rest: exactly the
+        // prefix semantics of the unanchored `X`.
+        let anchored = PathPattern::new(&format!("{base}*$"));
+        let plain = PathPattern::new(&base);
+        prop_assert_eq!(anchored.matches(&probe), plain.matches(&probe));
+    }
+
+    #[test]
+    fn anchored_matches_are_a_subset_of_unanchored(
+        segs in prop::collection::vec("[a-z0-9._-]{0,4}", 1..4),
+        probe in path_strategy(),
+    ) {
+        let body = format!("/{}", segs.join("*"));
+        let anchored = PathPattern::new(&format!("{body}$"));
+        let plain = PathPattern::new(&body);
+        if anchored.matches(&probe) {
+            prop_assert!(plain.matches(&probe), "{body}$ matched {probe} but {body} did not");
+        }
+    }
+
+    #[test]
+    fn anchored_star_pattern_requires_terminal_literal(
+        segs in prop::collection::vec("[a-z0-9._-]{1,4}", 2..4),
+        probe in path_strategy(),
+    ) {
+        // `/a*b$`-style patterns: any match must end with the literal
+        // tail segment.
+        let body = format!("/{}", segs.join("*"));
+        let pattern = PathPattern::new(&format!("{body}$"));
+        if pattern.matches(&probe) {
+            let tail = segs.last().expect("non-empty");
+            prop_assert!(probe.ends_with(tail.as_str()), "{body}$ matched {probe}");
+        }
+    }
+
+    #[test]
+    fn dollar_inside_pattern_is_literal(
+        head in "[a-z0-9]{1,6}",
+        tail in "[a-z0-9]{1,6}",
+        probe_tail in "[a-z0-9]{0,6}",
+    ) {
+        // Only a *final* `$` anchors; an interior one is an ordinary
+        // octet (RFC 9309 §2.2.3).
+        let pattern = PathPattern::new(&format!("/{head}${tail}"));
+        prop_assert!(pattern.matches(&format!("/{head}${tail}{probe_tail}")));
+        prop_assert!(!pattern.matches(&format!("/{head}{tail}")));
+    }
+
+    #[test]
+    fn star_dollar_decisions_consistent_in_documents(
+        base in "/[a-z0-9/]{0,12}",
+        probe in path_strategy(),
+    ) {
+        // A disallow written `X*$` and one written `X` produce the same
+        // decision for every probe (through the whole parser/matcher
+        // stack, not just PathPattern).
+        let anchored = parse(&format!("User-agent: *\nDisallow: {base}*$\n"));
+        let plain = parse(&format!("User-agent: *\nDisallow: {base}\n"));
+        prop_assert_eq!(
+            anchored.is_allowed("bot", &probe).allow,
+            plain.is_allowed("bot", &probe).allow
+        );
+    }
+
     #[test]
     fn adding_an_allow_rule_never_shrinks_access(
         base_pats in prop::collection::vec(pattern_strategy(), 0..6),

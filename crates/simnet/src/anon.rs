@@ -11,11 +11,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use botscope_asn::ip_for;
-use botscope_weblog::iphash::IpHasher;
-use botscope_weblog::record::AccessRecord;
 
-use crate::config::SimConfig;
-use crate::site::{PageKind, Site};
+use crate::engine::{crawlable_pool, ShardWriter, World};
+use crate::site::PageKind;
 
 /// Residential/consumer networks anonymous visitors arrive from.
 const ANON_ASNS: [&str; 5] = ["COMCAST-7922", "ATT-7018", "VERIZON-701", "DTAG", "UNIVERSITY-NET"];
@@ -31,12 +29,14 @@ const BROWSER_TEMPLATES: [&str; 4] = [
 /// Number of anonymous entities at scale 1.0 over the paper's 46 days.
 const ENTITIES_AT_SCALE_1: f64 = 3000.0;
 
-/// Generate the anonymous traffic into `out`.
-pub fn generate(cfg: &SimConfig, estate: &[Site], hasher: &IpHasher, out: &mut Vec<AccessRecord>) {
+/// Generate the anonymous traffic into the shard.
+pub(crate) fn generate(world: &World<'_>, out: &mut ShardWriter) {
+    let cfg = world.cfg;
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xA11_0A11);
     let entities =
         ((ENTITIES_AT_SCALE_1 * cfg.scale * cfg.days as f64 / 46.0).ceil() as usize).max(1);
     let horizon = cfg.days * 86_400;
+    let referer_sym = out.table.intern("https://www.google.com/search");
 
     for e in 0..entities {
         let template = BROWSER_TEMPLATES[e % BROWSER_TEMPLATES.len()];
@@ -44,47 +44,46 @@ pub fn generate(cfg: &SimConfig, estate: &[Site], hasher: &IpHasher, out: &mut V
         let build = rng.gen_range(1000..7000);
         // Per-entity build jitter reproduces Table 2's wide unique-UA gap
         // between all traffic and known bots.
-        let ua = template.replace("{v}", &format!("{version}.{build}"));
+        let ua = out.table.intern(&template.replace("{v}", &format!("{version}.{build}")));
         // 60% arrive from the big consumer ISPs; the rest from a long tail
         // of small networks (Table 2 counts 8,841 unique ASNs overall vs
         // 179 for known bots).
         let (asn, ip_hash) = if e % 5 < 3 {
             let asn = ANON_ASNS[e % ANON_ASNS.len()];
             let ip = ip_for(asn, e as u32).expect("anon ASN in directory");
-            (asn.to_string(), hasher.hash_ipv4(ip))
+            (out.table.intern(asn), world.hasher.hash_ipv4(ip))
         } else {
             let asn = format!("AS{}", 20_000 + e);
-            (asn, hasher.hash_bytes(&(e as u64).to_le_bytes()))
+            (out.table.intern(&asn), world.hasher.hash_bytes(&(e as u64).to_le_bytes()))
         };
 
         // Each entity browses in a handful of short sessions.
         let sessions = 1 + rng.gen_range(0..4);
         for _ in 0..sessions {
             let mut t = rng.gen_range(0..horizon);
-            let site = &estate[rng.gen_range(0..estate.len())];
+            let site_index = rng.gen_range(0..world.n_sites());
+            let site = out.site_sym(site_index);
             let pages = 1 + rng.gen_range(0..6);
             for _ in 0..pages {
-                let pool = site.crawlable();
+                let pool = crawlable_pool(world, site_index);
                 let page = pool[rng.gen_range(0..pool.len())];
                 // Humans skim; they rarely pull page-data assets directly.
                 if page.kind == PageKind::PageData && rng.gen_bool(0.8) {
                     continue;
                 }
-                out.push(AccessRecord {
-                    useragent: ua.clone(),
-                    timestamp: cfg.start.plus_secs(t),
+                let bytes = (page.bytes as f64 * rng.gen_range(0.8..1.2)) as u64;
+                let referer = if rng.gen_bool(0.4) { Some(referer_sym) } else { None };
+                out.emit(
+                    ua,
+                    asn,
+                    site,
                     ip_hash,
-                    asn: asn.clone(),
-                    sitename: site.name.clone(),
-                    uri_path: page.path.clone(),
-                    status: 200,
-                    bytes: (page.bytes as f64 * rng.gen_range(0.8..1.2)) as u64,
-                    referer: if rng.gen_bool(0.4) {
-                        Some("https://www.google.com/search".to_string())
-                    } else {
-                        None
-                    },
-                });
+                    &page.path,
+                    bytes,
+                    200,
+                    referer,
+                    cfg.start.plus_secs(t),
+                );
                 t += rng.gen_range(5..120);
             }
         }
@@ -94,41 +93,45 @@ pub fn generate(cfg: &SimConfig, estate: &[Site], hasher: &IpHasher, out: &mut V
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::site::Site;
+    use crate::config::SimConfig;
+    use crate::phases::PhaseSchedule;
+    use crate::site::EXPERIMENT_SITE;
+    use botscope_weblog::record::AccessRecord;
+
+    fn browser_asn(asn: &str) -> bool {
+        ANON_ASNS.contains(&asn) || asn.starts_with("AS2")
+    }
+
+    /// Direct harness: run only the anon generator into a shard.
+    fn generate_only(cfg: &SimConfig) -> Vec<AccessRecord> {
+        let schedule = PhaseSchedule::always_base(EXPERIMENT_SITE, cfg.start, cfg.end());
+        let estate = crate::site::Site::estate(cfg.sites);
+        let hasher = botscope_weblog::iphash::IpHasher::from_seed(cfg.seed);
+        let world = World::new_for_tests(cfg, &schedule, &estate, &hasher);
+        let mut writer = ShardWriter::new(&world);
+        generate(&world, &mut writer);
+        writer.table.to_records()
+    }
 
     #[test]
     fn generates_browser_traffic() {
         let cfg = SimConfig { anon_traffic: true, ..SimConfig::test_small() };
-        let estate = Site::estate(cfg.sites);
-        let hasher = IpHasher::from_seed(cfg.seed);
-        let mut out = Vec::new();
-        generate(&cfg, &estate, &hasher, &mut out);
+        let out = generate_only(&cfg);
         assert!(!out.is_empty());
         assert!(out.iter().all(|r| r.useragent.starts_with("Mozilla/5.0")));
-        assert!(out
-            .iter()
-            .all(|r| ANON_ASNS.contains(&r.asn.as_str()) || r.asn.starts_with("AS2")));
+        assert!(out.iter().all(|r| browser_asn(&r.asn)));
     }
 
     #[test]
     fn deterministic() {
         let cfg = SimConfig::test_small();
-        let estate = Site::estate(cfg.sites);
-        let hasher = IpHasher::from_seed(cfg.seed);
-        let mut a = Vec::new();
-        let mut b = Vec::new();
-        generate(&cfg, &estate, &hasher, &mut a);
-        generate(&cfg, &estate, &hasher, &mut b);
-        assert_eq!(a, b);
+        assert_eq!(generate_only(&cfg), generate_only(&cfg));
     }
 
     #[test]
     fn many_unique_user_agents() {
         let cfg = SimConfig { scale: 0.2, ..SimConfig::test_small() };
-        let estate = Site::estate(cfg.sites);
-        let hasher = IpHasher::from_seed(cfg.seed);
-        let mut out = Vec::new();
-        generate(&cfg, &estate, &hasher, &mut out);
+        let out = generate_only(&cfg);
         let uas: std::collections::HashSet<&str> =
             out.iter().map(|r| r.useragent.as_str()).collect();
         assert!(uas.len() > 10, "browser UA variety expected, got {}", uas.len());
@@ -137,10 +140,7 @@ mod tests {
     #[test]
     fn no_robots_fetches() {
         let cfg = SimConfig::test_small();
-        let estate = Site::estate(cfg.sites);
-        let hasher = IpHasher::from_seed(cfg.seed);
-        let mut out = Vec::new();
-        generate(&cfg, &estate, &hasher, &mut out);
+        let out = generate_only(&cfg);
         assert!(out.iter().all(|r| !r.is_robots_fetch()), "browsers don't read robots.txt");
     }
 }

@@ -53,5 +53,5 @@ pub mod site;
 pub mod spoof;
 
 pub use config::SimConfig;
-pub use engine::SimOutput;
+pub use engine::{worker_threads, SimOutput, SimTableOutput};
 pub use phases::{PhaseSchedule, PolicyVersion};

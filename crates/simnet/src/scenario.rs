@@ -11,7 +11,7 @@
 use botscope_weblog::time::Timestamp;
 
 use crate::config::SimConfig;
-use crate::engine::{simulate, SimOutput};
+use crate::engine::{simulate, simulate_table, SimOutput, SimTableOutput};
 use crate::phases::PhaseSchedule;
 use crate::site::EXPERIMENT_SITE;
 
@@ -25,22 +25,44 @@ pub struct PhaseStudyOutput {
     pub schedule: PhaseSchedule,
 }
 
+/// Table-native output of the phase study.
+#[derive(Debug, Clone)]
+pub struct PhaseStudyTableOutput {
+    /// The generator output, interned.
+    pub sim: SimTableOutput,
+    /// The 4-phase schedule.
+    pub schedule: PhaseSchedule,
+}
+
 /// Study 1: passive observation of the whole estate under the base file.
 pub fn full_study(cfg: &SimConfig) -> SimOutput {
     let schedule = PhaseSchedule::always_base(EXPERIMENT_SITE, cfg.start, cfg.end());
     simulate(cfg, &schedule)
 }
 
+/// [`full_study`] without materializing records: the scalable path.
+pub fn full_study_table(cfg: &SimConfig) -> SimTableOutput {
+    let schedule = PhaseSchedule::always_base(EXPERIMENT_SITE, cfg.start, cfg.end());
+    simulate_table(cfg, &schedule)
+}
+
 /// Study 2: the controlled robots.txt experiment. `cfg.start`/`cfg.days`
 /// are overridden by the 8-week schedule (starting 2025-01-15, matching
 /// the paper's January baseline).
 pub fn phase_study(cfg: &SimConfig) -> PhaseStudyOutput {
+    let out = phase_study_table(cfg);
+    let sim = SimOutput { records: out.sim.table.to_records(), truth: out.sim.truth };
+    PhaseStudyOutput { sim, schedule: out.schedule }
+}
+
+/// [`phase_study`] without materializing records: the scalable path.
+pub fn phase_study_table(cfg: &SimConfig) -> PhaseStudyTableOutput {
     let start = Timestamp::from_date(2025, 1, 15);
     let schedule = PhaseSchedule::paper_schedule(start, EXPERIMENT_SITE);
     let (lo, hi) = schedule.bounds();
     let cfg = SimConfig { start: lo, days: hi.days_since(lo), ..cfg.clone() };
-    let sim = simulate(&cfg, &schedule);
-    PhaseStudyOutput { sim, schedule }
+    let sim = simulate_table(&cfg, &schedule);
+    PhaseStudyTableOutput { sim, schedule }
 }
 
 #[cfg(test)]

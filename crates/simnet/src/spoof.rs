@@ -17,13 +17,9 @@ use rand::{Rng, SeedableRng};
 
 use botscope_asn::catalog::SPOOF_CATALOG;
 use botscope_asn::ip_for;
-use botscope_weblog::iphash::IpHasher;
-use botscope_weblog::record::AccessRecord;
 
-use crate::config::SimConfig;
+use crate::engine::{crawlable_pool, ShardWriter, World};
 use crate::fleet::SimBot;
-use crate::phases::PhaseSchedule;
-use crate::site::Site;
 
 /// Total spoofed accesses per bot over the paper's 40-day window
 /// (exceptions from §5.2; everything else defaults to ~3 per ASN).
@@ -37,15 +33,13 @@ fn spoof_budget(bot: &str, n_suspicious: usize) -> f64 {
 }
 
 /// Plant spoofed traffic; returns planted request counts per bot name.
-pub fn generate(
-    cfg: &SimConfig,
-    schedule: &PhaseSchedule,
-    estate: &[Site],
+pub(crate) fn generate(
+    world: &World<'_>,
     fleet: &[SimBot],
-    hasher: &IpHasher,
-    out: &mut Vec<AccessRecord>,
+    out: &mut ShardWriter,
 ) -> BTreeMap<String, u64> {
-    let _ = schedule; // spoofers ignore policy by definition
+    let cfg = world.cfg;
+    // Spoofers ignore the robots.txt schedule by definition.
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5B00F);
     let mut planted: BTreeMap<String, u64> = BTreeMap::new();
     let horizon = cfg.days * 86_400;
@@ -56,6 +50,7 @@ pub fn generate(
         let Some(victim) = fleet.iter().find(|b| b.spec.canonical == profile.bot) else {
             continue;
         };
+        let ua = out.table.intern(&victim.ua_string);
         let total =
             spoof_budget(profile.bot, profile.suspicious_asns.len()) * cfg.scale * cfg.days as f64
                 / 40.0;
@@ -64,31 +59,30 @@ pub fn generate(
         for (ai, asn) in profile.suspicious_asns.iter().enumerate() {
             let share = (total / profile.suspicious_asns.len() as f64).ceil().max(1.0) as u64;
             let ip = ip_for(asn, 7000 + ai as u32).expect("suspicious ASN in directory");
-            let ip_hash = hasher.hash_ipv4(ip);
+            let ip_hash = world.hasher.hash_ipv4(ip);
+            let asn_sym = out.table.intern(asn);
             for _ in 0..share {
                 let t = rng.gen_range(0..horizon);
                 // Spoofers chase content where it is: half their requests
                 // hit the high-traffic experiment site — which is also
                 // what makes them visible in the per-phase spoof counts
                 // (paper Table 9) and Figure 11.
-                let site = if rng.gen_bool(0.5) {
-                    &estate[0]
-                } else {
-                    &estate[rng.gen_range(0..estate.len())]
-                };
-                let pool = site.crawlable();
+                let site_index =
+                    if rng.gen_bool(0.5) { 0 } else { rng.gen_range(0..world.n_sites()) };
+                let pool = crawlable_pool(world, site_index);
                 let page = pool[rng.gen_range(0..pool.len())];
-                out.push(AccessRecord {
-                    useragent: victim.ua_string.clone(),
-                    timestamp: cfg.start.plus_secs(t),
+                let bytes = (page.bytes as f64 * rng.gen_range(0.5..1.5)) as u64;
+                out.emit(
+                    ua,
+                    asn_sym,
+                    out.site_sym(site_index),
                     ip_hash,
-                    asn: (*asn).to_string(),
-                    sitename: site.name.clone(),
-                    uri_path: page.path.clone(),
-                    status: 200,
-                    bytes: (page.bytes as f64 * rng.gen_range(0.5..1.5)) as u64,
-                    referer: None,
-                });
+                    &page.path,
+                    bytes,
+                    200,
+                    None,
+                    cfg.start.plus_secs(t),
+                );
                 *planted.entry(profile.bot.to_string()).or_default() += 1;
             }
         }
@@ -99,21 +93,28 @@ pub fn generate(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::SimConfig;
     use crate::fleet::build_fleet;
     use crate::phases::PhaseSchedule;
-    use crate::site::EXPERIMENT_SITE;
+    use crate::site::{Site, EXPERIMENT_SITE};
+    use botscope_weblog::iphash::IpHasher;
+    use botscope_weblog::record::AccessRecord;
 
-    fn setup() -> (SimConfig, Vec<Site>, Vec<SimBot>, IpHasher) {
-        let cfg = SimConfig::test_small();
-        (cfg.clone(), Site::estate(cfg.sites), build_fleet(), IpHasher::from_seed(cfg.seed))
+    /// Run only the spoof generator into a shard.
+    fn generate_only(cfg: &SimConfig) -> (Vec<AccessRecord>, BTreeMap<String, u64>, Vec<SimBot>) {
+        let schedule = PhaseSchedule::always_base(EXPERIMENT_SITE, cfg.start, cfg.end());
+        let estate = Site::estate(cfg.sites);
+        let hasher = IpHasher::from_seed(cfg.seed);
+        let fleet = build_fleet();
+        let world = World::new_for_tests(cfg, &schedule, &estate, &hasher);
+        let mut writer = ShardWriter::new(&world);
+        let planted = generate(&world, &fleet, &mut writer);
+        (writer.table.to_records(), planted, fleet)
     }
 
     #[test]
     fn plants_every_catalog_bot() {
-        let (cfg, estate, fleet, hasher) = setup();
-        let schedule = PhaseSchedule::always_base(EXPERIMENT_SITE, cfg.start, cfg.end());
-        let mut out = Vec::new();
-        let planted = generate(&cfg, &schedule, &estate, &fleet, &hasher, &mut out);
+        let (_, planted, fleet) = generate_only(&SimConfig::test_small());
         // Every catalog bot present in the fleet got at least one spoof.
         for profile in SPOOF_CATALOG {
             if fleet.iter().any(|b| b.spec.canonical == profile.bot) {
@@ -124,10 +125,7 @@ mod tests {
 
     #[test]
     fn spoofs_come_from_suspicious_asns_only() {
-        let (cfg, estate, fleet, hasher) = setup();
-        let schedule = PhaseSchedule::always_base(EXPERIMENT_SITE, cfg.start, cfg.end());
-        let mut out = Vec::new();
-        generate(&cfg, &schedule, &estate, &fleet, &hasher, &mut out);
+        let (out, _, fleet) = generate_only(&SimConfig::test_small());
         for r in &out {
             let profile = SPOOF_CATALOG
                 .iter()
@@ -147,10 +145,7 @@ mod tests {
 
     #[test]
     fn baiduspider_dominates_spoof_volume() {
-        let (cfg, estate, fleet, hasher) = setup();
-        let schedule = PhaseSchedule::always_base(EXPERIMENT_SITE, cfg.start, cfg.end());
-        let mut out = Vec::new();
-        let planted = generate(&cfg, &schedule, &estate, &fleet, &hasher, &mut out);
+        let (_, planted, _) = generate_only(&SimConfig::test_small());
         let baidu = planted.get("Baiduspider").copied().unwrap_or(0);
         let claude = planted.get("ClaudeBot").copied().unwrap_or(0);
         assert!(baidu > claude, "Baiduspider has the §5.2 spoof exception");
@@ -158,21 +153,15 @@ mod tests {
 
     #[test]
     fn spoofers_never_fetch_robots() {
-        let (cfg, estate, fleet, hasher) = setup();
-        let schedule = PhaseSchedule::always_base(EXPERIMENT_SITE, cfg.start, cfg.end());
-        let mut out = Vec::new();
-        generate(&cfg, &schedule, &estate, &fleet, &hasher, &mut out);
+        let (out, _, _) = generate_only(&SimConfig::test_small());
         assert!(out.iter().all(|r| !r.is_robots_fetch()));
     }
 
     #[test]
     fn deterministic() {
-        let (cfg, estate, fleet, hasher) = setup();
-        let schedule = PhaseSchedule::always_base(EXPERIMENT_SITE, cfg.start, cfg.end());
-        let mut a = Vec::new();
-        let mut b = Vec::new();
-        generate(&cfg, &schedule, &estate, &fleet, &hasher, &mut a);
-        generate(&cfg, &schedule, &estate, &fleet, &hasher, &mut b);
-        assert_eq!(a, b);
+        let a = generate_only(&SimConfig::test_small());
+        let b = generate_only(&SimConfig::test_small());
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
     }
 }

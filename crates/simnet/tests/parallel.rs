@@ -1,0 +1,52 @@
+//! Parallel-generation determinism: for a fixed seed, the sharded
+//! generator must produce byte-identical output at any worker count,
+//! and the table path must agree with the materialized compatibility
+//! path record for record.
+
+use botscope_simnet::engine::{simulate, simulate_table_with_threads};
+use botscope_simnet::scenario::{full_study, full_study_table};
+use botscope_simnet::{PhaseSchedule, SimConfig};
+use botscope_weblog::codec;
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn cfg_with_seed(seed: u64) -> SimConfig {
+    SimConfig { days: 2, scale: 0.05, sites: 8, seed, ..SimConfig::default() }
+}
+
+#[test]
+fn full_study_byte_identical_across_worker_counts() {
+    for seed in [42, 9309] {
+        let cfg = cfg_with_seed(seed);
+        let schedule = PhaseSchedule::always_base(0, cfg.start, cfg.end());
+        let serial = simulate_table_with_threads(&cfg, &schedule, WORKER_COUNTS[0]);
+        let serial_csv = codec::encode_table(&serial.table);
+        for &threads in &WORKER_COUNTS[1..] {
+            let parallel = simulate_table_with_threads(&cfg, &schedule, threads);
+            assert_eq!(
+                codec::encode_table(&parallel.table),
+                serial_csv,
+                "seed {seed}: {threads} workers diverged from the serial path"
+            );
+            assert_eq!(parallel.truth.spoofed_requests, serial.truth.spoofed_requests);
+        }
+    }
+}
+
+#[test]
+fn table_path_matches_materialized_path() {
+    let cfg = cfg_with_seed(7);
+    let schedule = PhaseSchedule::always_base(0, cfg.start, cfg.end());
+    let records = simulate(&cfg, &schedule).records;
+    let table = simulate_table_with_threads(&cfg, &schedule, 4).table;
+    assert_eq!(table.to_records(), records);
+}
+
+#[test]
+fn scenario_table_and_record_outputs_agree() {
+    let cfg = cfg_with_seed(11);
+    let by_records = full_study(&cfg);
+    let by_table = full_study_table(&cfg);
+    assert_eq!(by_table.table.to_records(), by_records.records);
+    assert_eq!(by_table.truth.exempt, by_records.truth.exempt);
+}

@@ -6,8 +6,10 @@
 //! (see DESIGN.md §7).
 
 use std::fmt::Write as _;
+use std::io::{self, BufRead, Write};
 
 use crate::record::AccessRecord;
+use crate::table::LogTable;
 use crate::time::Timestamp;
 
 /// The header row.
@@ -159,6 +161,135 @@ pub fn decode(text: &str) -> Result<Vec<AccessRecord>, DecodeError> {
     Ok(out)
 }
 
+/// Streaming decoder state: see [`decode_stream`].
+#[derive(Debug)]
+pub struct DecodeStream<'a> {
+    lines: std::iter::Enumerate<std::str::Lines<'a>>,
+    header_checked: bool,
+    done: bool,
+}
+
+impl Iterator for DecodeStream<'_> {
+    type Item = Result<AccessRecord, DecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        if !self.header_checked {
+            self.header_checked = true;
+            match self.lines.next() {
+                Some((_, h)) if h == HEADER => {}
+                Some((_, h)) => {
+                    self.done = true;
+                    return Some(Err(DecodeError {
+                        line: 1,
+                        message: format!("unexpected header {h:?}"),
+                    }));
+                }
+                None => {
+                    self.done = true;
+                    return None;
+                }
+            }
+        }
+        for (idx, line) in self.lines.by_ref() {
+            if line.is_empty() {
+                continue;
+            }
+            let result = decode_record(line, idx + 1);
+            if result.is_err() {
+                self.done = true;
+            }
+            return Some(result);
+        }
+        self.done = true;
+        None
+    }
+}
+
+/// Decode a CSV document line by line, yielding one record (or the
+/// first error) at a time without materializing the whole dataset.
+/// Consuming the iterator to the first error is exactly equivalent to
+/// [`decode`]; the stream fuses after an error.
+pub fn decode_stream(text: &str) -> DecodeStream<'_> {
+    DecodeStream { lines: text.lines().enumerate(), header_checked: false, done: false }
+}
+
+/// Decode a full CSV document directly into a [`LogTable`], interning
+/// strings as rows stream in. Equivalent to
+/// `LogTable::from_records(&decode(text)?)` without the intermediate
+/// record vector.
+pub fn decode_table(text: &str) -> Result<LogTable, DecodeError> {
+    let mut table = LogTable::new();
+    for result in decode_stream(text) {
+        table.push_record(&result?);
+    }
+    Ok(table)
+}
+
+/// Decode from a buffered reader into a [`LogTable`], one line at a
+/// time — the path for logs too large to hold as text. I/O errors are
+/// reported as [`DecodeError`]s carrying the failing line number.
+pub fn decode_table_read<R: BufRead>(mut reader: R) -> Result<LogTable, DecodeError> {
+    let mut table = LogTable::new();
+    let mut buf = String::new();
+    let mut line_no = 0usize;
+    loop {
+        buf.clear();
+        line_no += 1;
+        let n = reader
+            .read_line(&mut buf)
+            .map_err(|e| DecodeError { line: line_no, message: format!("read failed: {e}") })?;
+        if n == 0 {
+            return Ok(table);
+        }
+        // Strip exactly one line terminator (`\n` or `\r\n`), matching
+        // `str::lines`: a `\r` not followed by `\n` — including on an
+        // unterminated final line — is field content.
+        let line = match buf.strip_suffix('\n') {
+            Some(rest) => rest.strip_suffix('\r').unwrap_or(rest),
+            None => buf.as_str(),
+        };
+        if line_no == 1 {
+            if line != HEADER {
+                return Err(DecodeError {
+                    line: 1,
+                    message: format!("unexpected header {line:?}"),
+                });
+            }
+            continue;
+        }
+        if line.is_empty() {
+            continue;
+        }
+        table.push_record(&decode_record(line, line_no)?);
+    }
+}
+
+/// Encode a table to a writer, streaming row by row (header included).
+pub fn write_table<W: Write>(w: &mut W, table: &LogTable) -> io::Result<()> {
+    w.write_all(HEADER.as_bytes())?;
+    w.write_all(b"\n")?;
+    let mut line = String::with_capacity(160);
+    for row in table.rows() {
+        line.clear();
+        let r = table.materialize(row);
+        line.push_str(&encode_record(&r));
+        line.push('\n');
+        w.write_all(line.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Encode a whole table as a CSV string (header included). Equivalent
+/// to `encode(&table.to_records())`.
+pub fn encode_table(table: &LogTable) -> String {
+    let mut out = Vec::with_capacity(table.len() * 128 + HEADER.len() + 1);
+    write_table(&mut out, table).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("encoded CSV is UTF-8")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,5 +366,71 @@ mod tests {
         let r = sample("x", "/");
         let line = encode_record(&r);
         assert!(line.contains("000000000000abcd"));
+    }
+
+    #[test]
+    fn stream_matches_decode_on_valid_input() {
+        let records = vec![sample("GPTBot/1.0", "/a"), sample("bingbot/2.0", "/b")];
+        let text = encode(&records);
+        let streamed: Vec<AccessRecord> =
+            decode_stream(&text).collect::<Result<_, _>>().expect("valid input");
+        assert_eq!(streamed, records);
+    }
+
+    #[test]
+    fn stream_yields_error_then_fuses() {
+        let text = format!("{HEADER}\nonly,three,fields\n");
+        let mut stream = decode_stream(&text);
+        assert!(stream.next().unwrap().is_err());
+        assert!(stream.next().is_none());
+        assert!(stream.next().is_none());
+    }
+
+    #[test]
+    fn stream_rejects_bad_header_like_decode() {
+        let e = decode_stream("nope\n").next().unwrap().unwrap_err();
+        assert_eq!(e, decode("nope\n").unwrap_err());
+        assert!(decode_stream("").next().is_none());
+    }
+
+    #[test]
+    fn table_roundtrip_matches_record_roundtrip() {
+        let mut r = sample("Mozilla/5.0 (compatible; X, \"q\"; +http://x)", "/q");
+        r.referer = Some("https://ref.example/with,comma".into());
+        let records = vec![r, sample("GPTBot/1.0", "/a")];
+        let text = encode(&records);
+        let table = decode_table(&text).expect("valid input");
+        assert_eq!(table.to_records(), records);
+        assert_eq!(encode_table(&table), text);
+    }
+
+    #[test]
+    fn table_reader_path_matches_in_memory_path() {
+        let records = vec![sample("a", "/x"), sample("b", "/y")];
+        let text = encode(&records);
+        let table = decode_table_read(text.as_bytes()).expect("valid input");
+        assert_eq!(table.to_records(), records);
+        // CRLF terminators are stripped like str::lines does…
+        let crlf = text.replace('\n', "\r\n");
+        assert_eq!(decode_table_read(crlf.as_bytes()).unwrap().to_records(), records);
+        // …but only ONE terminator: an unquoted field ending in '\r'
+        // before the '\r\n' keeps that '\r' as content, exactly as
+        // str::lines-based decode sees it.
+        let tricky = format!("{HEADER}\nua,2025-02-12T00:00:00Z,0,GOOGLE,site,/a,200,10,ref\r\r\n");
+        let by_str = decode(&tricky).unwrap();
+        assert_eq!(by_str[0].referer.as_deref(), Some("ref\r"));
+        assert_eq!(decode_table_read(tricky.as_bytes()).unwrap().to_records(), by_str);
+        // A bare trailing '\r' on an unterminated final line is content.
+        let bare = format!("{HEADER}\nua,2025-02-12T00:00:00Z,0,GOOGLE,site,/a,200,10,ref\r");
+        assert_eq!(
+            decode_table_read(bare.as_bytes()).unwrap().to_records(),
+            decode(&bare).unwrap()
+        );
+        // Errors carry the line number, as in decode.
+        let bad = format!("{HEADER}\nonly,three,fields\n");
+        let e = decode_table_read(bad.as_bytes()).unwrap_err();
+        assert_eq!(e.line, 2);
+        // Empty input is an empty table.
+        assert!(decode_table_read("".as_bytes()).unwrap().is_empty());
     }
 }

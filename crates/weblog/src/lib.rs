@@ -11,7 +11,13 @@
 //!   study's "one-way cryptographic hash of the web visitor's IP address",
 //! * [`record`] — the ten-field access record (useragent, timestamp, IP
 //!   hash, ASN, sitename, URI path, status, bytes, referer),
-//! * [`codec`] — a CSV reader/writer for record persistence,
+//! * [`intern`] / [`table`] — the interned data model: [`StringInterner`]
+//!   maps repeated strings to 4-byte [`Sym`] ids and [`LogTable`] stores
+//!   compact 48-byte rows, materializing [`AccessRecord`] views on
+//!   demand (the memory-scalable representation at paper volume),
+//! * [`codec`] — a CSV reader/writer for record persistence, including a
+//!   streaming [`codec::decode_stream`] / [`codec::decode_table_read`]
+//!   path for logs too large to hold in memory,
 //! * [`session`] — 5-minute-gap sessionization (paper §3.2),
 //! * [`filter`] — the study's preprocessing filters (scanner removal,
 //!   date-range restriction),
@@ -47,17 +53,21 @@
 
 pub mod codec;
 pub mod filter;
+pub mod intern;
 pub mod iphash;
 pub mod jsonl;
 pub mod record;
 pub mod session;
 pub mod store;
 pub mod summary;
+pub mod table;
 pub mod time;
 
+pub use intern::{StringInterner, Sym};
 pub use iphash::IpHasher;
 pub use record::AccessRecord;
 pub use session::{sessionize, Session, SESSION_GAP_SECS};
 pub use store::LogStore;
 pub use summary::DatasetSummary;
+pub use table::{LogTable, RecordRow};
 pub use time::Timestamp;

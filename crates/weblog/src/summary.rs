@@ -5,10 +5,11 @@
 //! session, unique ASNs, total bytes scraped, total page visits (the
 //! session-collapsed row count) and unique page visits (distinct URLs).
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use crate::record::AccessRecord;
 use crate::session::{sessionize, SESSION_GAP_SECS};
+use crate::table::LogTable;
 
 /// The Table 2 row.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +68,59 @@ impl DatasetSummary {
             raw_records: records.len(),
         }
     }
+
+    /// Row-native equivalent of [`DatasetSummary::compute`]: all unique
+    /// counts are taken over interned symbols, and sessions are counted
+    /// without materializing them.
+    pub fn compute_table(table: &LogTable) -> DatasetSummary {
+        Self::compute_table_with_gap(table, SESSION_GAP_SECS)
+    }
+
+    /// [`DatasetSummary::compute_table`] with a custom session gap.
+    pub fn compute_table_with_gap(table: &LogTable, gap_secs: u64) -> DatasetSummary {
+        Self::compute_rows_with_gap(table.rows().iter(), gap_secs)
+    }
+
+    /// Summary over an arbitrary row subset of a table (rows must share
+    /// one interner; unique UA/ASN/URL counts are symbol-keyed).
+    pub fn compute_rows_with_gap<'t>(
+        rows: impl IntoIterator<Item = &'t crate::table::RecordRow>,
+        gap_secs: u64,
+    ) -> DatasetSummary {
+        assert!(gap_secs > 0, "session gap must be positive");
+        let mut ips: HashSet<u64> = HashSet::new();
+        let mut uas: HashSet<crate::intern::Sym> = HashSet::new();
+        let mut asns: HashSet<crate::intern::Sym> = HashSet::new();
+        let mut urls: HashSet<(crate::intern::Sym, crate::intern::Sym)> = HashSet::new();
+        let mut by_entity: HashMap<(crate::intern::Sym, u64, crate::intern::Sym), Vec<u64>> =
+            HashMap::new();
+        let mut total_bytes = 0u64;
+        let mut raw_records = 0usize;
+        for row in rows {
+            raw_records += 1;
+            ips.insert(row.ip_hash);
+            uas.insert(row.useragent);
+            asns.insert(row.asn);
+            urls.insert((row.sitename, row.uri_path));
+            total_bytes += row.bytes;
+            by_entity
+                .entry((row.useragent, row.ip_hash, row.asn))
+                .or_default()
+                .push(row.timestamp.unix());
+        }
+        let sessions = crate::table::count_entity_sessions(by_entity, gap_secs);
+        let avg = if sessions == 0 { 0.0 } else { total_bytes as f64 / sessions as f64 };
+        DatasetSummary {
+            unique_ips: ips.len(),
+            unique_user_agents: uas.len(),
+            avg_bytes_per_session: avg,
+            unique_asns: asns.len(),
+            total_bytes,
+            total_page_visits: sessions,
+            unique_page_visits: urls.len(),
+            raw_records,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -113,6 +167,23 @@ mod tests {
         assert_eq!(s.unique_page_visits, 2); // /x and /y
         assert_eq!(s.total_page_visits, 2); // two sessions
         assert!((s.avg_bytes_per_session - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_summary_matches_record_summary() {
+        let records = vec![
+            rec("a", 1, "GOOGLE", 0, "/x", 100),
+            rec("a", 1, "GOOGLE", 60, "/y", 100),
+            rec("a", 1, "GOOGLE", 10_000, "/y", 50),
+            rec("b", 2, "OVH", 0, "/x", 300),
+        ];
+        let table = LogTable::from_records(&records);
+        assert_eq!(DatasetSummary::compute_table(&table), DatasetSummary::compute(&records));
+        assert_eq!(
+            DatasetSummary::compute_table_with_gap(&table, 20_000),
+            DatasetSummary::compute_with_gap(&records, 20_000)
+        );
+        assert_eq!(DatasetSummary::compute_table(&LogTable::new()), DatasetSummary::compute(&[]));
     }
 
     #[test]

@@ -1,12 +1,50 @@
 //! Property-based tests for the web-log substrate.
 
-use botscope_weblog::codec::{decode, encode};
+use botscope_weblog::codec::{
+    decode, decode_stream, decode_table, decode_table_read, encode, HEADER,
+};
 use botscope_weblog::record::AccessRecord;
 use botscope_weblog::session::sessionize;
 use botscope_weblog::store::LogStore;
 use botscope_weblog::summary::DatasetSummary;
+use botscope_weblog::table::LogTable;
 use botscope_weblog::time::Timestamp;
 use proptest::prelude::*;
+
+/// `decode_stream` (and the table decoders) must agree with `decode` on
+/// any input: same records on success, same first error on failure.
+/// Panics on disagreement (the proptest macro reports the inputs).
+fn check_stream_equivalence(text: &str) {
+    let full = decode(text);
+    let mut streamed: Vec<AccessRecord> = Vec::new();
+    let mut stream_err = None;
+    for item in decode_stream(text) {
+        match item {
+            Ok(r) => streamed.push(r),
+            Err(e) => {
+                stream_err = Some(e);
+                break;
+            }
+        }
+    }
+    let table = decode_table(text);
+    let table_read = decode_table_read(text.as_bytes());
+    match full {
+        Ok(records) => {
+            assert_eq!(stream_err, None);
+            assert_eq!(streamed, records);
+            assert_eq!(table.expect("decode succeeded").to_records(), records);
+            assert_eq!(table_read.expect("decode succeeded").to_records(), records);
+        }
+        Err(e) => {
+            assert_eq!(stream_err.as_ref(), Some(&e));
+            assert_eq!(table.expect_err("decode failed"), e.clone());
+            // The reader path trims a trailing '\r' that str::lines also
+            // strips, so its errors match the in-memory path as well.
+            assert_eq!(table_read.expect_err("decode failed"), e);
+        }
+    }
+}
 
 /// Arbitrary record with adversarial string fields.
 fn record_strategy() -> impl Strategy<Value = AccessRecord> {
@@ -47,6 +85,67 @@ proptest! {
         let text = encode(&records);
         let back = decode(&text).expect("decode what we encoded");
         prop_assert_eq!(back, records);
+    }
+
+    #[test]
+    fn stream_decode_equivalent_on_valid_logs(
+        records in prop::collection::vec(record_strategy(), 0..30),
+    ) {
+        let text = encode(&records);
+        let streamed: Result<Vec<AccessRecord>, _> = decode_stream(&text).collect();
+        prop_assert_eq!(streamed.expect("own encoding decodes"), records.clone());
+        // The interned table path agrees too.
+        let table = decode_table(&text).expect("own encoding decodes");
+        prop_assert_eq!(table.to_records(), records.clone());
+        let table = decode_table_read(text.as_bytes()).expect("own encoding decodes");
+        prop_assert_eq!(table.to_records(), records);
+    }
+
+    #[test]
+    fn stream_decode_equivalent_on_arbitrary_text(text in "[ -~\n]{0,500}") {
+        check_stream_equivalence(&text);
+    }
+
+    #[test]
+    fn stream_decode_equivalent_on_headered_garbage(
+        lines in prop::collection::vec("[ -~]{0,60}", 0..20),
+    ) {
+        // A valid header followed by arbitrary body lines: exercises the
+        // per-record error paths rather than the header check.
+        let text = format!("{HEADER}\n{}", lines.join("\n"));
+        check_stream_equivalence(&text);
+    }
+
+    #[test]
+    fn stream_decode_equivalent_on_tampered_logs(
+        records in prop::collection::vec(record_strategy(), 1..15),
+        pos in 0usize..100_000,
+        byte in 0x20u8..0x7F,
+    ) {
+        // Flip one byte of a valid log: decode and decode_stream must
+        // still agree on the outcome, whatever it is.
+        let mut text = encode(&records).into_bytes();
+        let at = pos % text.len();
+        text[at] = byte;
+        if let Ok(text) = String::from_utf8(text) {
+            check_stream_equivalence(&text);
+        }
+    }
+
+    #[test]
+    fn table_agrees_with_record_apis(
+        records in prop::collection::vec(record_strategy(), 0..50),
+        gap in 1u64..50_000,
+    ) {
+        // The interned representation is behaviourally identical to the
+        // record one: roundtrip, sessionization, and summary all agree.
+        let table = LogTable::from_records(&records);
+        prop_assert_eq!(table.to_records(), records.clone());
+        prop_assert_eq!(table.sessionize(gap), sessionize(&records, gap));
+        prop_assert_eq!(
+            DatasetSummary::compute_table_with_gap(&table, gap),
+            DatasetSummary::compute_with_gap(&records, gap)
+        );
     }
 
     #[test]

@@ -13,9 +13,9 @@
 
 use std::process::ExitCode;
 
-use botscope::core::metrics::{crawl_delay_counts, CRAWL_DELAY_SECS};
-use botscope::core::pipeline::standardize;
-use botscope::core::spoofdetect::detect;
+use botscope::core::metrics::{crawl_delay_counts_rows, CRAWL_DELAY_SECS};
+use botscope::core::pipeline::standardize_table;
+use botscope::core::spoofdetect::detect_rows;
 use botscope::robots::audit::audit;
 use botscope::robots::diff::{diff, summarize};
 use botscope::robots::RobotsTxt;
@@ -39,6 +39,12 @@ USAGE:
       Generate a synthetic access log (stdout or out.csv; pass \"-\" for
       out.csv to pipe a seeded run to stdout). The same seed always
       yields a byte-identical log.
+
+ENVIRONMENT:
+  BOTSCOPE_THREADS
+      Worker threads for log generation (simulate). Defaults to the
+      machine's available parallelism; the output is byte-identical
+      for a fixed seed at any thread count.
 ";
 
 fn main() -> ExitCode {
@@ -155,9 +161,14 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let [file] = args else {
         return Err("usage: botscope analyze <access.csv>".into());
     };
-    let records = codec::decode(&read_file(file)?).map_err(|e| e.to_string())?;
-    println!("{} records", records.len());
-    let logs = standardize(&records);
+    // Stream the CSV into the interned table so multi-GB logs never
+    // need a full in-memory copy of their text or their strings.
+    let reader = std::fs::File::open(file)
+        .map(std::io::BufReader::new)
+        .map_err(|e| format!("cannot read {file}: {e}"))?;
+    let table = codec::decode_table_read(reader).map_err(|e| e.to_string())?;
+    println!("{} records", table.len());
+    let logs = standardize_table(&table);
     println!(
         "{} known bots ({} records), {} anonymous records\n",
         logs.bots.len(),
@@ -166,15 +177,15 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     );
     println!("{:<28} {:>8} {:>14}", "bot", "records", "pace>=30s");
     for view in logs.bots.values() {
-        let counts = crawl_delay_counts(&view.records, CRAWL_DELAY_SECS);
+        let counts = crawl_delay_counts_rows(&view.rows, CRAWL_DELAY_SECS);
         println!(
             "{:<28} {:>8} {:>14}",
             view.name,
-            view.records.len(),
+            view.rows.len(),
             counts.ratio().map(|r| format!("{r:.3}")).unwrap_or_else(|| "-".into())
         );
     }
-    let spoof = detect(&logs.per_bot_records());
+    let spoof = detect_rows(&table, &logs.per_bot_rows());
     if spoof.findings.is_empty() {
         println!("\nno spoofing signals (≥90% single-ASN dominance heuristic)");
     } else {
@@ -213,14 +224,24 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
 
     let cfg = SimConfig { days, scale, seed, ..SimConfig::default() };
     cfg.assert_valid();
-    let out = scenario::full_study(&cfg);
-    let csv = codec::encode(&out.records);
+    let out = scenario::full_study_table(&cfg);
     match out_path {
         Some(path) => {
-            std::fs::write(path, &csv).map_err(|e| format!("cannot write {path}: {e}"))?;
-            eprintln!("{} records -> {path}", out.records.len());
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot write {path}: {e}"))?;
+            let mut w = std::io::BufWriter::new(file);
+            codec::write_table(&mut w, &out.table)
+                .and_then(|()| std::io::Write::flush(&mut w))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("{} records -> {path}", out.table.len());
         }
-        None => print!("{csv}"),
+        None => {
+            let stdout = std::io::stdout();
+            let mut w = std::io::BufWriter::new(stdout.lock());
+            codec::write_table(&mut w, &out.table)
+                .and_then(|()| std::io::Write::flush(&mut w))
+                .map_err(|e| format!("cannot write to stdout: {e}"))?;
+        }
     }
     Ok(())
 }

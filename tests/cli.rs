@@ -100,6 +100,30 @@ fn simulate_seed_is_deterministic() {
 }
 
 #[test]
+fn help_documents_thread_knob() {
+    let out = botscope(&["help"]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("BOTSCOPE_THREADS"), "{text}");
+    assert!(text.contains("available parallelism"), "{text}");
+}
+
+#[test]
+fn simulate_output_is_thread_count_invariant() {
+    let run_with_threads = |threads: &str| {
+        let out = Command::new(env!("CARGO_BIN_EXE_botscope"))
+            .args(["simulate", "1", "0.02", "-", "42"])
+            .env("BOTSCOPE_THREADS", threads)
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        out.stdout
+    };
+    let serial = run_with_threads("1");
+    assert_eq!(serial, run_with_threads("2"), "2 workers must match serial output");
+    assert_eq!(serial, run_with_threads("8"), "8 workers must match serial output");
+}
+
+#[test]
 fn simulate_rejects_bad_seed() {
     let out = botscope(&["simulate", "1", "0.02", "/dev/null", "not-a-seed"]);
     assert!(!out.status.success());

@@ -10,10 +10,19 @@
 //! mean ns/iter plus derived throughput — enough to compare hot paths
 //! run-over-run and to keep `cargo bench` working offline. Expect more
 //! run-to-run noise than real criterion; commit trends, not single runs.
+//!
+//! Two harness extensions:
+//!
+//! * `cargo bench -- --test` runs every benchmark exactly once (upstream's
+//!   smoke semantics) — CI uses it as a cheap bench-rot gate;
+//! * `BOTSCOPE_BENCH_JSON=<path>` writes the run's results as a JSON array
+//!   (label, mean_ns, iters, throughput_per_iter), which is how the
+//!   committed `BENCH_*.json` baselines are produced.
 
 #![forbid(unsafe_code)]
 
 use std::fmt::{self, Display};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -22,6 +31,32 @@ pub use std::hint::black_box;
 const MEASURE_BUDGET: Duration = Duration::from_millis(200);
 /// Iterations per timing batch are tuned so one batch costs about this.
 const BATCH_TARGET: Duration = Duration::from_millis(10);
+
+/// Whether `--test` was passed (upstream semantics: run every benchmark
+/// once as a smoke test instead of measuring). CI uses
+/// `cargo bench -- --test` as a cheap bench-rot gate.
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Results accumulated for the optional JSON baseline sink.
+static JSON_RESULTS: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Write accumulated results as a JSON array to `$BOTSCOPE_BENCH_JSON`,
+/// if set. Called by `criterion_main!` after all groups run; baselines
+/// are committed as `BENCH_<bench>.json` for run-over-run comparison.
+pub fn flush_json() {
+    let Ok(path) = std::env::var("BOTSCOPE_BENCH_JSON") else { return };
+    let results = JSON_RESULTS.lock().expect("no poisoned benches");
+    let body = format!("[\n{}\n]\n", results.join(",\n"));
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("warning: cannot write bench baseline {path}: {e}");
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
 
 /// Top-level benchmark driver.
 pub struct Criterion {
@@ -160,6 +195,11 @@ impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         // Warm up and size a batch so timer overhead stays negligible.
         let once = time_once(&mut routine);
+        if quick_mode() {
+            self.mean_ns = once.as_nanos() as f64;
+            self.iters = 1;
+            return;
+        }
         let per_batch =
             (BATCH_TARGET.as_nanos() / once.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
         let started = Instant::now();
@@ -186,12 +226,15 @@ impl Bencher {
         let started = Instant::now();
         let mut iters = 0u64;
         let mut spent = Duration::ZERO;
-        while started.elapsed() < MEASURE_BUDGET {
+        loop {
             let input = setup();
             let call_started = Instant::now();
             black_box(routine(input));
             spent += call_started.elapsed();
             iters += 1;
+            if quick_mode() || started.elapsed() >= MEASURE_BUDGET {
+                break;
+            }
         }
         self.mean_ns = spent.as_nanos() as f64 / iters.max(1) as f64;
         self.iters = iters;
@@ -227,6 +270,16 @@ fn run_one(
         bencher.iters,
         rate.unwrap_or_default()
     );
+    let per_iter = throughput.map(|t| match t {
+        Throughput::Elements(n) | Throughput::Bytes(n) => n,
+    });
+    JSON_RESULTS.lock().expect("no poisoned benches").push(format!(
+        "  {{\"label\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}, \"throughput_per_iter\": {}}}",
+        json_escape(label),
+        bencher.mean_ns,
+        bencher.iters,
+        per_iter.map_or("null".to_string(), |n| n.to_string()),
+    ));
 }
 
 fn format_ns(ns: f64) -> String {
@@ -266,6 +319,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::flush_json();
         }
     };
 }
