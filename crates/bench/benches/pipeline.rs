@@ -1,12 +1,16 @@
 //! Criterion benches for the analysis pipeline stages: standardization,
-//! sessionization, the three compliance metrics, and spoof detection.
+//! sessionization, the three compliance metrics, spoof detection, and
+//! the end-to-end `Experiment::analyze_table` engine (generation
+//! excluded), whose throughput line lands in `BENCH_pipeline.json` so
+//! analysis speedups are tracked like generation ones.
 
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
 use botscope_core::metrics::{crawl_delay_counts, disallow_counts, endpoint_counts};
 use botscope_core::pipeline::standardize;
 use botscope_core::spoofdetect::detect;
-use botscope_simnet::scenario::full_study;
+use botscope_core::Experiment;
+use botscope_simnet::scenario::{full_study, phase_study_table};
 use botscope_simnet::SimConfig;
 use botscope_weblog::record::AccessRecord;
 use botscope_weblog::session::sessionize;
@@ -46,5 +50,28 @@ fn bench_pipeline(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_pipeline);
+/// The full §4 analysis engine over a pre-generated phase study — the
+/// same workload as `end_to_end/phase_study_generate_and_analyze` minus
+/// generation, at 1 and 8 workers.
+fn bench_analysis(c: &mut Criterion) {
+    let cfg = SimConfig { scale: 0.05, sites: 8, ..SimConfig::default() };
+    let out = phase_study_table(&cfg);
+    let mut g = c.benchmark_group("analysis");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(out.sim.table.len() as u64));
+    for threads in [1usize, 8] {
+        g.bench_function(format!("experiment_analyze_table/workers={threads}"), |b| {
+            b.iter(|| {
+                Experiment::analyze_table_with_threads(
+                    black_box(&out.sim.table),
+                    &out.schedule,
+                    threads,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_analysis);
 criterion_main!(benches);

@@ -2,17 +2,24 @@
 //!
 //! Given the 8-week phase-study logs (generated or real), this module:
 //!
-//! 1. restricts to the experiment site,
-//! 2. standardizes user agents to canonical bots,
-//! 3. flags possible spoofing with the §5.2 ASN-dominance heuristic and
+//! 1. standardizes user agents to canonical bots — **once**, estate-wide
+//!    — and carves out each bot's experiment-site rows and robots.txt
+//!    fetch times in the same sweep,
+//! 2. flags possible spoofing with the §5.2 ASN-dominance heuristic and
 //!    sets the flagged minority-network requests aside,
-//! 4. slices the four deployment phases,
-//! 5. computes, per bot per directive, the §4.2 compliance counts under
+//! 3. buckets every bot's rows into the four deployment-phase windows
+//!    (legit and spoofed separately) in one pass,
+//! 4. computes, per bot per directive, the §4.2 compliance counts under
 //!    the experimental file and under the baseline file, with the pooled
 //!    two-proportion z-test between them (Table 10, Figures 9/11),
-//! 6. aggregates categories with access-weighted averages (Table 5),
-//! 7. derives the traffic summary per version (Table 4) and the
+//! 5. aggregates categories with access-weighted averages (Table 5),
+//! 6. derives the traffic summary per version (Table 4) and the
 //!    skipped-robots.txt rows (Table 7).
+//!
+//! Steps 3–4 are independent per bot, so they fan out over the same
+//! `std::thread::scope` worker pattern simnet generation uses
+//! (`BOTSCOPE_THREADS` knob); the merge is by bot name, making the
+//! output identical at any worker count.
 
 use std::collections::BTreeMap;
 
@@ -24,7 +31,7 @@ use botscope_weblog::session::SESSION_GAP_SECS;
 use botscope_weblog::table::{LogTable, RecordRow};
 use botscope_weblog::time::Timestamp;
 
-use botscope_simnet::engine::GroundTruth;
+use botscope_simnet::engine::{worker_threads, GroundTruth};
 use botscope_simnet::phases::{is_exempt_agent, PhaseSchedule, PolicyVersion};
 use botscope_simnet::scenario::{phase_study_table, PhaseStudyTableOutput};
 use botscope_simnet::SimConfig;
@@ -33,8 +40,10 @@ use crate::metrics::{
     crawl_delay_counts, crawl_delay_counts_rows, disallow_counts, disallow_counts_rows,
     endpoint_counts, endpoint_counts_rows, DirectiveCounts, PathClasses, CRAWL_DELAY_SECS,
 };
-use crate::pipeline::{standardize_rows, standardize_table, BotRowView, StandardizedTable};
-use crate::spoofdetect::{detect_rows, split_rows, SpoofReport};
+use crate::pipeline::{run_indexed, standardize_table_with_threads, BotRowView};
+use crate::spoofdetect::{
+    analyze_bot_rows, SpoofFinding, SpoofReport, DOMINANCE_THRESHOLD, MIN_DETECT_REQUESTS,
+};
 
 /// The three experimental directives (paper §4.1, v1–v3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -90,7 +99,7 @@ impl Directive {
 }
 
 /// One bot × directive analysis row.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BotDirectiveResult {
     /// Canonical bot name.
     pub bot: String,
@@ -195,106 +204,80 @@ impl Experiment {
     }
 
     /// Analyze an interned table against a schedule — the native path.
+    ///
+    /// This is a single-pass engine: the estate is standardized **once**,
+    /// every bot's rows are bucketed into the four phase windows (and
+    /// split legit/spoofed) in one sweep, and the per-bot directive
+    /// analysis fans out over [`worker_threads`] scoped workers with a
+    /// deterministic merge by bot name — output is identical at any
+    /// worker count (`BOTSCOPE_THREADS` knob, as in simnet generation).
     pub fn analyze_table(table: &LogTable, schedule: &PhaseSchedule) -> Experiment {
+        Experiment::analyze_table_with_threads(table, schedule, worker_threads())
+    }
+
+    /// [`Experiment::analyze_table`] with an explicit worker count.
+    pub fn analyze_table_with_threads(
+        table: &LogTable,
+        schedule: &PhaseSchedule,
+        threads: usize,
+    ) -> Experiment {
+        assert!(threads >= 1, "at least one worker required");
         let site_name = format!("site-{:02}.example.edu", schedule.experiment_site);
         let classes = PathClasses::new(table);
-        let site_rows: Vec<&RecordRow> = match table.interner().get(&site_name) {
+        let site = table.interner().get(&site_name);
+        let site_rows: Vec<&RecordRow> = match site {
             Some(site) => table.rows().iter().filter(|r| r.sitename == site).collect(),
             None => Vec::new(),
         };
 
-        let logs = standardize_rows(table, site_rows.iter().copied());
-        let spoof_report = detect_rows(table, &logs.per_bot_rows());
+        // The one standardization sweep (distinct agents sharded over the
+        // same worker pool). Estate-wide, because "checked robots.txt"
+        // (Table 7) is judged estate-wide: a bot that fetched any of the
+        // institution's robots.txt files during a phase demonstrably
+        // consulted policy, even if the fetch landed on a sister site.
+        // Every per-bot slice below is carved out of this pass; nothing
+        // downstream touches a raw user-agent string again.
+        let all_logs = standardize_table_with_threads(table, threads);
+        let views: Vec<&BotRowView<'_>> = all_logs.bots.values().collect();
 
-        // "Checked robots.txt" (Table 7) is judged estate-wide: a bot that
-        // fetched any of the institution's robots.txt files during a phase
-        // demonstrably consulted policy, even if the fetch landed on a
-        // sister site.
-        let all_logs = standardize_table(table);
-        let robots_times: BTreeMap<String, Vec<u64>> = all_logs
-            .bots
-            .iter()
-            .map(|(name, view)| {
-                let times: Vec<u64> = view
-                    .rows
-                    .iter()
-                    .filter(|r| classes.is_robots(r.uri_path))
-                    .map(|r| r.timestamp.unix())
-                    .collect();
-                (name.clone(), times)
-            })
-            .collect();
-
-        // Slice each bot's rows into phases, separating spoofed ones.
         let phase_of = |version: PolicyVersion| -> (Timestamp, Timestamp) {
             schedule.window_of(version).expect("version scheduled")
         };
-        let in_window =
-            |r: &&RecordRow, lo: Timestamp, hi: Timestamp| r.timestamp >= lo && r.timestamp < hi;
+        let windows = PhaseWindows {
+            base: phase_of(PolicyVersion::Base),
+            directives: Directive::ALL.map(|d| phase_of(d.version())),
+        };
+
+        // Fan the whole per-bot stage out — site slicing, spoof
+        // detection, phase bucketing, and directive scoring are all
+        // independent per bot. Results come back in bot-name order (the
+        // order of `views`), so output is worker-count invariant.
+        let mut outcomes: Vec<BotOutcome> = run_indexed(views.len(), threads, |i| {
+            analyze_bot(table, &classes, &windows, schedule, site, views[i])
+        });
+
+        // The detector emits findings sorted by bot name — `views` order.
+        let spoof_report =
+            SpoofReport { findings: outcomes.iter().filter_map(|o| o.finding.clone()).collect() };
 
         let mut per_directive: BTreeMap<Directive, Vec<BotDirectiveResult>> = BTreeMap::new();
         let mut spoofed_per_directive: BTreeMap<Directive, Vec<BotDirectiveResult>> =
             BTreeMap::new();
         let mut spoof_volume: BTreeMap<Directive, (u64, u64)> = BTreeMap::new();
-        let (base_lo, base_hi) = phase_of(PolicyVersion::Base);
-
-        for directive in Directive::ALL {
-            let (lo, hi) = phase_of(directive.version());
-            let mut rows = Vec::new();
-            let mut spoofed_rows = Vec::new();
-            let mut volume = (0u64, 0u64);
-
-            for view in logs.bots.values() {
-                let (legit, spoofed) = match spoof_report.finding_for(&view.name) {
-                    Some(f) => split_rows(f, table, &view.rows),
-                    None => (view.rows.clone(), Vec::new()),
-                };
-
-                let legit_base: Vec<&RecordRow> =
-                    legit.iter().filter(|r| in_window(r, base_lo, base_hi)).copied().collect();
-                let legit_phase: Vec<&RecordRow> =
-                    legit.iter().filter(|r| in_window(r, lo, hi)).copied().collect();
-                volume.0 += legit_phase.len() as u64;
-
-                // Exempt SEO bots are excluded from the *legitimate*
-                // per-bot analysis (they keep full access under v2/v3;
-                // the paper's Table 6 and Figure 9 omit them) — but their
-                // spoofed impostors are analyzed like everyone else's
-                // (the paper's Figure 11 shows Googlebot, bingbot and
-                // Baiduspider spoof instances).
-                let exempt = is_exempt_agent(&view.name);
-                if !exempt && legit_base.len() >= MIN_ACCESSES && legit_phase.len() >= MIN_ACCESSES
-                {
-                    let checked = robots_times
-                        .get(&view.name)
-                        .is_some_and(|ts| ts.iter().any(|&t| t >= lo.unix() && t < hi.unix()));
-                    let mut row = make_row(view, &classes, directive, &legit_base, &legit_phase);
-                    row.checked_robots = checked || row.checked_robots;
-                    rows.push(row);
-                }
-
-                if !spoofed.is_empty() {
-                    let sp_base: Vec<&RecordRow> = spoofed
-                        .iter()
-                        .filter(|r| in_window(r, base_lo, base_hi))
-                        .copied()
-                        .collect();
-                    let sp_phase: Vec<&RecordRow> =
-                        spoofed.iter().filter(|r| in_window(r, lo, hi)).copied().collect();
-                    volume.1 += sp_phase.len() as u64;
-                    if !sp_base.is_empty() && !sp_phase.is_empty() {
-                        spoofed_rows.push(make_row(view, &classes, directive, &sp_base, &sp_phase));
-                    }
-                }
-            }
-            rows.sort_by(|a, b| a.bot.cmp(&b.bot));
-            spoofed_rows.sort_by(|a, b| a.bot.cmp(&b.bot));
+        for (idx, directive) in Directive::ALL.into_iter().enumerate() {
+            let rows: Vec<BotDirectiveResult> =
+                outcomes.iter_mut().filter_map(|o| o.legit[idx].take()).collect();
+            let spoofed_rows: Vec<BotDirectiveResult> =
+                outcomes.iter_mut().filter_map(|o| o.spoofed[idx].take()).collect();
+            let volume = outcomes
+                .iter()
+                .fold((0u64, 0u64), |acc, o| (acc.0 + o.volume[idx].0, acc.1 + o.volume[idx].1));
             per_directive.insert(directive, rows);
             spoofed_per_directive.insert(directive, spoofed_rows);
             spoof_volume.insert(directive, volume);
         }
 
-        let phase_traffic = phase_traffic(table, &site_rows, &logs, schedule);
+        let phase_traffic = phase_traffic(table, &site_rows, &outcomes, schedule, threads);
 
         Experiment {
             per_directive,
@@ -404,6 +387,117 @@ pub fn table5_category(cat: BotCategory) -> BotCategory {
     }
 }
 
+/// The deployment windows the engine buckets into: the baseline phase
+/// plus one window per directive, in [`Directive::ALL`] order.
+struct PhaseWindows {
+    base: (Timestamp, Timestamp),
+    directives: [(Timestamp, Timestamp); 3],
+}
+
+/// Everything one bot contributes to the experiment, per directive
+/// (index = position in [`Directive::ALL`]).
+struct BotOutcome {
+    /// The §5.2 dominance finding, if the bot is flagged.
+    finding: Option<SpoofFinding>,
+    legit: [Option<BotDirectiveResult>; 3],
+    spoofed: [Option<BotDirectiveResult>; 3],
+    /// (legitimate, spoofed) request counts per directive phase.
+    volume: [(u64, u64); 3],
+    /// Whether the bot visited the experiment site during each entry of
+    /// `schedule.phases` (the Table 4 bot count).
+    phase_presence: Vec<bool>,
+}
+
+/// The complete per-bot stage: slice the experiment-site rows and
+/// estate-wide robots.txt fetch times out of the bot's view, run the
+/// §5.2 dominance detection, split legit/spoofed and bucket every row
+/// into its phase window in a single sweep, then score each directive.
+fn analyze_bot(
+    table: &LogTable,
+    classes: &PathClasses,
+    windows: &PhaseWindows,
+    schedule: &PhaseSchedule,
+    site: Option<botscope_weblog::intern::Sym>,
+    view: &BotRowView<'_>,
+) -> BotOutcome {
+    let in_window =
+        |r: &RecordRow, (lo, hi): (Timestamp, Timestamp)| r.timestamp >= lo && r.timestamp < hi;
+
+    let site_rows: Vec<&RecordRow> = match site {
+        Some(s) => view.rows.iter().filter(|r| r.sitename == s).copied().collect(),
+        None => Vec::new(),
+    };
+    // Estate-wide robots.txt fetch times — Table 7 judges "checked
+    // robots.txt" across the whole institution.
+    let robots_times: Vec<u64> = view
+        .rows
+        .iter()
+        .filter(|r| classes.is_robots(r.uri_path))
+        .map(|r| r.timestamp.unix())
+        .collect();
+
+    // The dominance detection reads only this bot's site rows.
+    let finding =
+        analyze_bot_rows(table, &view.name, &site_rows, DOMINANCE_THRESHOLD, MIN_DETECT_REQUESTS);
+
+    // Buckets: [base, crawl-delay, endpoint, disallow] × {legit, spoofed}.
+    // The legit/spoofed partition is phase-independent, so one pass over
+    // the bot's rows fills all eight buckets.
+    let main_asn = finding.as_ref().and_then(|f| table.interner().get(&f.main_asn));
+    let mut legit: [Vec<&RecordRow>; 4] = Default::default();
+    let mut spoofed: [Vec<&RecordRow>; 4] = Default::default();
+    for &row in &site_rows {
+        let buckets =
+            if finding.is_none() || Some(row.asn) == main_asn { &mut legit } else { &mut spoofed };
+        if in_window(row, windows.base) {
+            buckets[0].push(row);
+        }
+        for (i, &w) in windows.directives.iter().enumerate() {
+            if in_window(row, w) {
+                buckets[i + 1].push(row);
+            }
+        }
+    }
+
+    // Exempt SEO bots are excluded from the *legitimate* per-bot
+    // analysis (they keep full access under v2/v3; the paper's Table 6
+    // and Figure 9 omit them) — but their spoofed impostors are analyzed
+    // like everyone else's (the paper's Figure 11 shows Googlebot,
+    // bingbot and Baiduspider spoof instances).
+    let exempt = is_exempt_agent(&view.name);
+
+    let phase_presence = schedule
+        .phases
+        .iter()
+        .map(|p| site_rows.iter().any(|r| r.timestamp >= p.start && r.timestamp < p.end))
+        .collect();
+    let mut outcome = BotOutcome {
+        finding,
+        legit: [None, None, None],
+        spoofed: [None, None, None],
+        volume: [(0, 0); 3],
+        phase_presence,
+    };
+    for (idx, directive) in Directive::ALL.into_iter().enumerate() {
+        let (lo, hi) = windows.directives[idx];
+        let (legit_base, legit_phase) = (&legit[0], &legit[idx + 1]);
+        outcome.volume[idx].0 = legit_phase.len() as u64;
+        if !exempt && legit_base.len() >= MIN_ACCESSES && legit_phase.len() >= MIN_ACCESSES {
+            let checked = robots_times.iter().any(|&t| t >= lo.unix() && t < hi.unix());
+            let mut row = make_row(view, classes, directive, legit_base, legit_phase);
+            row.checked_robots = checked || row.checked_robots;
+            outcome.legit[idx] = Some(row);
+        }
+
+        let (sp_base, sp_phase) = (&spoofed[0], &spoofed[idx + 1]);
+        outcome.volume[idx].1 = sp_phase.len() as u64;
+        if !sp_base.is_empty() && !sp_phase.is_empty() {
+            outcome.spoofed[idx] = Some(make_row(view, classes, directive, sp_base, sp_phase));
+        }
+    }
+    outcome
+}
+
 fn make_row(
     view: &BotRowView<'_>,
     classes: &PathClasses,
@@ -432,30 +526,31 @@ fn make_row(
     }
 }
 
-/// Table 4: sessionized visits and distinct known bots per phase.
+/// Table 4: sessionized visits and distinct known bots per phase. The
+/// per-phase session counts are independent, so they run on the worker
+/// pool too.
 fn phase_traffic(
     table: &LogTable,
     site_rows: &[&RecordRow],
-    logs: &StandardizedTable<'_>,
+    outcomes: &[BotOutcome],
     schedule: &PhaseSchedule,
+    threads: usize,
 ) -> Vec<PhaseTraffic> {
+    let visits = run_indexed(schedule.phases.len(), threads, |i| {
+        let p = &schedule.phases[i];
+        let phase_rows =
+            site_rows.iter().filter(|r| r.timestamp >= p.start && r.timestamp < p.end).copied();
+        table.count_sessions(phase_rows, SESSION_GAP_SECS)
+    });
     schedule
         .phases
         .iter()
-        .map(|p| {
-            let phase_rows =
-                site_rows.iter().filter(|r| r.timestamp >= p.start && r.timestamp < p.end).copied();
-            let visits = table.count_sessions(phase_rows, SESSION_GAP_SECS);
-            let bots = logs
-                .bots
-                .values()
-                .filter(|v| v.rows.iter().any(|r| r.timestamp >= p.start && r.timestamp < p.end))
-                .count();
-            PhaseTraffic {
-                version: p.version,
-                unique_site_visits: visits,
-                unique_bot_visitors: bots,
-            }
+        .enumerate()
+        .zip(visits)
+        .map(|((i, p), visits)| PhaseTraffic {
+            version: p.version,
+            unique_site_visits: visits,
+            unique_bot_visitors: outcomes.iter().filter(|o| o.phase_presence[i]).count(),
         })
         .collect()
 }

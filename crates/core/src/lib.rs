@@ -9,8 +9,8 @@
 //! The pipeline stages:
 //!
 //! 1. [`pipeline`] — standardize raw user agents to canonical bot names
-//!    and categories (via `botscope-useragent`), producing a per-bot view
-//!    of a [`botscope_weblog::LogStore`];
+//!    and categories (via `botscope-useragent`), producing per-bot views
+//!    of a [`botscope_weblog::LogTable`];
 //! 2. [`spoofdetect`] — the §5.2 heuristic: flag a bot's minority-network
 //!    traffic when ≥90 % of it comes from one ASN; spoof-flagged records
 //!    are excluded from the main compliance analysis and reported

@@ -1,13 +1,22 @@
 //! The three compliance metrics of paper §4.2.
 //!
-//! All three reduce to a success/trial count so they can feed the pooled
-//! two-proportion z-test directly:
+//! **The τ-tuple** (normative definition — every stratification in this
+//! workspace refers here): the paper groups accesses "into sets of
+//! accesses associated with a unique triple τᵢ = (ASN, IP hash,
+//! user-agent)", where the user agent is the **raw** header string, not
+//! the canonical bot name. Two raw UA variants of one bot (say
+//! `GPTBot/1.1` and `GPTBot/1.2`) are distinct clients with independent
+//! pacing; pooling them would measure deltas between unrelated request
+//! streams and systematically understate crawl-delay compliance.
 //!
-//! * **crawl delay** — stratify a bot's accesses by τ = (ASN, IP hash,
-//!   user agent); within each τ sort by time and test each inter-access
-//!   delta against the 30-second requirement; a τ with a single access
-//!   counts as one compliant delta (the paper: "we count this as an
-//!   instance of compliance");
+//! All three metrics reduce to a success/trial count so they can feed
+//! the pooled two-proportion z-test directly:
+//!
+//! * **crawl delay** — stratify a bot's accesses by the τ-tuple; within
+//!   each τ sort by time and test each inter-access delta against the
+//!   30-second requirement; a τ with a single access counts as one
+//!   compliant delta (the paper: "we count this as an instance of
+//!   compliance");
 //! * **endpoint access** — per user agent, the fraction of accesses that
 //!   hit an allowed target: `/robots.txt` (always permitted) or
 //!   `/page-data/*`;
@@ -16,7 +25,6 @@
 
 use botscope_weblog::intern::Sym;
 use botscope_weblog::record::AccessRecord;
-use botscope_weblog::store::LogStore;
 use botscope_weblog::table::{LogTable, RecordRow};
 
 /// A success/trial pair; the unit every metric returns.
@@ -53,17 +61,18 @@ impl DirectiveCounts {
 /// The crawl-delay requirement of the paper's v1 file, in seconds.
 pub const CRAWL_DELAY_SECS: u64 = 30;
 
-/// Crawl-delay compliance for one user agent's records, stratified by
-/// τ-tuple exactly as §4.2 prescribes.
+/// Crawl-delay compliance for a record set, stratified by the full
+/// (ASN, IP hash, raw user agent) τ-tuple exactly as §4.2 prescribes
+/// (see the module docs for the normative definition).
 ///
-/// `records` must all belong to the same user agent (grouping is the
-/// caller's job — [`LogStore::by_tau`] keys include the agent); they may
-/// be unsorted.
+/// Callers typically pass one *canonical bot*'s records; since a
+/// canonical bot pools raw UA variants, the raw agent stays part of the
+/// key here so variants never share a τ group. Records may be unsorted.
 pub fn crawl_delay_counts(records: &[&AccessRecord], delay_secs: u64) -> DirectiveCounts {
     use std::collections::BTreeMap;
-    let mut by_tau: BTreeMap<(&str, u64), Vec<u64>> = BTreeMap::new();
+    let mut by_tau: BTreeMap<(&str, u64, &str), Vec<u64>> = BTreeMap::new();
     for r in records {
-        by_tau.entry((r.asn.as_str(), r.ip_hash)).or_default().push(r.timestamp.unix());
+        by_tau.entry(r.tau_ref()).or_default().push(r.timestamp.unix());
     }
     let mut counts = DirectiveCounts::default();
     for (_, mut times) in by_tau {
@@ -157,13 +166,13 @@ impl PathClasses {
     }
 }
 
-/// Row-native [`crawl_delay_counts`]: τ-stratification keyed by
-/// `(ASN symbol, IP hash)` instead of strings.
+/// Row-native [`crawl_delay_counts`]: the (ASN, IP hash, raw user
+/// agent) τ-stratification keyed by symbols instead of strings.
 pub fn crawl_delay_counts_rows(rows: &[&RecordRow], delay_secs: u64) -> DirectiveCounts {
     use std::collections::HashMap;
-    let mut by_tau: HashMap<(Sym, u64), Vec<u64>> = HashMap::new();
+    let mut by_tau: HashMap<(Sym, u64, Sym), Vec<u64>> = HashMap::new();
     for r in rows {
-        by_tau.entry((r.asn, r.ip_hash)).or_default().push(r.timestamp.unix());
+        by_tau.entry((r.asn, r.ip_hash, r.useragent)).or_default().push(r.timestamp.unix());
     }
     let mut counts = DirectiveCounts::default();
     for (_, mut times) in by_tau {
@@ -209,16 +218,16 @@ pub fn disallow_counts_rows(classes: &PathClasses, rows: &[&RecordRow]) -> Direc
     counts
 }
 
-/// Convenience: group a store per user agent and compute crawl-delay
+/// Convenience: group a table per raw user agent and compute crawl-delay
 /// counts for each (used by the ablation bench).
 pub fn crawl_delay_by_useragent(
-    store: &LogStore,
+    table: &LogTable,
     delay_secs: u64,
 ) -> Vec<(String, DirectiveCounts)> {
-    store
+    table
         .by_useragent()
         .into_iter()
-        .map(|(ua, records)| (ua, crawl_delay_counts(&records, delay_secs)))
+        .map(|(ua, rows)| (ua.to_string(), crawl_delay_counts_rows(&rows, delay_secs)))
         .collect()
 }
 
@@ -343,9 +352,53 @@ mod tests {
 
     #[test]
     fn by_useragent_helper() {
-        let store = LogStore::new(vec![rec(1, 0, "/a"), rec(1, 100, "/b")]);
-        let per_ua = crawl_delay_by_useragent(&store, 30);
+        let table = LogTable::from_records(&[rec(1, 0, "/a"), rec(1, 100, "/b")]);
+        let per_ua = crawl_delay_by_useragent(&table, 30);
         assert_eq!(per_ua.len(), 1);
+        assert_eq!(per_ua[0].0, "bot");
         assert_eq!(per_ua[0].1.ratio(), Some(1.0));
+    }
+
+    /// A raw-UA variant of [`rec`]: same ASN and IP, different agent
+    /// string.
+    fn rec_ua(ua: &str, ip: u64, t: u64, path: &str) -> AccessRecord {
+        AccessRecord { useragent: ua.into(), ..rec(ip, t, path) }
+    }
+
+    #[test]
+    fn tau_stratification_separates_raw_ua_variants() {
+        // Two UA variants of one canonical bot, same ASN and IP,
+        // interleaved 5 s apart. Pooled under (ASN, IP) alone the deltas
+        // would be 5 s (non-compliant); stratified by the full τ-tuple
+        // each variant is its own slow, fully compliant client.
+        let rs = [
+            rec_ua("GPTBot/1.1", 1, 0, "/a"),
+            rec_ua("GPTBot/1.2", 1, 5, "/a"),
+            rec_ua("GPTBot/1.1", 1, 60, "/b"),
+            rec_ua("GPTBot/1.2", 1, 65, "/b"),
+        ];
+        let refs: Vec<&AccessRecord> = rs.iter().collect();
+        let c = crawl_delay_counts(&refs, 30);
+        assert_eq!(c, DirectiveCounts { successes: 2, trials: 2 });
+
+        // The row path stratifies identically.
+        let table = LogTable::from_records(&rs);
+        let row_refs: Vec<&RecordRow> = table.rows().iter().collect();
+        assert_eq!(crawl_delay_counts_rows(&row_refs, 30), c);
+    }
+
+    #[test]
+    fn single_access_ua_variants_each_count_once() {
+        // One access per variant on a shared ASN/IP: two single-access τ
+        // groups, each counted as one compliant instance.
+        let rs = [rec_ua("GPTBot/1.1", 1, 0, "/a"), rec_ua("GPTBot/1.2", 1, 1, "/a")];
+        let refs: Vec<&AccessRecord> = rs.iter().collect();
+        assert_eq!(crawl_delay_counts(&refs, 30), DirectiveCounts { successes: 2, trials: 2 });
+        let table = LogTable::from_records(&rs);
+        let row_refs: Vec<&RecordRow> = table.rows().iter().collect();
+        assert_eq!(
+            crawl_delay_counts_rows(&row_refs, 30),
+            DirectiveCounts { successes: 2, trials: 2 }
+        );
     }
 }

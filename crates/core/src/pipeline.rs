@@ -7,6 +7,7 @@
 use std::collections::BTreeMap;
 
 use botscope_useragent::{BotCategory, Standardizer};
+use botscope_weblog::intern::Sym;
 use botscope_weblog::record::AccessRecord;
 use botscope_weblog::table::{LogTable, RecordRow};
 
@@ -140,7 +141,75 @@ impl<'t> StandardizedTable<'t> {
 
 /// Standardize a whole table. See [`standardize_rows`].
 pub fn standardize_table(table: &LogTable) -> StandardizedTable<'_> {
-    standardize_rows(table, table.rows())
+    standardize_table_with_threads(table, 1)
+}
+
+/// [`standardize_table`] with the table's distinct user agents
+/// standardized across `threads` scoped workers.
+///
+/// Standardizing one agent string is a pure function of the registry, so
+/// sharding the distinct-agent set is free of ordering effects: the
+/// output is identical at any worker count. Grouping rows into per-bot
+/// views stays serial — after the per-agent results are in, it is one
+/// array index per row.
+pub fn standardize_table_with_threads(table: &LogTable, threads: usize) -> StandardizedTable<'_> {
+    assert!(threads >= 1, "at least one worker required");
+    // Distinct user-agent symbols, in first-appearance order.
+    let mut seen = vec![false; table.interner().len()];
+    let mut distinct: Vec<Sym> = Vec::new();
+    for row in table.rows() {
+        if !seen[row.useragent.index()] {
+            seen[row.useragent.index()] = true;
+            distinct.push(row.useragent);
+        }
+    }
+
+    // spec_of[sym.index()]: the standardization verdict for every
+    // distinct agent symbol (None = anonymous). Verdicts come from
+    // `standardize_batch` (one fuzzy pass per distinct token, not per
+    // agent), sharded over the worker pool in contiguous chunks; worker
+    // threads only pay off when there are enough distinct agents to
+    // amortize spawning.
+    let standardizer = Standardizer::new();
+    let headers: Vec<&str> = distinct.iter().map(|&sym| table.resolve(sym)).collect();
+    let chunks = if headers.len() < 64 { 1 } else { threads };
+    let chunk_size = headers.len().div_ceil(chunks.max(1)).max(1);
+    let verdicts: Vec<Vec<Option<&'static botscope_useragent::BotSpec>>> =
+        run_indexed(chunks, threads, |c| {
+            let lo = (c * chunk_size).min(headers.len());
+            let hi = ((c + 1) * chunk_size).min(headers.len());
+            standardizer.standardize_batch(&headers[lo..hi])
+        });
+    let mut spec_of: Vec<Option<&'static botscope_useragent::BotSpec>> =
+        vec![None; table.interner().len()];
+    for (&sym, &spec) in distinct.iter().zip(verdicts.iter().flatten()) {
+        spec_of[sym.index()] = spec;
+    }
+
+    // Map each agent symbol to its view slot, then group rows with one
+    // array index per row.
+    let mut slot_of = vec![u32::MAX; table.interner().len()];
+    let mut views: Vec<BotRowView<'_>> = Vec::new();
+    let mut slot_by_name: BTreeMap<&'static str, u32> = BTreeMap::new();
+    for &sym in &distinct {
+        if let Some(bot) = spec_of[sym.index()] {
+            let slot = *slot_by_name.entry(bot.canonical).or_insert_with(|| {
+                views.push(view_for(bot));
+                (views.len() - 1) as u32
+            });
+            slot_of[sym.index()] = slot;
+        }
+    }
+    let mut anonymous: Vec<&RecordRow> = Vec::new();
+    for row in table.rows() {
+        match slot_of[row.useragent.index()] {
+            u32::MAX => anonymous.push(row),
+            slot => views[slot as usize].rows.push(row),
+        }
+    }
+    let bots: BTreeMap<String, BotRowView<'_>> =
+        views.into_iter().map(|v| (v.name.clone(), v)).collect();
+    StandardizedTable { table, bots, anonymous }
 }
 
 /// Standardize a row subset of a table. Each distinct user-agent
@@ -152,35 +221,86 @@ pub fn standardize_rows<'t>(
     rows: impl IntoIterator<Item = &'t RecordRow>,
 ) -> StandardizedTable<'t> {
     let standardizer = Standardizer::new();
-    // cache[sym.index()]: None = unseen, Some(None) = anonymous,
-    // Some(Some(spec)) = known bot.
-    let mut cache: Vec<Option<Option<&'static botscope_useragent::BotSpec>>> =
-        vec![None; table.interner().len()];
-    let mut out = StandardizedTable { table, bots: BTreeMap::new(), anonymous: Vec::new() };
+    // cache[sym.index()]: None = unseen, Some(u32::MAX) = anonymous,
+    // Some(slot) = index into `views`.
+    let mut cache: Vec<Option<u32>> = vec![None; table.interner().len()];
+    let mut views: Vec<BotRowView<'t>> = Vec::new();
+    let mut slot_by_name: BTreeMap<&'static str, u32> = BTreeMap::new();
+    let mut anonymous: Vec<&'t RecordRow> = Vec::new();
 
     for row in rows {
         let idx = row.useragent.index();
-        let spec = *cache[idx].get_or_insert_with(|| {
-            standardizer.standardize(table.resolve(row.useragent)).map(|s| s.bot)
-        });
-        match spec {
-            Some(bot) => {
-                out.bots
-                    .entry(bot.canonical.to_string())
-                    .or_insert_with(|| BotRowView {
-                        name: bot.canonical.to_string(),
-                        category: bot.category,
-                        promise: bot.respects_robots,
-                        sponsor: bot.sponsor,
-                        rows: Vec::new(),
-                    })
-                    .rows
-                    .push(row);
+        let slot = *cache[idx].get_or_insert_with(|| {
+            match standardizer.standardize(table.resolve(row.useragent)).map(|s| s.bot) {
+                Some(bot) => *slot_by_name.entry(bot.canonical).or_insert_with(|| {
+                    views.push(view_for(bot));
+                    (views.len() - 1) as u32
+                }),
+                None => u32::MAX,
             }
-            None => out.anonymous.push(row),
+        });
+        match slot {
+            u32::MAX => anonymous.push(row),
+            slot => views[slot as usize].rows.push(row),
         }
     }
-    out
+    let bots: BTreeMap<String, BotRowView<'t>> =
+        views.into_iter().map(|v| (v.name.clone(), v)).collect();
+    StandardizedTable { table, bots, anonymous }
+}
+
+/// Run `f(0..n)` across `threads` scoped workers and return the results
+/// in index order — the workspace's shared fan-out shape (simnet
+/// generation units, distinct-agent standardization, per-bot analysis).
+/// `f` must be a pure function of its index for the output to be
+/// worker-count invariant; the pool only changes execution order.
+/// Serial (no spawns) when `threads` is 1 or there is at most one item.
+pub(crate) fn run_indexed<T: Send>(
+    n: usize,
+    threads: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    assert!(threads >= 1, "at least one worker required");
+    if threads == 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    // Hand out work in chunks: per-index locking would swamp sub-µs
+    // items (distinct-agent standardization) with contention, while
+    // large fixed chunks would load-balance badly over very uneven items
+    // (per-bot row counts are heavy-tailed). n/(threads·8) strikes the
+    // balance; the clamp keeps chunks sane at both extremes.
+    let chunk = (n / (threads * 8)).clamp(1, 1024);
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                let out: Vec<T> = (start..end).map(&f).collect();
+                results.lock().expect("no poisoned workers").push((start, out));
+            });
+        }
+    });
+    let mut v = results.into_inner().expect("workers joined");
+    v.sort_by_key(|&(start, _)| start);
+    v.into_iter().flat_map(|(_, chunk)| chunk).collect()
+}
+
+/// An empty [`BotRowView`] carrying a spec's metadata.
+fn view_for(bot: &'static botscope_useragent::BotSpec) -> BotRowView<'static> {
+    BotRowView {
+        name: bot.canonical.to_string(),
+        category: bot.category,
+        promise: bot.respects_robots,
+        sponsor: bot.sponsor,
+        rows: Vec::new(),
+    }
 }
 
 #[cfg(test)]

@@ -80,9 +80,20 @@ pub fn profiles(logs: &StandardizedLogs<'_>, horizon_end: u64) -> Vec<RecheckPro
 }
 
 /// Row-native [`profiles`]: robots.txt fetches are recognized by path
-/// symbol, so the scan is string-free.
+/// symbol, so the scan is string-free. Convenience wrapper over
+/// [`profiles_table_with`] that classifies the interner itself.
 pub fn profiles_table(logs: &StandardizedTable<'_>, horizon_end: u64) -> Vec<RecheckProfile> {
-    let classes = PathClasses::new(logs.table);
+    profiles_table_with(&PathClasses::new(logs.table), logs, horizon_end)
+}
+
+/// [`profiles_table`] with a caller-supplied [`PathClasses`], so callers
+/// that already classified the table's interner (report generation does)
+/// don't pay for a second scan of it.
+pub fn profiles_table_with(
+    classes: &PathClasses,
+    logs: &StandardizedTable<'_>,
+    horizon_end: u64,
+) -> Vec<RecheckProfile> {
     let mut out = Vec::new();
     for view in logs.bots.values() {
         let mut check_times: Vec<u64> = view

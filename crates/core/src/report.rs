@@ -21,8 +21,9 @@ use botscope_weblog::table::{LogTable, RecordRow};
 use botscope_weblog::time::Timestamp;
 
 use crate::analyze::{Directive, Experiment};
+use crate::metrics::PathClasses;
 use crate::pipeline::standardize_table;
-use crate::recheck::{by_category, profiles_table, RecheckByCategory};
+use crate::recheck::{by_category, profiles_table_with, RecheckByCategory};
 use crate::spoofdetect::{detect_rows, SpoofReport};
 use crate::tables::{f, ratio, series, TextTable};
 
@@ -118,7 +119,8 @@ impl FullStudyReport {
         }
 
         let horizon_end = end.unix() + 1;
-        let recheck = by_category(&profiles_table(&logs, horizon_end));
+        let classes = PathClasses::new(table);
+        let recheck = by_category(&profiles_table_with(&classes, &logs, horizon_end));
         let spoof = detect_rows(table, &logs.per_bot_rows());
 
         FullStudyReport {

@@ -16,6 +16,9 @@ use botscope_weblog::table::{LogTable, RecordRow};
 /// The paper's dominance threshold.
 pub const DOMINANCE_THRESHOLD: f64 = 0.90;
 
+/// Minimum observations before a bot enters the dominance analysis.
+pub const MIN_DETECT_REQUESTS: u64 = 10;
+
 /// Detection result for one bot.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpoofFinding {
@@ -103,7 +106,7 @@ pub fn analyze_bot(
 /// Analyze a per-bot partition of the dataset with the paper's threshold
 /// and a minimum of 10 observations per bot.
 pub fn detect(per_bot: &BTreeMap<String, Vec<&AccessRecord>>) -> SpoofReport {
-    detect_with(per_bot, DOMINANCE_THRESHOLD, 10)
+    detect_with(per_bot, DOMINANCE_THRESHOLD, MIN_DETECT_REQUESTS)
 }
 
 /// [`detect`] with explicit parameters (the §5.2 limitations call the 90 %
@@ -183,7 +186,7 @@ pub fn analyze_bot_rows(
 
 /// Row-native [`detect`] over a per-bot partition of a table.
 pub fn detect_rows(table: &LogTable, per_bot: &BTreeMap<String, Vec<&RecordRow>>) -> SpoofReport {
-    detect_rows_with(table, per_bot, DOMINANCE_THRESHOLD, 10)
+    detect_rows_with(table, per_bot, DOMINANCE_THRESHOLD, MIN_DETECT_REQUESTS)
 }
 
 /// [`detect_rows`] with explicit parameters.

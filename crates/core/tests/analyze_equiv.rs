@@ -1,0 +1,247 @@
+//! Equivalence of the single-pass, parallel `Experiment::analyze_table`
+//! with a straightforward reference implementation of the §4 analysis,
+//! field for field, on generated tables — and across worker counts.
+//!
+//! The reference below mirrors the pre-rework engine: standardize the
+//! site subset, split legit/spoofed per directive, and re-filter each
+//! window per directive. It uses the same (τ-fixed) metrics, so any
+//! divergence is attributable to the engine rework, not the τ change.
+
+use std::collections::BTreeMap;
+
+use botscope_core::analyze::{BotDirectiveResult, Directive, Experiment};
+use botscope_core::metrics::PathClasses;
+use botscope_core::pipeline::standardize_rows;
+use botscope_core::spoofdetect::{detect_rows, split_rows};
+use botscope_simnet::phases::{is_exempt_agent, PolicyVersion};
+use botscope_simnet::scenario::phase_study_table;
+use botscope_simnet::SimConfig;
+use botscope_stats::ztest::two_proportion_z_test;
+use botscope_weblog::session::SESSION_GAP_SECS;
+use botscope_weblog::table::{LogTable, RecordRow};
+use botscope_weblog::time::Timestamp;
+
+use proptest::prelude::*;
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// The §4.1 minimum accesses per phase.
+const MIN_ACCESSES: usize = 5;
+
+/// Reference analysis: the readable, multi-pass formulation.
+fn reference_analyze(
+    table: &LogTable,
+    schedule: &botscope_simnet::phases::PhaseSchedule,
+) -> Experiment {
+    let site_name = format!("site-{:02}.example.edu", schedule.experiment_site);
+    let classes = PathClasses::new(table);
+    let site_rows: Vec<&RecordRow> = match table.interner().get(&site_name) {
+        Some(site) => table.rows().iter().filter(|r| r.sitename == site).collect(),
+        None => Vec::new(),
+    };
+
+    let logs = standardize_rows(table, site_rows.iter().copied());
+    let spoof_report = detect_rows(table, &logs.per_bot_rows());
+
+    let all_logs = standardize_rows(table, table.rows());
+    let robots_times: BTreeMap<String, Vec<u64>> = all_logs
+        .bots
+        .iter()
+        .map(|(name, view)| {
+            let times: Vec<u64> = view
+                .rows
+                .iter()
+                .filter(|r| classes.is_robots(r.uri_path))
+                .map(|r| r.timestamp.unix())
+                .collect();
+            (name.clone(), times)
+        })
+        .collect();
+
+    let phase_of = |version: PolicyVersion| -> (Timestamp, Timestamp) {
+        schedule.window_of(version).expect("version scheduled")
+    };
+    let in_window =
+        |r: &&RecordRow, lo: Timestamp, hi: Timestamp| r.timestamp >= lo && r.timestamp < hi;
+    let (base_lo, base_hi) = phase_of(PolicyVersion::Base);
+
+    let make_row = |view: &botscope_core::pipeline::BotRowView<'_>,
+                    directive: Directive,
+                    base: &[&RecordRow],
+                    phase: &[&RecordRow]|
+     -> BotDirectiveResult {
+        let baseline = directive.counts_rows(&classes, base);
+        let experiment = directive.counts_rows(&classes, phase);
+        let ztest = two_proportion_z_test(
+            experiment.successes,
+            experiment.trials,
+            baseline.successes,
+            baseline.trials,
+        );
+        BotDirectiveResult {
+            bot: view.name.clone(),
+            category: view.category,
+            promise: view.promise,
+            sponsor: view.sponsor,
+            baseline,
+            experiment,
+            ztest,
+            checked_robots: phase.iter().any(|r| classes.is_robots(r.uri_path)),
+            accesses: phase.len() as u64,
+        }
+    };
+
+    let mut per_directive: BTreeMap<Directive, Vec<BotDirectiveResult>> = BTreeMap::new();
+    let mut spoofed_per_directive: BTreeMap<Directive, Vec<BotDirectiveResult>> = BTreeMap::new();
+    let mut spoof_volume: BTreeMap<Directive, (u64, u64)> = BTreeMap::new();
+
+    for directive in Directive::ALL {
+        let (lo, hi) = phase_of(directive.version());
+        let mut rows = Vec::new();
+        let mut spoofed_rows = Vec::new();
+        let mut volume = (0u64, 0u64);
+
+        for view in logs.bots.values() {
+            let (legit, spoofed) = match spoof_report.finding_for(&view.name) {
+                Some(f) => split_rows(f, table, &view.rows),
+                None => (view.rows.clone(), Vec::new()),
+            };
+
+            let legit_base: Vec<&RecordRow> =
+                legit.iter().filter(|r| in_window(r, base_lo, base_hi)).copied().collect();
+            let legit_phase: Vec<&RecordRow> =
+                legit.iter().filter(|r| in_window(r, lo, hi)).copied().collect();
+            volume.0 += legit_phase.len() as u64;
+
+            let exempt = is_exempt_agent(&view.name);
+            if !exempt && legit_base.len() >= MIN_ACCESSES && legit_phase.len() >= MIN_ACCESSES {
+                let checked = robots_times
+                    .get(&view.name)
+                    .is_some_and(|ts| ts.iter().any(|&t| t >= lo.unix() && t < hi.unix()));
+                let mut row = make_row(view, directive, &legit_base, &legit_phase);
+                row.checked_robots = checked || row.checked_robots;
+                rows.push(row);
+            }
+
+            if !spoofed.is_empty() {
+                let sp_base: Vec<&RecordRow> =
+                    spoofed.iter().filter(|r| in_window(r, base_lo, base_hi)).copied().collect();
+                let sp_phase: Vec<&RecordRow> =
+                    spoofed.iter().filter(|r| in_window(r, lo, hi)).copied().collect();
+                volume.1 += sp_phase.len() as u64;
+                if !sp_base.is_empty() && !sp_phase.is_empty() {
+                    spoofed_rows.push(make_row(view, directive, &sp_base, &sp_phase));
+                }
+            }
+        }
+        rows.sort_by(|a, b| a.bot.cmp(&b.bot));
+        spoofed_rows.sort_by(|a, b| a.bot.cmp(&b.bot));
+        per_directive.insert(directive, rows);
+        spoofed_per_directive.insert(directive, spoofed_rows);
+        spoof_volume.insert(directive, volume);
+    }
+
+    let phase_traffic = schedule
+        .phases
+        .iter()
+        .map(|p| botscope_core::analyze::PhaseTraffic {
+            version: p.version,
+            unique_site_visits: table.count_sessions(
+                site_rows.iter().filter(|r| r.timestamp >= p.start && r.timestamp < p.end).copied(),
+                SESSION_GAP_SECS,
+            ),
+            unique_bot_visitors: logs
+                .bots
+                .values()
+                .filter(|v| v.rows.iter().any(|r| r.timestamp >= p.start && r.timestamp < p.end))
+                .count(),
+        })
+        .collect();
+
+    Experiment {
+        per_directive,
+        spoofed_per_directive,
+        phase_traffic,
+        spoof_report,
+        spoof_volume,
+        truth: None,
+        schedule: schedule.clone(),
+    }
+}
+
+/// Field-for-field comparison of two experiments (asserts on mismatch).
+fn assert_experiments_equal(a: &Experiment, b: &Experiment, label: &str) {
+    assert_eq!(a.schedule, b.schedule, "{label}: schedule");
+    assert_eq!(a.phase_traffic, b.phase_traffic, "{label}: phase_traffic");
+    assert_eq!(a.spoof_report, b.spoof_report, "{label}: spoof_report");
+    assert_eq!(a.spoof_volume, b.spoof_volume, "{label}: spoof_volume");
+    for (map_a, map_b, what) in [
+        (&a.per_directive, &b.per_directive, "per_directive"),
+        (&a.spoofed_per_directive, &b.spoofed_per_directive, "spoofed_per_directive"),
+    ] {
+        assert_eq!(map_a.len(), map_b.len(), "{label}: {what} directive count");
+        for (directive, rows_a) in map_a {
+            let rows_b = &map_b[directive];
+            assert_eq!(rows_a, rows_b, "{label}: {what}[{directive:?}]");
+        }
+    }
+}
+
+fn check_config(cfg: &SimConfig) {
+    let out = phase_study_table(cfg);
+    let reference = reference_analyze(&out.sim.table, &out.schedule);
+    for threads in WORKER_COUNTS {
+        let engine = Experiment::analyze_table_with_threads(&out.sim.table, &out.schedule, threads);
+        assert_experiments_equal(
+            &engine,
+            &reference,
+            &format!("seed {} at {threads} workers", cfg.seed),
+        );
+    }
+}
+
+#[test]
+fn engine_matches_reference_at_default_seed() {
+    let cfg = SimConfig { scale: 0.15, sites: 4, ..SimConfig::default() };
+    check_config(&cfg);
+}
+
+#[test]
+fn engine_is_worker_count_invariant_at_scale() {
+    // A denser run (more bots clear the ≥5-accesses filter, more spoof
+    // findings), compared only across worker counts for speed.
+    let cfg = SimConfig { scale: 0.3, sites: 6, ..SimConfig::default() };
+    let out = phase_study_table(&cfg);
+    let serial = Experiment::analyze_table_with_threads(&out.sim.table, &out.schedule, 1);
+    assert!(
+        serial.per_directive.values().any(|rows| rows.len() >= 10),
+        "scale 0.3 should produce a dense experiment"
+    );
+    for threads in [2, 3, 8] {
+        let parallel =
+            Experiment::analyze_table_with_threads(&out.sim.table, &out.schedule, threads);
+        assert_experiments_equal(&parallel, &serial, &format!("{threads} workers"));
+    }
+}
+
+proptest! {
+    // Generation dominates the runtime of each case; a handful of cases
+    // over seed × scale × sites exercises sparse and dense tables,
+    // including ones where some bots fail the per-phase minimum and
+    // where spoof findings shift.
+    #![proptest_config(ProptestConfig { cases: 6 })]
+    #[test]
+    fn engine_matches_reference_on_generated_tables(
+        seed in 0u64..1_000_000,
+        scale_pct in 2u32..12,
+        sites in 2usize..6,
+    ) {
+        let cfg = SimConfig {
+            seed,
+            scale: scale_pct as f64 / 100.0,
+            sites,
+            ..SimConfig::default()
+        };
+        check_config(&cfg);
+    }
+}

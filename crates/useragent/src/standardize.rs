@@ -36,12 +36,129 @@ pub struct Standardizer {
     /// Minimum Jaro-Winkler similarity for a fuzzy match (default 0.93 —
     /// high enough that `bingbot` does not claim `dotbot`).
     pub fuzzy_threshold: f64,
+    /// Canonical names pre-normalized once — with their character
+    /// histograms — so the fuzzy pass can bound Jaro cheaply before
+    /// running the quadratic comparison.
+    normalized: Vec<(String, CharCounts, &'static BotSpec)>,
+    /// Two-byte-prefix index over the registry's substring patterns.
+    patterns: PatternIndex,
+}
+
+/// Histogram over the 36-symbol normalized alphabet (`[a-z0-9]`).
+type CharCounts = [u8; 36];
+
+/// One registry pattern in the [`PatternIndex`].
+#[derive(Debug)]
+struct IndexedPattern {
+    pattern: &'static str,
+    bot: &'static BotSpec,
+    /// Position in the registry's bots × patterns iteration, for exact
+    /// tie-breaking parity with [`BotRegistry::match_user_agent`].
+    order: u32,
+}
+
+/// Substring-pattern index keyed on each pattern's first two bytes.
+///
+/// [`BotRegistry::match_user_agent`] scans every pattern with
+/// `str::contains` — ~174 needle scans per header. The index instead
+/// walks the lowercased header once: a 64 Ki-bit presence filter over
+/// two-byte windows rejects almost every position, and the rare hits
+/// verify only the handful of patterns sharing that prefix. Results are
+/// identical (same longest-pattern, first-in-registry-order tie-break).
+#[derive(Debug)]
+struct PatternIndex {
+    /// Presence bit per possible two-byte pattern prefix.
+    bitmap: Vec<u64>,
+    by_prefix: std::collections::HashMap<[u8; 2], Vec<IndexedPattern>>,
+}
+
+impl PatternIndex {
+    fn build(registry: &BotRegistry) -> PatternIndex {
+        let mut bitmap = vec![0u64; (1 << 16) / 64];
+        let mut by_prefix: std::collections::HashMap<[u8; 2], Vec<IndexedPattern>> =
+            std::collections::HashMap::new();
+        let mut order = 0u32;
+        for bot in registry.all() {
+            for &pattern in bot.patterns {
+                assert!(pattern.len() >= 2, "pattern {pattern:?} too short to index");
+                let key = [pattern.as_bytes()[0], pattern.as_bytes()[1]];
+                let bit = u16::from_be_bytes(key) as usize;
+                bitmap[bit / 64] |= 1 << (bit % 64);
+                by_prefix.entry(key).or_default().push(IndexedPattern { pattern, bot, order });
+                order += 1;
+            }
+        }
+        PatternIndex { bitmap, by_prefix }
+    }
+
+    /// Exact replica of [`BotRegistry::match_user_agent`]'s result: the
+    /// longest matching pattern wins, ties go to the earliest registry
+    /// entry.
+    fn match_user_agent(&self, header: &str) -> Option<&'static BotSpec> {
+        let lower = header.to_ascii_lowercase();
+        let bytes = lower.as_bytes();
+        // (pattern length, registry order, bot): max length, min order.
+        let mut best: Option<(usize, u32, &'static BotSpec)> = None;
+        for i in 0..bytes.len().saturating_sub(1) {
+            let key = [bytes[i], bytes[i + 1]];
+            let bit = u16::from_be_bytes(key) as usize;
+            if self.bitmap[bit / 64] & (1 << (bit % 64)) == 0 {
+                continue;
+            }
+            let Some(candidates) = self.by_prefix.get(&key) else { continue };
+            for c in candidates {
+                if bytes[i..].starts_with(c.pattern.as_bytes()) {
+                    let better = match best {
+                        None => true,
+                        Some((len, order, _)) => {
+                            c.pattern.len() > len || (c.pattern.len() == len && c.order < order)
+                        }
+                    };
+                    if better {
+                        best = Some((c.pattern.len(), c.order, c.bot));
+                    }
+                }
+            }
+        }
+        best.map(|(_, _, bot)| bot)
+    }
+}
+
+/// Count normalized characters (input is already `[a-z0-9]`-only).
+fn char_counts(s: &str) -> CharCounts {
+    let mut counts = [0u8; 36];
+    for b in s.bytes() {
+        let i = match b {
+            b'a'..=b'z' => (b - b'a') as usize,
+            b'0'..=b'9' => 26 + (b - b'0') as usize,
+            _ => continue,
+        };
+        counts[i] = counts[i].saturating_add(1);
+    }
+    counts
+}
+
+/// Upper bound on the number of Jaro character matches: no matching can
+/// pair more occurrences of a character than both strings contain.
+fn common_chars_upper_bound(a: &CharCounts, b: &CharCounts) -> usize {
+    a.iter().zip(b.iter()).map(|(&x, &y)| x.min(y) as usize).sum()
 }
 
 impl Standardizer {
     /// Standardizer over the built-in registry with the default threshold.
     pub fn new() -> Self {
-        Self { registry: BotRegistry::builtin(), fuzzy_threshold: 0.93 }
+        let registry = BotRegistry::builtin();
+        let normalized = registry
+            .all()
+            .iter()
+            .map(|b| {
+                let norm = normalize_token(b.canonical);
+                let counts = char_counts(&norm);
+                (norm, counts, b)
+            })
+            .collect();
+        let patterns = PatternIndex::build(&registry);
+        Self { registry, fuzzy_threshold: 0.93, normalized, patterns }
     }
 
     /// Access the underlying registry.
@@ -52,28 +169,102 @@ impl Standardizer {
     /// Standardize a raw header. Returns `None` for agents that match no
     /// known bot (ordinary browsers, anonymous scrapers).
     pub fn standardize(&self, header: &str) -> Option<Standardized> {
-        // Pass 1: substring patterns (the paper's regex corpus equivalent).
-        if let Some(bot) = self.registry.match_user_agent(header) {
+        // Pass 1: substring patterns (the paper's regex corpus
+        // equivalent), via the prefix index — same result as
+        // [`BotRegistry::match_user_agent`], one header scan.
+        if let Some(bot) = self.patterns.match_user_agent(header) {
             return Some(Standardized { bot, kind: MatchKind::Exact, score: 1.0 });
         }
 
         // Pass 2: fuzzy matching over candidate tokens.
-        let parsed = UserAgent::parse(header);
         let mut best: Option<(f64, &'static BotSpec)> = None;
-        for token in parsed.candidate_tokens() {
+        for token in UserAgent::parse(header).candidate_tokens() {
             let token_norm = normalize_token(&token);
-            if token_norm.len() < 4 {
-                continue; // too short to match confidently
-            }
-            for bot in self.registry.all() {
-                let canon_norm = normalize_token(bot.canonical);
-                let score = jaro_winkler(&token_norm, &canon_norm);
-                if score >= self.fuzzy_threshold && best.is_none_or(|(s, _)| score > s) {
+            if let Some((score, bot)) = self.fuzzy_token(&token_norm) {
+                if best.is_none_or(|(s, _)| score > s) {
                     best = Some((score, bot));
                 }
             }
         }
         best.map(|(score, bot)| Standardized { bot, kind: MatchKind::Fuzzy, score })
+    }
+
+    /// Standardize a whole batch of headers at once, returning one
+    /// verdict per header — identical to calling
+    /// [`Standardizer::standardize`] on each, but the fuzzy pass runs
+    /// once per *distinct normalized token* in the batch instead of once
+    /// per header. Real logs repeat the same handful of browser tokens
+    /// (`Mozilla`, `AppleWebKit`, `Chrome`…) across thousands of agent
+    /// variants, so this collapses the quadratic work almost entirely.
+    pub fn standardize_batch(&self, headers: &[&str]) -> Vec<Option<&'static BotSpec>> {
+        use std::collections::HashMap;
+        let mut verdicts: Vec<Option<&'static BotSpec>> = Vec::with_capacity(headers.len());
+        let mut token_lists: Vec<Option<Vec<String>>> = Vec::with_capacity(headers.len());
+        let mut token_scores: HashMap<String, Option<(f64, &'static BotSpec)>> = HashMap::new();
+        for &header in headers {
+            if let Some(bot) = self.patterns.match_user_agent(header) {
+                verdicts.push(Some(bot));
+                token_lists.push(None);
+                continue;
+            }
+            let tokens: Vec<String> = UserAgent::parse(header)
+                .candidate_tokens()
+                .iter()
+                .map(|t| normalize_token(t))
+                .collect();
+            for token in &tokens {
+                token_scores.entry(token.clone()).or_default();
+            }
+            verdicts.push(None);
+            token_lists.push(Some(tokens));
+        }
+        for (token, slot) in token_scores.iter_mut() {
+            *slot = self.fuzzy_token(token);
+        }
+        for (verdict, tokens) in verdicts.iter_mut().zip(&token_lists) {
+            let Some(tokens) = tokens else { continue };
+            // Same tie-breaking as the per-header path: the first token
+            // with the strictly highest score wins.
+            let mut best: Option<(f64, &'static BotSpec)> = None;
+            for token in tokens {
+                if let Some((score, bot)) = token_scores[token] {
+                    if best.is_none_or(|(s, _)| score > s) {
+                        best = Some((score, bot));
+                    }
+                }
+            }
+            *verdict = best.map(|(_, bot)| bot);
+        }
+        verdicts
+    }
+
+    /// Fuzzy-match one normalized candidate token against every
+    /// canonical name. Jaro-Winkler is quadratic and allocates, so pairs
+    /// that provably cannot clear the threshold are pruned first:
+    /// jw = j + p·0.1·(1 − j) with prefix p ≤ 4 gives jw ≤ 0.4 + 0.6·j,
+    /// so the Jaro part must reach j_min = (t − 0.4)/0.6; and with m
+    /// character matches Jaro is at most (m/|a| + m/|b| + 1)/3, where m
+    /// is bounded by the histogram overlap of the two strings.
+    /// Normalized tokens are pure ASCII, so byte length == char count.
+    fn fuzzy_token(&self, token_norm: &str) -> Option<(f64, &'static BotSpec)> {
+        if token_norm.len() < 4 {
+            return None; // too short to match confidently
+        }
+        let j_min = (self.fuzzy_threshold - 0.4) / 0.6;
+        let token_counts = char_counts(token_norm);
+        let mut best: Option<(f64, &'static BotSpec)> = None;
+        for (canon_norm, canon_counts, bot) in &self.normalized {
+            let m = common_chars_upper_bound(&token_counts, canon_counts) as f64;
+            let j_bound = (m / token_norm.len() as f64 + m / canon_norm.len() as f64 + 1.0) / 3.0;
+            if j_bound < j_min {
+                continue;
+            }
+            let score = jaro_winkler(token_norm, canon_norm);
+            if score >= self.fuzzy_threshold && best.is_none_or(|(s, _)| score > s) {
+                best = Some((score, bot));
+            }
+        }
+        best
     }
 }
 
@@ -148,5 +339,43 @@ mod tests {
     fn normalize_token_strips_separators() {
         assert_eq!(normalize_token("Claude-Bot"), "claudebot");
         assert_eq!(normalize_token("meta_external.agent"), "metaexternalagent");
+    }
+
+    #[test]
+    fn pattern_index_matches_registry_scan() {
+        // The indexed pass-1 must agree with the reference linear scan on
+        // every registry pattern (embedded in realistic noise), on
+        // multi-pattern headers (longest wins), and on non-matches.
+        let s = Standardizer::new();
+        for bot in s.registry().all() {
+            for pat in bot.patterns {
+                for header in [
+                    format!("Mozilla/5.0 (compatible; {pat}/2.1; +https://example.com/bot)"),
+                    pat.to_string(),
+                    format!("prefix {pat}"),
+                    format!("{}{}", pat.to_ascii_uppercase(), "/9.9 (KHTML, like Gecko)"),
+                ] {
+                    let reference = s.registry().match_user_agent(&header);
+                    let indexed = s.patterns.match_user_agent(&header);
+                    assert_eq!(
+                        indexed.map(|b| b.canonical),
+                        reference.map(|b| b.canonical),
+                        "disagreement on {header:?}"
+                    );
+                }
+            }
+        }
+        for header in [
+            "",
+            "g",
+            "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 Chrome/120.0",
+            "totally unrelated text with no bot names at all",
+            // Two patterns in one header: the longer one must win in both.
+            "Googlebot-Image/1.0 (compatible; Googlebot/2.1)",
+        ] {
+            let reference = s.registry().match_user_agent(header);
+            let indexed = s.patterns.match_user_agent(header);
+            assert_eq!(indexed.map(|b| b.canonical), reference.map(|b| b.canonical));
+        }
     }
 }

@@ -14,16 +14,17 @@
 //! * [`intern`] / [`table`] — the interned data model: [`StringInterner`]
 //!   maps repeated strings to 4-byte [`Sym`] ids and [`LogTable`] stores
 //!   compact 48-byte rows, materializing [`AccessRecord`] views on
-//!   demand (the memory-scalable representation at paper volume),
+//!   demand (the memory-scalable representation at paper volume); the
+//!   table also serves the groupings the compliance metrics need
+//!   ([`LogTable::by_tau`], [`LogTable::by_useragent`],
+//!   [`LogTable::robots_checks_by_useragent`]),
 //! * [`codec`] — a CSV reader/writer for record persistence, including a
 //!   streaming [`codec::decode_stream`] / [`codec::decode_table_read`]
 //!   path for logs too large to hold in memory,
 //! * [`session`] — 5-minute-gap sessionization (paper §3.2),
 //! * [`filter`] — the study's preprocessing filters (scanner removal,
 //!   date-range restriction),
-//! * [`summary`] — dataset overview statistics (paper Table 2),
-//! * [`store`] — an in-memory log store with the groupings the compliance
-//!   metrics need (τ-tuples, per-user-agent).
+//! * [`summary`] — dataset overview statistics (paper Table 2).
 //!
 //! ```
 //! use botscope_weblog::record::AccessRecord;
@@ -58,7 +59,6 @@ pub mod iphash;
 pub mod jsonl;
 pub mod record;
 pub mod session;
-pub mod store;
 pub mod summary;
 pub mod table;
 pub mod time;
@@ -67,7 +67,6 @@ pub use intern::{StringInterner, Sym};
 pub use iphash::IpHasher;
 pub use record::AccessRecord;
 pub use session::{sessionize, Session, SESSION_GAP_SECS};
-pub use store::LogStore;
 pub use summary::DatasetSummary;
 pub use table::{LogTable, RecordRow};
 pub use time::Timestamp;

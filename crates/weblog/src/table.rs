@@ -12,6 +12,8 @@
 //! on demand ([`LogTable::record`], [`LogTable::iter_records`]) so every
 //! existing record-slice API keeps working.
 
+use std::collections::BTreeMap;
+
 use crate::intern::{StringInterner, Sym};
 use crate::record::AccessRecord;
 use crate::session::Session;
@@ -43,6 +45,12 @@ pub struct RecordRow {
 /// An in-progress session during row sessionization:
 /// (start, end, accesses, bytes, urls as symbol pairs).
 type PendingSession = (Timestamp, Timestamp, u64, u64, Vec<(Sym, Sym)>);
+
+/// A resolved τ key: (ASN, IP hash, raw user agent).
+pub type TauKey<'t> = (&'t str, u64, &'t str);
+
+/// One τ group: its resolved key plus the rows it contains.
+pub type TauGroup<'t> = (TauKey<'t>, Vec<&'t RecordRow>);
 
 /// An interner plus its rows: the whole dataset in compact form.
 #[derive(Debug, Clone, Default)]
@@ -192,6 +200,59 @@ impl LogTable {
         self.rows.sort_by_key(|r| {
             (r.timestamp, ranks[r.useragent.index()], r.ip_hash, ranks[r.uri_path.index()])
         });
+    }
+
+    /// Group rows by the study's stratification triple τ = (ASN, IP
+    /// hash, **raw** user agent); the normative definition of τ lives
+    /// next to the crawl-delay metric in `botscope-core::metrics`.
+    /// Groups come back sorted lexicographically by resolved (ASN, IP
+    /// hash, user agent), so iteration order is deterministic and
+    /// independent of symbol interning order; within a group, rows keep
+    /// table row order (ascending in time once the table is
+    /// canonically sorted).
+    pub fn by_tau(&self) -> Vec<TauGroup<'_>> {
+        use std::collections::HashMap;
+        let mut map: HashMap<(Sym, u64, Sym), Vec<&RecordRow>> = HashMap::new();
+        for row in &self.rows {
+            map.entry((row.asn, row.ip_hash, row.useragent)).or_default().push(row);
+        }
+        let mut groups: Vec<TauGroup<'_>> = map
+            .into_iter()
+            .map(|((asn, ip, ua), rows)| ((self.resolve(asn), ip, self.resolve(ua)), rows))
+            .collect();
+        groups.sort_by(|a, b| a.0.cmp(&b.0));
+        groups
+    }
+
+    /// Group rows by raw user-agent string, sorted by agent name; within
+    /// a group, rows keep table row order.
+    pub fn by_useragent(&self) -> Vec<(&str, Vec<&RecordRow>)> {
+        use std::collections::HashMap;
+        let mut map: HashMap<Sym, Vec<&RecordRow>> = HashMap::new();
+        for row in &self.rows {
+            map.entry(row.useragent).or_default().push(row);
+        }
+        let mut groups: Vec<(&str, Vec<&RecordRow>)> =
+            map.into_iter().map(|(ua, rows)| (self.resolve(ua), rows)).collect();
+        groups.sort_by(|a, b| a.0.cmp(b.0));
+        groups
+    }
+
+    /// The robots.txt fetch times (unix secs) per raw user agent, in
+    /// table row order (ascending in time once the table is canonically
+    /// sorted). Agents that never fetched `/robots.txt` are absent.
+    pub fn robots_checks_by_useragent(&self) -> BTreeMap<&str, Vec<u64>> {
+        use std::collections::HashMap;
+        let Some(robots) = self.interner.get("/robots.txt") else {
+            return BTreeMap::new();
+        };
+        let mut map: HashMap<Sym, Vec<u64>> = HashMap::new();
+        for row in &self.rows {
+            if row.uri_path == robots {
+                map.entry(row.useragent).or_default().push(row.timestamp.unix());
+            }
+        }
+        map.into_iter().map(|(ua, times)| (self.resolve(ua), times)).collect()
     }
 
     /// Group rows into [`Session`]s with the given inactivity gap, the
@@ -461,5 +522,56 @@ mod tests {
         assert!(table.is_empty());
         assert!(table.to_records().is_empty());
         assert!(table.sessionize(300).is_empty());
+        assert!(table.by_tau().is_empty());
+        assert!(table.by_useragent().is_empty());
+        assert!(table.robots_checks_by_useragent().is_empty());
+    }
+
+    #[test]
+    fn tau_grouping() {
+        let records = vec![
+            rec("a", 1, 0, "/x"),
+            rec("a", 1, 5, "/y"),
+            rec("a", 2, 0, "/x"),
+            rec("b", 1, 0, "/x"),
+        ];
+        let table = LogTable::from_records(&records);
+        let groups = table.by_tau();
+        assert_eq!(groups.len(), 3);
+        // Sorted by (asn, ip, ua); all share the GOOGLE ASN.
+        let keys: Vec<(&str, u64, &str)> = groups.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![("GOOGLE", 1, "a"), ("GOOGLE", 1, "b"), ("GOOGLE", 2, "a")]);
+        // Two accesses of ("GOOGLE", 1, "a"), in time order.
+        assert_eq!(groups[0].1.len(), 2);
+        assert!(groups[0].1[0].timestamp <= groups[0].1[1].timestamp);
+        // Raw UA is part of the key: same ASN/IP, different agent strings
+        // stratify apart (the §4.2 τ-tuple).
+        assert_ne!(groups[0].0, groups[1].0);
+    }
+
+    #[test]
+    fn useragent_grouping() {
+        let records = vec![rec("a", 1, 0, "/"), rec("a", 2, 1, "/"), rec("b", 3, 2, "/")];
+        let table = LogTable::from_records(&records);
+        let groups = table.by_useragent();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, "a");
+        assert_eq!(groups[0].1.len(), 2);
+        assert_eq!(groups[1].0, "b");
+        assert_eq!(groups[1].1.len(), 1);
+    }
+
+    #[test]
+    fn robots_checks_view() {
+        let records = vec![
+            rec("a", 1, 10, "/robots.txt"),
+            rec("a", 1, 20, "/page"),
+            rec("a", 1, 30, "/robots.txt"),
+            rec("b", 2, 5, "/page"),
+        ];
+        let table = LogTable::from_records(&records);
+        let checks = table.robots_checks_by_useragent();
+        assert_eq!(checks["a"], vec![10, 30]);
+        assert!(!checks.contains_key("b"));
     }
 }

@@ -5,7 +5,6 @@ use botscope_weblog::codec::{
 };
 use botscope_weblog::record::AccessRecord;
 use botscope_weblog::session::sessionize;
-use botscope_weblog::store::LogStore;
 use botscope_weblog::summary::DatasetSummary;
 use botscope_weblog::table::LogTable;
 use botscope_weblog::time::Timestamp;
@@ -204,15 +203,32 @@ proptest! {
     }
 
     #[test]
-    fn store_is_sorted_and_total_preserved(
+    fn table_views_partition_the_rows(
         records in prop::collection::vec(record_strategy(), 0..50),
     ) {
-        let n = records.len();
-        let store = LogStore::new(records);
-        prop_assert_eq!(store.len(), n);
-        prop_assert!(store.records().windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
-        let grouped: usize = store.by_tau().values().map(|v| v.len()).sum();
-        prop_assert_eq!(grouped, n);
+        // by_tau and by_useragent are partitions of the row set, keyed
+        // and ordered deterministically; τ groups agree with the
+        // record-level τ-tuple.
+        let table = LogTable::from_records(&records);
+        let tau_groups = table.by_tau();
+        let grouped: usize = tau_groups.iter().map(|(_, v)| v.len()).sum();
+        prop_assert_eq!(grouped, records.len());
+        prop_assert!(tau_groups.windows(2).all(|w| w[0].0 < w[1].0), "τ keys sorted + unique");
+        for ((asn, ip, ua), rows) in &tau_groups {
+            for row in rows {
+                let r = table.materialize(row);
+                prop_assert_eq!(r.tau_ref(), (*asn, *ip, *ua));
+            }
+        }
+        let ua_groups = table.by_useragent();
+        let grouped: usize = ua_groups.iter().map(|(_, v)| v.len()).sum();
+        prop_assert_eq!(grouped, records.len());
+        prop_assert!(ua_groups.windows(2).all(|w| w[0].0 < w[1].0));
+        // Every robots.txt fetch lands in the robots-times view.
+        let robots_total: usize =
+            table.robots_checks_by_useragent().values().map(|v| v.len()).sum();
+        let expect = records.iter().filter(|r| r.is_robots_fetch()).count();
+        prop_assert_eq!(robots_total, expect);
     }
 
     #[test]
