@@ -1,0 +1,60 @@
+//! Criterion benches for the monitoring daemon: fetch-event throughput
+//! at increasing estate sizes, plus the virtual transport's per-request
+//! cost.
+//!
+//! The headline line is `monitor/daemon_46d/100000`: the acceptance bar
+//! is a 100k-site estate monitored over a 46-simulated-day horizon in
+//! under 10 s single-core (~4.5 M fetch events).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use botscope_monitor::daemon::{run_with_threads, MonitorConfig};
+use botscope_monitor::scenario::build_estate;
+use botscope_monitor::transport::VirtualTransport;
+
+fn config(sites: usize) -> MonitorConfig {
+    MonitorConfig { sites, days: 46, bots: 2, ..MonitorConfig::default() }
+}
+
+fn bench_daemon(c: &mut Criterion) {
+    let mut g = c.benchmark_group("monitor");
+    g.sample_size(10);
+    for &sites in &[1_000usize, 10_000, 100_000] {
+        let cfg = config(sites);
+        // Throughput denominator: fetch events of one run.
+        let events = run_with_threads(&cfg, 1).stats.fetches;
+        g.throughput(Throughput::Elements(events));
+        g.bench_with_input(BenchmarkId::new("daemon_46d", sites), &cfg, |b, cfg| {
+            b.iter(|| run_with_threads(cfg, 1))
+        });
+    }
+    g.finish();
+}
+
+fn bench_transport(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transport");
+    g.sample_size(10);
+    let cfg = config(512);
+    let transport = VirtualTransport::new(build_estate(&cfg));
+    let start = cfg.start.unix();
+    // One pass over the estate at a spread of request instants: the
+    // per-fetch cost including window lookup, seeded latency hashing,
+    // and redirect-chain resolution where scripted.
+    g.throughput(Throughput::Elements(512 * 8));
+    g.bench_function("fetch_512_sites_8_instants", |b| {
+        b.iter(|| {
+            let mut bytes = 0u64;
+            for instant in 0..8u64 {
+                let now = start + instant * 86_400 * 5;
+                for site in 0..transport.len() {
+                    bytes += black_box(transport.fetch(site, now, site as u64)).bytes;
+                }
+            }
+            bytes
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_daemon, bench_transport);
+criterion_main!(benches);

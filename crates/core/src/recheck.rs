@@ -14,9 +14,10 @@ use std::collections::BTreeMap;
 use botscope_stats::window::{window_coverage, PAPER_WINDOWS_HOURS};
 use botscope_useragent::BotCategory;
 use botscope_weblog::record::AccessRecord;
+use botscope_weblog::table::LogTable;
 
 use crate::metrics::PathClasses;
-use crate::pipeline::{StandardizedLogs, StandardizedTable};
+use crate::pipeline::{standardize_table, StandardizedLogs, StandardizedTable};
 
 /// Per-bot re-check profile.
 #[derive(Debug, Clone, PartialEq)]
@@ -118,6 +119,17 @@ pub fn profiles_table_with(
         });
     }
     out
+}
+
+/// Profiles straight from an interned table — the entry point for
+/// *monitored* fetch logs: the monitoring daemon's `FetchEventLog`
+/// emits `/robots.txt` rows in the ordinary access-record schema, so
+/// Figure 10 recomputes from live-monitoring output exactly as it does
+/// from weblog rows. (Standardizes the table, then runs
+/// [`profiles_table`].)
+pub fn profiles_from_table(table: &LogTable, horizon_end: u64) -> Vec<RecheckProfile> {
+    let logs = standardize_table(table);
+    profiles_table(&logs, horizon_end)
 }
 
 /// Aggregate profiles into Figure 10's category proportions. Only bots

@@ -1,0 +1,811 @@
+//! The monitoring daemon: an event-driven fetch scheduler over a
+//! virtual clock.
+//!
+//! One *fetch agent* runs per (bot, site): it owns a [`RobotsCache`]
+//! with a TTL sampled from the paper's observed 12 h–never re-check
+//! spectrum (§5.1, Figure 10), fetches the site's robots.txt through
+//! the [`VirtualTransport`], re-resolves its effective policy via
+//! [`EffectivePolicy::from_outcome`], backs off exponentially on
+//! `ServerError`/`NetworkError`, and detects served-policy swaps (the
+//! transitions [`crate::transport::ServerModel`] scripts), which are
+//! digested through `robotstxt::diff` into [`ChangeDigest`]s.
+//!
+//! **Scheduling.** Each agent's due times sit in a binary-heap event
+//! queue keyed `(time, agent)`. The queue is sharded: agents are split
+//! into fixed-size chunks (the chunk grid is independent of the worker
+//! count), chunks are processed by `std::thread::scope` workers, and
+//! per-chunk [`FetchEventLog`] shards are absorbed in chunk order and
+//! canonically sorted. Because every agent stream derives from
+//! `child_seed(seed, agent)` and the transport is a pure function of
+//! `(site, time, agent)`, output is byte-identical for a fixed seed at
+//! any worker count.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use botscope_asn::ip_for;
+use botscope_robotstxt::diff::{diff, summarize, PolicyChange};
+use botscope_robotstxt::fetch::{EffectivePolicy, FetchOutcome, RobotsCache};
+use botscope_simnet::fleet::{build_fleet, SimBot};
+use botscope_simnet::{child_seed, worker_threads, PolicyVersion};
+use botscope_weblog::fetchlog::FetchEventLog;
+use botscope_weblog::intern::Sym;
+use botscope_weblog::iphash::IpHasher;
+use botscope_weblog::table::LogTable;
+use botscope_weblog::time::Timestamp;
+
+use crate::scenario::{build_estate, ScenarioKind};
+use crate::transport::VirtualTransport;
+
+/// TTL sentinel: fetch once, never re-fetch.
+pub const NEVER: u64 = u64::MAX;
+
+/// Distinguishes per-agent streams from per-site scenario streams.
+const AGENT_STREAM: u64 = 0xA6E7_0000_0000_0000;
+
+/// Agents per scheduler chunk: a pure function of the agent count (it
+/// must NOT depend on the worker count) so shard boundaries — and
+/// therefore the merged output — are identical at any
+/// `BOTSCOPE_THREADS`. Small estates still split into several chunks so
+/// the parallel merge path is always exercised.
+fn chunk_agents(n_agents: usize) -> usize {
+    (n_agents / 64).clamp(16, 4096)
+}
+
+/// First retry delay after a failed fetch; doubles per consecutive
+/// failure up to `300 << 7` = 38 400 s, additionally capped by the
+/// agent's TTL and by 12 h.
+const BACKOFF_BASE_SECS: u64 = 300;
+
+/// How each agent's re-check TTL is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TtlPolicy {
+    /// Sample from the paper's observed spectrum: 12 h/24 h/48 h/72 h/
+    /// 168 h/never with weights 5/20/15/20/20/20 %.
+    Spectrum,
+    /// Every agent uses this many hours.
+    FixedHours(u64),
+}
+
+impl TtlPolicy {
+    /// Parse a CLI token: `spectrum` or an hour count.
+    pub fn parse(s: &str) -> Option<TtlPolicy> {
+        if s == "spectrum" {
+            return Some(TtlPolicy::Spectrum);
+        }
+        s.parse::<u64>().ok().filter(|&h| h >= 1).map(TtlPolicy::FixedHours)
+    }
+}
+
+/// (hours, percent weight); `None` hours = never re-fetch.
+const TTL_SPECTRUM: [(Option<u64>, u32); 6] =
+    [(Some(12), 5), (Some(24), 20), (Some(48), 15), (Some(72), 20), (Some(168), 20), (None, 20)];
+
+fn sample_ttl_secs(policy: TtlPolicy, rng: &mut StdRng) -> u64 {
+    match policy {
+        TtlPolicy::FixedHours(h) => h.max(1) * 3600,
+        TtlPolicy::Spectrum => {
+            let roll = rng.gen_range(0u32..100);
+            let mut acc = 0;
+            for (hours, weight) in TTL_SPECTRUM {
+                acc += weight;
+                if roll < acc {
+                    return hours.map_or(NEVER, |h| h * 3600);
+                }
+            }
+            unreachable!("spectrum weights sum to 100")
+        }
+    }
+}
+
+/// Monitoring-run parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorConfig {
+    /// Master seed; every stream derives from it.
+    pub seed: u64,
+    /// Estate size (sites to monitor).
+    pub sites: usize,
+    /// Horizon in simulated days.
+    pub days: u64,
+    /// First instant.
+    pub start: Timestamp,
+    /// Number of fleet bots to run agents for (top of the registry by
+    /// calibrated daily volume).
+    pub bots: usize,
+    /// TTL sampling policy.
+    pub ttl: TtlPolicy,
+    /// Server-side weather.
+    pub scenario: ScenarioKind,
+    /// Every Nth site deploys the four-phase swap schedule (0 = none).
+    pub swap_every: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            seed: 9309,
+            sites: 36,
+            days: 46,
+            start: Timestamp::from_date(2025, 2, 12),
+            bots: 6,
+            ttl: TtlPolicy::Spectrum,
+            scenario: ScenarioKind::Mixed,
+            swap_every: 4,
+        }
+    }
+}
+
+impl MonitorConfig {
+    /// End of the horizon (exclusive), unix seconds.
+    pub fn horizon_end(&self) -> u64 {
+        self.start.unix() + self.days * 86_400
+    }
+
+    /// Validate invariants; panics on caller logic errors.
+    pub fn assert_valid(&self) {
+        assert!(self.sites > 0, "no sites to monitor");
+        assert!(self.days > 0, "zero-day horizon");
+        assert!(self.bots > 0, "no bots to monitor with");
+    }
+}
+
+/// Aggregate counters of a monitoring run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MonitorStats {
+    /// Fetch agents scheduled.
+    pub agents: u64,
+    /// Fetch attempts performed (rows emitted).
+    pub fetches: u64,
+    /// 2xx outcomes.
+    pub success: u64,
+    /// Subset of `success` that only re-validated an unchanged body
+    /// (the cache refreshed without re-parsing).
+    pub revalidated: u64,
+    /// Resolved 4xx outcomes (includes redirect-capped chains).
+    pub client_errors: u64,
+    /// Resolved 5xx outcomes.
+    pub server_errors: u64,
+    /// Transport-level failures.
+    pub network_errors: u64,
+    /// Redirect hops followed across all fetches.
+    pub redirects_followed: u64,
+    /// Chains abandoned at the RFC 9309 five-hop budget.
+    pub redirects_capped: u64,
+    /// Fetches scheduled by the failure backoff (rather than the TTL).
+    pub backoff_retries: u64,
+    /// Policy transitions observed by agents (pre-deduplication).
+    pub policy_changes_observed: u64,
+    /// Summed seeded latency, milliseconds.
+    pub latency_ms_sum: u64,
+    /// Worst seeded latency, milliseconds.
+    pub latency_ms_max: u32,
+}
+
+impl MonitorStats {
+    fn merge(&mut self, other: &MonitorStats) {
+        self.agents += other.agents;
+        self.fetches += other.fetches;
+        self.success += other.success;
+        self.revalidated += other.revalidated;
+        self.client_errors += other.client_errors;
+        self.server_errors += other.server_errors;
+        self.network_errors += other.network_errors;
+        self.redirects_followed += other.redirects_followed;
+        self.redirects_capped += other.redirects_capped;
+        self.backoff_retries += other.backoff_retries;
+        self.policy_changes_observed += other.policy_changes_observed;
+        self.latency_ms_sum += other.latency_ms_sum;
+        self.latency_ms_max = self.latency_ms_max.max(other.latency_ms_max);
+    }
+}
+
+/// One deduplicated served-policy transition, digested via
+/// `robotstxt::diff` over the monitored bots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChangeDigest {
+    /// Site that swapped its file.
+    pub site: String,
+    /// Unix second of the first fetch that observed the new file.
+    pub at: u64,
+    /// Previous version.
+    pub from: PolicyVersion,
+    /// New version.
+    pub to: PolicyVersion,
+    /// How many agents observed this transition.
+    pub observers: u64,
+    /// Probes that flipped allow → deny.
+    pub tightened: usize,
+    /// Probes that flipped deny → allow.
+    pub loosened: usize,
+    /// Agents whose crawl delay changed.
+    pub delay_changes: usize,
+}
+
+/// The daemon's output.
+#[derive(Debug, Clone)]
+pub struct MonitorOutput {
+    /// Every fetch event, canonically sorted, with its interner.
+    pub table: LogTable,
+    /// Deduplicated policy transitions in (time, site) order.
+    pub changes: Vec<ChangeDigest>,
+    /// Aggregate counters.
+    pub stats: MonitorStats,
+    /// End of the monitored horizon (unix seconds) — the recheck
+    /// analyses anchor their windows on it.
+    pub horizon_end: u64,
+    /// Canonical names of the monitored bots.
+    pub bots: Vec<String>,
+}
+
+/// The monitored sub-fleet: the `n` highest-volume calibrated bots
+/// (deterministic: volume descending, name ascending).
+pub fn monitor_fleet(n: usize) -> Vec<SimBot> {
+    let mut fleet = build_fleet();
+    fleet.sort_by(|a, b| {
+        b.behavior
+            .daily_hits
+            .total_cmp(&a.behavior.daily_hits)
+            .then_with(|| a.spec.canonical.cmp(b.spec.canonical))
+    });
+    fleet.truncate(n.max(1));
+    fleet
+}
+
+/// One (bot, site) fetch agent.
+struct Agent {
+    site: u32,
+    ua: Sym,
+    asn: Sym,
+    site_sym: Sym,
+    ip_hash: u64,
+    ttl_secs: u64,
+    rng: StdRng,
+    cache: RobotsCache,
+    consecutive_failures: u32,
+    /// Version of the last *successful* body — the change-detection
+    /// baseline. Deliberately survives error outcomes, so a swap that
+    /// happens behind an outage is still detected on recovery.
+    last_version: Option<PolicyVersion>,
+    /// Whether the cache currently holds the parsed policy of
+    /// `last_version` (false after an error stored AllowAll/DisallowAll).
+    /// Guards the revalidation shortcut: a success after an error must
+    /// re-store the parsed policy even though the body is unchanged.
+    cache_is_policy: bool,
+}
+
+/// Key of an observed transition: (site, from, to).
+type ChangeKey = (u32, u8, u8);
+
+struct Shard {
+    log: FetchEventLog,
+    stats: MonitorStats,
+    /// transition → (first observation time, observers).
+    changes: BTreeMap<ChangeKey, (u64, u64)>,
+}
+
+/// Run the daemon with [`worker_threads`] workers.
+pub fn run(cfg: &MonitorConfig) -> MonitorOutput {
+    run_with_threads(cfg, worker_threads())
+}
+
+/// [`run`] with an explicit worker count. Output is byte-identical for
+/// a fixed seed regardless of `threads`.
+pub fn run_with_threads(cfg: &MonitorConfig, threads: usize) -> MonitorOutput {
+    cfg.assert_valid();
+    assert!(threads >= 1, "at least one worker required");
+
+    let fleet = monitor_fleet(cfg.bots);
+    let transport = VirtualTransport::new(build_estate(cfg));
+    let hasher = IpHasher::from_seed(cfg.seed);
+    let n_bots = fleet.len();
+    let n_agents = cfg.sites * n_bots;
+    let chunk_size = chunk_agents(n_agents);
+    let n_chunks = n_agents.div_ceil(chunk_size);
+
+    let run_chunk = |chunk: usize| -> Shard {
+        let lo = chunk * chunk_size;
+        let hi = (lo + chunk_size).min(n_agents);
+        run_agents(cfg, &fleet, &transport, &hasher, lo, hi)
+    };
+
+    let mut shards: Vec<(usize, Shard)> = Vec::with_capacity(n_chunks);
+    let threads = threads.min(n_chunks.max(1));
+    if threads == 1 {
+        for chunk in 0..n_chunks {
+            shards.push((chunk, run_chunk(chunk)));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<(usize, Shard)>> = Mutex::new(Vec::with_capacity(n_chunks));
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let chunk = next.fetch_add(1, Ordering::Relaxed);
+                    if chunk >= n_chunks {
+                        break;
+                    }
+                    let shard = run_chunk(chunk);
+                    results.lock().expect("no poisoned workers").push((chunk, shard));
+                });
+            }
+        });
+        shards = results.into_inner().expect("workers joined");
+        // Merge must follow the fixed chunk grid, not completion order.
+        shards.sort_by_key(|&(chunk, _)| chunk);
+    }
+
+    let total_rows: usize = shards.iter().map(|(_, s)| s.log.len()).sum();
+    let mut table = LogTable::with_capacity(total_rows, 1024);
+    let mut stats = MonitorStats::default();
+    let mut merged_changes: BTreeMap<ChangeKey, (u64, u64)> = BTreeMap::new();
+    for (_, shard) in &shards {
+        table.absorb(shard.log.table());
+        stats.merge(&shard.stats);
+        for (key, &(at, observers)) in &shard.changes {
+            let entry = merged_changes.entry(*key).or_insert((at, 0));
+            entry.0 = entry.0.min(at);
+            entry.1 += observers;
+        }
+    }
+    table.sort_canonical();
+
+    let changes = digest_changes(&transport, &fleet, merged_changes);
+
+    MonitorOutput {
+        table,
+        changes,
+        stats,
+        horizon_end: cfg.horizon_end(),
+        bots: fleet.iter().map(|b| b.spec.canonical.to_string()).collect(),
+    }
+}
+
+/// Paths probed when digesting a policy transition: one representative
+/// of each family the experimental files regulate.
+const PROBE_PATHS: [&str; 6] = [
+    "/",
+    "/news/item-001",
+    "/people/person-0001",
+    "/page-data/item-001/page-data.json",
+    "/secure/admin-0",
+    "/404",
+];
+
+/// Deduplicate observed transitions and summarize each through
+/// `robotstxt::diff` (the 4×4 version matrix is memoized — a 100k-site
+/// estate has at most 12 distinct transitions).
+fn digest_changes(
+    transport: &VirtualTransport,
+    fleet: &[SimBot],
+    merged: BTreeMap<ChangeKey, (u64, u64)>,
+) -> Vec<ChangeDigest> {
+    let mut agents: Vec<&str> = fleet.iter().map(|b| b.spec.canonical).collect();
+    agents.push("anybot");
+    let mut matrix: BTreeMap<(u8, u8), (usize, usize, usize)> = BTreeMap::new();
+    let mut changes: Vec<ChangeDigest> = merged
+        .into_iter()
+        .map(|((site, from, to), (at, observers))| {
+            let (tightened, loosened, delay_changes) =
+                *matrix.entry((from, to)).or_insert_with(|| {
+                    let old = transport.corpus().doc(PolicyVersion::ALL[from as usize]);
+                    let new = transport.corpus().doc(PolicyVersion::ALL[to as usize]);
+                    let probe = diff(old, new, &agents, &PROBE_PATHS);
+                    let (tightened, loosened) = summarize(&probe);
+                    let delays = probe
+                        .iter()
+                        .filter(|c| matches!(c, PolicyChange::CrawlDelayChanged { .. }))
+                        .count();
+                    (tightened, loosened, delays)
+                });
+            ChangeDigest {
+                site: transport.model(site as usize).name.clone(),
+                at,
+                from: PolicyVersion::ALL[from as usize],
+                to: PolicyVersion::ALL[to as usize],
+                observers,
+                tightened,
+                loosened,
+                delay_changes,
+            }
+        })
+        .collect();
+    changes.sort_by(|a, b| (a.at, &a.site, a.from, a.to).cmp(&(b.at, &b.site, b.from, b.to)));
+    changes
+}
+
+/// Run agents `[lo, hi)` to completion, returning their shard.
+fn run_agents(
+    cfg: &MonitorConfig,
+    fleet: &[SimBot],
+    transport: &VirtualTransport,
+    hasher: &IpHasher,
+    lo: usize,
+    hi: usize,
+) -> Shard {
+    let n_bots = fleet.len();
+    let horizon = cfg.horizon_end();
+    let mut log = FetchEventLog::new();
+
+    // Per-bot fixed symbols, interned once per shard.
+    let bot_syms: Vec<(Sym, Sym)> =
+        fleet.iter().map(|b| (log.intern(&b.ua_string), log.intern(b.spec.home_asn))).collect();
+
+    let mut agents: Vec<Agent> = Vec::with_capacity(hi - lo);
+    let mut queue: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::with_capacity(hi - lo);
+    for global in lo..hi {
+        let site = global / n_bots;
+        let bot = &fleet[global % n_bots];
+        let mut rng = StdRng::seed_from_u64(child_seed(cfg.seed, AGENT_STREAM ^ global as u64));
+        let ttl_secs = sample_ttl_secs(cfg.ttl, &mut rng);
+        // First fetch lands inside one TTL window (a day for the
+        // never-refetch cohort) so the estate doesn't fetch in lockstep.
+        let first_window = ttl_secs.clamp(1, 86_400);
+        let first = cfg.start.unix() + rng.gen_range(0..first_window);
+        let ip = ip_for(bot.spec.home_asn, rng.gen_range(0..bot.behavior.ip_pool))
+            .unwrap_or_else(|| panic!("unknown home ASN {}", bot.spec.home_asn));
+        let (ua, asn) = bot_syms[global % n_bots];
+        let site_sym = log.intern(&transport.model(site).name);
+        let local = agents.len() as u32;
+        agents.push(Agent {
+            site: site as u32,
+            ua,
+            asn,
+            site_sym,
+            ip_hash: hasher.hash_ipv4(ip),
+            ttl_secs,
+            rng,
+            cache: RobotsCache::new(ttl_secs),
+            consecutive_failures: 0,
+            last_version: None,
+            cache_is_policy: false,
+        });
+        if first < horizon {
+            queue.push(Reverse((first, local)));
+        }
+    }
+
+    let mut stats = MonitorStats { agents: (hi - lo) as u64, ..MonitorStats::default() };
+    let mut changes: BTreeMap<ChangeKey, (u64, u64)> = BTreeMap::new();
+
+    while let Some(Reverse((now, local))) = queue.pop() {
+        debug_assert!(now < horizon, "events past the horizon are never queued");
+        let agent = &mut agents[local as usize];
+        let global = lo + local as usize;
+        let fetch = transport.fetch(agent.site as usize, now, global as u64);
+
+        log.push(
+            agent.ua,
+            agent.asn,
+            agent.site_sym,
+            agent.ip_hash,
+            fetch.resolved.status,
+            fetch.bytes,
+            Timestamp::from_unix(now),
+        );
+        stats.fetches += 1;
+        stats.redirects_followed += fetch.resolved.hops as u64;
+        stats.redirects_capped += fetch.resolved.capped as u64;
+        stats.latency_ms_sum += fetch.latency_ms as u64;
+        stats.latency_ms_max = stats.latency_ms_max.max(fetch.latency_ms);
+
+        // The next fetch can never start before the exchange finished.
+        let settled = now + 1 + (fetch.latency_ms / 1000) as u64;
+        let version = fetch.version;
+        let outcome = fetch.resolved.outcome;
+
+        let next = match outcome {
+            FetchOutcome::Success(_) => {
+                stats.success += 1;
+                agent.consecutive_failures = 0;
+                let version = version.expect("success always carries a version");
+                if agent.last_version == Some(version)
+                    && agent.cache_is_policy
+                    && agent.cache.refresh(now)
+                {
+                    // Unchanged body AND the cache still holds its parsed
+                    // policy: 304-style revalidation, no re-parse. After
+                    // an error outcome the cache holds AllowAll or
+                    // DisallowAll, so recovery must fall through and
+                    // re-store the parsed document.
+                    stats.revalidated += 1;
+                } else {
+                    if let Some(previous) = agent.last_version {
+                        // A transition this agent actually observed.
+                        // Recovering the *same* body after an error is
+                        // not one — that path only re-parses.
+                        if previous != version {
+                            stats.policy_changes_observed += 1;
+                            let key = (agent.site, previous.index() as u8, version.index() as u8);
+                            let entry = changes.entry(key).or_insert((now, 0));
+                            entry.0 = entry.0.min(now);
+                            entry.1 += 1;
+                        }
+                    }
+                    agent.cache.store(now, EffectivePolicy::from_outcome(outcome));
+                    agent.last_version = Some(version);
+                    agent.cache_is_policy = true;
+                }
+                ttl_next(agent, settled)
+            }
+            FetchOutcome::ClientError(_) => {
+                stats.client_errors += 1;
+                agent.consecutive_failures = 0;
+                // Unavailable ⇒ allow all, and the cadence stays TTL-driven.
+                agent.cache.store(now, EffectivePolicy::from_outcome(outcome));
+                agent.cache_is_policy = false;
+                ttl_next(agent, settled)
+            }
+            FetchOutcome::ServerError(_) | FetchOutcome::NetworkError => {
+                if matches!(outcome, FetchOutcome::ServerError(_)) {
+                    stats.server_errors += 1;
+                } else {
+                    stats.network_errors += 1;
+                }
+                // Unreachable ⇒ complete disallow until a fetch succeeds,
+                // retried under exponential backoff.
+                agent.cache.store(now, EffectivePolicy::from_outcome(outcome));
+                agent.cache_is_policy = false;
+                agent.consecutive_failures += 1;
+                stats.backoff_retries += 1;
+                let shift = (agent.consecutive_failures - 1).min(7);
+                let delay = (BACKOFF_BASE_SECS << shift).min(agent.ttl_secs).min(43_200);
+                Some(settled + delay + agent.rng.gen_range(0..31))
+            }
+        };
+
+        if let Some(at) = next {
+            if at < horizon {
+                debug_assert!(
+                    agent.cache.needs_fetch(at) || agent.consecutive_failures > 0,
+                    "TTL-scheduled fetches land at or after expiry"
+                );
+                queue.push(Reverse((at, local)));
+            }
+        }
+    }
+
+    Shard { log, stats, changes }
+}
+
+/// The TTL-driven next due time (never for the fetch-once cohort).
+fn ttl_next(agent: &mut Agent, settled: u64) -> Option<u64> {
+    if agent.ttl_secs == NEVER {
+        return None;
+    }
+    // Schedule exactly at expiry plus a small de-aliasing jitter; the
+    // cache's `needs_fetch` is true at the boundary.
+    Some(settled - 1 + agent.ttl_secs + agent.rng.gen_range(0..61))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> MonitorConfig {
+        MonitorConfig { sites: 12, days: 8, bots: 4, ..MonitorConfig::default() }
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts() {
+        let cfg = small_cfg();
+        let serial = run_with_threads(&cfg, 1);
+        for threads in [2, 8] {
+            let parallel = run_with_threads(&cfg, threads);
+            assert_eq!(serial.table.rows(), parallel.table.rows(), "{threads} workers");
+            assert_eq!(serial.table.to_records(), parallel.table.to_records());
+            assert_eq!(serial.stats, parallel.stats);
+            assert_eq!(serial.changes, parallel.changes);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_seeds_differ() {
+        let cfg = small_cfg();
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.table.to_records(), b.table.to_records());
+        let c = run(&MonitorConfig { seed: 1234, ..cfg });
+        assert_ne!(a.table.to_records(), c.table.to_records());
+    }
+
+    #[test]
+    fn every_row_is_a_robots_fetch_inside_the_horizon() {
+        let cfg = small_cfg();
+        let out = run(&cfg);
+        assert!(!out.table.is_empty());
+        let start = cfg.start.unix();
+        for record in out.table.iter_records() {
+            assert!(record.is_robots_fetch());
+            assert!(record.timestamp.unix() >= start);
+            assert!(record.timestamp.unix() < out.horizon_end);
+        }
+        // Rows are canonically time-sorted.
+        let rows = out.table.rows();
+        assert!(rows.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+    }
+
+    #[test]
+    fn monitored_fleet_is_the_high_volume_prefix() {
+        let four = monitor_fleet(4);
+        assert_eq!(four.len(), 4);
+        let all = monitor_fleet(usize::MAX);
+        for pair in all.windows(2) {
+            assert!(
+                pair[0].behavior.daily_hits >= pair[1].behavior.daily_hits,
+                "fleet must be volume-sorted"
+            );
+        }
+        // The paper's headline heavy hitter leads.
+        assert_eq!(four[0].spec.canonical, "YisouSpider");
+    }
+
+    #[test]
+    fn swap_sites_produce_change_digests() {
+        // All sites swap; long horizon so several transitions land.
+        let cfg = MonitorConfig {
+            sites: 8,
+            days: 46,
+            bots: 3,
+            swap_every: 1,
+            scenario: ScenarioKind::Stable,
+            ..MonitorConfig::default()
+        };
+        let out = run(&cfg);
+        assert!(!out.changes.is_empty(), "stable estate with swaps must observe them");
+        assert!(out.stats.policy_changes_observed as usize >= out.changes.len());
+        for change in &out.changes {
+            assert_ne!(change.from, change.to);
+            assert!(change.observers >= 1);
+            assert!(change.at >= cfg.start.unix() && change.at < out.horizon_end);
+            // The paper's gradient only tightens; the restore loosens.
+            if change.to == PolicyVersion::Base {
+                assert_eq!(change.tightened, 0, "{change:?}");
+            } else if change.from == PolicyVersion::Base {
+                assert_eq!(change.loosened, 0, "{change:?}");
+            }
+        }
+        // Digests are time-ordered.
+        assert!(out.changes.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn stable_estate_sees_no_errors() {
+        let cfg = MonitorConfig { scenario: ScenarioKind::Stable, swap_every: 0, ..small_cfg() };
+        let out = run(&cfg);
+        assert_eq!(out.stats.server_errors, 0);
+        assert_eq!(out.stats.network_errors, 0);
+        assert_eq!(out.stats.redirects_followed, 0);
+        assert_eq!(out.stats.fetches, out.stats.success);
+        assert!(out.changes.is_empty());
+        // Most successes after the first fetch are revalidations.
+        assert!(out.stats.revalidated > 0);
+    }
+
+    #[test]
+    fn outage_weather_triggers_backoff_and_disallow() {
+        let cfg = MonitorConfig {
+            sites: 40,
+            days: 20,
+            bots: 3,
+            scenario: ScenarioKind::Outages,
+            swap_every: 0,
+            ttl: TtlPolicy::FixedHours(24),
+            ..MonitorConfig::default()
+        };
+        let out = run(&cfg);
+        assert!(out.stats.server_errors + out.stats.network_errors > 0);
+        assert!(out.stats.backoff_retries > 0);
+        // Retries densify fetches well beyond one per agent per two days.
+        assert!(out.stats.fetches > out.stats.agents * cfg.days / 2);
+    }
+
+    #[test]
+    fn redirect_weather_exercises_the_hop_budget() {
+        let cfg = MonitorConfig {
+            sites: 60,
+            days: 6,
+            bots: 2,
+            scenario: ScenarioKind::Redirects,
+            swap_every: 0,
+            ttl: TtlPolicy::FixedHours(12),
+            ..MonitorConfig::default()
+        };
+        let out = run(&cfg);
+        assert!(out.stats.redirects_followed > 0);
+        assert!(out.stats.redirects_capped > 0, "some scripted chains exceed five hops");
+        // Capped chains resolve to "unavailable", logged with their 3xx.
+        assert!(out.table.iter_records().any(|r| r.status == 301));
+    }
+
+    #[test]
+    fn fixed_ttl_cadence_matches_expectation() {
+        let cfg = MonitorConfig {
+            sites: 10,
+            days: 10,
+            bots: 2,
+            ttl: TtlPolicy::FixedHours(24),
+            scenario: ScenarioKind::Stable,
+            swap_every: 0,
+            ..MonitorConfig::default()
+        };
+        let out = run(&cfg);
+        // Each agent fetches once per day, ± the start offset.
+        let per_agent = out.stats.fetches as f64 / out.stats.agents as f64;
+        assert!((8.0..=11.0).contains(&per_agent), "daily cadence, got {per_agent}");
+    }
+
+    #[test]
+    fn recovery_after_error_reparses_instead_of_revalidating() {
+        use crate::transport::{ConditionWindow, ServeMode, ServerModel, VirtualTransport};
+        use botscope_simnet::server::SitePolicyServer;
+
+        let cfg = MonitorConfig {
+            sites: 1,
+            days: 3,
+            bots: 1,
+            ttl: TtlPolicy::FixedHours(6),
+            scenario: ScenarioKind::Stable,
+            swap_every: 0,
+            ..MonitorConfig::default()
+        };
+        let start = cfg.start.unix();
+        // Healthy except one scripted 5xx window on day two, longer than
+        // the agent's TTL so at least one fetch lands inside it.
+        let mut model = ServerModel::healthy(
+            "site-00.example.edu".into(),
+            SitePolicyServer::always(PolicyVersion::Base),
+            1,
+        );
+        model.windows = vec![ConditionWindow {
+            start: start + 86_400,
+            end: start + 86_400 + 8 * 3600,
+            mode: ServeMode::ServerError(503),
+        }];
+        let transport = VirtualTransport::new(vec![model]);
+        let fleet = monitor_fleet(1);
+        let hasher = botscope_weblog::iphash::IpHasher::from_seed(cfg.seed);
+
+        let shard = run_agents(&cfg, &fleet, &transport, &hasher, 0, 1);
+        let s = &shard.stats;
+        assert!(s.server_errors > 0, "the scripted 5xx window must be hit: {s:?}");
+        // Every success is a revalidation EXCEPT the very first fetch
+        // and the first success after the error episode: the cache held
+        // DisallowAll through the outage, so recovery must re-parse the
+        // body rather than refresh the error-time policy.
+        assert_eq!(s.revalidated, s.success - 2, "{s:?}");
+        // Recovering to the same body is not a policy change.
+        assert!(shard.changes.is_empty());
+    }
+
+    #[test]
+    fn ttl_policy_parsing() {
+        assert_eq!(TtlPolicy::parse("spectrum"), Some(TtlPolicy::Spectrum));
+        assert_eq!(TtlPolicy::parse("24"), Some(TtlPolicy::FixedHours(24)));
+        assert_eq!(TtlPolicy::parse("0"), None);
+        assert_eq!(TtlPolicy::parse("sometimes"), None);
+    }
+
+    #[test]
+    fn spectrum_includes_never_checkers() {
+        let cfg = MonitorConfig {
+            sites: 64,
+            days: 30,
+            bots: 4,
+            scenario: ScenarioKind::Stable,
+            swap_every: 0,
+            ..MonitorConfig::default()
+        };
+        let out = run(&cfg);
+        // Never-TTL agents fetch exactly once; with 256 agents and a 20 %
+        // never share, total fetches must sit far below the daily-cadence
+        // bound but above one-per-agent.
+        assert!(out.stats.fetches > out.stats.agents);
+        let checks = out.table.robots_checks_by_useragent();
+        assert!(!checks.is_empty());
+    }
+}

@@ -4,9 +4,10 @@
 //! HTTP status of the `robots.txt` fetch itself:
 //!
 //! * **2xx** — parse the body and obey it;
-//! * **3xx** — follow at least five redirect hops, then treat as the final
-//!   status (we model the *resolved* outcome, so redirects collapse into
-//!   one of the other cases);
+//! * **3xx** — follow at least five redirect hops
+//!   ([`resolve_redirects`] implements the §2.3.1.2 hop budget), then
+//!   treat as the final status; a chain that exceeds the budget makes the
+//!   file "unavailable" (allow all);
 //! * **4xx** (including 404) — the file is "unavailable": crawl **without
 //!   restriction** (allow all);
 //! * **5xx** — the file is "unreachable": assume **complete disallow**
@@ -32,6 +33,111 @@ pub enum FetchOutcome {
     ServerError(u16),
     /// Transport-level failure (DNS, TCP, TLS).
     NetworkError,
+}
+
+/// The redirect-hop budget of RFC 9309 §2.3.1.2: crawlers SHOULD follow
+/// at least five consecutive redirects; past that they MAY assume the
+/// file is unavailable.
+pub const MAX_REDIRECT_HOPS: usize = 5;
+
+/// One wire-level response to a robots.txt request, before redirect
+/// resolution. [`resolve_redirects`] folds a chain of these into a
+/// [`FetchOutcome`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RawResponse {
+    /// A terminal status carrying the response body (normally 2xx).
+    Body(u16, String),
+    /// A 3xx with its `Location` target.
+    Redirect(u16, String),
+    /// A bodyless terminal status (4xx, 5xx, or anything unexpected).
+    Status(u16),
+    /// Transport-level failure (DNS, TCP, TLS).
+    Failed,
+}
+
+/// A redirect-resolved fetch: the final outcome plus chain provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedFetch {
+    /// What the crawler must act on.
+    pub outcome: FetchOutcome,
+    /// Redirect hops actually followed.
+    pub hops: usize,
+    /// Whether resolution stopped because the chain exceeded
+    /// [`MAX_REDIRECT_HOPS`] (the outcome is then "unavailable").
+    pub capped: bool,
+    /// Status of the terminal response: the last 3xx when `capped`, `0`
+    /// on transport failure.
+    pub status: u16,
+}
+
+/// Resolve a redirect chain into a final [`FetchOutcome`] per RFC 9309
+/// §2.3.1.2. `follow` is invoked once per followed `Location` target; up
+/// to [`MAX_REDIRECT_HOPS`] redirects are followed, and a chain still
+/// redirecting after that (including any redirect loop) is treated as
+/// **unavailable** — the same `AllowAll` obligation as a 4xx.
+///
+/// ```
+/// use botscope_robotstxt::fetch::{resolve_redirects, FetchOutcome, RawResponse};
+/// // One hop to the real file: the body is used.
+/// let resolved = resolve_redirects(
+///     RawResponse::Redirect(301, "/real/robots.txt".into()),
+///     |_| RawResponse::Body(200, "User-agent: *\nDisallow: /\n".into()),
+/// );
+/// assert_eq!(resolved.hops, 1);
+/// assert!(matches!(resolved.outcome, FetchOutcome::Success(_)));
+/// ```
+pub fn resolve_redirects(
+    initial: RawResponse,
+    mut follow: impl FnMut(&str) -> RawResponse,
+) -> ResolvedFetch {
+    let mut hops = 0usize;
+    let mut response = initial;
+    loop {
+        match response {
+            RawResponse::Redirect(code, target) => {
+                if hops == MAX_REDIRECT_HOPS {
+                    // Hop 6+: give up and treat the file as unavailable.
+                    return ResolvedFetch {
+                        outcome: FetchOutcome::ClientError(code),
+                        hops,
+                        capped: true,
+                        status: code,
+                    };
+                }
+                hops += 1;
+                response = follow(&target);
+            }
+            RawResponse::Body(code, body) => {
+                let outcome = match code {
+                    200..=299 => FetchOutcome::Success(body),
+                    500..=599 => FetchOutcome::ServerError(code),
+                    // 4xx and anything unexpected carrying a body:
+                    // unavailable (the body of an error page is not a
+                    // policy).
+                    _ => FetchOutcome::ClientError(code),
+                };
+                return ResolvedFetch { outcome, hops, capped: false, status: code };
+            }
+            RawResponse::Status(code) => {
+                let outcome = match code {
+                    // A bodyless 2xx is an empty policy file: allow all,
+                    // via parsing the empty document.
+                    200..=299 => FetchOutcome::Success(String::new()),
+                    500..=599 => FetchOutcome::ServerError(code),
+                    _ => FetchOutcome::ClientError(code),
+                };
+                return ResolvedFetch { outcome, hops, capped: false, status: code };
+            }
+            RawResponse::Failed => {
+                return ResolvedFetch {
+                    outcome: FetchOutcome::NetworkError,
+                    hops,
+                    capped: false,
+                    status: 0,
+                };
+            }
+        }
+    }
 }
 
 /// What a compliant crawler must enforce after a fetch.
@@ -130,6 +236,22 @@ impl RobotsCache {
         self.cached = Some((now, policy));
     }
 
+    /// Record a successful re-validation of the cached entry at `now`
+    /// (HTTP `304`-style: the server confirmed the policy is unchanged).
+    /// The freshness clock restarts and the check joins the re-check
+    /// trace, without re-parsing or re-storing the policy. Returns
+    /// `false` — and records nothing — when the cache is empty.
+    pub fn refresh(&mut self, now: u64) -> bool {
+        match self.cached.as_mut() {
+            Some((at, _)) => {
+                *at = now;
+                self.check_times.push(now);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// The currently cached policy, if fresh at `now`.
     pub fn get(&self, now: u64) -> Option<&EffectivePolicy> {
         match &self.cached {
@@ -221,6 +343,131 @@ mod tests {
     fn default_ttl_is_24h() {
         let c = RobotsCache::with_default_ttl();
         assert_eq!(c.ttl_secs(), 86_400);
+    }
+
+    /// Serve a chain of `n` redirects, then the body.
+    fn chain_of(n: usize) -> (RawResponse, impl FnMut(&str) -> RawResponse) {
+        let mut served = 1usize; // the initial redirect is hop target #1
+        let follow = move |target: &str| {
+            assert!(target.starts_with("/hop-"), "unexpected target {target}");
+            if served < n {
+                served += 1;
+                RawResponse::Redirect(301, format!("/hop-{served}"))
+            } else {
+                RawResponse::Body(200, "User-agent: *\nDisallow: /private/\n".into())
+            }
+        };
+        (RawResponse::Redirect(301, "/hop-1".into()), follow)
+    }
+
+    #[test]
+    fn redirect_one_hop_resolves_body() {
+        let (first, follow) = chain_of(1);
+        let r = resolve_redirects(first, follow);
+        assert_eq!(r.hops, 1);
+        assert!(!r.capped);
+        assert_eq!(r.status, 200);
+        let policy = EffectivePolicy::from_outcome(r.outcome);
+        assert!(!policy.is_allowed("bot", "/private/x"));
+        assert!(policy.is_allowed("bot", "/public"));
+    }
+
+    #[test]
+    fn redirect_five_hops_still_resolves() {
+        let (first, follow) = chain_of(5);
+        let r = resolve_redirects(first, follow);
+        assert_eq!(r.hops, 5);
+        assert!(!r.capped);
+        assert!(matches!(r.outcome, FetchOutcome::Success(_)));
+    }
+
+    #[test]
+    fn redirect_six_hops_is_unavailable() {
+        let (first, follow) = chain_of(6);
+        let r = resolve_redirects(first, follow);
+        assert_eq!(r.hops, MAX_REDIRECT_HOPS);
+        assert!(r.capped);
+        assert_eq!(r.status, 301);
+        assert_eq!(r.outcome, FetchOutcome::ClientError(301));
+        // Unavailable ⇒ crawl without restriction.
+        assert_eq!(EffectivePolicy::from_outcome(r.outcome), EffectivePolicy::AllowAll);
+    }
+
+    #[test]
+    fn redirect_loop_is_unavailable() {
+        let first = RawResponse::Redirect(302, "/a".into());
+        let r = resolve_redirects(first, |target| {
+            RawResponse::Redirect(302, if target == "/a" { "/b".into() } else { "/a".into() })
+        });
+        assert!(r.capped);
+        assert_eq!(r.hops, MAX_REDIRECT_HOPS);
+        assert_eq!(EffectivePolicy::from_outcome(r.outcome), EffectivePolicy::AllowAll);
+    }
+
+    #[test]
+    fn redirect_into_error_statuses() {
+        let first = RawResponse::Redirect(301, "/gone".into());
+        let r = resolve_redirects(first, |_| RawResponse::Status(404));
+        assert_eq!((r.hops, r.status), (1, 404));
+        assert_eq!(r.outcome, FetchOutcome::ClientError(404));
+        let first = RawResponse::Redirect(301, "/down".into());
+        let r = resolve_redirects(first, |_| RawResponse::Status(503));
+        assert_eq!(r.outcome, FetchOutcome::ServerError(503));
+        let first = RawResponse::Redirect(301, "/dead".into());
+        let r = resolve_redirects(first, |_| RawResponse::Failed);
+        assert_eq!(r.outcome, FetchOutcome::NetworkError);
+        assert_eq!(r.status, 0);
+    }
+
+    #[test]
+    fn non_redirect_initial_passes_through() {
+        let r = resolve_redirects(RawResponse::Status(500), |_| unreachable!("no follow"));
+        assert_eq!(r.hops, 0);
+        assert_eq!(r.outcome, FetchOutcome::ServerError(500));
+        // A bodyless 2xx is an empty (allow-everything) policy.
+        let r = resolve_redirects(RawResponse::Status(204), |_| unreachable!("no follow"));
+        assert!(matches!(r.outcome, FetchOutcome::Success(ref b) if b.is_empty()));
+    }
+
+    #[test]
+    fn needs_fetch_exactly_at_expiry() {
+        let mut c = RobotsCache::new(100);
+        c.store(50, EffectivePolicy::AllowAll);
+        // One second inside the TTL: fresh. Exactly at expiry: stale.
+        assert!(!c.needs_fetch(149));
+        assert!(c.get(149).is_some());
+        assert!(c.needs_fetch(150));
+        assert!(c.get(150).is_none());
+    }
+
+    #[test]
+    fn refresh_restarts_freshness_without_restoring() {
+        let mut c = RobotsCache::new(100);
+        assert!(!c.refresh(10), "refresh of an empty cache records nothing");
+        assert!(c.check_times().is_empty());
+        c.store(10, EffectivePolicy::DisallowAll);
+        assert!(c.refresh(90));
+        // The entry is now fresh until 190, and the policy is unchanged.
+        assert!(!c.needs_fetch(189));
+        assert!(c.needs_fetch(190));
+        assert_eq!(c.get(100), Some(&EffectivePolicy::DisallowAll));
+        assert_eq!(c.check_times(), &[10, 90]);
+    }
+
+    #[test]
+    fn check_times_stay_monotonic_for_monotonic_stores() {
+        let mut c = RobotsCache::new(3600);
+        let mut expected = Vec::new();
+        for (i, now) in [0u64, 10, 3610, 3615, 7300, 11_000].iter().enumerate() {
+            if i % 2 == 0 {
+                c.store(*now, EffectivePolicy::AllowAll);
+            } else {
+                assert!(c.refresh(*now));
+            }
+            expected.push(*now);
+        }
+        assert_eq!(c.check_times(), expected.as_slice());
+        assert!(c.check_times().windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

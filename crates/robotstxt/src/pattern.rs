@@ -183,11 +183,18 @@ pub fn normalize_percent(s: &str) -> String {
                 continue;
             }
         }
-        // Copy the (possibly multi-byte UTF-8) character verbatim.
-        let ch_len = utf8_len(bytes[i]);
-        let end = (i + ch_len).min(bytes.len());
-        out.push_str(&s[i..end]);
-        i = end;
+        // RFC 9309 §2.2.2 compares percent-encoded octets: canonicalize
+        // raw non-ASCII bytes (each byte of a multi-byte UTF-8 character)
+        // to uppercase triplets, so `/é` and `/%C3%A9` are the same
+        // pattern and match the same paths.
+        if bytes[i] >= 0x80 {
+            out.push('%');
+            out.push(to_hex(bytes[i] >> 4));
+            out.push(to_hex(bytes[i] & 0xF));
+        } else {
+            out.push(bytes[i] as char);
+        }
+        i += 1;
     }
     out
 }
@@ -203,15 +210,6 @@ fn hex_val(b: u8) -> Option<u8> {
 
 fn to_hex(v: u8) -> char {
     char::from_digit(v as u32, 16).expect("nibble").to_ascii_uppercase()
-}
-
-fn utf8_len(first: u8) -> usize {
-    match first {
-        0x00..=0x7F => 1,
-        0xC0..=0xDF => 2,
-        0xE0..=0xEF => 3,
-        _ => 4,
-    }
 }
 
 #[cfg(test)]
@@ -340,9 +338,21 @@ mod tests {
     }
 
     #[test]
-    fn utf8_passthrough() {
-        assert_eq!(normalize_percent("/café"), "/café");
+    fn utf8_percent_equivalence() {
+        // Raw multi-byte characters canonicalize to their uppercase
+        // percent-encoded octets, so the raw and encoded spellings are
+        // one pattern and match each other's paths (RFC 9309 §2.2.2).
+        assert_eq!(normalize_percent("/café"), "/caf%C3%A9");
+        assert_eq!(normalize_percent("/caf%c3%a9"), "/caf%C3%A9");
         assert!(m("/café", "/café"));
+        assert!(m("/café", "/caf%C3%A9"));
+        assert!(m("/caf%C3%A9", "/café"));
+        assert!(m("/caf%c3%a9", "/café"));
+        // Distinct characters stay distinct.
+        assert!(!m("/café", "/cafe"));
+        // CJK (three-byte) and emoji (four-byte) sequences too.
+        assert!(m("/図書館", "/%E5%9B%B3%E6%9B%B8%E9%A4%A8"));
+        assert!(m("/%F0%9F%A4%96", "/🤖"));
     }
 
     #[test]

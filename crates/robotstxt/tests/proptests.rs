@@ -281,4 +281,144 @@ proptest! {
             prop_assert!(after, "allow rule must not revoke access");
         }
     }
+
+    // ---- longest-match tie-breaking (RFC 9309 §2.2.2) ----
+
+    #[test]
+    fn identical_pattern_tie_allow_wins(path in path_strategy()) {
+        // The exact same value as Allow and Disallow: equal specificity,
+        // so the tie MUST break toward Allow — in either rule order.
+        // (/robots.txt itself is implicitly allowed, so skip it.)
+        if path != "/robots.txt" {
+            for body in [
+                format!("User-agent: *\nDisallow: {path}\nAllow: {path}\n"),
+                format!("User-agent: *\nAllow: {path}\nDisallow: {path}\n"),
+            ] {
+                let doc = parse(&body);
+                prop_assert!(doc.is_allowed("bot", &path).allow, "{body}");
+            }
+        }
+    }
+
+    #[test]
+    fn equal_length_distinct_patterns_allow_wins(
+        base in "/[a-z0-9]{1,12}",
+        last in "[a-z0-9]{1,1}",
+    ) {
+        // Two *different* patterns of equal octet length that both match
+        // the probe path: the exact literal, and its last octet replaced
+        // by `*`. Equal specificity ⇒ Allow wins, whichever carries it.
+        let path = format!("{base}{last}");
+        let starred = format!("{base}*");
+        prop_assert_eq!(
+            PathPattern::new(&path).specificity(),
+            PathPattern::new(&starred).specificity()
+        );
+        prop_assert!(PathPattern::new(&starred).matches(&path));
+
+        let doc = parse(&format!("User-agent: *\nDisallow: {starred}\nAllow: {path}\n"));
+        prop_assert!(doc.is_allowed("bot", &path).allow, "literal Allow loses tie");
+        let doc = parse(&format!("User-agent: *\nDisallow: {path}\nAllow: {starred}\n"));
+        prop_assert!(doc.is_allowed("bot", &path).allow, "starred Allow loses tie");
+    }
+
+    #[test]
+    fn strictly_longer_rule_beats_shorter_regardless_of_verb(
+        base in "/[a-z0-9]{1,10}",
+        extra in "[a-z0-9]{1,6}",
+    ) {
+        // Sanity around the tie rule: it applies ONLY at equal length.
+        // A strictly longer Disallow must beat a shorter Allow (and
+        // vice versa) for paths both match.
+        let long = format!("{base}/{extra}");
+        let doc = parse(&format!("User-agent: *\nAllow: {base}\nDisallow: {long}\n"));
+        prop_assert!(!doc.is_allowed("bot", &long).allow);
+        prop_assert!(doc.is_allowed("bot", &format!("{base}zz")).allow);
+        let doc = parse(&format!("User-agent: *\nDisallow: {base}\nAllow: {long}\n"));
+        prop_assert!(doc.is_allowed("bot", &long).allow);
+        prop_assert!(!doc.is_allowed("bot", &format!("{base}zz")).allow);
+    }
+
+    // ---- UTF-8 paths under percent-encoding equivalence ----
+
+    #[test]
+    fn utf8_pattern_and_encoded_pattern_are_one_pattern(
+        prefix in "/[a-z0-9]{0,6}/",
+        seg in "[à-öø-ÿα-ωа-яぁ-ゖ一-鿋]{1,6}",
+        tail in "[a-z0-9]{0,5}",
+    ) {
+        // A raw multi-byte segment and its uppercase percent-encoded
+        // octets normalize identically, so either spelling of the rule
+        // matches either spelling of the path.
+        let raw = format!("{prefix}{seg}{tail}");
+        let encoded: String = raw
+            .bytes()
+            .map(|b| {
+                if b >= 0x80 { format!("%{b:02X}") } else { (b as char).to_string() }
+            })
+            .collect();
+        prop_assert_eq!(normalize_percent(&raw), normalize_percent(&encoded));
+        for pat in [&raw, &encoded] {
+            for path in [&raw, &encoded] {
+                prop_assert!(PathPattern::new(pat).matches(path), "{pat} vs {path}");
+            }
+        }
+        // Prefix semantics hold across the spellings too.
+        let extended = format!("{raw}/more");
+        prop_assert!(PathPattern::new(&encoded).matches(&extended));
+    }
+
+    #[test]
+    fn utf8_document_decisions_are_spelling_invariant(
+        seg in "[à-öø-ÿα-ωа-яぁ-ゖ一-鿋]{1,5}",
+        probe in "[a-z0-9]{0,4}",
+    ) {
+        // A Disallow written with raw UTF-8 must deny the percent-encoded
+        // request spelling, and vice versa — a crawler must not dodge a
+        // rule by re-encoding the URL.
+        let raw_rule = format!("/wiki/{seg}");
+        let encoded_rule: String = raw_rule
+            .bytes()
+            .map(|b| {
+                if b >= 0x80 { format!("%{b:02x}") } else { (b as char).to_string() }
+            })
+            .collect();
+        let raw_path = format!("/wiki/{seg}{probe}");
+        let encoded_path: String = raw_path
+            .bytes()
+            .map(|b| {
+                if b >= 0x80 { format!("%{b:02X}") } else { (b as char).to_string() }
+            })
+            .collect();
+        for rule in [&raw_rule, &encoded_rule] {
+            let doc = parse(&format!("User-agent: *\nDisallow: {rule}\n"));
+            for path in [&raw_path, &encoded_path] {
+                prop_assert!(
+                    !doc.is_allowed("bot", path).allow,
+                    "rule {rule} must deny {path}"
+                );
+            }
+            // Unrelated ASCII paths stay allowed.
+            prop_assert!(doc.is_allowed("bot", "/wiki-other").allow);
+        }
+    }
+
+    #[test]
+    fn utf8_specificity_counts_encoded_octets(
+        seg in "[à-öø-ÿぁ-ゖ]{1,4}",
+    ) {
+        // Specificity is measured on the normalized (percent-encoded)
+        // text, so both spellings of one rule carry the same weight.
+        let raw = format!("/{seg}");
+        let encoded: String = raw
+            .bytes()
+            .map(|b| {
+                if b >= 0x80 { format!("%{b:02X}") } else { (b as char).to_string() }
+            })
+            .collect();
+        prop_assert_eq!(
+            PathPattern::new(&raw).specificity(),
+            PathPattern::new(&encoded).specificity()
+        );
+    }
 }

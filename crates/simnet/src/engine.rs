@@ -72,8 +72,13 @@ fn exp_sample(rng: &mut StdRng, mean: f64) -> f64 {
     -mean * (1.0 - u).ln()
 }
 
-/// Derive a child seed; avoids correlated streams between bots.
-fn child_seed(seed: u64, stream: u64) -> u64 {
+/// Derive a child seed for an independent RNG stream; avoids correlated
+/// streams between generation units. This is the workspace's
+/// seed-derivation discipline: every subsystem that runs many
+/// independent seeded streams (the generator's per-bot units, the
+/// monitor daemon's per-agent and per-site streams) derives them from
+/// one master seed through this mix.
+pub fn child_seed(seed: u64, stream: u64) -> u64 {
     // splitmix-style mix.
     let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

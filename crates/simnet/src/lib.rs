@@ -49,9 +49,10 @@ pub mod engine;
 pub mod fleet;
 pub mod phases;
 pub mod scenario;
+pub mod server;
 pub mod site;
 pub mod spoof;
 
 pub use config::SimConfig;
-pub use engine::{worker_threads, SimOutput, SimTableOutput};
+pub use engine::{child_seed, worker_threads, SimOutput, SimTableOutput};
 pub use phases::{PhaseSchedule, PolicyVersion};

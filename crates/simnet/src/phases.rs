@@ -50,6 +50,18 @@ impl PolicyVersion {
         PolicyVersion::V3DisallowAll,
     ];
 
+    /// Position of this version in [`PolicyVersion::ALL`] — a stable
+    /// small integer for array indexing (policy corpora, change
+    /// matrices).
+    pub fn index(self) -> usize {
+        match self {
+            PolicyVersion::Base => 0,
+            PolicyVersion::V1CrawlDelay => 1,
+            PolicyVersion::V2EndpointOnly => 2,
+            PolicyVersion::V3DisallowAll => 3,
+        }
+    }
+
     /// Short label used in reports.
     pub fn label(self) -> &'static str {
         match self {

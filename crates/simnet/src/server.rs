@@ -1,0 +1,195 @@
+//! Site → robots.txt server-model adapter.
+//!
+//! The monitoring daemon (`botscope-monitor`) needs the *server side* of
+//! the estate: which robots.txt document each site serves at each
+//! instant. The experiment's mid-study policy swaps are already encoded
+//! by [`PhaseSchedule`]; this module projects a schedule into a flat,
+//! binary-searchable per-site timeline ([`SitePolicyServer`]) and
+//! renders/parses the four policy files exactly once ([`PolicyCorpus`])
+//! so a 100k-site estate shares four bodies instead of building 100k.
+
+use botscope_robotstxt::RobotsTxt;
+use botscope_weblog::time::Timestamp;
+
+use crate::phases::{PhaseSchedule, PolicyVersion};
+
+/// The four experimental policy files, rendered once (the text a server
+/// puts on the wire) and parsed once (the document a crawler-side cache
+/// evaluates and diffs).
+#[derive(Debug, Clone)]
+pub struct PolicyCorpus {
+    texts: [String; 4],
+    docs: [RobotsTxt; 4],
+}
+
+impl Default for PolicyCorpus {
+    fn default() -> Self {
+        PolicyCorpus::new()
+    }
+}
+
+impl PolicyCorpus {
+    /// Render and parse all four versions.
+    pub fn new() -> PolicyCorpus {
+        let docs = PolicyVersion::ALL.map(|v| v.robots_txt());
+        let texts = [0, 1, 2, 3].map(|i: usize| docs[i].to_string());
+        PolicyCorpus { texts, docs }
+    }
+
+    /// The serialized robots.txt body of `version`.
+    pub fn text(&self, version: PolicyVersion) -> &str {
+        &self.texts[version.index()]
+    }
+
+    /// The parsed document of `version`.
+    pub fn doc(&self, version: PolicyVersion) -> &RobotsTxt {
+        &self.docs[version.index()]
+    }
+}
+
+/// One site's serving timeline: which [`PolicyVersion`] is live when.
+///
+/// Stored as `(from_unix_sec, version)` segments in ascending time
+/// order; the first segment always starts at 0, so every instant maps to
+/// exactly one version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SitePolicyServer {
+    segments: Vec<(u64, PolicyVersion)>,
+}
+
+impl SitePolicyServer {
+    /// A site that serves one version forever.
+    pub fn always(version: PolicyVersion) -> SitePolicyServer {
+        SitePolicyServer { segments: vec![(0, version)] }
+    }
+
+    /// Project `schedule` onto `site`: the experiment site swaps through
+    /// the scheduled phases (Base before the window, Base again after
+    /// it — the operator restores the standard file); every other site
+    /// serves Base forever.
+    pub fn from_schedule(schedule: &PhaseSchedule, site: usize) -> SitePolicyServer {
+        if site != schedule.experiment_site || schedule.phases.is_empty() {
+            return SitePolicyServer::always(PolicyVersion::Base);
+        }
+        let mut segments: Vec<(u64, PolicyVersion)> = vec![(0, PolicyVersion::Base)];
+        for phase in &schedule.phases {
+            segments.push((phase.start.unix(), phase.version));
+        }
+        let (_, end) = schedule.bounds();
+        segments.push((end.unix(), PolicyVersion::Base));
+        // Collapse adjacent segments serving the same version (a schedule
+        // starting with Base would otherwise yield a zero-information
+        // boundary) and zero-length segments (contiguous phases share
+        // their boundary instant).
+        segments.sort_by_key(|&(at, _)| at);
+        let mut collapsed: Vec<(u64, PolicyVersion)> = Vec::with_capacity(segments.len());
+        for (at, version) in segments {
+            if let Some(&mut (last_at, ref mut last_v)) = collapsed.last_mut() {
+                if last_at == at {
+                    *last_v = version;
+                    continue;
+                }
+                if *last_v == version {
+                    continue;
+                }
+            }
+            collapsed.push((at, version));
+        }
+        SitePolicyServer { segments: collapsed }
+    }
+
+    /// The version live at `unix` seconds.
+    pub fn version_at(&self, unix: u64) -> PolicyVersion {
+        let idx = self.segments.partition_point(|&(at, _)| at <= unix);
+        // partition_point ≥ 1 because segment 0 starts at time 0.
+        self.segments[idx.saturating_sub(1)].1
+    }
+
+    /// The timeline's swap instants (excluding the initial segment):
+    /// the ground truth a change-detection test compares against.
+    pub fn swaps(&self) -> &[(u64, PolicyVersion)] {
+        &self.segments[1..]
+    }
+
+    /// Whether this site ever changes its served file.
+    pub fn is_static(&self) -> bool {
+        self.segments.len() == 1
+    }
+}
+
+/// Convenience: the timestamp-typed twin of [`SitePolicyServer::version_at`].
+pub fn served_version(server: &SitePolicyServer, at: Timestamp) -> PolicyVersion {
+    server.version_at(at.unix())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_matches_versions() {
+        let corpus = PolicyCorpus::new();
+        for v in PolicyVersion::ALL {
+            assert_eq!(corpus.text(v), v.robots_txt().to_string());
+            assert_eq!(corpus.doc(v).groups, v.robots_txt().groups);
+        }
+        // The four files are genuinely distinct bodies.
+        let texts: std::collections::BTreeSet<&str> =
+            PolicyVersion::ALL.iter().map(|&v| corpus.text(v)).collect();
+        assert_eq!(texts.len(), 4);
+    }
+
+    #[test]
+    fn non_experiment_site_is_static_base() {
+        let start = Timestamp::from_date(2025, 1, 15);
+        let schedule = PhaseSchedule::paper_schedule(start, 0);
+        let s = SitePolicyServer::from_schedule(&schedule, 7);
+        assert!(s.is_static());
+        assert_eq!(s.version_at(0), PolicyVersion::Base);
+        assert_eq!(s.version_at(u64::MAX), PolicyVersion::Base);
+    }
+
+    #[test]
+    fn experiment_site_follows_schedule() {
+        let start = Timestamp::from_date(2025, 1, 15);
+        let schedule = PhaseSchedule::paper_schedule(start, 3);
+        let s = SitePolicyServer::from_schedule(&schedule, 3);
+        assert!(!s.is_static());
+        // Before the window: Base. Then each phase. After: Base again.
+        assert_eq!(s.version_at(start.unix() - 1), PolicyVersion::Base);
+        for (i, v) in PolicyVersion::ALL.iter().enumerate() {
+            let mid = start.plus_secs((i as u64 * 14 + 7) * 86_400);
+            assert_eq!(s.version_at(mid.unix()), *v, "phase {i}");
+            assert_eq!(served_version(&s, mid), *v);
+        }
+        let after = start.plus_secs(57 * 86_400);
+        assert_eq!(s.version_at(after.unix()), PolicyVersion::Base);
+        // Swap instants: v1, v2, v3 starts plus the final restore. The
+        // schedule's first phase *is* Base, so it collapses into the
+        // initial segment.
+        assert_eq!(s.swaps().len(), 4);
+        assert_eq!(
+            s.swaps()[0],
+            (start.plus_secs(14 * 86_400).unix(), PolicyVersion::V1CrawlDelay)
+        );
+        assert_eq!(s.swaps()[3].1, PolicyVersion::Base);
+    }
+
+    #[test]
+    fn boundary_instants_belong_to_the_new_segment() {
+        let start = Timestamp::from_date(2025, 1, 15);
+        let schedule = PhaseSchedule::paper_schedule(start, 0);
+        let s = SitePolicyServer::from_schedule(&schedule, 0);
+        let v1_start = start.plus_secs(14 * 86_400).unix();
+        assert_eq!(s.version_at(v1_start - 1), PolicyVersion::Base);
+        assert_eq!(s.version_at(v1_start), PolicyVersion::V1CrawlDelay);
+    }
+
+    #[test]
+    fn always_base_schedule_collapses_to_static() {
+        let start = Timestamp::from_date(2025, 2, 12);
+        let schedule = PhaseSchedule::always_base(0, start, start.plus_secs(86_400));
+        let s = SitePolicyServer::from_schedule(&schedule, 0);
+        assert!(s.is_static(), "base-only schedule should not record swaps: {s:?}");
+    }
+}

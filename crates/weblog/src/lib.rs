@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod fetchlog;
 pub mod filter;
 pub mod intern;
 pub mod iphash;
@@ -63,6 +64,7 @@ pub mod summary;
 pub mod table;
 pub mod time;
 
+pub use fetchlog::FetchEventLog;
 pub use intern::{StringInterner, Sym};
 pub use iphash::IpHasher;
 pub use record::AccessRecord;

@@ -9,13 +9,17 @@
 //! botscope diff <old> <new> [agent...]            what changed, for whom
 //! botscope analyze <access.csv>                   per-bot compliance report
 //! botscope simulate [days] [scale] [out.csv] [seed]   generate synthetic logs
+//! botscope monitor [--sites N] [--days N] ...     run the monitoring daemon
 //! ```
 
 use std::process::ExitCode;
 
 use botscope::core::metrics::{crawl_delay_counts_rows, CRAWL_DELAY_SECS};
 use botscope::core::pipeline::standardize_table;
+use botscope::core::recheck::{by_category, profiles_from_table};
 use botscope::core::spoofdetect::detect_rows;
+use botscope::monitor::daemon::{MonitorConfig, MonitorOutput, TtlPolicy};
+use botscope::monitor::ScenarioKind;
 use botscope::robots::audit::audit;
 use botscope::robots::diff::{diff, summarize};
 use botscope::robots::RobotsTxt;
@@ -39,12 +43,28 @@ USAGE:
       Generate a synthetic access log (stdout or out.csv; pass \"-\" for
       out.csv to pipe a seeded run to stdout). The same seed always
       yields a byte-identical log.
+  botscope monitor [options]
+      Run the robots.txt monitoring daemon over the virtual estate:
+      one cache-backed fetch agent per (bot, site), scripted outages /
+      redirect chains / policy swaps, change detection, and a §5.1
+      re-check report computed from the monitored fetch log.
+        --sites N        estate size (default 36)
+        --days N         horizon in simulated days (default 46)
+        --seed N         master seed (default 9309)
+        --bots N         monitored bots, top of the fleet (default 6)
+        --ttl P          re-check TTL: \"spectrum\" or hours (default spectrum)
+        --scenario K     stable|outages|flapping|redirects|mixed (default mixed)
+        --swap-every N   every Nth site swaps policies mid-study (default 4; 0 = off)
+        --out FILE       write the fetch-event log as CSV (\"-\" = stdout)
+        --jsonl FILE     write the fetch-event log as JSONL (\"-\" = stdout)
+        --changes FILE   write detected policy changes as CSV (\"-\" = stdout)
 
 ENVIRONMENT:
   BOTSCOPE_THREADS
-      Worker threads for log generation (simulate). Defaults to the
-      machine's available parallelism; the output is byte-identical
-      for a fixed seed at any thread count.
+      Worker threads for log generation (simulate) and the monitor's
+      event-queue shards (monitor). Defaults to the machine's
+      available parallelism; the output is byte-identical for a fixed
+      seed at any thread count.
 ";
 
 fn main() -> ExitCode {
@@ -55,6 +75,7 @@ fn main() -> ExitCode {
         Some("diff") => cmd_diff(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("monitor") => cmd_monitor(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             Ok(())
@@ -203,6 +224,207 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Write `table` as CSV to `path` (`-` = stdout).
+fn write_csv(path: &str, table: &botscope::weblog::LogTable) -> Result<(), String> {
+    fn write<W: std::io::Write>(
+        mut w: W,
+        table: &botscope::weblog::LogTable,
+    ) -> std::io::Result<()> {
+        codec::write_table(&mut w, table)?;
+        w.flush()
+    }
+    if path == "-" {
+        let stdout = std::io::stdout();
+        write(std::io::BufWriter::new(stdout.lock()), table)
+            .map_err(|e| format!("cannot write to stdout: {e}"))
+    } else {
+        let file = std::fs::File::create(path).map_err(|e| format!("cannot write {path}: {e}"))?;
+        write(std::io::BufWriter::new(file), table).map_err(|e| format!("cannot write {path}: {e}"))
+    }
+}
+
+fn cmd_monitor(args: &[String]) -> Result<(), String> {
+    let mut cfg = MonitorConfig::default();
+    let mut out_path: Option<String> = None;
+    let mut jsonl_path: Option<String> = None;
+    let mut changes_path: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value =
+            args.get(i + 1).ok_or_else(|| format!("{flag} needs a value (see `botscope help`)"))?;
+        match flag {
+            "--sites" => cfg.sites = value.parse().map_err(|_| format!("bad --sites {value}"))?,
+            "--days" => cfg.days = value.parse().map_err(|_| format!("bad --days {value}"))?,
+            "--seed" => cfg.seed = value.parse().map_err(|_| format!("bad --seed {value}"))?,
+            "--bots" => cfg.bots = value.parse().map_err(|_| format!("bad --bots {value}"))?,
+            "--ttl" => {
+                cfg.ttl = TtlPolicy::parse(value)
+                    .ok_or_else(|| format!("bad --ttl {value} (want \"spectrum\" or hours)"))?
+            }
+            "--scenario" => {
+                cfg.scenario = ScenarioKind::parse(value).ok_or_else(|| {
+                    format!("bad --scenario {value} (want stable|outages|flapping|redirects|mixed)")
+                })?
+            }
+            "--swap-every" => {
+                cfg.swap_every = value.parse().map_err(|_| format!("bad --swap-every {value}"))?
+            }
+            "--out" => out_path = Some(value.clone()),
+            "--jsonl" => jsonl_path = Some(value.clone()),
+            "--changes" => changes_path = Some(value.clone()),
+            other => return Err(format!("unknown monitor flag {other:?} (see `botscope help`)")),
+        }
+        i += 2;
+    }
+    if cfg.sites == 0 || cfg.days == 0 || cfg.bots == 0 {
+        return Err("--sites, --days and --bots must be at least 1".into());
+    }
+
+    let out = botscope::monitor::run(&cfg);
+
+    if let Some(path) = &out_path {
+        write_csv(path, &out.table)?;
+    }
+    if let Some(path) = &jsonl_path {
+        fn write_jsonl<W: std::io::Write>(
+            mut w: W,
+            table: &botscope::weblog::LogTable,
+        ) -> std::io::Result<()> {
+            for record in table.iter_records() {
+                writeln!(w, "{}", botscope::weblog::jsonl::encode_record(&record))?;
+            }
+            w.flush()
+        }
+        let result = if path == "-" {
+            let stdout = std::io::stdout();
+            write_jsonl(std::io::BufWriter::new(stdout.lock()), &out.table)
+        } else {
+            std::fs::File::create(path)
+                .and_then(|f| write_jsonl(std::io::BufWriter::new(f), &out.table))
+        };
+        result.map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if let Some(path) = &changes_path {
+        let mut body = String::from("site,at,from,to,observers,tightened,loosened,delay_changes\n");
+        for c in &out.changes {
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                body,
+                "{},{},{},{},{},{},{},{}",
+                c.site,
+                botscope::weblog::Timestamp::from_unix(c.at).to_iso8601(),
+                c.from.label(),
+                c.to.label(),
+                c.observers,
+                c.tightened,
+                c.loosened,
+                c.delay_changes
+            );
+        }
+        if path == "-" {
+            print!("{body}");
+        } else {
+            std::fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+    }
+
+    // The human report goes to stdout unless stdout carries data.
+    let data_on_stdout =
+        [&out_path, &jsonl_path, &changes_path].iter().any(|p| p.as_deref() == Some("-"));
+    print_monitor_report(&cfg, &out, data_on_stdout);
+    Ok(())
+}
+
+fn print_monitor_report(cfg: &MonitorConfig, out: &MonitorOutput, to_stderr: bool) {
+    use std::fmt::Write as _;
+    let s = &out.stats;
+    let mut r = String::new();
+    let ttl = match cfg.ttl {
+        TtlPolicy::Spectrum => "spectrum".to_string(),
+        TtlPolicy::FixedHours(h) => format!("{h}h"),
+    };
+    let _ = writeln!(
+        r,
+        "monitored {} sites x {} bots over {} days (seed {}, scenario {}, ttl {})",
+        cfg.sites,
+        out.bots.len(),
+        cfg.days,
+        cfg.seed,
+        cfg.scenario.label(),
+        ttl
+    );
+    let _ = writeln!(r, "bots: {}", out.bots.join(", "));
+    let _ = writeln!(
+        r,
+        "{} agents, {} fetches: {} ok ({} revalidated), {} 4xx, {} 5xx, {} network",
+        s.agents,
+        s.fetches,
+        s.success,
+        s.revalidated,
+        s.client_errors,
+        s.server_errors,
+        s.network_errors
+    );
+    let mean_latency = s.latency_ms_sum.checked_div(s.fetches).unwrap_or(0);
+    let _ = writeln!(
+        r,
+        "redirects: {} hops followed, {} chains capped at 5 hops; {} backoff retries; latency mean {} ms max {} ms",
+        s.redirects_followed, s.redirects_capped, s.backoff_retries, mean_latency, s.latency_ms_max
+    );
+    let _ = writeln!(
+        r,
+        "policy changes: {} observations, {} distinct transitions",
+        s.policy_changes_observed,
+        out.changes.len()
+    );
+    for c in out.changes.iter().take(8) {
+        let _ = writeln!(
+            r,
+            "  {} @{}: {} -> {} ({} observers, {} tightened, {} loosened, {} delay changes)",
+            c.site,
+            botscope::weblog::Timestamp::from_unix(c.at).to_iso8601(),
+            c.from.label(),
+            c.to.label(),
+            c.observers,
+            c.tightened,
+            c.loosened,
+            c.delay_changes
+        );
+    }
+    if out.changes.len() > 8 {
+        let _ = writeln!(r, "  ... and {} more", out.changes.len() - 8);
+    }
+
+    // Figure 10 from *monitored* logs: share of checking bots per
+    // category that re-checked within every window.
+    let profiles = profiles_from_table(&out.table, out.horizon_end);
+    let agg = by_category(&profiles);
+    if !agg.checking_bots.is_empty() {
+        let _ = writeln!(r, "re-check coverage from monitored logs (share of bots per window):");
+        let _ = writeln!(
+            r,
+            "  {:<24} {:>5} {:>6} {:>6} {:>6} {:>6} {:>6}",
+            "category", "bots", "12h", "24h", "48h", "72h", "168h"
+        );
+        for (cat, n) in &agg.checking_bots {
+            let mut line = format!("  {:<24} {:>5}", cat.to_string(), n);
+            for h in [12u64, 24, 48, 72, 168] {
+                let p = agg.proportions.get(&(*cat, h)).copied().unwrap_or(0.0);
+                let _ = write!(line, " {p:>6.2}");
+            }
+            let _ = writeln!(r, "{line}");
+        }
+    }
+
+    if to_stderr {
+        eprint!("{r}");
+    } else {
+        print!("{r}");
+    }
+}
+
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let days: u64 =
         args.first().map(|s| s.parse().map_err(|_| "bad days")).transpose()?.unwrap_or(7);
@@ -227,21 +449,10 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let out = scenario::full_study_table(&cfg);
     match out_path {
         Some(path) => {
-            let file =
-                std::fs::File::create(path).map_err(|e| format!("cannot write {path}: {e}"))?;
-            let mut w = std::io::BufWriter::new(file);
-            codec::write_table(&mut w, &out.table)
-                .and_then(|()| std::io::Write::flush(&mut w))
-                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            write_csv(path, &out.table)?;
             eprintln!("{} records -> {path}", out.table.len());
         }
-        None => {
-            let stdout = std::io::stdout();
-            let mut w = std::io::BufWriter::new(stdout.lock());
-            codec::write_table(&mut w, &out.table)
-                .and_then(|()| std::io::Write::flush(&mut w))
-                .map_err(|e| format!("cannot write to stdout: {e}"))?;
-        }
+        None => write_csv("-", &out.table)?,
     }
     Ok(())
 }

@@ -16,6 +16,7 @@
 //! | [`stats`] | `botscope-stats` | two-proportion z-test, normal distribution, ECDFs, window coverage |
 //! | [`simnet`] | `botscope-simnet` | deterministic synthetic traffic generator (the data substrate) |
 //! | [`core`] | `botscope-core` | the compliance-measurement pipeline and report generation |
+//! | [`monitor`] | `botscope-monitor` | virtual robots.txt transport + live monitoring daemon |
 //!
 //! ## Quickstart: is this bot allowed?
 //!
@@ -87,4 +88,9 @@ pub mod simnet {
 /// The compliance-measurement pipeline (the paper's contribution).
 pub mod core {
     pub use botscope_core::*;
+}
+
+/// Virtual-network transport and robots.txt monitoring daemon.
+pub mod monitor {
+    pub use botscope_monitor::*;
 }

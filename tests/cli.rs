@@ -164,3 +164,84 @@ fn simulate_then_analyze_roundtrip() {
     assert!(text.contains("YisouSpider") || text.contains("Applebot"), "{text}");
     let _ = std::fs::remove_file(csv);
 }
+
+#[test]
+fn monitor_reports_and_streams_csv() {
+    let out = botscope(&["monitor", "--sites", "8", "--days", "5", "--bots", "3"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("monitored 8 sites x 3 bots over 5 days"), "{text}");
+    assert!(text.contains("fetches"), "{text}");
+    assert!(text.contains("re-check coverage from monitored logs"), "{text}");
+
+    // `--out -` streams the fetch log as CSV on stdout, report on stderr.
+    let out = botscope(&["monitor", "--sites", "8", "--days", "5", "--bots", "3", "--out", "-"]);
+    assert!(out.status.success());
+    let csv = String::from_utf8_lossy(&out.stdout);
+    assert!(csv.lines().count() > 10, "{csv}");
+    assert!(csv.lines().skip(1).all(|l| l.is_empty() || l.contains("/robots.txt")), "{csv}");
+    let report = String::from_utf8_lossy(&out.stderr);
+    assert!(report.contains("monitored 8 sites"), "{report}");
+}
+
+#[test]
+fn monitor_is_deterministic_and_thread_count_invariant() {
+    let run = |threads: &str| {
+        let out = Command::new(env!("CARGO_BIN_EXE_botscope"))
+            .args(["monitor", "--sites", "24", "--days", "6", "--bots", "4", "--out", "-"])
+            .env("BOTSCOPE_THREADS", threads)
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        out.stdout
+    };
+    let serial = run("1");
+    assert!(!serial.is_empty());
+    assert_eq!(serial, run("1"), "same seed must reproduce");
+    assert_eq!(serial, run("2"), "2 workers must match serial output");
+    assert_eq!(serial, run("8"), "8 workers must match serial output");
+}
+
+#[test]
+fn monitor_writes_change_digests() {
+    // All sites swap on a horizon long enough to cross the first swap.
+    let out = botscope(&[
+        "monitor",
+        "--sites",
+        "4",
+        "--days",
+        "30",
+        "--bots",
+        "2",
+        "--swap-every",
+        "1",
+        "--scenario",
+        "stable",
+        "--changes",
+        "-",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let csv = String::from_utf8_lossy(&out.stdout);
+    assert!(csv.starts_with("site,at,from,to,"), "{csv}");
+    assert!(csv.lines().count() > 1, "expected at least one change: {csv}");
+    assert!(csv.contains("v1 (crawl delay)"), "{csv}");
+}
+
+#[test]
+fn monitor_rejects_bad_flags_cleanly() {
+    let out = botscope(&["monitor", "--scenario", "sunny"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --scenario"));
+
+    let out = botscope(&["monitor", "--ttl", "zero-ish"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --ttl"));
+
+    let out = botscope(&["monitor", "--sites"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("needs a value"));
+
+    let out = botscope(&["monitor", "--frobnicate", "1"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown monitor flag"));
+}
