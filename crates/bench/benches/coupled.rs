@@ -1,0 +1,54 @@
+//! Criterion benches for the coupled pipeline: belief collection →
+//! belief-driven generation, plus the attribution scoring stage alone.
+//!
+//! The headline line is `coupled/run_8w_12sites/0.25`: the full 8-week
+//! coupled study (belief daemon over the whole fleet, then generation
+//! consulting the atlas) at the scale the phase-study binaries use.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use botscope_core::attribution::attribute_table;
+use botscope_monitor::{run_coupled_with_threads, CoupledConfig, RefreshModel, ScenarioKind};
+use botscope_simnet::server::PolicyCorpus;
+use botscope_simnet::SimConfig;
+
+fn config(scale: f64) -> CoupledConfig {
+    CoupledConfig {
+        sim: SimConfig { scale, sites: 12, ..SimConfig::default() },
+        scenario: ScenarioKind::Mixed,
+        refresh: RefreshModel::Fleet,
+    }
+}
+
+fn bench_coupled(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coupled");
+    g.sample_size(10);
+    for &scale in &[0.05, 0.25] {
+        let cfg = config(scale);
+        // Throughput denominator: generated rows of one run.
+        let rows = run_coupled_with_threads(&cfg, 1).sim.table.len() as u64;
+        g.throughput(Throughput::Elements(rows));
+        g.bench_with_input(BenchmarkId::new("run_8w_12sites", scale), &cfg, |b, cfg| {
+            b.iter(|| run_coupled_with_threads(cfg, 1))
+        });
+    }
+    g.finish();
+}
+
+fn bench_attribution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("attribution");
+    g.sample_size(10);
+    let cfg = config(0.25);
+    let out = run_coupled_with_threads(&cfg, 1);
+    let corpus = PolicyCorpus::new();
+    g.throughput(Throughput::Elements(out.sim.table.len() as u64));
+    g.bench_function("attribute_8w_12sites_0.25", |b| {
+        b.iter(|| {
+            black_box(attribute_table(&out.sim.table, &out.beliefs, &out.served, &corpus)).len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_coupled, bench_attribution);
+criterion_main!(benches);

@@ -23,8 +23,13 @@
 //!    two-proportion z-tests (Table 10), aggregate categories with
 //!    access-weighted averages (Table 5);
 //! 5. [`recheck`] — the §5.1 robots.txt re-check-frequency analysis
-//!    (Table 7, Figure 10);
-//! 6. [`report`] — render every table and figure of the paper's
+//!    (Table 7, Figure 10), including the monitored digest-window
+//!    matrix ([`recheck::phase_check_matrix`]);
+//! 6. [`attribution`] — ground-truth-aware scoring over the belief
+//!    layer: every compliance metric against *believed* or *served*
+//!    policy, and a per-bot split of served violations into deliberate
+//!    / stale-cache / fetch-artifact;
+//! 7. [`report`] — render every table and figure of the paper's
 //!    evaluation from an analysis result.
 //!
 //! ```
@@ -44,6 +49,7 @@
 
 pub mod adaptation;
 pub mod analyze;
+pub mod attribution;
 pub mod honeypot;
 pub mod metrics;
 pub mod pipeline;
@@ -54,6 +60,7 @@ pub mod spoofdetect;
 pub mod tables;
 
 pub use analyze::{Directive, Experiment};
+pub use attribution::{AttributionCounts, PolicyBasis, PolicyScore};
 pub use metrics::DirectiveCounts;
 pub use pipeline::BotView;
 pub use spoofdetect::SpoofReport;

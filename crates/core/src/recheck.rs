@@ -11,6 +11,7 @@
 
 use std::collections::BTreeMap;
 
+use botscope_simnet::PolicyVersion;
 use botscope_stats::window::{window_coverage, PAPER_WINDOWS_HOURS};
 use botscope_useragent::BotCategory;
 use botscope_weblog::record::AccessRecord;
@@ -158,6 +159,89 @@ pub fn checked_robots(records: &[&AccessRecord]) -> bool {
     records.iter().any(|r| r.is_robots_fetch())
 }
 
+/// Per-site policy deployment windows: site name →
+/// `(version, from_unix, to_unix)` spans, time-ascending — the shape
+/// `SitePolicyServer::version_windows` exports per monitored site.
+pub type SiteVersionWindows = BTreeMap<String, Vec<(PolicyVersion, u64, u64)>>;
+
+/// One bot's Table 7 digest-window row: per policy version, whether the
+/// bot fetched robots.txt *on a site while that site was serving the
+/// version* (`None` = the version was never live anywhere the bot could
+/// have seen it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseCheckRow {
+    /// Canonical bot name.
+    pub bot: String,
+    /// Category.
+    pub category: BotCategory,
+    /// version index (via [`PolicyVersion::index`]) → checked?
+    pub checked: [Option<bool>; 4],
+    /// Total robots.txt fetches attributed to the bot.
+    pub checks: u64,
+}
+
+/// Derive per-phase "checked robots.txt while vN was live" columns from
+/// monitored fetch logs: thread each site's deployment windows through
+/// every bot's robots.txt fetch trace. A version's cell is `Some(true)`
+/// once any fetch lands inside any site's window for that version,
+/// `Some(false)` when windows existed but no fetch hit them, and `None`
+/// when the version was never deployed. Rows come back in bot-name
+/// order; bots with no robots.txt fetch at all still appear (all
+/// deployed cells `Some(false)`) — those are Table 7's never-checkers.
+pub fn phase_check_matrix(table: &LogTable, windows: &SiteVersionWindows) -> Vec<PhaseCheckRow> {
+    let classes = PathClasses::new(table);
+    let logs = standardize_table(table);
+    // Which versions were deployed at all (the `None` columns).
+    let mut deployed = [false; 4];
+    for spans in windows.values() {
+        for &(version, _, _) in spans {
+            deployed[version.index()] = true;
+        }
+    }
+    // Resolve site symbols once, indexed by symbol so the per-row
+    // lookup is O(1) even on 100k-site monitor estates.
+    type SpanSlice<'w> = &'w [(PolicyVersion, u64, u64)];
+    let mut site_spans: Vec<Option<SpanSlice<'_>>> = vec![None; table.interner().len()];
+    for (name, spans) in windows {
+        if let Some(sym) = table.interner().get(name) {
+            site_spans[sym.index()] = Some(spans.as_slice());
+        }
+    }
+
+    let mut out = Vec::with_capacity(logs.bots.len());
+    for view in logs.bots.values() {
+        let mut hit = [false; 4];
+        let mut checks = 0u64;
+        for row in &view.rows {
+            if !classes.is_robots(row.uri_path) {
+                continue;
+            }
+            checks += 1;
+            let t = row.timestamp.unix();
+            if let Some(spans) = site_spans[row.sitename.index()] {
+                if let Some(&(version, _, _)) =
+                    spans.iter().find(|&&(_, from, to)| t >= from && t < to)
+                {
+                    hit[version.index()] = true;
+                }
+            }
+        }
+        let mut checked = [None; 4];
+        for i in 0..4 {
+            if deployed[i] {
+                checked[i] = Some(hit[i]);
+            }
+        }
+        out.push(PhaseCheckRow {
+            bot: view.name.clone(),
+            category: view.category,
+            checked,
+            checks,
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +341,57 @@ mod tests {
         // Dense checker covers 12h windows, single-check bot does not →
         // proportion is 0.5 at 12h.
         assert!((agg.proportions[&(BotCategory::SeoCrawler, 12)] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_check_matrix_threads_site_windows() {
+        use botscope_simnet::PolicyVersion as V;
+        use botscope_weblog::table::LogTable;
+        // Site A deploys Base then v1; site B stays Base. GPTBot checks
+        // A during v1 and B during Base; bingbot checks nothing inside
+        // any window; axios never checks at all.
+        let rec_on = |ua: &str, site: &str, t: u64, path: &str| AccessRecord {
+            useragent: ua.into(),
+            timestamp: Timestamp::from_unix(t),
+            ip_hash: 1,
+            asn: "GOOGLE".into(),
+            sitename: site.into(),
+            uri_path: path.into(),
+            status: 200,
+            bytes: 1,
+            referer: None,
+        };
+        let gpt = "Mozilla/5.0 (compatible; GPTBot/1.1)";
+        let bing = "Mozilla/5.0 (compatible; bingbot/2.0)";
+        let records = vec![
+            rec_on(gpt, "a.example.edu", 1_500, "/robots.txt"), // A: inside v1
+            rec_on(gpt, "b.example.edu", 10, "/robots.txt"),    // B: inside Base
+            rec_on(bing, "a.example.edu", 5_000, "/robots.txt"), // A: past every window
+            rec_on("axios/1.6.2", "a.example.edu", 100, "/page"),
+        ];
+        let table = LogTable::from_records(&records);
+        let mut windows = SiteVersionWindows::new();
+        windows.insert(
+            "a.example.edu".into(),
+            vec![(V::Base, 0, 1_000), (V::V1CrawlDelay, 1_000, 2_000)],
+        );
+        windows.insert("b.example.edu".into(), vec![(V::Base, 0, 2_000)]);
+        let matrix = phase_check_matrix(&table, &windows);
+        let row = |bot: &str| matrix.iter().find(|r| r.bot == bot).unwrap();
+
+        let g = row("GPTBot");
+        assert_eq!(g.checked[V::Base.index()], Some(true));
+        assert_eq!(g.checked[V::V1CrawlDelay.index()], Some(true));
+        assert_eq!(g.checked[V::V2EndpointOnly.index()], None, "never deployed");
+        assert_eq!(g.checks, 2);
+
+        let b = row("bingbot");
+        assert_eq!(b.checked[V::Base.index()], Some(false), "check landed outside the windows");
+        assert_eq!(b.checks, 1);
+
+        let a = row("Axios");
+        assert_eq!(a.checks, 0);
+        assert_eq!(a.checked[V::Base.index()], Some(false), "Table 7 never-checker row");
     }
 
     #[test]

@@ -417,6 +417,64 @@ pub fn table7(exp: &Experiment) -> String {
     t.render()
 }
 
+/// Table 7 from *monitored* logs: per bot, whether it fetched
+/// robots.txt on some site while each policy version was live there —
+/// the digest-window columns derived by
+/// [`crate::recheck::phase_check_matrix`].
+pub fn table7_from_monitor(matrix: &[crate::recheck::PhaseCheckRow]) -> String {
+    use crate::tables::yes_no;
+    let mut t = TextTable::new(
+        "Table 7 (monitored). Checked robots.txt while each version was live",
+        &["Bot", "Category", "Checks", "Base", "v1", "v2", "v3"],
+    );
+    for row in matrix {
+        t.row(vec![
+            row.bot.clone(),
+            row.category.to_string(),
+            row.checks.to_string(),
+            yes_no(row.checked[0]),
+            yes_no(row.checked[1]),
+            yes_no(row.checked[2]),
+            yes_no(row.checked[3]),
+        ]);
+    }
+    t.render()
+}
+
+/// The coupled mode's attribution table: per bot, served-policy
+/// compliance and the deliberate / stale-cache / fetch-artifact split
+/// of its violations (see [`crate::attribution`]).
+pub fn attribution_report(
+    counts: &BTreeMap<String, crate::attribution::AttributionCounts>,
+) -> String {
+    let mut t = TextTable::new(
+        "Attribution. Served-policy violations split by cause",
+        &[
+            "Bot",
+            "Accesses",
+            "Served-compliant",
+            "Violations",
+            "Deliberate",
+            "Stale cache",
+            "Fetch artifact",
+            "Believed-violations",
+        ],
+    );
+    for (bot, c) in counts {
+        t.row(vec![
+            bot.clone(),
+            c.accesses.to_string(),
+            ratio(c.served_compliance()),
+            c.violations_served().to_string(),
+            c.deliberate.to_string(),
+            c.stale_cache.to_string(),
+            c.fetch_artifact.to_string(),
+            c.believed_violations.to_string(),
+        ]);
+    }
+    t.render()
+}
+
 /// Table 9: legitimate vs potentially spoofed request volume per phase.
 pub fn table9(exp: &Experiment) -> String {
     let mut t = TextTable::new(

@@ -88,6 +88,16 @@ pub fn ratio(v: Option<f64>) -> String {
     }
 }
 
+/// Format a presence cell (`Yes`/`No`), with `-` for "not applicable" —
+/// the Table 7 "checked robots.txt while vN was live" vocabulary.
+pub fn yes_no(v: Option<bool>) -> String {
+    match v {
+        Some(true) => "Yes".to_string(),
+        Some(false) => "No".to_string(),
+        None => "-".to_string(),
+    }
+}
+
 /// Render a named (x, y) series as `label: x y` lines — the figure
 /// binaries emit these so the series can be diffed and plotted.
 pub fn series(title: &str, points: &[(String, f64)]) -> String {
@@ -136,6 +146,9 @@ mod tests {
         assert_eq!(f(0.6094, 3), "0.609");
         assert_eq!(ratio(Some(0.5)), "0.500");
         assert_eq!(ratio(None), "N/A");
+        assert_eq!(yes_no(Some(true)), "Yes");
+        assert_eq!(yes_no(Some(false)), "No");
+        assert_eq!(yes_no(None), "-");
     }
 
     #[test]

@@ -31,6 +31,7 @@ use rand::{Rng, SeedableRng};
 use botscope_asn::ip_for;
 use botscope_robotstxt::diff::{diff, summarize, PolicyChange};
 use botscope_robotstxt::fetch::{EffectivePolicy, FetchOutcome, RobotsCache};
+use botscope_simnet::belief::{BeliefAtlas, BeliefTimeline, BelievedPolicy};
 use botscope_simnet::fleet::{build_fleet, SimBot};
 use botscope_simnet::{child_seed, worker_threads, PolicyVersion};
 use botscope_weblog::fetchlog::FetchEventLog;
@@ -40,7 +41,7 @@ use botscope_weblog::table::LogTable;
 use botscope_weblog::time::Timestamp;
 
 use crate::scenario::{build_estate, ScenarioKind};
-use crate::transport::VirtualTransport;
+use crate::transport::{Validators, VirtualTransport};
 
 /// TTL sentinel: fetch once, never re-fetch.
 pub const NEVER: u64 = u64::MAX;
@@ -164,8 +165,12 @@ pub struct MonitorStats {
     /// 2xx outcomes.
     pub success: u64,
     /// Subset of `success` that only re-validated an unchanged body
-    /// (the cache refreshed without re-parsing).
+    /// (a conditional request answered `304 Not Modified`, or an
+    /// unchanged body re-served from behind a redirect chain).
     pub revalidated: u64,
+    /// Body bytes the estate never transferred because conditional
+    /// requests were answered `304 Not Modified`.
+    pub revalidated_bytes_saved: u64,
     /// Resolved 4xx outcomes (includes redirect-capped chains).
     pub client_errors: u64,
     /// Resolved 5xx outcomes.
@@ -192,6 +197,7 @@ impl MonitorStats {
         self.fetches += other.fetches;
         self.success += other.success;
         self.revalidated += other.revalidated;
+        self.revalidated_bytes_saved += other.revalidated_bytes_saved;
         self.client_errors += other.client_errors;
         self.server_errors += other.server_errors;
         self.network_errors += other.network_errors;
@@ -240,6 +246,11 @@ pub struct MonitorOutput {
     pub horizon_end: u64,
     /// Canonical names of the monitored bots.
     pub bots: Vec<String>,
+    /// Per-site policy deployment windows (site name → time-ascending
+    /// `(version, from, to)` spans clipped to the horizon) — what
+    /// Table 7's "checked robots.txt while vN was live" columns are
+    /// judged against.
+    pub site_windows: BTreeMap<String, Vec<(PolicyVersion, u64, u64)>>,
 }
 
 /// The monitored sub-fleet: the `n` highest-volume calibrated bots
@@ -273,9 +284,23 @@ struct Agent {
     last_version: Option<PolicyVersion>,
     /// Whether the cache currently holds the parsed policy of
     /// `last_version` (false after an error stored AllowAll/DisallowAll).
-    /// Guards the revalidation shortcut: a success after an error must
-    /// re-store the parsed policy even though the body is unchanged.
+    /// Guards both revalidation paths: after an error the agent must
+    /// neither send validators nor take the same-body shortcut — a
+    /// success must re-store the parsed policy.
     cache_is_policy: bool,
+    /// `ETag`/`Last-Modified` of the cached body, replayed as a
+    /// conditional request while `cache_is_policy` holds.
+    validators: Option<Validators>,
+    /// The agent's belief transitions, when the run collects them.
+    beliefs: Option<BeliefTimeline>,
+}
+
+impl Agent {
+    fn believe(&mut self, now: u64, policy: BelievedPolicy) {
+        if let Some(timeline) = &mut self.beliefs {
+            timeline.record(now, policy);
+        }
+    }
 }
 
 /// Key of an observed transition: (site, from, to).
@@ -286,6 +311,33 @@ struct Shard {
     stats: MonitorStats,
     /// transition → (first observation time, observers).
     changes: BTreeMap<ChangeKey, (u64, u64)>,
+    /// Per-agent belief timelines (chunk-local order; empty unless the
+    /// run collects beliefs).
+    beliefs: Vec<BeliefTimeline>,
+}
+
+/// How a run assigns each agent's re-check TTL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TtlSource {
+    /// Sample per agent from the run's [`TtlPolicy`] (the monitoring
+    /// daemon's default).
+    Config,
+    /// Derive each agent's TTL from its bot's own
+    /// [`botscope_simnet::behavior::RobotsCheckPolicy`] cadence;
+    /// never-checking bots schedule no fetches at all and their belief
+    /// stays `Unfetched` (coupled mode).
+    FleetCadence,
+}
+
+/// A fully specified daemon run. The public entry points and the
+/// coupled driver both build one of these; everything downstream —
+/// chunk grid, scheduling, merging — is shared.
+pub(crate) struct DaemonRun<'a> {
+    pub(crate) cfg: &'a MonitorConfig,
+    pub(crate) fleet: &'a [SimBot],
+    pub(crate) transport: &'a VirtualTransport,
+    pub(crate) ttl: TtlSource,
+    pub(crate) collect_beliefs: bool,
 }
 
 /// Run the daemon with [`worker_threads`] workers.
@@ -297,54 +349,84 @@ pub fn run(cfg: &MonitorConfig) -> MonitorOutput {
 /// a fixed seed regardless of `threads`.
 pub fn run_with_threads(cfg: &MonitorConfig, threads: usize) -> MonitorOutput {
     cfg.assert_valid();
-    assert!(threads >= 1, "at least one worker required");
-
     let fleet = monitor_fleet(cfg.bots);
     let transport = VirtualTransport::new(build_estate(cfg));
-    let hasher = IpHasher::from_seed(cfg.seed);
-    let n_bots = fleet.len();
-    let n_agents = cfg.sites * n_bots;
+    let run = DaemonRun {
+        cfg,
+        fleet: &fleet,
+        transport: &transport,
+        ttl: TtlSource::Config,
+        collect_beliefs: false,
+    };
+    run_daemon(&run, threads).0
+}
+
+/// [`run_with_threads`], additionally exporting every agent's
+/// [`BeliefTimeline`] as a [`BeliefAtlas`] — the stepwise per-(bot,
+/// site) effective policy each monitored crawler believed over the
+/// horizon, RFC 9309 error states and backoff gaps included.
+pub fn run_with_beliefs(cfg: &MonitorConfig, threads: usize) -> (MonitorOutput, BeliefAtlas) {
+    cfg.assert_valid();
+    let fleet = monitor_fleet(cfg.bots);
+    let transport = VirtualTransport::new(build_estate(cfg));
+    let run = DaemonRun {
+        cfg,
+        fleet: &fleet,
+        transport: &transport,
+        ttl: TtlSource::Config,
+        collect_beliefs: true,
+    };
+    let (output, atlas) = run_daemon(&run, threads);
+    (output, atlas.expect("beliefs collected"))
+}
+
+/// Run the chunked scheduler and return per-chunk shards in chunk-grid
+/// order.
+fn run_shards(run: &DaemonRun<'_>, hasher: &IpHasher, threads: usize) -> Vec<Shard> {
+    assert!(threads >= 1, "at least one worker required");
+    let n_agents = run.cfg.sites * run.fleet.len();
     let chunk_size = chunk_agents(n_agents);
     let n_chunks = n_agents.div_ceil(chunk_size);
 
     let run_chunk = |chunk: usize| -> Shard {
         let lo = chunk * chunk_size;
         let hi = (lo + chunk_size).min(n_agents);
-        run_agents(cfg, &fleet, &transport, &hasher, lo, hi)
+        run_agents(run, hasher, lo, hi)
     };
 
-    let mut shards: Vec<(usize, Shard)> = Vec::with_capacity(n_chunks);
     let threads = threads.min(n_chunks.max(1));
     if threads == 1 {
-        for chunk in 0..n_chunks {
-            shards.push((chunk, run_chunk(chunk)));
-        }
-    } else {
-        let next = AtomicUsize::new(0);
-        let results: Mutex<Vec<(usize, Shard)>> = Mutex::new(Vec::with_capacity(n_chunks));
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let chunk = next.fetch_add(1, Ordering::Relaxed);
-                    if chunk >= n_chunks {
-                        break;
-                    }
-                    let shard = run_chunk(chunk);
-                    results.lock().expect("no poisoned workers").push((chunk, shard));
-                });
-            }
-        });
-        shards = results.into_inner().expect("workers joined");
-        // Merge must follow the fixed chunk grid, not completion order.
-        shards.sort_by_key(|&(chunk, _)| chunk);
+        return (0..n_chunks).map(run_chunk).collect();
     }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, Shard)>> = Mutex::new(Vec::with_capacity(n_chunks));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let chunk = next.fetch_add(1, Ordering::Relaxed);
+                if chunk >= n_chunks {
+                    break;
+                }
+                let shard = run_chunk(chunk);
+                results.lock().expect("no poisoned workers").push((chunk, shard));
+            });
+        }
+    });
+    let mut shards = results.into_inner().expect("workers joined");
+    // Merge must follow the fixed chunk grid, not completion order.
+    shards.sort_by_key(|&(chunk, _)| chunk);
+    shards.into_iter().map(|(_, shard)| shard).collect()
+}
 
-    let total_rows: usize = shards.iter().map(|(_, s)| s.log.len()).sum();
-    let mut table = LogTable::with_capacity(total_rows, 1024);
+/// The counters, deduplicated transitions, and deployment windows every
+/// assembly path shares (materialized and streaming).
+fn merge_shard_summaries(
+    run: &DaemonRun<'_>,
+    shards: &[Shard],
+) -> (MonitorStats, Vec<ChangeDigest>) {
     let mut stats = MonitorStats::default();
     let mut merged_changes: BTreeMap<ChangeKey, (u64, u64)> = BTreeMap::new();
-    for (_, shard) in &shards {
-        table.absorb(shard.log.table());
+    for shard in shards {
         stats.merge(&shard.stats);
         for (key, &(at, observers)) in &shard.changes {
             let entry = merged_changes.entry(*key).or_insert((at, 0));
@@ -352,17 +434,176 @@ pub fn run_with_threads(cfg: &MonitorConfig, threads: usize) -> MonitorOutput {
             entry.1 += observers;
         }
     }
+    (stats, digest_changes(run.transport, run.fleet, merged_changes))
+}
+
+/// Per-site deployment windows, clipped to the run's horizon.
+fn site_windows_of(run: &DaemonRun<'_>) -> BTreeMap<String, Vec<(PolicyVersion, u64, u64)>> {
+    let horizon_end = run.cfg.horizon_end();
+    (0..run.transport.len())
+        .map(|site| {
+            let model = run.transport.model(site);
+            (model.name.clone(), model.policy.version_windows(horizon_end))
+        })
+        .collect()
+}
+
+/// Run to completion and assemble the merged output (plus the belief
+/// atlas when the run collects beliefs).
+pub(crate) fn run_daemon(
+    run: &DaemonRun<'_>,
+    threads: usize,
+) -> (MonitorOutput, Option<BeliefAtlas>) {
+    let hasher = IpHasher::from_seed(run.cfg.seed);
+    let shards = run_shards(run, &hasher, threads);
+    let (stats, changes) = merge_shard_summaries(run, &shards);
+
+    let total_rows: usize = shards.iter().map(|s| s.log.len()).sum();
+    let mut table = LogTable::with_capacity(total_rows, 1024);
+    for shard in &shards {
+        table.absorb(shard.log.table());
+    }
     table.sort_canonical();
 
-    let changes = digest_changes(&transport, &fleet, merged_changes);
+    let atlas = run.collect_beliefs.then(|| {
+        let n_bots = run.fleet.len();
+        let bots = run.fleet.iter().map(|b| b.spec.canonical.to_string()).collect();
+        let mut atlas = BeliefAtlas::new(bots, run.cfg.sites);
+        let n_agents = run.cfg.sites * n_bots;
+        let chunk_size = chunk_agents(n_agents);
+        for (chunk, shard) in shards.iter().enumerate() {
+            let lo = chunk * chunk_size;
+            for (local, timeline) in shard.beliefs.iter().enumerate() {
+                let global = lo + local;
+                // Agents are site-major; the atlas is bot-major.
+                *atlas.timeline_mut(global % n_bots, global / n_bots) = timeline.clone();
+            }
+        }
+        atlas
+    });
 
-    MonitorOutput {
+    let output = MonitorOutput {
         table,
         changes,
         stats,
+        horizon_end: run.cfg.horizon_end(),
+        bots: run.fleet.iter().map(|b| b.spec.canonical.to_string()).collect(),
+        site_windows: site_windows_of(run),
+    };
+    (output, atlas)
+}
+
+/// A streaming run's summary: everything [`MonitorOutput`] carries
+/// except the materialized table, which went to the sinks row by row.
+#[derive(Debug, Clone)]
+pub struct MonitorSummary {
+    /// Aggregate counters.
+    pub stats: MonitorStats,
+    /// Deduplicated policy transitions in (time, site) order.
+    pub changes: Vec<ChangeDigest>,
+    /// End of the monitored horizon (unix seconds).
+    pub horizon_end: u64,
+    /// Canonical names of the monitored bots.
+    pub bots: Vec<String>,
+    /// Per-site policy deployment windows (cf.
+    /// [`MonitorOutput::site_windows`]).
+    pub site_windows: BTreeMap<String, Vec<(PolicyVersion, u64, u64)>>,
+    /// Rows streamed to each sink.
+    pub rows: u64,
+}
+
+/// [`run_with_threads`], streaming every fetch event to `sinks` in the
+/// canonical output order instead of materializing the merged
+/// [`LogTable`]. The per-chunk shards are canonically sorted and k-way
+/// merged (ties break on the fixed chunk grid, reproducing the
+/// materialized path's stable sort exactly), so the streamed bytes are
+/// identical to encoding [`MonitorOutput::table`] — at roughly half the
+/// peak memory, since the merged table and its encoded copy never
+/// exist.
+pub fn run_streaming(
+    cfg: &MonitorConfig,
+    threads: usize,
+    sinks: &mut [&mut dyn botscope_weblog::sink::RowSink],
+) -> std::io::Result<MonitorSummary> {
+    cfg.assert_valid();
+    let fleet = monitor_fleet(cfg.bots);
+    let transport = VirtualTransport::new(build_estate(cfg));
+    let run = DaemonRun {
+        cfg,
+        fleet: &fleet,
+        transport: &transport,
+        ttl: TtlSource::Config,
+        collect_beliefs: false,
+    };
+    let hasher = IpHasher::from_seed(cfg.seed);
+    let shards = run_shards(&run, &hasher, threads);
+    let (stats, changes) = merge_shard_summaries(&run, &shards);
+    let site_windows = site_windows_of(&run);
+
+    // Canonically sort each shard (stable, so full ties keep push
+    // order), then k-way merge with the chunk index as the tiebreak —
+    // exactly the order `concatenate in chunk order + stable sort`
+    // produces in the materialized path.
+    let tables: Vec<LogTable> = shards
+        .into_iter()
+        .map(|shard| {
+            let mut table = shard.log.into_table();
+            table.sort_canonical();
+            table
+        })
+        .collect();
+
+    // Shard-local symbol ranks are incomparable across shards; build a
+    // global string order once (interners are tiny: bots + sites).
+    let global: std::collections::BTreeSet<&str> =
+        tables.iter().flat_map(|t| t.interner().iter().map(|(_, s)| s)).collect();
+    let rank_of: std::collections::HashMap<&str, usize> =
+        global.into_iter().enumerate().map(|(rank, s)| (s, rank)).collect();
+    let ranks: Vec<Vec<usize>> =
+        tables.iter().map(|t| t.interner().iter().map(|(_, s)| rank_of[s]).collect()).collect();
+
+    // Merge key mirrors `LogTable::sort_canonical`:
+    // (timestamp, useragent, ip_hash, uri_path), then chunk, then row.
+    type Key = (Timestamp, usize, u64, usize, usize, usize);
+    let key = |chunk: usize, row_idx: usize| -> Key {
+        let row = &tables[chunk].rows()[row_idx];
+        (
+            row.timestamp,
+            ranks[chunk][row.useragent.index()],
+            row.ip_hash,
+            ranks[chunk][row.uri_path.index()],
+            chunk,
+            row_idx,
+        )
+    };
+    let mut heap: BinaryHeap<Reverse<Key>> = (0..tables.len())
+        .filter(|&chunk| !tables[chunk].is_empty())
+        .map(|chunk| Reverse(key(chunk, 0)))
+        .collect();
+
+    let mut rows = 0u64;
+    while let Some(Reverse((_, _, _, _, chunk, row_idx))) = heap.pop() {
+        let record = tables[chunk].record(row_idx);
+        for sink in sinks.iter_mut() {
+            sink.write_row(&record)?;
+        }
+        rows += 1;
+        if row_idx + 1 < tables[chunk].len() {
+            heap.push(Reverse(key(chunk, row_idx + 1)));
+        }
+    }
+    for sink in sinks.iter_mut() {
+        sink.finish()?;
+    }
+
+    Ok(MonitorSummary {
+        stats,
+        changes,
         horizon_end: cfg.horizon_end(),
         bots: fleet.iter().map(|b| b.spec.canonical.to_string()).collect(),
-    }
+        site_windows,
+        rows,
+    })
 }
 
 /// Paths probed when digesting a policy transition: one representative
@@ -419,14 +660,8 @@ fn digest_changes(
 }
 
 /// Run agents `[lo, hi)` to completion, returning their shard.
-fn run_agents(
-    cfg: &MonitorConfig,
-    fleet: &[SimBot],
-    transport: &VirtualTransport,
-    hasher: &IpHasher,
-    lo: usize,
-    hi: usize,
-) -> Shard {
+fn run_agents(run: &DaemonRun<'_>, hasher: &IpHasher, lo: usize, hi: usize) -> Shard {
+    let DaemonRun { cfg, fleet, transport, .. } = *run;
     let n_bots = fleet.len();
     let horizon = cfg.horizon_end();
     let mut log = FetchEventLog::new();
@@ -441,30 +676,38 @@ fn run_agents(
         let site = global / n_bots;
         let bot = &fleet[global % n_bots];
         let mut rng = StdRng::seed_from_u64(child_seed(cfg.seed, AGENT_STREAM ^ global as u64));
-        let ttl_secs = sample_ttl_secs(cfg.ttl, &mut rng);
+        // `None` = this bot never fetches robots.txt at all: no events
+        // are scheduled and its belief stays `Unfetched` forever.
+        let ttl_secs = match run.ttl {
+            TtlSource::Config => Some(sample_ttl_secs(cfg.ttl, &mut rng)),
+            TtlSource::FleetCadence => bot.behavior.robots_check.ttl_secs(),
+        };
         // First fetch lands inside one TTL window (a day for the
         // never-refetch cohort) so the estate doesn't fetch in lockstep.
-        let first_window = ttl_secs.clamp(1, 86_400);
+        let first_window = ttl_secs.unwrap_or(NEVER).clamp(1, 86_400);
         let first = cfg.start.unix() + rng.gen_range(0..first_window);
         let ip = ip_for(bot.spec.home_asn, rng.gen_range(0..bot.behavior.ip_pool))
             .unwrap_or_else(|| panic!("unknown home ASN {}", bot.spec.home_asn));
         let (ua, asn) = bot_syms[global % n_bots];
         let site_sym = log.intern(&transport.model(site).name);
         let local = agents.len() as u32;
+        let ttl = ttl_secs.unwrap_or(NEVER);
         agents.push(Agent {
             site: site as u32,
             ua,
             asn,
             site_sym,
             ip_hash: hasher.hash_ipv4(ip),
-            ttl_secs,
+            ttl_secs: ttl,
             rng,
-            cache: RobotsCache::new(ttl_secs),
+            cache: RobotsCache::new(ttl),
             consecutive_failures: 0,
             last_version: None,
             cache_is_policy: false,
+            validators: None,
+            beliefs: run.collect_beliefs.then(BeliefTimeline::new),
         });
-        if first < horizon {
+        if ttl_secs.is_some() && first < horizon {
             queue.push(Reverse((first, local)));
         }
     }
@@ -476,7 +719,12 @@ fn run_agents(
         debug_assert!(now < horizon, "events past the horizon are never queued");
         let agent = &mut agents[local as usize];
         let global = lo + local as usize;
-        let fetch = transport.fetch(agent.site as usize, now, global as u64);
+        // Replay the cached body's validators while the cache holds a
+        // real parsed policy; after an error outcome the agent needs a
+        // full body back, so no conditional request is sent.
+        let conditional = if agent.cache_is_policy { agent.validators } else { None };
+        let fetch =
+            transport.fetch_conditional(agent.site as usize, now, global as u64, conditional);
 
         log.push(
             agent.ua,
@@ -499,19 +747,32 @@ fn run_agents(
         let outcome = fetch.resolved.outcome;
 
         let next = match outcome {
+            FetchOutcome::NotModified => {
+                // The server honoured the conditional request: the
+                // cached policy is still current. Refresh, count the
+                // transfer that never happened, and carry on — belief
+                // is unchanged by construction.
+                stats.success += 1;
+                stats.revalidated += 1;
+                stats.revalidated_bytes_saved += fetch.saved_bytes;
+                agent.consecutive_failures = 0;
+                let refreshed = agent.cache.refresh(now);
+                debug_assert!(refreshed, "a 304 implies a cached policy");
+                ttl_next(agent, settled)
+            }
             FetchOutcome::Success(_) => {
                 stats.success += 1;
                 agent.consecutive_failures = 0;
                 let version = version.expect("success always carries a version");
+                agent.believe(now, BelievedPolicy::Version(version));
                 if agent.last_version == Some(version)
                     && agent.cache_is_policy
                     && agent.cache.refresh(now)
                 {
                     // Unchanged body AND the cache still holds its parsed
-                    // policy: 304-style revalidation, no re-parse. After
-                    // an error outcome the cache holds AllowAll or
-                    // DisallowAll, so recovery must fall through and
-                    // re-store the parsed document.
+                    // policy, but the transfer couldn't be elided — the
+                    // body came from behind a redirect chain, which the
+                    // transport never revalidates. No re-parse needed.
                     stats.revalidated += 1;
                 } else {
                     if let Some(previous) = agent.last_version {
@@ -530,6 +791,7 @@ fn run_agents(
                     agent.last_version = Some(version);
                     agent.cache_is_policy = true;
                 }
+                agent.validators = fetch.validators;
                 ttl_next(agent, settled)
             }
             FetchOutcome::ClientError(_) => {
@@ -538,6 +800,7 @@ fn run_agents(
                 // Unavailable ⇒ allow all, and the cadence stays TTL-driven.
                 agent.cache.store(now, EffectivePolicy::from_outcome(outcome));
                 agent.cache_is_policy = false;
+                agent.believe(now, BelievedPolicy::AllowAll);
                 ttl_next(agent, settled)
             }
             FetchOutcome::ServerError(_) | FetchOutcome::NetworkError => {
@@ -550,6 +813,7 @@ fn run_agents(
                 // retried under exponential backoff.
                 agent.cache.store(now, EffectivePolicy::from_outcome(outcome));
                 agent.cache_is_policy = false;
+                agent.believe(now, BelievedPolicy::DisallowAll);
                 agent.consecutive_failures += 1;
                 stats.backoff_retries += 1;
                 let shift = (agent.consecutive_failures - 1).min(7);
@@ -569,7 +833,12 @@ fn run_agents(
         }
     }
 
-    Shard { log, stats, changes }
+    let beliefs = if run.collect_beliefs {
+        agents.into_iter().filter_map(|a| a.beliefs).collect()
+    } else {
+        Vec::new()
+    };
+    Shard { log, stats, changes, beliefs }
 }
 
 /// The TTL-driven next due time (never for the fetch-once cohort).
@@ -770,7 +1039,14 @@ mod tests {
         let fleet = monitor_fleet(1);
         let hasher = botscope_weblog::iphash::IpHasher::from_seed(cfg.seed);
 
-        let shard = run_agents(&cfg, &fleet, &transport, &hasher, 0, 1);
+        let run = DaemonRun {
+            cfg: &cfg,
+            fleet: &fleet,
+            transport: &transport,
+            ttl: TtlSource::Config,
+            collect_beliefs: true,
+        };
+        let shard = run_agents(&run, &hasher, 0, 1);
         let s = &shard.stats;
         assert!(s.server_errors > 0, "the scripted 5xx window must be hit: {s:?}");
         // Every success is a revalidation EXCEPT the very first fetch
@@ -780,6 +1056,130 @@ mod tests {
         assert_eq!(s.revalidated, s.success - 2, "{s:?}");
         // Recovering to the same body is not a policy change.
         assert!(shard.changes.is_empty());
+        // Belief trace: Unfetched → Base → disallow-all through the
+        // outage → Base again on recovery. The recovery re-parse is a
+        // belief transition even though it is not a policy change.
+        let beliefs = &shard.beliefs[0];
+        use BelievedPolicy as B;
+        let kinds: Vec<B> = beliefs.segments().iter().map(|&(_, p)| p).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                B::Unfetched,
+                B::Version(PolicyVersion::Base),
+                B::DisallowAll,
+                B::Version(PolicyVersion::Base)
+            ],
+            "{beliefs:?}"
+        );
+        assert_eq!(beliefs.at(start), B::Unfetched);
+        assert_eq!(beliefs.at(start + 86_400 + 4 * 3600), B::DisallowAll, "mid-outage");
+    }
+
+    #[test]
+    fn conditional_requests_save_bytes_on_stable_estates() {
+        let cfg = MonitorConfig { scenario: ScenarioKind::Stable, swap_every: 0, ..small_cfg() };
+        let out = run(&cfg);
+        let s = &out.stats;
+        assert!(s.revalidated > 0);
+        // Every revalidation on a healthy static estate is a real 304
+        // that saved exactly one Base body.
+        let base_len =
+            botscope_simnet::server::PolicyCorpus::new().text(PolicyVersion::Base).len() as u64;
+        assert_eq!(s.revalidated_bytes_saved, s.revalidated * base_len, "{s:?}");
+        // The 304s are visible in the fetch log.
+        assert!(out.table.iter_records().any(|r| r.status == 304 && r.bytes == 0));
+    }
+
+    #[test]
+    fn belief_atlas_exported_per_agent() {
+        let cfg = MonitorConfig {
+            sites: 8,
+            days: 20,
+            bots: 3,
+            swap_every: 2,
+            scenario: ScenarioKind::Stable,
+            ttl: TtlPolicy::FixedHours(12),
+            ..MonitorConfig::default()
+        };
+        let (out, atlas) = run_with_beliefs(&cfg, 2);
+        assert_eq!(atlas.bots, out.bots);
+        assert_eq!(atlas.n_sites(), cfg.sites);
+        // Before the horizon every agent is Unfetched; after its first
+        // fetch a stable non-swap site is believed Base forever.
+        let static_site = 1; // swap_every=2 ⇒ odd sites are static
+        for bot in 0..atlas.bots.len() {
+            let tl = atlas.timeline(bot, static_site);
+            assert_eq!(tl.at(cfg.start.unix()), BelievedPolicy::Unfetched);
+            assert_eq!(tl.at(out.horizon_end), BelievedPolicy::Version(PolicyVersion::Base));
+            assert_eq!(tl.transitions(), 1, "static site: one belief transition, got {tl:?}");
+        }
+        // Swap sites accumulate version transitions that the 12h TTL
+        // cannot miss.
+        let swapped: usize =
+            (0..atlas.bots.len()).map(|bot| atlas.timeline(bot, 0).transitions()).sum();
+        assert!(swapped > atlas.bots.len(), "swap site must show belief churn: {swapped}");
+        // The atlas is identical at any worker count.
+        let (_, atlas8) = run_with_beliefs(&cfg, 8);
+        assert_eq!(atlas, atlas8);
+    }
+
+    #[test]
+    fn site_windows_expose_deployments() {
+        let cfg = MonitorConfig {
+            swap_every: 4,
+            scenario: ScenarioKind::Stable,
+            days: 46,
+            ..small_cfg()
+        };
+        let out = run(&cfg);
+        assert_eq!(out.site_windows.len(), cfg.sites);
+        for (site, windows) in &out.site_windows {
+            let i: usize = site[5..7].parse().unwrap();
+            if i.is_multiple_of(4) {
+                // The rolling schedule starts within the first week, so
+                // at least Base → v1 → v2 fit inside 46 days.
+                assert!(windows.len() >= 3, "{site} deploys the experiment: {windows:?}");
+            } else {
+                assert_eq!(windows.len(), 1, "{site} is static");
+                assert_eq!(windows[0].0, PolicyVersion::Base);
+            }
+            // Windows tile the horizon in order.
+            assert_eq!(windows[0].1, 0);
+            assert_eq!(windows.last().unwrap().2, out.horizon_end);
+            for pair in windows.windows(2) {
+                assert_eq!(pair[0].2, pair[1].1, "contiguous: {windows:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_bytes_match_materialized_table() {
+        use botscope_weblog::codec::encode_table;
+        use botscope_weblog::sink::{CountingSink, CsvSink};
+
+        let cfg = MonitorConfig { sites: 20, days: 10, bots: 4, ..MonitorConfig::default() };
+        let materialized = run_with_threads(&cfg, 2);
+        let expected = encode_table(&materialized.table);
+        for threads in [1, 2, 8] {
+            let mut csv = CsvSink::new(Vec::new()).unwrap();
+            let mut count = CountingSink::default();
+            let summary = {
+                let mut sinks: [&mut dyn botscope_weblog::sink::RowSink; 2] =
+                    [&mut csv, &mut count];
+                run_streaming(&cfg, threads, &mut sinks).unwrap()
+            };
+            assert_eq!(
+                String::from_utf8(csv.into_inner()).unwrap(),
+                expected,
+                "streamed CSV differs at {threads} workers"
+            );
+            assert_eq!(summary.rows, materialized.table.len() as u64);
+            assert_eq!(count.rows, summary.rows);
+            assert_eq!(summary.stats, materialized.stats);
+            assert_eq!(summary.changes, materialized.changes);
+            assert_eq!(summary.site_windows, materialized.site_windows);
+        }
     }
 
     #[test]

@@ -22,12 +22,25 @@
 //!   the master seed (stable / outages / flapping / redirects / mixed),
 //!   plus rolling four-phase policy swaps.
 //! * [`daemon`] — one `RobotsCache`-backed fetch agent per (bot, site),
-//!   TTLs sampled from the observed 12 h–never spectrum, exponential
-//!   backoff on unreachable hosts, policy re-resolution via
-//!   `EffectivePolicy::from_outcome`, and change detection digested
-//!   through `robotstxt::diff`. The sharded binary-heap scheduler
-//!   honours `BOTSCOPE_THREADS` and emits a byte-identical interned
-//!   [`botscope_weblog::LogTable`] of fetch events at any worker count.
+//!   TTLs sampled from the observed 12 h–never spectrum, conditional
+//!   requests (`ETag`/`Last-Modified` → `304`s with bytes-saved
+//!   accounting), exponential backoff on unreachable hosts, policy
+//!   re-resolution via `EffectivePolicy::from_outcome`, and change
+//!   detection digested through `robotstxt::diff`. The sharded
+//!   binary-heap scheduler honours `BOTSCOPE_THREADS` and emits a
+//!   byte-identical interned [`botscope_weblog::LogTable`] of fetch
+//!   events at any worker count — or streams rows through
+//!   [`botscope_weblog::sink::RowSink`]s ([`daemon::run_streaming`])
+//!   without ever materializing it. Every agent's believed-policy
+//!   timeline can be exported as a
+//!   [`botscope_simnet::belief::BeliefAtlas`]
+//!   ([`daemon::run_with_beliefs`]).
+//! * [`coupled`] — the belief-coupled pipeline: the daemon derives
+//!   per-(bot, site) beliefs at each bot's own re-check cadence, the
+//!   traffic generator consults them instead of the schedule, and the
+//!   output carries served ground-truth timelines so `botscope-core`
+//!   can attribute violations (deliberate / stale cache / fetch
+//!   artifact).
 //!
 //! The emitted table is schema-compatible with ordinary access logs
 //! (every row is a `/robots.txt` fetch), so the §5.1 re-check profiles
@@ -56,12 +69,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod coupled;
 pub mod daemon;
 pub mod scenario;
 pub mod transport;
 
+pub use coupled::{
+    run_coupled, run_coupled_with_threads, CoupledConfig, CoupledOutput, RefreshModel,
+};
 pub use daemon::{
-    run, run_with_threads, ChangeDigest, MonitorConfig, MonitorOutput, MonitorStats, TtlPolicy,
+    run, run_streaming, run_with_beliefs, run_with_threads, ChangeDigest, MonitorConfig,
+    MonitorOutput, MonitorStats, MonitorSummary, TtlPolicy,
 };
 pub use scenario::ScenarioKind;
-pub use transport::{ServerModel, VirtualTransport};
+pub use transport::{ServerModel, Validators, VirtualTransport};

@@ -73,15 +73,97 @@ fn place_window(rng: &mut StdRng, start: u64, horizon_secs: u64, dur: u64) -> (u
     (at, at + dur)
 }
 
+/// The scenario's background climate: per-request latency distribution
+/// and transient connection-failure probability.
+fn climate(kind: ScenarioKind) -> (LatencyModel, u32) {
+    match kind {
+        ScenarioKind::Stable => (LatencyModel { base_ms: 20, jitter_ms: 40 }, 0u32),
+        // ≈ 0.1 % of requests fail at the connection level.
+        _ => (LatencyModel { base_ms: 15, jitter_ms: 60 }, 66),
+    }
+}
+
+/// Draw one site's scripted weather windows (sorted, non-overlapping).
+fn weather_windows(
+    rng: &mut StdRng,
+    k: ScenarioKind,
+    start: u64,
+    horizon_secs: u64,
+) -> Vec<ConditionWindow> {
+    let mut windows: Vec<ConditionWindow> = Vec::new();
+    let mut add = |w: Option<ConditionWindow>| {
+        if let Some(w) = w {
+            windows.push(w);
+        }
+    };
+    // Probabilities halve under Mixed so the combined weather
+    // stays plausible.
+    let scale = if k == ScenarioKind::Mixed { 0.5 } else { 1.0 };
+
+    if matches!(k, ScenarioKind::Outages | ScenarioKind::Mixed) {
+        add(rng.gen_bool(0.25 * scale).then(|| {
+            let code = if rng.gen_bool(0.5) { 503 } else { 500 };
+            let dur = rng.gen_range(6 * 3600..48 * 3600 + 1);
+            let (s, e) = place_window(rng, start, horizon_secs, dur);
+            ConditionWindow { start: s, end: e, mode: ServeMode::ServerError(code) }
+        }));
+        add(rng.gen_bool(0.10 * scale).then(|| {
+            let dur = rng.gen_range(3600..12 * 3600 + 1);
+            let (s, e) = place_window(rng, start, horizon_secs, dur);
+            ConditionWindow { start: s, end: e, mode: ServeMode::Unreachable }
+        }));
+        // A slice of the outage estate loses the file instead of
+        // the host: 404/410 windows (unavailable ⇒ allow all).
+        add(rng.gen_bool(0.10 * scale).then(|| {
+            let code = if rng.gen_bool(0.7) { 404 } else { 410 };
+            let dur = rng.gen_range(12 * 3600..72 * 3600 + 1);
+            let (s, e) = place_window(rng, start, horizon_secs, dur);
+            ConditionWindow { start: s, end: e, mode: ServeMode::ClientError(code) }
+        }));
+    }
+    if matches!(k, ScenarioKind::Flapping | ScenarioKind::Mixed) {
+        add(rng.gen_bool(0.30 * scale).then(|| {
+            let period = rng.gen_range(900..21_601);
+            let dur = rng.gen_range(86_400..7 * 86_400 + 1);
+            let (s, e) = place_window(rng, start, horizon_secs, dur);
+            ConditionWindow { start: s, end: e, mode: ServeMode::Flapping(period) }
+        }));
+    }
+    if matches!(k, ScenarioKind::Redirects | ScenarioKind::Mixed) {
+        add(rng.gen_bool(0.40 * scale).then(|| {
+            let hops = rng.gen_range(1..8) as u8;
+            // Under the pure redirect scenario the chain covers
+            // the whole horizon; under Mixed it is bounded to a
+            // multi-day window so it cannot shadow the outage /
+            // flapping weather drawn above (overlap resolution
+            // keeps the earliest window only).
+            let (s, e) = if k == ScenarioKind::Redirects {
+                (0, u64::MAX)
+            } else {
+                let dur = rng.gen_range(5 * 86_400..30 * 86_400 + 1);
+                place_window(rng, start, horizon_secs, dur)
+            };
+            ConditionWindow { start: s, end: e, mode: ServeMode::Redirect(hops) }
+        }));
+    }
+
+    // The transport expects non-overlapping, time-sorted windows:
+    // keep the earliest of any overlapping pair.
+    windows.sort_by_key(|w| (w.start, w.end));
+    let mut scripted: Vec<ConditionWindow> = Vec::with_capacity(windows.len());
+    for w in windows {
+        if scripted.last().is_none_or(|p| p.end <= w.start) {
+            scripted.push(w);
+        }
+    }
+    scripted
+}
+
 /// Build the per-site server models for `cfg`.
 pub fn build_estate(cfg: &MonitorConfig) -> Vec<ServerModel> {
     let start = cfg.start.unix();
     let horizon_secs = cfg.days * 86_400;
-    let (latency, transient) = match cfg.scenario {
-        ScenarioKind::Stable => (LatencyModel { base_ms: 20, jitter_ms: 40 }, 0u32),
-        // ≈ 0.1 % of requests fail at the connection level.
-        _ => (LatencyModel { base_ms: 15, jitter_ms: 60 }, 66),
-    };
+    let (latency, transient) = climate(cfg.scenario);
 
     (0..cfg.sites)
         .map(|i| {
@@ -95,80 +177,47 @@ pub fn build_estate(cfg: &MonitorConfig) -> Vec<ServerModel> {
             } else {
                 SitePolicyServer::always(PolicyVersion::Base)
             };
-
-            let k = cfg.scenario;
-            let mut windows: Vec<ConditionWindow> = Vec::new();
-            let mut add = |w: Option<ConditionWindow>| {
-                if let Some(w) = w {
-                    windows.push(w);
-                }
-            };
-            // Probabilities halve under Mixed so the combined weather
-            // stays plausible.
-            let scale = if k == ScenarioKind::Mixed { 0.5 } else { 1.0 };
-
-            if matches!(k, ScenarioKind::Outages | ScenarioKind::Mixed) {
-                add(rng.gen_bool(0.25 * scale).then(|| {
-                    let code = if rng.gen_bool(0.5) { 503 } else { 500 };
-                    let dur = rng.gen_range(6 * 3600..48 * 3600 + 1);
-                    let (s, e) = place_window(&mut rng, start, horizon_secs, dur);
-                    ConditionWindow { start: s, end: e, mode: ServeMode::ServerError(code) }
-                }));
-                add(rng.gen_bool(0.10 * scale).then(|| {
-                    let dur = rng.gen_range(3600..12 * 3600 + 1);
-                    let (s, e) = place_window(&mut rng, start, horizon_secs, dur);
-                    ConditionWindow { start: s, end: e, mode: ServeMode::Unreachable }
-                }));
-                // A slice of the outage estate loses the file instead of
-                // the host: 404/410 windows (unavailable ⇒ allow all).
-                add(rng.gen_bool(0.10 * scale).then(|| {
-                    let code = if rng.gen_bool(0.7) { 404 } else { 410 };
-                    let dur = rng.gen_range(12 * 3600..72 * 3600 + 1);
-                    let (s, e) = place_window(&mut rng, start, horizon_secs, dur);
-                    ConditionWindow { start: s, end: e, mode: ServeMode::ClientError(code) }
-                }));
-            }
-            if matches!(k, ScenarioKind::Flapping | ScenarioKind::Mixed) {
-                add(rng.gen_bool(0.30 * scale).then(|| {
-                    let period = rng.gen_range(900..21_601);
-                    let dur = rng.gen_range(86_400..7 * 86_400 + 1);
-                    let (s, e) = place_window(&mut rng, start, horizon_secs, dur);
-                    ConditionWindow { start: s, end: e, mode: ServeMode::Flapping(period) }
-                }));
-            }
-            if matches!(k, ScenarioKind::Redirects | ScenarioKind::Mixed) {
-                add(rng.gen_bool(0.40 * scale).then(|| {
-                    let hops = rng.gen_range(1..8) as u8;
-                    // Under the pure redirect scenario the chain covers
-                    // the whole horizon; under Mixed it is bounded to a
-                    // multi-day window so it cannot shadow the outage /
-                    // flapping weather drawn above (overlap resolution
-                    // keeps the earliest window only).
-                    let (s, e) = if k == ScenarioKind::Redirects {
-                        (0, u64::MAX)
-                    } else {
-                        let dur = rng.gen_range(5 * 86_400..30 * 86_400 + 1);
-                        place_window(&mut rng, start, horizon_secs, dur)
-                    };
-                    ConditionWindow { start: s, end: e, mode: ServeMode::Redirect(hops) }
-                }));
-            }
-
-            // The transport expects non-overlapping, time-sorted windows:
-            // keep the earliest of any overlapping pair.
-            windows.sort_by_key(|w| (w.start, w.end));
-            let mut scripted: Vec<ConditionWindow> = Vec::with_capacity(windows.len());
-            for w in windows {
-                if scripted.last().is_none_or(|p| p.end <= w.start) {
-                    scripted.push(w);
-                }
-            }
+            let windows = weather_windows(&mut rng, cfg.scenario, start, horizon_secs);
 
             ServerModel {
                 name: format!("site-{i:02}.example.edu"),
                 policy,
-                windows: scripted,
+                windows,
                 seed: child_seed(cfg.seed, SITE_STREAM ^ (i as u64).rotate_left(17)),
+                latency,
+                transient_fail_2e16: transient,
+            }
+        })
+        .collect()
+}
+
+/// Build an estate whose served policies follow a *simulation* schedule
+/// instead of the rolling swap pattern: the schedule's experiment site
+/// deploys the four-phase experiment exactly as the traffic generator
+/// assumes, every other site serves Base — while the scenario's weather
+/// still scripts outages, flapping and redirect chains on top. This is
+/// the coupled mode's ground truth: the same estate the generator
+/// crawls, as the monitor daemon sees it.
+pub fn build_estate_for_schedule(
+    seed: u64,
+    sites: usize,
+    schedule: &PhaseSchedule,
+    kind: ScenarioKind,
+    start: botscope_weblog::time::Timestamp,
+    days: u64,
+) -> Vec<ServerModel> {
+    let start_unix = start.unix();
+    let horizon_secs = days * 86_400;
+    let (latency, transient) = climate(kind);
+    (0..sites)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(child_seed(seed, SITE_STREAM ^ i as u64));
+            let windows = weather_windows(&mut rng, kind, start_unix, horizon_secs);
+            ServerModel {
+                name: format!("site-{i:02}.example.edu"),
+                policy: SitePolicyServer::from_schedule(schedule, i),
+                windows,
+                seed: child_seed(seed, SITE_STREAM ^ (i as u64).rotate_left(17)),
                 latency,
                 transient_fail_2e16: transient,
             }

@@ -17,7 +17,8 @@
 //! from any number of worker threads — and observe byte-identical
 //! responses for a fixed master seed.
 
-use botscope_robotstxt::fetch::{resolve_redirects, RawResponse, ResolvedFetch};
+use botscope_robotstxt::fetch::{resolve_redirects, RawResponse, ResolvedFetch, MAX_REDIRECT_HOPS};
+use botscope_simnet::belief::{BeliefTimeline, BelievedPolicy};
 use botscope_simnet::server::{PolicyCorpus, SitePolicyServer};
 use botscope_simnet::PolicyVersion;
 
@@ -80,15 +81,41 @@ pub struct ServerModel {
     pub transient_fail_2e16: u32,
 }
 
+/// Cache validators of a served robots.txt body (`ETag` /
+/// `Last-Modified`). A crawler stores them with the parsed policy and
+/// replays them as `If-None-Match` / `If-Modified-Since` on the next
+/// re-check; a healthy server answers `304 Not Modified` when the body
+/// is unchanged, saving the transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Validators {
+    /// Opaque strong entity tag of the body.
+    pub etag: u64,
+    /// Unix second the currently served body went live.
+    pub last_modified: u64,
+}
+
+/// The `ETag` a server advertises for a policy version's body (all
+/// sites serve the shared corpus, so the tag is body-global).
+pub fn etag_of(version: PolicyVersion) -> u64 {
+    request_hash(0xE7A6_0000_0000_0000, version.index() as u64, 0x304)
+}
+
 /// A resolved virtual fetch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct VirtualFetch {
     /// The redirect-resolved outcome (RFC 9309 provenance included).
     pub resolved: ResolvedFetch,
-    /// The policy version whose body was served, on success.
+    /// The policy version whose body was served (on success) or
+    /// revalidated (on 304).
     pub version: Option<PolicyVersion>,
-    /// Bytes of body served (0 for error outcomes).
+    /// Bytes of body served (0 for error outcomes and 304s).
     pub bytes: u64,
+    /// Body bytes the exchange did *not* transfer because a conditional
+    /// request was answered `304 Not Modified`.
+    pub saved_bytes: u64,
+    /// Validators of the served body, for the crawler's next
+    /// conditional request (present on 2xx and 304).
+    pub validators: Option<Validators>,
     /// Seeded latency of the whole exchange, milliseconds.
     pub latency_ms: u32,
 }
@@ -140,10 +167,36 @@ impl ServerModel {
         (RawResponse::Body(200, corpus.text(version).to_string()), version)
     }
 
+    /// The validators of the body live at `now`.
+    fn validators_at(&self, now: u64) -> Validators {
+        Validators {
+            etag: etag_of(self.policy.version_at(now)),
+            last_modified: self.policy.live_since(now),
+        }
+    }
+
     /// Fetch `/robots.txt` at `now`. `salt` individualizes concurrent
     /// requesters (the daemon passes the global agent index); the reply
     /// is a pure function of `(self, now, salt)`.
     pub fn fetch(&self, corpus: &PolicyCorpus, now: u64, salt: u64) -> VirtualFetch {
+        self.fetch_conditional(corpus, now, salt, None)
+    }
+
+    /// [`ServerModel::fetch`] with optional cache validators
+    /// (`If-None-Match` / `If-Modified-Since`). A healthy server whose
+    /// live body still matches the presented `ETag` answers
+    /// `304 Not Modified` and transfers nothing; the saved body size is
+    /// reported in [`VirtualFetch::saved_bytes`]. Bodies served from
+    /// behind redirect chains are never revalidated (the chain target,
+    /// not the entry point, owns the validators), and error windows
+    /// ignore validators entirely.
+    pub fn fetch_conditional(
+        &self,
+        corpus: &PolicyCorpus,
+        now: u64,
+        salt: u64,
+        conditional: Option<Validators>,
+    ) -> VirtualFetch {
         let h = request_hash(self.seed, now, salt);
         let latency_ms = self.latency.base_ms
             + if self.latency.jitter_ms == 0 {
@@ -155,12 +208,32 @@ impl ServerModel {
         // Transient connection failure, independent of scripted windows.
         if self.transient_fail_2e16 > 0 && (h & 0xFFFF) < self.transient_fail_2e16 as u64 {
             let resolved = resolve_redirects(RawResponse::Failed, |_| unreachable!());
-            return VirtualFetch { resolved, version: None, bytes: 0, latency_ms };
+            return VirtualFetch {
+                resolved,
+                version: None,
+                bytes: 0,
+                saved_bytes: 0,
+                validators: None,
+                latency_ms,
+            };
         }
 
         let mut version = None;
         let initial = match self.mode_at(now) {
             ServeMode::Ok => {
+                let served = self.validators_at(now);
+                if conditional.is_some_and(|v| v.etag == served.etag) {
+                    let v = self.policy.version_at(now);
+                    let resolved = resolve_redirects(RawResponse::NotModified, |_| unreachable!());
+                    return VirtualFetch {
+                        resolved,
+                        version: Some(v),
+                        bytes: 0,
+                        saved_bytes: corpus.text(v).len() as u64,
+                        validators: Some(served),
+                        latency_ms,
+                    };
+                }
                 let (response, v) = self.healthy_response(corpus, now);
                 version = Some(v);
                 response
@@ -195,7 +268,14 @@ impl ServerModel {
                 // Each hop pays the latency floor again.
                 let latency_ms =
                     latency_ms.saturating_add(self.latency.base_ms * resolved.hops as u32);
-                return VirtualFetch { resolved, version, bytes, latency_ms };
+                return VirtualFetch {
+                    resolved,
+                    version,
+                    bytes,
+                    saved_bytes: 0,
+                    validators: version.map(|_| self.validators_at(now)),
+                    latency_ms,
+                };
             }
         };
         let resolved = resolve_redirects(initial, |_| unreachable!("no redirects scripted"));
@@ -206,7 +286,77 @@ impl ServerModel {
         if !matches!(resolved.outcome, botscope_robotstxt::FetchOutcome::Success(_)) {
             version = None;
         }
-        VirtualFetch { resolved, version, bytes, latency_ms }
+        VirtualFetch {
+            resolved,
+            version,
+            bytes,
+            saved_bytes: 0,
+            validators: version.map(|_| self.validators_at(now)),
+            latency_ms,
+        }
+    }
+
+    /// The stepwise policy this server *effectively* serves over
+    /// `[start, end)` — ground truth for belief-vs-served scoring.
+    /// Scripted weather is resolved to its RFC 9309 obligation: healthy
+    /// service (and redirect chains within the five-hop budget) yield
+    /// the live [`PolicyVersion`]; 4xx windows and over-budget chains
+    /// yield allow-all; 5xx, blackout and flapping-down half-periods
+    /// yield disallow-all. Request-level transient failures are noise,
+    /// not server state, and are excluded.
+    pub fn effective_timeline(&self, start: u64, end: u64) -> BeliefTimeline {
+        let mut tl = BeliefTimeline::new();
+        let serve_ok = |tl: &mut BeliefTimeline, from: u64, to: u64| {
+            tl.record(from, BelievedPolicy::Version(self.policy.version_at(from)));
+            for &(at, v) in self.policy.segments() {
+                if at > from && at < to {
+                    tl.record(at, BelievedPolicy::Version(v));
+                }
+            }
+        };
+        let mut cursor = start;
+        for w in &self.windows {
+            let ws = w.start.clamp(start, end);
+            let we = w.end.clamp(start, end);
+            if ws >= we {
+                continue;
+            }
+            if cursor < ws {
+                serve_ok(&mut tl, cursor, ws);
+            }
+            match w.mode {
+                ServeMode::Ok => serve_ok(&mut tl, ws, we),
+                ServeMode::ClientError(_) => tl.record(ws, BelievedPolicy::AllowAll),
+                ServeMode::ServerError(_) | ServeMode::Unreachable => {
+                    tl.record(ws, BelievedPolicy::DisallowAll)
+                }
+                ServeMode::Redirect(hops) if (hops as usize) <= MAX_REDIRECT_HOPS => {
+                    serve_ok(&mut tl, ws, we)
+                }
+                ServeMode::Redirect(_) => tl.record(ws, BelievedPolicy::AllowAll),
+                ServeMode::Flapping(period) => {
+                    // Half-periods are anchored at the window's scripted
+                    // start, which may precede the clip point.
+                    let period = period.max(1) as u64;
+                    let mut t = ws;
+                    while t < we {
+                        let k = (t - w.start) / period;
+                        let next = (w.start + (k + 1) * period).min(we);
+                        if k.is_multiple_of(2) {
+                            tl.record(t, BelievedPolicy::DisallowAll);
+                        } else {
+                            serve_ok(&mut tl, t, next);
+                        }
+                        t = next;
+                    }
+                }
+            }
+            cursor = cursor.max(we);
+        }
+        if cursor < end {
+            serve_ok(&mut tl, cursor, end);
+        }
+        tl
     }
 }
 
@@ -246,6 +396,24 @@ impl VirtualTransport {
     /// Fetch `site`'s robots.txt at `now` on behalf of requester `salt`.
     pub fn fetch(&self, site: usize, now: u64, salt: u64) -> VirtualFetch {
         self.models[site].fetch(&self.corpus, now, salt)
+    }
+
+    /// [`VirtualTransport::fetch`] with cache validators.
+    pub fn fetch_conditional(
+        &self,
+        site: usize,
+        now: u64,
+        salt: u64,
+        conditional: Option<Validators>,
+    ) -> VirtualFetch {
+        self.models[site].fetch_conditional(&self.corpus, now, salt, conditional)
+    }
+
+    /// Per-site effective served-policy timelines over `[start, end)` —
+    /// the estate's ground truth (see
+    /// [`ServerModel::effective_timeline`]).
+    pub fn effective_timelines(&self, start: u64, end: u64) -> Vec<BeliefTimeline> {
+        self.models.iter().map(|m| m.effective_timeline(start, end)).collect()
     }
 }
 
@@ -377,6 +545,100 @@ mod tests {
             distinct.insert(f.latency_ms);
         }
         assert!(distinct.len() > 10, "latency should actually vary: {distinct:?}");
+    }
+
+    #[test]
+    fn conditional_fetch_revalidates_unchanged_body() {
+        let m = healthy_model();
+        let c = corpus();
+        let first = m.fetch(&c, 1_000, 7);
+        let validators = first.validators.expect("2xx carries validators");
+        assert_eq!(validators.etag, etag_of(PolicyVersion::Base));
+        assert_eq!(validators.last_modified, 0);
+        assert!(first.bytes > 0);
+
+        let second = m.fetch_conditional(&c, 2_000, 7, Some(validators));
+        assert_eq!(second.resolved.status, 304);
+        assert_eq!(second.resolved.outcome, FetchOutcome::NotModified);
+        assert_eq!(second.version, Some(PolicyVersion::Base));
+        assert_eq!(second.bytes, 0);
+        assert_eq!(second.saved_bytes, first.bytes, "the 304 saved the whole body");
+        assert_eq!(second.validators, Some(validators));
+    }
+
+    #[test]
+    fn conditional_fetch_serves_full_body_after_swap() {
+        let start = Timestamp::from_date(2025, 1, 15);
+        let schedule = PhaseSchedule::paper_schedule(start, 0);
+        let mut m = healthy_model();
+        m.policy = SitePolicyServer::from_schedule(&schedule, 0);
+        let c = corpus();
+        let in_base = start.plus_secs(3 * 86_400).unix();
+        let in_v1 = start.plus_secs(15 * 86_400).unix();
+        let validators = m.fetch(&c, in_base, 0).validators.unwrap();
+        let after_swap = m.fetch_conditional(&c, in_v1, 0, Some(validators));
+        assert_eq!(after_swap.resolved.status, 200, "stale ETag must miss");
+        assert_eq!(after_swap.version, Some(PolicyVersion::V1CrawlDelay));
+        assert!(after_swap.bytes > 0);
+        assert_eq!(after_swap.saved_bytes, 0);
+        let fresh = after_swap.validators.unwrap();
+        assert_eq!(fresh.etag, etag_of(PolicyVersion::V1CrawlDelay));
+        assert_eq!(fresh.last_modified, start.plus_secs(14 * 86_400).unix());
+    }
+
+    #[test]
+    fn error_windows_ignore_validators() {
+        let mut m = healthy_model();
+        m.windows =
+            vec![ConditionWindow { start: 0, end: 1_000, mode: ServeMode::ServerError(503) }];
+        let c = corpus();
+        let validators = Validators { etag: etag_of(PolicyVersion::Base), last_modified: 0 };
+        let f = m.fetch_conditional(&c, 500, 0, Some(validators));
+        assert_eq!(f.resolved.outcome, FetchOutcome::ServerError(503));
+        assert_eq!(f.validators, None);
+        assert_eq!(f.saved_bytes, 0);
+    }
+
+    #[test]
+    fn effective_timeline_resolves_weather() {
+        let mut m = healthy_model();
+        m.windows = vec![
+            ConditionWindow { start: 100, end: 200, mode: ServeMode::ServerError(503) },
+            ConditionWindow { start: 300, end: 400, mode: ServeMode::ClientError(404) },
+            ConditionWindow { start: 500, end: 600, mode: ServeMode::Redirect(7) },
+            ConditionWindow { start: 700, end: 800, mode: ServeMode::Redirect(3) },
+        ];
+        let tl = m.effective_timeline(0, 1_000);
+        use BelievedPolicy as B;
+        assert_eq!(tl.at(50), B::Version(PolicyVersion::Base));
+        assert_eq!(tl.at(150), B::DisallowAll);
+        assert_eq!(tl.at(250), B::Version(PolicyVersion::Base));
+        assert_eq!(tl.at(350), B::AllowAll, "404 window is allow-all");
+        assert_eq!(tl.at(550), B::AllowAll, "over-budget chain is unavailable");
+        assert_eq!(tl.at(750), B::Version(PolicyVersion::Base), "3-hop chain still resolves");
+        assert_eq!(tl.at(900), B::Version(PolicyVersion::Base));
+    }
+
+    #[test]
+    fn effective_timeline_tracks_policy_swaps_and_flapping() {
+        let start = Timestamp::from_date(2025, 1, 15);
+        let schedule = PhaseSchedule::paper_schedule(start, 0);
+        let mut m = healthy_model();
+        m.policy = SitePolicyServer::from_schedule(&schedule, 0);
+        let s = start.unix();
+        m.windows =
+            vec![ConditionWindow { start: s + 100, end: s + 500, mode: ServeMode::Flapping(100) }];
+        let tl = m.effective_timeline(s, s + 60 * 86_400);
+        use BelievedPolicy as B;
+        // Flapping: [s+100, s+200) down, [s+200, s+300) up, ...
+        assert_eq!(tl.at(s + 150), B::DisallowAll);
+        assert_eq!(tl.at(s + 250), B::Version(PolicyVersion::Base));
+        assert_eq!(tl.at(s + 350), B::DisallowAll);
+        // Swaps mirror the schedule.
+        let in_v3 = start.plus_secs(50 * 86_400).unix();
+        assert_eq!(tl.at(in_v3), B::Version(PolicyVersion::V3DisallowAll));
+        let after = start.plus_secs(57 * 86_400).unix();
+        assert_eq!(tl.at(after), B::Version(PolicyVersion::Base), "restore after the window");
     }
 
     #[test]

@@ -27,6 +27,12 @@ use crate::model::RobotsTxt;
 pub enum FetchOutcome {
     /// 2xx with a body.
     Success(String),
+    /// `304 Not Modified` in answer to a conditional request
+    /// (`If-None-Match` / `If-Modified-Since`): the cached policy is
+    /// still current. The crawler must keep enforcing its cached copy —
+    /// [`RobotsCache::refresh`] is the matching cache operation; this
+    /// outcome never carries a policy of its own.
+    NotModified,
     /// Resolved 4xx — unavailable.
     ClientError(u16),
     /// Resolved 5xx — unreachable.
@@ -49,6 +55,9 @@ pub enum RawResponse {
     Body(u16, String),
     /// A 3xx with its `Location` target.
     Redirect(u16, String),
+    /// `304 Not Modified`: the server honoured the request's cache
+    /// validators. Terminal — the cached body is still authoritative.
+    NotModified,
     /// A bodyless terminal status (4xx, 5xx, or anything unexpected).
     Status(u16),
     /// Transport-level failure (DNS, TCP, TLS).
@@ -128,6 +137,14 @@ pub fn resolve_redirects(
                 };
                 return ResolvedFetch { outcome, hops, capped: false, status: code };
             }
+            RawResponse::NotModified => {
+                return ResolvedFetch {
+                    outcome: FetchOutcome::NotModified,
+                    hops,
+                    capped: false,
+                    status: 304,
+                };
+            }
             RawResponse::Failed => {
                 return ResolvedFetch {
                     outcome: FetchOutcome::NetworkError,
@@ -172,6 +189,12 @@ impl EffectivePolicy {
             FetchOutcome::ClientError(_) => EffectivePolicy::AllowAll,
             FetchOutcome::ServerError(_) | FetchOutcome::NetworkError => {
                 EffectivePolicy::DisallowAll
+            }
+            // A 304 has no policy of its own: the crawler must keep the
+            // cached one (RobotsCache::refresh). Reaching here is a
+            // caller logic error, not a policy question.
+            FetchOutcome::NotModified => {
+                panic!("NotModified carries no policy; refresh the cache instead")
             }
         }
     }
@@ -417,6 +440,25 @@ mod tests {
         let r = resolve_redirects(first, |_| RawResponse::Failed);
         assert_eq!(r.outcome, FetchOutcome::NetworkError);
         assert_eq!(r.status, 0);
+    }
+
+    #[test]
+    fn not_modified_resolves_terminal() {
+        let r = resolve_redirects(RawResponse::NotModified, |_| unreachable!("no follow"));
+        assert_eq!((r.hops, r.status, r.capped), (0, 304, false));
+        assert_eq!(r.outcome, FetchOutcome::NotModified);
+        // ... including behind a redirect (revalidation at the final hop).
+        let r = resolve_redirects(RawResponse::Redirect(301, "/real".into()), |_| {
+            RawResponse::NotModified
+        });
+        assert_eq!((r.hops, r.status), (1, 304));
+        assert_eq!(r.outcome, FetchOutcome::NotModified);
+    }
+
+    #[test]
+    #[should_panic(expected = "refresh the cache")]
+    fn not_modified_has_no_standalone_policy() {
+        let _ = EffectivePolicy::from_outcome(FetchOutcome::NotModified);
     }
 
     #[test]

@@ -94,8 +94,6 @@ pub(crate) fn generate(world: &World<'_>, out: &mut ShardWriter) {
 mod tests {
     use super::*;
     use crate::config::SimConfig;
-    use crate::phases::PhaseSchedule;
-    use crate::site::EXPERIMENT_SITE;
     use botscope_weblog::record::AccessRecord;
 
     fn browser_asn(asn: &str) -> bool {
@@ -104,10 +102,9 @@ mod tests {
 
     /// Direct harness: run only the anon generator into a shard.
     fn generate_only(cfg: &SimConfig) -> Vec<AccessRecord> {
-        let schedule = PhaseSchedule::always_base(EXPERIMENT_SITE, cfg.start, cfg.end());
         let estate = crate::site::Site::estate(cfg.sites);
         let hasher = botscope_weblog::iphash::IpHasher::from_seed(cfg.seed);
-        let world = World::new_for_tests(cfg, &schedule, &estate, &hasher);
+        let world = World::new_for_tests(cfg, &estate, &hasher);
         let mut writer = ShardWriter::new(&world);
         generate(&world, &mut writer);
         writer.table.to_records()

@@ -83,6 +83,19 @@ pub enum RobotsCheckPolicy {
     Poll(u64),
 }
 
+impl RobotsCheckPolicy {
+    /// The cache TTL this cadence implies for a coupled fetch agent:
+    /// the belief a bot holds goes stale after this many seconds.
+    /// `None` means the bot never fetches robots.txt at all — its
+    /// belief stays `Unfetched` forever.
+    pub fn ttl_secs(self) -> Option<u64> {
+        match self {
+            RobotsCheckPolicy::Never => None,
+            RobotsCheckPolicy::EveryHours(h) | RobotsCheckPolicy::Poll(h) => Some(h.max(1) * 3600),
+        }
+    }
+}
+
 /// The full behavioural profile of one simulated bot.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BotBehavior {

@@ -31,6 +31,7 @@ use botscope_weblog::table::{LogTable, RecordRow};
 use botscope_weblog::time::Timestamp;
 
 use crate::behavior::{BotBehavior, RobotsCheckPolicy};
+use crate::belief::{BelievedPolicy, PolicyOracle, ScheduleOracle};
 use crate::config::SimConfig;
 use crate::fleet::{build_fleet, SimBot};
 use crate::phases::{PhaseSchedule, PolicyVersion};
@@ -137,10 +138,11 @@ impl<'a> SitePools<'a> {
     }
 }
 
-/// The shared, read-only world every generation unit sees.
+/// The shared, read-only world every generation unit sees. Policy is
+/// deliberately absent: fleet bots consult their [`PolicyOracle`], and
+/// the anon/spoof units never read robots.txt at all.
 pub(crate) struct World<'a> {
     pub(crate) cfg: &'a SimConfig,
-    pub(crate) schedule: &'a PhaseSchedule,
     pub(crate) hasher: &'a IpHasher,
     estate: &'a [Site],
     pools: Vec<SitePools<'a>>,
@@ -150,12 +152,7 @@ pub(crate) struct World<'a> {
 }
 
 impl<'a> World<'a> {
-    fn new(
-        cfg: &'a SimConfig,
-        schedule: &'a PhaseSchedule,
-        estate: &'a [Site],
-        hasher: &'a IpHasher,
-    ) -> World<'a> {
+    fn new(cfg: &'a SimConfig, estate: &'a [Site], hasher: &'a IpHasher) -> World<'a> {
         // Experiment site is the high-traffic one ("chosen because of its
         // observed high bot traffic", §4.1): weight 30, others 1.
         let site_weights: Vec<f64> =
@@ -163,7 +160,6 @@ impl<'a> World<'a> {
         let site_weight_total = site_weights.iter().sum();
         World {
             cfg,
-            schedule,
             hasher,
             estate,
             pools: estate.iter().map(SitePools::build).collect(),
@@ -181,11 +177,10 @@ impl<'a> World<'a> {
     #[cfg(test)]
     pub(crate) fn new_for_tests(
         cfg: &'a SimConfig,
-        schedule: &'a PhaseSchedule,
         estate: &'a [Site],
         hasher: &'a IpHasher,
     ) -> World<'a> {
-        World::new(cfg, schedule, estate, hasher)
+        World::new(cfg, estate, hasher)
     }
 }
 
@@ -266,12 +261,32 @@ pub fn simulate_table_with_threads(
     schedule: &PhaseSchedule,
     threads: usize,
 ) -> SimTableOutput {
+    simulate_table_oracle(cfg, &ScheduleOracle { schedule }, threads)
+}
+
+/// [`simulate_table_with_threads`] with an explicit [`PolicyOracle`]:
+/// every fleet bot consults `oracle` for the policy it *believes* is
+/// live instead of reading the schedule directly. With
+/// [`ScheduleOracle`] this is byte-identical to the schedule-driven
+/// path; with a monitored [`crate::belief::BeliefAtlas`] it is the
+/// coupled mode — obedient bots halt through a believed 5xx
+/// disallow-all window, keep crawling on a stale allow-all cache, and
+/// never-checking bots (belief stuck at `Unfetched`) ignore everything.
+///
+/// The anonymous-traffic and spoofing units never consult the oracle:
+/// browsers don't read robots.txt, and spoofers ignore it by
+/// definition.
+pub fn simulate_table_oracle<O: PolicyOracle>(
+    cfg: &SimConfig,
+    oracle: &O,
+    threads: usize,
+) -> SimTableOutput {
     cfg.assert_valid();
     assert!(threads >= 1, "at least one worker required");
     let estate = Site::estate(cfg.sites);
     let fleet = build_fleet();
     let hasher = IpHasher::from_seed(cfg.seed);
-    let world = World::new(cfg, schedule, &estate, &hasher);
+    let world = World::new(cfg, &estate, &hasher);
 
     // Units: one per fleet bot, then anonymous traffic, then spoofing.
     let n_units = fleet.len() + 2;
@@ -280,7 +295,7 @@ pub fn simulate_table_with_threads(
             let bot = &fleet[unit];
             let mut rng = StdRng::seed_from_u64(child_seed(cfg.seed, unit as u64));
             let mut writer = ShardWriter::new(&world);
-            simulate_bot(&world, bot, &mut rng, &mut writer);
+            simulate_bot(&world, oracle, unit, bot, &mut rng, &mut writer);
             Shard { table: writer.table, planted: BTreeMap::new() }
         } else if unit == fleet.len() {
             let mut writer = ShardWriter::new(&world);
@@ -346,8 +361,16 @@ pub fn simulate_table_with_threads(
     SimTableOutput { table, truth }
 }
 
-/// Simulate one bot over the whole horizon.
-fn simulate_bot(world: &World<'_>, bot: &SimBot, rng: &mut StdRng, out: &mut ShardWriter) {
+/// Simulate one bot over the whole horizon. `unit` is the bot's fleet
+/// index — the identity the [`PolicyOracle`] keys beliefs by.
+fn simulate_bot<O: PolicyOracle>(
+    world: &World<'_>,
+    oracle: &O,
+    unit: usize,
+    bot: &SimBot,
+    rng: &mut StdRng,
+    out: &mut ShardWriter,
+) {
     let cfg = world.cfg;
     let bb = &bot.behavior;
     let horizon_secs = cfg.days as f64 * 86_400.0;
@@ -390,7 +413,7 @@ fn simulate_bot(world: &World<'_>, bot: &SimBot, rng: &mut StdRng, out: &mut Sha
     let mut t = exp_sample(rng, mean_gap_secs);
     while t < horizon_secs {
         let now = cfg.start.plus_secs(t as u64);
-        session(world, bot, ua, asn, &ip_hash_of, rng, now, &mut last_check, out);
+        session(world, oracle, unit, bot, ua, asn, &ip_hash_of, rng, now, &mut last_check, out);
         t += exp_sample(rng, mean_gap_secs);
     }
 }
@@ -444,8 +467,10 @@ fn pick_natural_page<'a>(
 
 /// One crawling session.
 #[allow(clippy::too_many_arguments)]
-fn session(
+fn session<O: PolicyOracle>(
     world: &World<'_>,
+    oracle: &O,
+    unit: usize,
     bot: &SimBot,
     ua: Sym,
     asn: Sym,
@@ -477,14 +502,18 @@ fn session(
         }
     }
 
-    let version = world.schedule.policy_at(site_index, now);
+    // The policy the bot *believes* is live: the schedule itself in the
+    // baseline, a monitored belief timeline in coupled mode.
+    let believed = oracle.believed(unit, site_index, now);
     let pages = 1 + exp_sample(rng, (bb.pages_per_session - 1.0).max(0.0)) as u64;
 
     for i in 0..pages {
         // Pacing between page fetches (the crawl-delay signal).
         if i > 0 {
-            let comply_pace = match version {
-                PolicyVersion::V1CrawlDelay => rng.gen_bool(bb.compliance.crawl_delay),
+            let comply_pace = match believed {
+                BelievedPolicy::Version(PolicyVersion::V1CrawlDelay) => {
+                    rng.gen_bool(bb.compliance.crawl_delay)
+                }
                 _ => rng.gen_bool(bb.compliance.natural_slow),
             };
             let delta = if comply_pace {
@@ -495,9 +524,9 @@ fn session(
             now = now.plus_secs(delta.max(1.0) as u64);
         }
 
-        // Target selection under the live policy.
-        let page: &Page = match version {
-            PolicyVersion::V3DisallowAll if !bot.exempt => {
+        // Target selection under the believed policy.
+        let page: &Page = match believed {
+            BelievedPolicy::Version(PolicyVersion::V3DisallowAll) if !bot.exempt => {
                 if rng.gen_bool(bb.compliance.disallow) {
                     // The bot obeys: instead of the page it re-consults the
                     // policy file — the only permitted target. This is what
@@ -509,7 +538,18 @@ fn session(
                 }
                 pick_natural_page(pools, rng, bb.compliance.natural_pagedata)
             }
-            PolicyVersion::V2EndpointOnly if !bot.exempt => {
+            BelievedPolicy::DisallowAll => {
+                // RFC 9309 §2.3.1.4: the file was unreachable (5xx /
+                // network), so a compliant crawler must fetch nothing —
+                // and there is no served file to grant the SEO agents
+                // their exemption, so even exempt bots face the gamble.
+                if rng.gen_bool(bb.compliance.disallow) {
+                    out.emit(ua, asn, site, ip_hash, "/robots.txt", 430, 200, None, now);
+                    continue;
+                }
+                pick_natural_page(pools, rng, bb.compliance.natural_pagedata)
+            }
+            BelievedPolicy::Version(PolicyVersion::V2EndpointOnly) if !bot.exempt => {
                 if rng.gen_bool(bb.compliance.endpoint) {
                     let pd = &pools.page_data;
                     if pd.is_empty() {

@@ -44,6 +44,7 @@
 
 pub mod anon;
 pub mod behavior;
+pub mod belief;
 pub mod config;
 pub mod engine;
 pub mod fleet;
@@ -53,6 +54,7 @@ pub mod server;
 pub mod site;
 pub mod spoof;
 
+pub use belief::{BeliefAtlas, BeliefTimeline, BelievedPolicy, PolicyOracle, ScheduleOracle};
 pub use config::SimConfig;
 pub use engine::{child_seed, worker_threads, SimOutput, SimTableOutput};
 pub use phases::{PhaseSchedule, PolicyVersion};

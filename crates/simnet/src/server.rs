@@ -105,6 +105,13 @@ impl SitePolicyServer {
         self.segments[idx.saturating_sub(1)].1
     }
 
+    /// The instant the segment live at `unix` began — the `Last-Modified`
+    /// a server would advertise for the currently served body.
+    pub fn live_since(&self, unix: u64) -> u64 {
+        let idx = self.segments.partition_point(|&(at, _)| at <= unix);
+        self.segments[idx.saturating_sub(1)].0
+    }
+
     /// The timeline's swap instants (excluding the initial segment):
     /// the ground truth a change-detection test compares against.
     pub fn swaps(&self) -> &[(u64, PolicyVersion)] {
@@ -114,6 +121,28 @@ impl SitePolicyServer {
     /// Whether this site ever changes its served file.
     pub fn is_static(&self) -> bool {
         self.segments.len() == 1
+    }
+
+    /// The raw `(from_unix_sec, version)` segments.
+    pub fn segments(&self) -> &[(u64, PolicyVersion)] {
+        &self.segments
+    }
+
+    /// The timeline as closed `(version, start, end)` windows clipped to
+    /// `[0, horizon_end)` — the per-site phase windows Table 7's
+    /// "checked robots.txt while vN was live" columns are judged
+    /// against. Zero-length windows (segments entirely past the
+    /// horizon) are dropped.
+    pub fn version_windows(&self, horizon_end: u64) -> Vec<(PolicyVersion, u64, u64)> {
+        let mut out = Vec::with_capacity(self.segments.len());
+        for (i, &(start, version)) in self.segments.iter().enumerate() {
+            let end = self.segments.get(i + 1).map_or(horizon_end, |&(next, _)| next);
+            let end = end.min(horizon_end);
+            if start < end {
+                out.push((version, start, end));
+            }
+        }
+        out
     }
 }
 

@@ -95,18 +95,17 @@ mod tests {
     use super::*;
     use crate::config::SimConfig;
     use crate::fleet::build_fleet;
-    use crate::phases::PhaseSchedule;
-    use crate::site::{Site, EXPERIMENT_SITE};
+
+    use crate::site::Site;
     use botscope_weblog::iphash::IpHasher;
     use botscope_weblog::record::AccessRecord;
 
     /// Run only the spoof generator into a shard.
     fn generate_only(cfg: &SimConfig) -> (Vec<AccessRecord>, BTreeMap<String, u64>, Vec<SimBot>) {
-        let schedule = PhaseSchedule::always_base(EXPERIMENT_SITE, cfg.start, cfg.end());
         let estate = Site::estate(cfg.sites);
         let hasher = IpHasher::from_seed(cfg.seed);
         let fleet = build_fleet();
-        let world = World::new_for_tests(cfg, &schedule, &estate, &hasher);
+        let world = World::new_for_tests(cfg, &estate, &hasher);
         let mut writer = ShardWriter::new(&world);
         let planted = generate(&world, &fleet, &mut writer);
         (writer.table.to_records(), planted, fleet)

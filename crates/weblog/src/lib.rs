@@ -21,6 +21,9 @@
 //! * [`codec`] — a CSV reader/writer for record persistence, including a
 //!   streaming [`codec::decode_stream`] / [`codec::decode_table_read`]
 //!   path for logs too large to hold in memory,
+//! * [`sink`] — row-streaming output ([`sink::RowSink`]): producers
+//!   with a deterministic row order write CSV/JSONL incrementally
+//!   instead of materializing a full table first,
 //! * [`session`] — 5-minute-gap sessionization (paper §3.2),
 //! * [`filter`] — the study's preprocessing filters (scanner removal,
 //!   date-range restriction),
@@ -60,6 +63,7 @@ pub mod iphash;
 pub mod jsonl;
 pub mod record;
 pub mod session;
+pub mod sink;
 pub mod summary;
 pub mod table;
 pub mod time;

@@ -1,0 +1,185 @@
+//! Row-streaming output sinks.
+//!
+//! Producers that generate rows in a deterministic order (the
+//! monitoring daemon's k-way shard merge, long-horizon generators) can
+//! write each [`AccessRecord`] as it is produced instead of
+//! materializing a full [`LogTable`] first and encoding it afterwards —
+//! bounding memory to the producer's working set rather than the whole
+//! dataset.
+//!
+//! [`CsvSink`] is byte-identical to [`crate::codec::write_table`] over
+//! the same rows in the same order, and [`JsonlSink`] to the per-record
+//! [`crate::jsonl::encode_record`] loop, so streaming and materialized
+//! paths can be `cmp`-verified against each other.
+
+use std::io::{self, Write};
+
+use crate::codec;
+use crate::jsonl;
+use crate::record::AccessRecord;
+use crate::table::LogTable;
+
+/// A destination for a deterministic stream of access records.
+pub trait RowSink {
+    /// Write one record. Order is the producer's canonical order.
+    fn write_row(&mut self, record: &AccessRecord) -> io::Result<()>;
+
+    /// Flush any buffered output; called once after the final row.
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Streams rows as the workspace CSV schema (header included).
+pub struct CsvSink<W: Write> {
+    writer: W,
+    line: String,
+}
+
+impl<W: Write> CsvSink<W> {
+    /// Wrap `writer`, emitting the CSV header immediately.
+    pub fn new(mut writer: W) -> io::Result<CsvSink<W>> {
+        writer.write_all(codec::HEADER.as_bytes())?;
+        writer.write_all(b"\n")?;
+        Ok(CsvSink { writer, line: String::with_capacity(160) })
+    }
+
+    /// Unwrap the inner writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> RowSink for CsvSink<W> {
+    fn write_row(&mut self, record: &AccessRecord) -> io::Result<()> {
+        self.line.clear();
+        self.line.push_str(&codec::encode_record(record));
+        self.line.push('\n');
+        self.writer.write_all(self.line.as_bytes())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// Streams rows as JSON Lines.
+pub struct JsonlSink<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wrap `writer`.
+    pub fn new(writer: W) -> JsonlSink<W> {
+        JsonlSink { writer }
+    }
+
+    /// Unwrap the inner writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> RowSink for JsonlSink<W> {
+    fn write_row(&mut self, record: &AccessRecord) -> io::Result<()> {
+        self.writer.write_all(jsonl::encode_record(record).as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// Collects the stream back into a [`LogTable`] — the compatibility
+/// sink, and the equivalence anchor for tests.
+#[derive(Debug, Default)]
+pub struct TableSink {
+    /// The collected rows.
+    pub table: LogTable,
+}
+
+impl TableSink {
+    /// An empty collector.
+    pub fn new() -> TableSink {
+        TableSink::default()
+    }
+}
+
+impl RowSink for TableSink {
+    fn write_row(&mut self, record: &AccessRecord) -> io::Result<()> {
+        self.table.push_record(record);
+        Ok(())
+    }
+}
+
+/// Counts rows and discards them (dry runs, throughput probes).
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    /// Rows seen.
+    pub rows: u64,
+}
+
+impl RowSink for CountingSink {
+    fn write_row(&mut self, _record: &AccessRecord) -> io::Result<()> {
+        self.rows += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Timestamp;
+
+    fn sample(i: u64) -> AccessRecord {
+        AccessRecord {
+            useragent: format!("bot/{i}"),
+            timestamp: Timestamp::from_unix(1_000 + i),
+            ip_hash: i,
+            asn: "GOOGLE".into(),
+            sitename: "s.example.edu".into(),
+            uri_path: "/robots.txt".into(),
+            status: 200,
+            bytes: 10,
+            referer: None,
+        }
+    }
+
+    #[test]
+    fn csv_sink_matches_write_table() {
+        let records: Vec<AccessRecord> = (0..5).map(sample).collect();
+        let table = LogTable::from_records(&records);
+        let mut sink = CsvSink::new(Vec::new()).unwrap();
+        for r in &records {
+            sink.write_row(r).unwrap();
+        }
+        sink.finish().unwrap();
+        assert_eq!(sink.into_inner(), codec::encode_table(&table).into_bytes());
+    }
+
+    #[test]
+    fn jsonl_sink_matches_encode_record() {
+        let records: Vec<AccessRecord> = (0..3).map(sample).collect();
+        let mut sink = JsonlSink::new(Vec::new());
+        for r in &records {
+            sink.write_row(r).unwrap();
+        }
+        sink.finish().unwrap();
+        let expected: String = records.iter().map(|r| jsonl::encode_record(r) + "\n").collect();
+        assert_eq!(sink.into_inner(), expected.into_bytes());
+    }
+
+    #[test]
+    fn table_and_counting_sinks() {
+        let records: Vec<AccessRecord> = (0..4).map(sample).collect();
+        let mut table = TableSink::new();
+        let mut count = CountingSink::default();
+        for r in &records {
+            table.write_row(r).unwrap();
+            count.write_row(r).unwrap();
+        }
+        assert_eq!(table.table.to_records(), records);
+        assert_eq!(count.rows, 4);
+    }
+}

@@ -43,11 +43,25 @@ USAGE:
       Generate a synthetic access log (stdout or out.csv; pass \"-\" for
       out.csv to pipe a seeded run to stdout). The same seed always
       yields a byte-identical log.
+  botscope simulate --coupled [options]
+      Generate the 8-week phase study in *coupled* mode: a monitoring
+      daemon first derives each bot's believed policy per site from
+      virtual robots.txt fetches (stale caches, 4xx/5xx windows,
+      backoff gaps), traffic generation then acts on those beliefs,
+      and compliance is attributed against served ground truth
+      (deliberate / stale-cache / fetch-artifact split).
+        --scale F        traffic multiplier (default 0.05)
+        --sites N        estate size (default 36)
+        --seed N         master seed (default 9309)
+        --scenario K     stable|outages|flapping|redirects|mixed (default mixed)
+        --refresh M      fleet|instant belief refresh (default fleet)
+        --out FILE       write the generated log as CSV (\"-\" = stdout)
   botscope monitor [options]
       Run the robots.txt monitoring daemon over the virtual estate:
       one cache-backed fetch agent per (bot, site), scripted outages /
-      redirect chains / policy swaps, change detection, and a §5.1
-      re-check report computed from the monitored fetch log.
+      redirect chains / policy swaps, conditional revalidation (304s),
+      change detection, and a §5.1 re-check report computed from the
+      monitored fetch log.
         --sites N        estate size (default 36)
         --days N         horizon in simulated days (default 46)
         --seed N         master seed (default 9309)
@@ -58,6 +72,9 @@ USAGE:
         --out FILE       write the fetch-event log as CSV (\"-\" = stdout)
         --jsonl FILE     write the fetch-event log as JSONL (\"-\" = stdout)
         --changes FILE   write detected policy changes as CSV (\"-\" = stdout)
+        --stream         stream CSV/JSONL row by row through the k-way
+                         shard merge instead of materializing the table
+                         (bounded memory; skips the table-derived reports)
 
 ENVIRONMENT:
   BOTSCOPE_THREADS
@@ -248,10 +265,16 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
     let mut out_path: Option<String> = None;
     let mut jsonl_path: Option<String> = None;
     let mut changes_path: Option<String> = None;
+    let mut stream = false;
 
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
+        if flag == "--stream" {
+            stream = true;
+            i += 1;
+            continue;
+        }
         let value =
             args.get(i + 1).ok_or_else(|| format!("{flag} needs a value (see `botscope help`)"))?;
         match flag {
@@ -282,6 +305,10 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
         return Err("--sites, --days and --bots must be at least 1".into());
     }
 
+    if stream {
+        return cmd_monitor_streaming(&cfg, &out_path, &jsonl_path, &changes_path);
+    }
+
     let out = botscope::monitor::run(&cfg);
 
     if let Some(path) = &out_path {
@@ -307,33 +334,129 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
         result.map_err(|e| format!("cannot write {path}: {e}"))?;
     }
     if let Some(path) = &changes_path {
-        let mut body = String::from("site,at,from,to,observers,tightened,loosened,delay_changes\n");
-        for c in &out.changes {
-            use std::fmt::Write as _;
-            let _ = writeln!(
-                body,
-                "{},{},{},{},{},{},{},{}",
-                c.site,
-                botscope::weblog::Timestamp::from_unix(c.at).to_iso8601(),
-                c.from.label(),
-                c.to.label(),
-                c.observers,
-                c.tightened,
-                c.loosened,
-                c.delay_changes
-            );
-        }
-        if path == "-" {
-            print!("{body}");
-        } else {
-            std::fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))?;
-        }
+        write_changes(path, &out.changes)?;
     }
 
     // The human report goes to stdout unless stdout carries data.
     let data_on_stdout =
         [&out_path, &jsonl_path, &changes_path].iter().any(|p| p.as_deref() == Some("-"));
     print_monitor_report(&cfg, &out, data_on_stdout);
+    Ok(())
+}
+
+/// Write detected policy changes as CSV (`-` = stdout).
+fn write_changes(path: &str, changes: &[botscope::monitor::ChangeDigest]) -> Result<(), String> {
+    let mut body = String::from("site,at,from,to,observers,tightened,loosened,delay_changes\n");
+    for c in changes {
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            body,
+            "{},{},{},{},{},{},{},{}",
+            c.site,
+            botscope::weblog::Timestamp::from_unix(c.at).to_iso8601(),
+            c.from.label(),
+            c.to.label(),
+            c.observers,
+            c.tightened,
+            c.loosened,
+            c.delay_changes
+        );
+    }
+    if path == "-" {
+        print!("{body}");
+        Ok(())
+    } else {
+        std::fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))
+    }
+}
+
+/// The `--stream` path: fetch events flow through row sinks; only the
+/// table-derived reports (re-check coverage, monitored Table 7) are
+/// skipped, since the merged table never exists.
+fn cmd_monitor_streaming(
+    cfg: &MonitorConfig,
+    out_path: &Option<String>,
+    jsonl_path: &Option<String>,
+    changes_path: &Option<String>,
+) -> Result<(), String> {
+    use botscope::weblog::sink::{CsvSink, JsonlSink, RowSink};
+
+    fn writer_for(path: &str) -> Result<Box<dyn std::io::Write>, String> {
+        if path == "-" {
+            Ok(Box::new(std::io::BufWriter::new(std::io::stdout())))
+        } else {
+            std::fs::File::create(path)
+                .map(|f| Box::new(std::io::BufWriter::new(f)) as Box<dyn std::io::Write>)
+                .map_err(|e| format!("cannot write {path}: {e}"))
+        }
+    }
+
+    let mut csv = match out_path {
+        Some(path) => {
+            Some(CsvSink::new(writer_for(path)?).map_err(|e| format!("cannot write header: {e}"))?)
+        }
+        None => None,
+    };
+    let mut jsonl =
+        jsonl_path.as_deref().map(|path| writer_for(path).map(JsonlSink::new)).transpose()?;
+    let mut sinks: Vec<&mut dyn RowSink> = Vec::new();
+    if let Some(sink) = csv.as_mut() {
+        sinks.push(sink);
+    }
+    if let Some(sink) = jsonl.as_mut() {
+        sinks.push(sink);
+    }
+    let mut counter = botscope::weblog::sink::CountingSink::default();
+    if sinks.is_empty() {
+        sinks.push(&mut counter);
+    }
+
+    let summary =
+        botscope::monitor::run_streaming(cfg, botscope::simnet::worker_threads(), &mut sinks)
+            .map_err(|e| format!("streaming write failed: {e}"))?;
+    drop(sinks);
+
+    if let Some(path) = changes_path {
+        write_changes(path, &summary.changes)?;
+    }
+
+    let to_stderr = [out_path, jsonl_path, changes_path].iter().any(|p| p.as_deref() == Some("-"));
+    use std::fmt::Write as _;
+    let s = &summary.stats;
+    let mut r = String::new();
+    let _ = writeln!(
+        r,
+        "monitored {} sites x {} bots over {} days (seed {}, scenario {}, streamed)",
+        cfg.sites,
+        summary.bots.len(),
+        cfg.days,
+        cfg.seed,
+        cfg.scenario.label()
+    );
+    let _ = writeln!(
+        r,
+        "{} rows streamed; {} agents, {} fetches: {} ok ({} revalidated, {} B saved), {} 4xx, {} 5xx, {} network",
+        summary.rows,
+        s.agents,
+        s.fetches,
+        s.success,
+        s.revalidated,
+        s.revalidated_bytes_saved,
+        s.client_errors,
+        s.server_errors,
+        s.network_errors
+    );
+    let _ = writeln!(
+        r,
+        "policy changes: {} observations, {} distinct transitions (table-derived reports skipped in --stream mode)",
+        s.policy_changes_observed,
+        summary.changes.len()
+    );
+    if to_stderr {
+        eprint!("{r}");
+    } else {
+        print!("{r}");
+    }
     Ok(())
 }
 
@@ -358,11 +481,12 @@ fn print_monitor_report(cfg: &MonitorConfig, out: &MonitorOutput, to_stderr: boo
     let _ = writeln!(r, "bots: {}", out.bots.join(", "));
     let _ = writeln!(
         r,
-        "{} agents, {} fetches: {} ok ({} revalidated), {} 4xx, {} 5xx, {} network",
+        "{} agents, {} fetches: {} ok ({} revalidated, {} B saved by 304s), {} 4xx, {} 5xx, {} network",
         s.agents,
         s.fetches,
         s.success,
         s.revalidated,
+        s.revalidated_bytes_saved,
         s.client_errors,
         s.server_errors,
         s.network_errors
@@ -397,6 +521,14 @@ fn print_monitor_report(cfg: &MonitorConfig, out: &MonitorOutput, to_stderr: boo
         let _ = writeln!(r, "  ... and {} more", out.changes.len() - 8);
     }
 
+    // Table 7 digest windows from monitored logs: did each bot fetch
+    // robots.txt on some site *while* each policy version was live
+    // there? Only meaningful when the estate deploys swaps.
+    if out.site_windows.values().any(|w| w.len() > 1) {
+        let matrix = botscope::core::recheck::phase_check_matrix(&out.table, &out.site_windows);
+        let _ = writeln!(r, "{}", botscope::core::report::table7_from_monitor(&matrix));
+    }
+
     // Figure 10 from *monitored* logs: share of checking bots per
     // category that re-checked within every window.
     let profiles = profiles_from_table(&out.table, out.horizon_end);
@@ -425,7 +557,113 @@ fn print_monitor_report(cfg: &MonitorConfig, out: &MonitorOutput, to_stderr: boo
     }
 }
 
+/// `simulate --coupled`: belief-driven generation plus attribution
+/// scoring against served ground truth.
+fn cmd_simulate_coupled(args: &[String]) -> Result<(), String> {
+    use botscope::monitor::{CoupledConfig, RefreshModel, ScenarioKind};
+
+    let mut cfg = CoupledConfig::default();
+    cfg.sim.scale = 0.05;
+    let mut out_path: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value =
+            args.get(i + 1).ok_or_else(|| format!("{flag} needs a value (see `botscope help`)"))?;
+        match flag {
+            "--scale" => {
+                cfg.sim.scale = value.parse().map_err(|_| format!("bad --scale {value}"))?
+            }
+            "--sites" => {
+                cfg.sim.sites = value.parse().map_err(|_| format!("bad --sites {value}"))?
+            }
+            "--seed" => cfg.sim.seed = value.parse().map_err(|_| format!("bad --seed {value}"))?,
+            "--scenario" => {
+                cfg.scenario = ScenarioKind::parse(value).ok_or_else(|| {
+                    format!("bad --scenario {value} (want stable|outages|flapping|redirects|mixed)")
+                })?
+            }
+            "--refresh" => {
+                cfg.refresh = RefreshModel::parse(value)
+                    .ok_or_else(|| format!("bad --refresh {value} (want fleet|instant)"))?
+            }
+            "--out" => out_path = Some(value.clone()),
+            other => return Err(format!("unknown --coupled flag {other:?} (see `botscope help`)")),
+        }
+        i += 2;
+    }
+    if !(cfg.sim.scale > 0.0 && cfg.sim.scale.is_finite()) {
+        return Err(format!("scale must be a positive number, got {}", cfg.sim.scale));
+    }
+    if cfg.sim.sites == 0 || cfg.sim.sites > 64 {
+        return Err("--sites must be between 1 and 64".into());
+    }
+
+    let out = botscope::monitor::run_coupled(&cfg);
+    if let Some(path) = &out_path {
+        write_csv(path, &out.sim.table)?;
+    }
+
+    use std::fmt::Write as _;
+    let mut r = String::new();
+    let _ = writeln!(
+        r,
+        "coupled run: {} records over {} sites (seed {}, scenario {}, refresh {})",
+        out.sim.table.len(),
+        cfg.sim.sites,
+        cfg.sim.seed,
+        cfg.scenario.label(),
+        cfg.refresh.label()
+    );
+    let _ = writeln!(
+        r,
+        "beliefs: {} bots x {} sites, {} belief transitions",
+        out.beliefs.bots.len(),
+        out.beliefs.n_sites(),
+        out.beliefs.total_transitions()
+    );
+    if let Some(s) = &out.monitor_stats {
+        let _ = writeln!(
+            r,
+            "belief agents: {} fetches, {} ok ({} revalidated, {} B saved), {} 4xx, {} 5xx, {} network",
+            s.fetches,
+            s.success,
+            s.revalidated,
+            s.revalidated_bytes_saved,
+            s.client_errors,
+            s.server_errors,
+            s.network_errors
+        );
+    }
+    let corpus = botscope::simnet::server::PolicyCorpus::new();
+    let counts = botscope::core::attribution::attribute_table(
+        &out.sim.table,
+        &out.beliefs,
+        &out.served,
+        &corpus,
+    );
+    let violating: usize = counts.values().filter(|c| c.violations_served() > 0).count();
+    let _ = writeln!(
+        r,
+        "attribution: {} bots scored, {} with served-policy violations",
+        counts.len(),
+        violating
+    );
+    let _ = writeln!(r, "{}", botscope::core::report::attribution_report(&counts));
+
+    if out_path.as_deref() == Some("-") {
+        eprint!("{r}");
+    } else {
+        print!("{r}");
+    }
+    Ok(())
+}
+
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    if args.first().map(String::as_str) == Some("--coupled") {
+        return cmd_simulate_coupled(&args[1..]);
+    }
     let days: u64 =
         args.first().map(|s| s.parse().map_err(|_| "bad days")).transpose()?.unwrap_or(7);
     let scale: f64 =

@@ -228,6 +228,45 @@ fn monitor_writes_change_digests() {
 }
 
 #[test]
+fn monitor_stream_matches_materialized_output() {
+    let args = ["monitor", "--sites", "12", "--days", "5", "--bots", "3", "--out", "-"];
+    let materialized = botscope(&args);
+    assert!(materialized.status.success());
+    let streamed = botscope(&[
+        "monitor", "--sites", "12", "--days", "5", "--bots", "3", "--out", "-", "--stream",
+    ]);
+    assert!(streamed.status.success(), "{}", String::from_utf8_lossy(&streamed.stderr));
+    assert_eq!(materialized.stdout, streamed.stdout, "streamed CSV must be byte-identical");
+    let report = String::from_utf8_lossy(&streamed.stderr);
+    assert!(report.contains("rows streamed"), "{report}");
+}
+
+#[test]
+fn coupled_simulate_reports_attribution_and_is_thread_invariant() {
+    let run = |threads: &str| {
+        let out = Command::new(env!("CARGO_BIN_EXE_botscope"))
+            .args(["simulate", "--coupled", "--scale", "0.02", "--sites", "4", "--out", "-"])
+            .env("BOTSCOPE_THREADS", threads)
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        out
+    };
+    let serial = run("1");
+    assert!(!serial.stdout.is_empty());
+    let report = String::from_utf8_lossy(&serial.stderr);
+    assert!(report.contains("coupled run:"), "{report}");
+    assert!(report.contains("belief transitions"), "{report}");
+    assert!(report.contains("Stale cache"), "{report}");
+    assert_eq!(serial.stdout, run("2").stdout, "2 workers must match serial output");
+
+    // Unknown coupled flags fail cleanly.
+    let out = botscope(&["simulate", "--coupled", "--refresh", "psychic"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --refresh"));
+}
+
+#[test]
 fn monitor_rejects_bad_flags_cleanly() {
     let out = botscope(&["monitor", "--scenario", "sunny"]);
     assert!(!out.status.success());
