@@ -52,14 +52,21 @@ fn bench_pipeline(c: &mut Criterion) {
 
 /// The full §4 analysis engine over a pre-generated phase study — the
 /// same workload as `end_to_end/phase_study_generate_and_analyze` minus
-/// generation, at 1 and 8 workers.
+/// generation. The worker sweep stops at the machine's available
+/// parallelism: oversubscribing a small container only measures
+/// scheduler thrash, not the engine.
 fn bench_analysis(c: &mut Criterion) {
     let cfg = SimConfig { scale: 0.05, sites: 8, ..SimConfig::default() };
     let out = phase_study_table(&cfg);
     let mut g = c.benchmark_group("analysis");
     g.sample_size(10);
     g.throughput(Throughput::Elements(out.sim.table.len() as u64));
-    for threads in [1usize, 8] {
+    let hardware = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut counts = vec![1usize];
+    if hardware > 1 {
+        counts.push(hardware.min(8));
+    }
+    for threads in counts {
         g.bench_function(format!("experiment_analyze_table/workers={threads}"), |b| {
             b.iter(|| {
                 Experiment::analyze_table_with_threads(
@@ -73,5 +80,73 @@ fn bench_analysis(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_pipeline, bench_analysis);
+/// The bounded-memory path: streamed generation through the disk-spill
+/// k-way merge, binary encode/decode, and the single-pass streaming
+/// analyzer — each against the same workload the materialized benches
+/// use, so the overhead of never holding the table is visible.
+fn bench_streaming(c: &mut Criterion) {
+    use botscope_simnet::engine::{simulate_stream_with_threads, StreamOptions};
+    use botscope_weblog::colfmt::{BinReader, BinSink};
+    use botscope_weblog::sink::RowSink;
+    use botscope_weblog::stream::TableRowStream;
+
+    let cfg = SimConfig { scale: 0.05, sites: 8, ..SimConfig::default() };
+    let out = phase_study_table(&cfg);
+    let rows = out.sim.table.len() as u64;
+
+    let mut g = c.benchmark_group("streaming");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(rows));
+
+    // Generation → spill → merge → discarded binary bytes.
+    let (lo, hi) = out.schedule.bounds();
+    let gen_cfg = SimConfig { start: lo, days: hi.days_since(lo), ..cfg.clone() };
+    g.bench_function("simulate_stream_bin", |b| {
+        b.iter(|| {
+            let mut sink = BinSink::new(std::io::sink()).expect("bin sink");
+            simulate_stream_with_threads(
+                black_box(&gen_cfg),
+                &out.schedule,
+                1,
+                &StreamOptions::default(),
+                &mut [&mut sink as &mut dyn RowSink],
+            )
+            .expect("streaming simulate")
+        })
+    });
+
+    // Binary encode and decode of the materialized table.
+    let mut bin = Vec::new();
+    botscope_weblog::colfmt::write_table(&mut bin, &out.sim.table).expect("encode");
+    g.bench_function("binary_encode", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(bin.len());
+            botscope_weblog::colfmt::write_table(&mut buf, black_box(&out.sim.table))
+                .expect("encode");
+            buf
+        })
+    });
+    g.bench_function("binary_decode_stream", |b| {
+        b.iter(|| {
+            let mut reader = BinReader::new(black_box(&bin[..])).expect("header");
+            let mut n = 0u64;
+            while let Some(row) = reader.next_row() {
+                row.expect("clean row");
+                n += 1;
+            }
+            n
+        })
+    });
+
+    // Single-pass analysis over the sorted in-memory stream.
+    g.bench_function("experiment_analyze_stream", |b| {
+        b.iter(|| {
+            let mut stream = TableRowStream::new(black_box(&out.sim.table));
+            Experiment::analyze_stream(&mut stream, &out.schedule).expect("clean stream")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_analysis, bench_streaming);
 criterion_main!(benches);

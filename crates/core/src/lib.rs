@@ -57,6 +57,7 @@ pub mod promise;
 pub mod recheck;
 pub mod report;
 pub mod spoofdetect;
+pub mod stream;
 pub mod tables;
 
 pub use analyze::{Directive, Experiment};
@@ -64,3 +65,4 @@ pub use attribution::{AttributionCounts, PolicyBasis, PolicyScore};
 pub use metrics::DirectiveCounts;
 pub use pipeline::BotView;
 pub use spoofdetect::SpoofReport;
+pub use stream::StreamAnalyzer;

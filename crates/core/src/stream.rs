@@ -1,0 +1,580 @@
+//! Single-pass streaming analysis: the §4 pipeline over a sorted row
+//! stream with bounded state.
+//!
+//! [`StreamAnalyzer`] consumes a canonically time-sorted stream of
+//! interned rows — a [`botscope_weblog::stream::RowStream`] over a CSV
+//! file, a binary [`botscope_weblog::colfmt`] file, or a generator's
+//! k-way merge — and produces the exact [`Experiment`] that
+//! [`Experiment::analyze_table`] computes from the materialized table.
+//! Peak memory is the dictionary plus the per-bot working set (per-ASN
+//! phase buckets and τ-delta accumulators), never the row set: a
+//! scale-100 estate streams through in a few hundred megabytes where
+//! materializing would take gigabytes.
+//!
+//! Equivalence argument, stage by stage:
+//!
+//! * **standardization** — one verdict per distinct user-agent symbol,
+//!   cached in a dense slot array exactly like the table path's;
+//! * **spoof detection** — per-ASN totals over experiment-site rows are
+//!   order-free counts, and the dominance winner uses the same
+//!   `(count, Reverse(name))` tie-break;
+//! * **phase bucketing** — each row tests its timestamp against the
+//!   base window and the three directive windows independently, the
+//!   same predicate the table path applies per row;
+//! * **crawl delay** — within a τ group (ASN fixed per accumulator, so
+//!   the key is (IP hash, raw UA)) the stream's time order equals the
+//!   table path's per-τ sort, making the running delta count identical;
+//! * **sessions** — per-entity rows arrive time-sorted, so counting
+//!   gap-exceeding deltas as they happen equals sort-then-count.
+
+use std::collections::{BTreeMap, HashMap};
+
+use botscope_stats::ztest::two_proportion_z_test;
+use botscope_useragent::{BotSpec, Standardizer};
+use botscope_weblog::codec::DecodeError;
+use botscope_weblog::intern::{StringInterner, Sym};
+use botscope_weblog::session::SESSION_GAP_SECS;
+use botscope_weblog::stream::RowStream;
+use botscope_weblog::table::RecordRow;
+
+use botscope_simnet::phases::{is_exempt_agent, PhaseSchedule, PolicyVersion};
+
+use crate::analyze::{BotDirectiveResult, Directive, Experiment, PhaseTraffic, MIN_ACCESSES};
+use crate::metrics::{DirectiveCounts, CRAWL_DELAY_SECS};
+use crate::spoofdetect::{SpoofFinding, SpoofReport, DOMINANCE_THRESHOLD, MIN_DETECT_REQUESTS};
+
+/// Per-symbol classification flags, grown lazily as the stream's
+/// interner grows.
+const FLAG_ROBOTS: u8 = 1;
+const FLAG_PAGE_DATA: u8 = 2;
+const FLAG_SITE: u8 = 4;
+
+/// `ua_slot` sentinel: symbol not yet standardized.
+const SLOT_UNKNOWN: u32 = u32::MAX;
+/// `ua_slot` sentinel: symbol matched no known bot.
+const SLOT_ANON: u32 = u32::MAX - 1;
+
+/// Running crawl-delay state of one τ group (IP hash × raw UA within a
+/// fixed (bot, ASN) bucket): access count, last timestamp, compliant
+/// deltas so far.
+#[derive(Debug, Clone, Copy)]
+struct TauAcc {
+    count: u64,
+    last: u64,
+    compliant: u64,
+}
+
+impl TauAcc {
+    fn push(&mut self, t: u64) {
+        self.count += 1;
+        if self.count > 1 && t.saturating_sub(self.last) >= CRAWL_DELAY_SECS {
+            self.compliant += 1;
+        }
+        self.last = t;
+    }
+
+    /// The paper's rule: a single-access τ counts as one compliant
+    /// instance; otherwise deltas are the trials.
+    fn finish(&self) -> DirectiveCounts {
+        if self.count == 1 {
+            DirectiveCounts { successes: 1, trials: 1 }
+        } else {
+            DirectiveCounts { successes: self.compliant, trials: self.count - 1 }
+        }
+    }
+}
+
+/// One phase-window bucket of one (bot, ASN) pair: everything the three
+/// directive metrics need, accumulated row by row.
+#[derive(Debug, Clone, Default)]
+struct BucketAcc {
+    rows: u64,
+    robots: u64,
+    endpoint: u64,
+    tau: HashMap<(u64, Sym), TauAcc>,
+}
+
+impl BucketAcc {
+    fn push(&mut self, row: &RecordRow, robots: bool, page_data: bool) {
+        self.rows += 1;
+        if robots {
+            self.robots += 1;
+        }
+        if robots || page_data {
+            self.endpoint += 1;
+        }
+        self.tau
+            .entry((row.ip_hash, row.useragent))
+            .or_insert(TauAcc { count: 0, last: 0, compliant: 0 })
+            .push(row.timestamp.unix());
+    }
+
+    /// Finalized order-free stats: τ maps collapse to counts here, so
+    /// stats from different ASNs can be summed without ever merging τ
+    /// groups across ASN boundaries.
+    fn finish(&self) -> BucketStats {
+        let mut cd = DirectiveCounts::default();
+        for acc in self.tau.values() {
+            cd.merge(acc.finish());
+        }
+        BucketStats { rows: self.rows, robots: self.robots, endpoint: self.endpoint, cd }
+    }
+}
+
+/// A finalized bucket: additive across ASNs.
+#[derive(Debug, Clone, Copy, Default)]
+struct BucketStats {
+    rows: u64,
+    robots: u64,
+    endpoint: u64,
+    cd: DirectiveCounts,
+}
+
+impl BucketStats {
+    fn merge(&mut self, other: &BucketStats) {
+        self.rows += other.rows;
+        self.robots += other.robots;
+        self.endpoint += other.endpoint;
+        self.cd.merge(other.cd);
+    }
+
+    /// The directive's success/trial pair out of this bucket.
+    fn counts(&self, directive: Directive) -> DirectiveCounts {
+        match directive {
+            Directive::CrawlDelay => self.cd,
+            Directive::Endpoint => DirectiveCounts { successes: self.endpoint, trials: self.rows },
+            Directive::Disallow => DirectiveCounts { successes: self.robots, trials: self.rows },
+        }
+    }
+}
+
+/// One ASN's accumulation for one bot: experiment-site total plus the
+/// four phase buckets (base + one per directive).
+#[derive(Debug, Clone, Default)]
+struct AsnAcc {
+    total: u64,
+    buckets: [BucketAcc; 4],
+}
+
+/// Everything one canonical bot accumulates over the stream.
+struct BotAcc {
+    spec: &'static BotSpec,
+    /// Per-ASN site-row accumulators. Entries exist only for ASNs seen
+    /// on *experiment-site* rows, mirroring the table path's detector
+    /// input.
+    per_asn: HashMap<Sym, AsnAcc>,
+    /// Estate-wide robots.txt fetch seen within each directive window
+    /// (the Table 7 "checked robots.txt" signal).
+    robots_window: [bool; 3],
+    /// Experiment-site presence per `schedule.phases` entry (Table 4).
+    presence: Vec<bool>,
+}
+
+/// Session counting for one phase window: entity → last timestamp, plus
+/// the running session count. The map is dropped as soon as the stream
+/// moves past the window's end, so at most one phase map is live at a
+/// time under the paper's sequential schedule.
+struct PhaseSessions {
+    start: u64,
+    end: u64,
+    last_seen: Option<HashMap<(Sym, u64, Sym), u64>>,
+    sessions: usize,
+}
+
+impl PhaseSessions {
+    fn push(&mut self, row: &RecordRow, t: u64) {
+        if t >= self.end {
+            self.last_seen = None;
+            return;
+        }
+        if t < self.start {
+            return;
+        }
+        let map = self.last_seen.get_or_insert_with(HashMap::new);
+        match map.insert((row.useragent, row.ip_hash, row.asn), t) {
+            None => self.sessions += 1,
+            Some(last) => {
+                if t.saturating_sub(last) >= SESSION_GAP_SECS {
+                    self.sessions += 1;
+                }
+            }
+        }
+    }
+}
+
+/// The deployment windows, as in the table path: base plus one window
+/// per directive in [`Directive::ALL`] order.
+struct Windows {
+    base: (u64, u64),
+    directives: [(u64, u64); 3],
+}
+
+/// Push-based single-pass analysis engine. Feed canonically time-sorted
+/// rows via [`StreamAnalyzer::push_row`], then call
+/// [`StreamAnalyzer::finish`]; the result is identical to
+/// [`Experiment::analyze_table`] over the same rows.
+pub struct StreamAnalyzer {
+    schedule: PhaseSchedule,
+    site_name: String,
+    windows: Windows,
+    standardizer: Standardizer,
+    /// Per-symbol flags and user-agent verdicts, indexed by `Sym::index`.
+    flags: Vec<u8>,
+    ua_slot: Vec<u32>,
+    bots: Vec<BotAcc>,
+    slot_by_name: BTreeMap<&'static str, u32>,
+    phase_sessions: Vec<PhaseSessions>,
+    last_t: u64,
+}
+
+impl StreamAnalyzer {
+    /// An analyzer for `schedule`. Panics (like the table path) if the
+    /// schedule is missing any of the four policy versions.
+    pub fn new(schedule: &PhaseSchedule) -> StreamAnalyzer {
+        let window_of = |version: PolicyVersion| -> (u64, u64) {
+            let (lo, hi) = schedule.window_of(version).expect("version scheduled");
+            (lo.unix(), hi.unix())
+        };
+        let windows = Windows {
+            base: window_of(PolicyVersion::Base),
+            directives: Directive::ALL.map(|d| window_of(d.version())),
+        };
+        let phase_sessions = schedule
+            .phases
+            .iter()
+            .map(|p| PhaseSessions {
+                start: p.start.unix(),
+                end: p.end.unix(),
+                last_seen: None,
+                sessions: 0,
+            })
+            .collect();
+        StreamAnalyzer {
+            schedule: schedule.clone(),
+            site_name: format!("site-{:02}.example.edu", schedule.experiment_site),
+            windows,
+            standardizer: Standardizer::new(),
+            flags: Vec::new(),
+            ua_slot: Vec::new(),
+            bots: Vec::new(),
+            slot_by_name: BTreeMap::new(),
+            phase_sessions,
+            last_t: 0,
+        }
+    }
+
+    /// Classify any symbols interned since the last row. The interner
+    /// only appends, so earlier indices never change.
+    fn grow(&mut self, interner: &StringInterner) {
+        if self.flags.len() == interner.len() {
+            return;
+        }
+        for (_, s) in interner.iter().skip(self.flags.len()) {
+            let mut f = 0u8;
+            if s == "/robots.txt" {
+                f |= FLAG_ROBOTS;
+            }
+            if s.starts_with("/page-data/") {
+                f |= FLAG_PAGE_DATA;
+            }
+            if s == self.site_name {
+                f |= FLAG_SITE;
+            }
+            self.flags.push(f);
+            self.ua_slot.push(SLOT_UNKNOWN);
+        }
+    }
+
+    /// Consume one row. Rows must arrive in canonical order (time-sorted
+    /// first), the order every workspace producer emits.
+    pub fn push_row(&mut self, row: &RecordRow, interner: &StringInterner) {
+        self.grow(interner);
+        let t = row.timestamp.unix();
+        debug_assert!(t >= self.last_t, "stream must be time-sorted");
+        self.last_t = t;
+
+        let is_site = self.flags[row.sitename.index()] & FLAG_SITE != 0;
+
+        // Table 4 sessions run over every experiment-site row, known bot
+        // or not; expiry runs on every row so dead maps free promptly.
+        for phase in &mut self.phase_sessions {
+            if is_site {
+                phase.push(row, t);
+            } else if t >= phase.end {
+                phase.last_seen = None;
+            }
+        }
+
+        // Standardize this user agent if it is new.
+        let ua_idx = row.useragent.index();
+        if self.ua_slot[ua_idx] == SLOT_UNKNOWN {
+            self.ua_slot[ua_idx] =
+                match self.standardizer.standardize(interner.resolve(row.useragent)).map(|s| s.bot)
+                {
+                    None => SLOT_ANON,
+                    Some(spec) => {
+                        let n_phases = self.schedule.phases.len();
+                        *self.slot_by_name.entry(spec.canonical).or_insert_with(|| {
+                            self.bots.push(BotAcc {
+                                spec,
+                                per_asn: HashMap::new(),
+                                robots_window: [false; 3],
+                                presence: vec![false; n_phases],
+                            });
+                            (self.bots.len() - 1) as u32
+                        })
+                    }
+                };
+        }
+        let slot = self.ua_slot[ua_idx];
+        if slot == SLOT_ANON {
+            return;
+        }
+        let bot = &mut self.bots[slot as usize];
+
+        // Estate-wide robots.txt fetches drive the Table 7 signal even
+        // when they land on a sister site.
+        let robots = self.flags[row.uri_path.index()] & FLAG_ROBOTS != 0;
+        if robots {
+            for (d, &(lo, hi)) in self.windows.directives.iter().enumerate() {
+                if t >= lo && t < hi {
+                    bot.robots_window[d] = true;
+                }
+            }
+        }
+        if !is_site {
+            return;
+        }
+
+        for (i, p) in self.schedule.phases.iter().enumerate() {
+            if t >= p.start.unix() && t < p.end.unix() {
+                bot.presence[i] = true;
+            }
+        }
+
+        let page_data = self.flags[row.uri_path.index()] & FLAG_PAGE_DATA != 0;
+        let acc = bot.per_asn.entry(row.asn).or_default();
+        acc.total += 1;
+        let (lo, hi) = self.windows.base;
+        if t >= lo && t < hi {
+            acc.buckets[0].push(row, robots, page_data);
+        }
+        for (d, &(lo, hi)) in self.windows.directives.iter().enumerate() {
+            if t >= lo && t < hi {
+                acc.buckets[d + 1].push(row, robots, page_data);
+            }
+        }
+    }
+
+    /// Finalize into the [`Experiment`] the table path would produce.
+    /// `interner` must be the stream's final interner (a superset of
+    /// every symbol pushed).
+    pub fn finish(self, interner: &StringInterner) -> Experiment {
+        let mut per_directive: BTreeMap<Directive, Vec<BotDirectiveResult>> =
+            Directive::ALL.into_iter().map(|d| (d, Vec::new())).collect();
+        let mut spoofed_per_directive = per_directive.clone();
+        let mut spoof_volume: BTreeMap<Directive, (u64, u64)> =
+            Directive::ALL.into_iter().map(|d| (d, (0, 0))).collect();
+        let mut findings: Vec<SpoofFinding> = Vec::new();
+        let mut presence_counts = vec![0usize; self.schedule.phases.len()];
+
+        // Canonical-name order, matching the table path's BTreeMap walk.
+        for (&name, &slot) in &self.slot_by_name {
+            let bot = &self.bots[slot as usize];
+            for (i, &p) in bot.presence.iter().enumerate() {
+                if p {
+                    presence_counts[i] += 1;
+                }
+            }
+
+            let site_total: u64 = bot.per_asn.values().map(|a| a.total).sum();
+
+            // The §5.2 dominance detection, with the detector's exact
+            // gating and (count, Reverse(name)) winner tie-break.
+            let finding_main: Option<Sym> =
+                if site_total >= MIN_DETECT_REQUESTS && bot.per_asn.len() >= 2 {
+                    let (&main_sym, main_acc) = bot
+                        .per_asn
+                        .iter()
+                        .max_by_key(|&(&sym, acc)| {
+                            (acc.total, std::cmp::Reverse(interner.resolve(sym)))
+                        })
+                        .expect("non-empty per-ASN map");
+                    let main_share = main_acc.total as f64 / site_total as f64;
+                    if main_share >= DOMINANCE_THRESHOLD {
+                        let mut suspicious: Vec<(String, u64)> = bot
+                            .per_asn
+                            .iter()
+                            .filter(|&(&sym, _)| sym != main_sym)
+                            .map(|(&sym, acc)| (interner.resolve(sym).to_string(), acc.total))
+                            .collect();
+                        suspicious.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                        let spoofed_requests = suspicious.iter().map(|&(_, c)| c).sum();
+                        findings.push(SpoofFinding {
+                            bot: name.to_string(),
+                            main_asn: interner.resolve(main_sym).to_string(),
+                            main_share,
+                            suspicious,
+                            total_requests: site_total,
+                            spoofed_requests,
+                        });
+                        Some(main_sym)
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                };
+
+            // Legit = the dominant ASN's buckets when flagged, otherwise
+            // everything; spoofed = the minority remainder when flagged.
+            let mut legit = [BucketStats::default(); 4];
+            let mut spoofed = [BucketStats::default(); 4];
+            for (&sym, acc) in &bot.per_asn {
+                let target = match finding_main {
+                    None => &mut legit,
+                    Some(main) if sym == main => &mut legit,
+                    Some(_) => &mut spoofed,
+                };
+                for (j, bucket) in acc.buckets.iter().enumerate() {
+                    target[j].merge(&bucket.finish());
+                }
+            }
+
+            let exempt = is_exempt_agent(name);
+            for (idx, directive) in Directive::ALL.into_iter().enumerate() {
+                let (legit_base, legit_phase) = (&legit[0], &legit[idx + 1]);
+                let volume = spoof_volume.get_mut(&directive).expect("all directives present");
+                volume.0 += legit_phase.rows;
+                if !exempt
+                    && legit_base.rows >= MIN_ACCESSES as u64
+                    && legit_phase.rows >= MIN_ACCESSES as u64
+                {
+                    let checked = bot.robots_window[idx] || legit_phase.robots > 0;
+                    per_directive
+                        .get_mut(&directive)
+                        .expect("all directives present")
+                        .push(make_row(bot.spec, directive, legit_base, legit_phase, checked));
+                }
+
+                let (sp_base, sp_phase) = (&spoofed[0], &spoofed[idx + 1]);
+                volume.1 += sp_phase.rows;
+                if sp_base.rows > 0 && sp_phase.rows > 0 {
+                    let checked = sp_phase.robots > 0;
+                    spoofed_per_directive
+                        .get_mut(&directive)
+                        .expect("all directives present")
+                        .push(make_row(bot.spec, directive, sp_base, sp_phase, checked));
+                }
+            }
+        }
+
+        let phase_traffic = self
+            .schedule
+            .phases
+            .iter()
+            .zip(&self.phase_sessions)
+            .zip(&presence_counts)
+            .map(|((p, sessions), &bots)| PhaseTraffic {
+                version: p.version,
+                unique_site_visits: sessions.sessions,
+                unique_bot_visitors: bots,
+            })
+            .collect();
+
+        Experiment {
+            per_directive,
+            spoofed_per_directive,
+            phase_traffic,
+            spoof_report: SpoofReport { findings },
+            spoof_volume,
+            truth: None,
+            schedule: self.schedule,
+        }
+    }
+}
+
+/// One bot × directive result out of finalized buckets — the streaming
+/// equivalent of the table path's `make_row`.
+fn make_row(
+    spec: &'static BotSpec,
+    directive: Directive,
+    base: &BucketStats,
+    phase: &BucketStats,
+    checked_robots: bool,
+) -> BotDirectiveResult {
+    let baseline = base.counts(directive);
+    let experiment = phase.counts(directive);
+    let ztest = two_proportion_z_test(
+        experiment.successes,
+        experiment.trials,
+        baseline.successes,
+        baseline.trials,
+    );
+    BotDirectiveResult {
+        bot: spec.canonical.to_string(),
+        category: spec.category,
+        promise: spec.respects_robots,
+        sponsor: spec.sponsor,
+        baseline,
+        experiment,
+        ztest,
+        checked_robots,
+        accesses: phase.rows,
+    }
+}
+
+impl Experiment {
+    /// Analyze a canonically sorted row stream in a single pass with
+    /// bounded state. Identical output to [`Experiment::analyze_table`]
+    /// over the same rows; the rows themselves are never held.
+    pub fn analyze_stream<S: RowStream + ?Sized>(
+        stream: &mut S,
+        schedule: &PhaseSchedule,
+    ) -> Result<Experiment, DecodeError> {
+        let mut analyzer = StreamAnalyzer::new(schedule);
+        while let Some(row) = stream.next_row() {
+            let row = row?;
+            analyzer.push_row(&row, stream.interner());
+        }
+        Ok(analyzer.finish(stream.interner()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use botscope_simnet::scenario::phase_study_table;
+    use botscope_simnet::SimConfig;
+    use botscope_weblog::stream::TableRowStream;
+
+    #[test]
+    fn stream_matches_table_analysis() {
+        let cfg = SimConfig { scale: 0.05, sites: 3, ..SimConfig::default() };
+        let out = phase_study_table(&cfg);
+        let expected = Experiment::analyze_table_with_threads(&out.sim.table, &out.schedule, 1);
+        let mut stream = TableRowStream::new(&out.sim.table);
+        let got = Experiment::analyze_stream(&mut stream, &out.schedule).expect("clean stream");
+        assert_eq!(got.per_directive, expected.per_directive);
+        assert_eq!(got.spoofed_per_directive, expected.spoofed_per_directive);
+        assert_eq!(got.phase_traffic, expected.phase_traffic);
+        assert_eq!(got.spoof_report, expected.spoof_report);
+        assert_eq!(got.spoof_volume, expected.spoof_volume);
+    }
+
+    #[test]
+    fn empty_stream_is_clean() {
+        let cfg = SimConfig { scale: 0.02, sites: 3, ..SimConfig::default() };
+        let out = phase_study_table(&cfg);
+        let empty = botscope_weblog::table::LogTable::new();
+        let mut stream = TableRowStream::new(&empty);
+        let exp = Experiment::analyze_stream(&mut stream, &out.schedule).expect("empty ok");
+        assert!(exp.spoof_report.findings.is_empty());
+        for d in Directive::ALL {
+            assert!(exp.per_directive[&d].is_empty());
+            assert_eq!(exp.spoof_volume[&d], (0, 0));
+        }
+        assert_eq!(exp.phase_traffic.len(), out.schedule.phases.len());
+        assert!(exp.phase_traffic.iter().all(|p| p.unique_site_visits == 0));
+    }
+}

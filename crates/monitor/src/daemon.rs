@@ -540,61 +540,15 @@ pub fn run_streaming(
     let (stats, changes) = merge_shard_summaries(&run, &shards);
     let site_windows = site_windows_of(&run);
 
-    // Canonically sort each shard (stable, so full ties keep push
-    // order), then k-way merge with the chunk index as the tiebreak —
-    // exactly the order `concatenate in chunk order + stable sort`
-    // produces in the materialized path.
-    let tables: Vec<LogTable> = shards
+    // Each shard becomes one canonically sorted run (MergeRun::from_table
+    // sorts stably, so full ties keep push order); the shared k-way merge
+    // tiebreaks on run index — exactly the order `concatenate in chunk
+    // order + stable sort` produces in the materialized path.
+    let runs: Vec<botscope_weblog::MergeRun> = shards
         .into_iter()
-        .map(|shard| {
-            let mut table = shard.log.into_table();
-            table.sort_canonical();
-            table
-        })
+        .map(|shard| botscope_weblog::MergeRun::from_table(shard.log.into_table()))
         .collect();
-
-    // Shard-local symbol ranks are incomparable across shards; build a
-    // global string order once (interners are tiny: bots + sites).
-    let global: std::collections::BTreeSet<&str> =
-        tables.iter().flat_map(|t| t.interner().iter().map(|(_, s)| s)).collect();
-    let rank_of: std::collections::HashMap<&str, usize> =
-        global.into_iter().enumerate().map(|(rank, s)| (s, rank)).collect();
-    let ranks: Vec<Vec<usize>> =
-        tables.iter().map(|t| t.interner().iter().map(|(_, s)| rank_of[s]).collect()).collect();
-
-    // Merge key mirrors `LogTable::sort_canonical`:
-    // (timestamp, useragent, ip_hash, uri_path), then chunk, then row.
-    type Key = (Timestamp, usize, u64, usize, usize, usize);
-    let key = |chunk: usize, row_idx: usize| -> Key {
-        let row = &tables[chunk].rows()[row_idx];
-        (
-            row.timestamp,
-            ranks[chunk][row.useragent.index()],
-            row.ip_hash,
-            ranks[chunk][row.uri_path.index()],
-            chunk,
-            row_idx,
-        )
-    };
-    let mut heap: BinaryHeap<Reverse<Key>> = (0..tables.len())
-        .filter(|&chunk| !tables[chunk].is_empty())
-        .map(|chunk| Reverse(key(chunk, 0)))
-        .collect();
-
-    let mut rows = 0u64;
-    while let Some(Reverse((_, _, _, _, chunk, row_idx))) = heap.pop() {
-        let record = tables[chunk].record(row_idx);
-        for sink in sinks.iter_mut() {
-            sink.write_row(&record)?;
-        }
-        rows += 1;
-        if row_idx + 1 < tables[chunk].len() {
-            heap.push(Reverse(key(chunk, row_idx + 1)));
-        }
-    }
-    for sink in sinks.iter_mut() {
-        sink.finish()?;
-    }
+    let rows = botscope_weblog::merge_runs(runs, sinks)?;
 
     Ok(MonitorSummary {
         stats,

@@ -17,18 +17,24 @@
 //! to the machine's available parallelism).
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use botscope_asn::ip_for;
-use botscope_weblog::intern::Sym;
+use botscope_weblog::colfmt;
+use botscope_weblog::intern::{StringInterner, Sym};
 use botscope_weblog::iphash::IpHasher;
 use botscope_weblog::record::AccessRecord;
+use botscope_weblog::sink::RowSink;
 use botscope_weblog::table::{LogTable, RecordRow};
 use botscope_weblog::time::Timestamp;
+use botscope_weblog::{merge_runs, MergeRun};
 
 use crate::behavior::{BotBehavior, RobotsCheckPolicy};
 use crate::belief::{BelievedPolicy, PolicyOracle, ScheduleOracle};
@@ -90,11 +96,23 @@ pub fn child_seed(seed: u64, stream: u64) -> u64 {
 /// Generation worker count: `BOTSCOPE_THREADS` when set to a positive
 /// integer, otherwise the machine's available parallelism.
 pub fn worker_threads() -> usize {
-    std::env::var("BOTSCOPE_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
+    worker_threads_from(
+        std::env::var("BOTSCOPE_THREADS").ok().as_deref(),
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    )
+}
+
+/// The pure core of [`worker_threads`]: `env` is the raw
+/// `BOTSCOPE_THREADS` value (if set), `hardware` the machine's
+/// available parallelism. An explicit positive setting always wins —
+/// output is byte-identical at any worker count, so oversubscription is
+/// safe to *ask* for — but the default never exceeds the hardware:
+/// fanning out 8 workers on a 1-core container measurably loses to
+/// running serial.
+pub fn worker_threads_from(env: Option<&str>, hardware: usize) -> usize {
+    env.and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n >= 1)
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .unwrap_or_else(|| hardware.max(1))
 }
 
 /// Precomputed page pools per site, shared read-only across workers so
@@ -191,12 +209,24 @@ struct Shard {
     planted: BTreeMap<String, u64>,
 }
 
+/// Disk-spill state of a streaming [`ShardWriter`]: where sorted runs
+/// go, and the first write error (surfaced at [`ShardWriter::finish_spill`]
+/// because the emit path is infallible by design).
+struct SpillState {
+    dir: PathBuf,
+    unit: usize,
+    rows_per_run: usize,
+    paths: Vec<PathBuf>,
+    err: Option<io::Error>,
+}
+
 /// Per-unit emit context: the shard table plus the symbols that are
 /// fixed for the unit (interned once, not once per row).
 pub(crate) struct ShardWriter {
     pub(crate) table: LogTable,
     robots_path: Sym,
     site_syms: Vec<Sym>,
+    spill: Option<SpillState>,
 }
 
 impl ShardWriter {
@@ -204,7 +234,61 @@ impl ShardWriter {
         let mut table = LogTable::new();
         let robots_path = table.intern("/robots.txt");
         let site_syms = world.estate.iter().map(|s| table.intern(&s.name)).collect();
-        ShardWriter { table, robots_path, site_syms }
+        ShardWriter { table, robots_path, site_syms, spill: None }
+    }
+
+    /// A writer that spills every `rows_per_run` rows to a canonically
+    /// sorted binary run file under `dir`, keeping memory bounded by one
+    /// run plus the unit's dictionary.
+    fn new_spilling(
+        world: &World<'_>,
+        dir: PathBuf,
+        unit: usize,
+        rows_per_run: usize,
+    ) -> ShardWriter {
+        assert!(rows_per_run >= 1, "rows_per_run must be positive");
+        let mut writer = ShardWriter::new(world);
+        writer.spill = Some(SpillState { dir, unit, rows_per_run, paths: Vec::new(), err: None });
+        writer
+    }
+
+    /// Sort the buffered rows canonically and write them as one binary
+    /// run file. The interner survives intact: the generators hold
+    /// [`Sym`]s (unit UA/ASN, site names, referer templates) across the
+    /// whole unit, so only the rows may drain.
+    fn flush_run(&mut self) {
+        let spill = match self.spill.as_mut() {
+            Some(spill) if spill.err.is_none() && !self.table.is_empty() => spill,
+            _ => return,
+        };
+        let mut run = std::mem::take(&mut self.table);
+        run.sort_canonical();
+        let path = spill.dir.join(format!("unit{:04}-run{:05}.bin", spill.unit, spill.paths.len()));
+        let result = File::create(&path).and_then(|file| {
+            let mut w = BufWriter::new(file);
+            colfmt::write_table(&mut w, &run)?;
+            w.flush()
+        });
+        match result {
+            Ok(()) => spill.paths.push(path),
+            Err(e) => spill.err = Some(e),
+        }
+        let (interner, mut rows) = run.into_parts();
+        rows.clear();
+        self.table = LogTable::from_parts(interner, rows);
+    }
+
+    /// Flush the final run and hand back the unit's full dictionary (an
+    /// append-only superset of every run's) plus the run paths in
+    /// emission order.
+    fn finish_spill(mut self) -> io::Result<(Arc<StringInterner>, Vec<PathBuf>)> {
+        self.flush_run();
+        let spill = self.spill.take().expect("finish_spill requires a spilling writer");
+        if let Some(err) = spill.err {
+            return Err(err);
+        }
+        let (interner, _) = self.table.into_parts();
+        Ok((Arc::new(interner), spill.paths))
     }
 
     pub(crate) fn site_sym(&self, index: usize) -> Sym {
@@ -238,6 +322,11 @@ impl ShardWriter {
             bytes,
             status,
         });
+        if let Some(spill) = &self.spill {
+            if self.table.len() >= spill.rows_per_run {
+                self.flush_run();
+            }
+        }
     }
 }
 
@@ -359,6 +448,193 @@ pub fn simulate_table_oracle<O: PolicyOracle>(
         }
     }
     SimTableOutput { table, truth }
+}
+
+/// Tuning for the disk-spilling streaming generator.
+#[derive(Debug, Clone)]
+pub struct StreamOptions {
+    /// Rows each worker buffers before spilling a sorted run to disk.
+    /// The default (2^19 rows ≈ 24 MB of row storage per in-flight
+    /// unit) keeps per-worker memory flat at any simulation scale.
+    pub rows_per_run: usize,
+    /// Directory for spill files. `None` creates — and afterwards
+    /// removes — a unique directory under the system temp dir. Spill
+    /// files are always deleted after the merge; with an explicit
+    /// directory, cleanup of files from a unit that *failed* mid-write
+    /// is best-effort.
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl Default for StreamOptions {
+    fn default() -> StreamOptions {
+        StreamOptions { rows_per_run: 1 << 19, spill_dir: None }
+    }
+}
+
+/// The streaming generator's output: what was planted plus how many
+/// rows went through the sinks. The rows themselves never materialize —
+/// they live on disk as sorted runs until the merge streams them out.
+#[derive(Debug, Clone, Default)]
+pub struct SimStreamOutput {
+    /// What was planted.
+    pub truth: GroundTruth,
+    /// Rows delivered to every sink, in canonical order.
+    pub rows: u64,
+}
+
+/// Run the generator straight into row sinks with bounded memory:
+/// workers spill canonically sorted binary runs to disk, and a k-way
+/// merge streams the global canonical order into `sinks` without ever
+/// materializing the table. Output bytes are identical to writing
+/// [`simulate_table`]'s result, at any worker count.
+pub fn simulate_stream(
+    cfg: &SimConfig,
+    schedule: &PhaseSchedule,
+    sinks: &mut [&mut dyn RowSink],
+) -> io::Result<SimStreamOutput> {
+    simulate_stream_with_threads(cfg, schedule, worker_threads(), &StreamOptions::default(), sinks)
+}
+
+/// [`simulate_stream`] with explicit worker count and spill tuning.
+pub fn simulate_stream_with_threads(
+    cfg: &SimConfig,
+    schedule: &PhaseSchedule,
+    threads: usize,
+    opts: &StreamOptions,
+    sinks: &mut [&mut dyn RowSink],
+) -> io::Result<SimStreamOutput> {
+    simulate_stream_oracle(cfg, &ScheduleOracle { schedule }, threads, opts, sinks)
+}
+
+/// Per-unit result of a streaming worker: the unit's final dictionary
+/// (valid for all of its runs) and its run files in emission order.
+struct UnitRuns {
+    interner: Arc<StringInterner>,
+    paths: Vec<PathBuf>,
+    planted: BTreeMap<String, u64>,
+}
+
+/// [`simulate_stream_with_threads`] with an explicit [`PolicyOracle`]
+/// (the streaming dual of [`simulate_table_oracle`]).
+pub fn simulate_stream_oracle<O: PolicyOracle>(
+    cfg: &SimConfig,
+    oracle: &O,
+    threads: usize,
+    opts: &StreamOptions,
+    sinks: &mut [&mut dyn RowSink],
+) -> io::Result<SimStreamOutput> {
+    cfg.assert_valid();
+    assert!(threads >= 1, "at least one worker required");
+    assert!(opts.rows_per_run >= 1, "rows_per_run must be positive");
+    let estate = Site::estate(cfg.sites);
+    let fleet = build_fleet();
+    let hasher = IpHasher::from_seed(cfg.seed);
+    let world = World::new(cfg, &estate, &hasher);
+
+    // Spill directory: the caller's, or a unique one we own and remove.
+    // The counter (not time or randomness) disambiguates concurrent
+    // streams within one process.
+    static SPILL_COUNTER: AtomicU64 = AtomicU64::new(0);
+    let (spill_dir, own_dir) = match &opts.spill_dir {
+        Some(dir) => (dir.clone(), false),
+        None => {
+            let n = SPILL_COUNTER.fetch_add(1, Ordering::Relaxed);
+            let dir =
+                std::env::temp_dir().join(format!("botscope-spill-{}-{n}", std::process::id()));
+            (dir, true)
+        }
+    };
+    std::fs::create_dir_all(&spill_dir)?;
+
+    let n_units = fleet.len() + 2;
+    let run_unit = |unit: usize| -> io::Result<UnitRuns> {
+        let mut writer =
+            ShardWriter::new_spilling(&world, spill_dir.clone(), unit, opts.rows_per_run);
+        let mut planted = BTreeMap::new();
+        if unit < fleet.len() {
+            let bot = &fleet[unit];
+            let mut rng = StdRng::seed_from_u64(child_seed(cfg.seed, unit as u64));
+            simulate_bot(&world, oracle, unit, bot, &mut rng, &mut writer);
+        } else if unit == fleet.len() {
+            if cfg.anon_traffic {
+                crate::anon::generate(&world, &mut writer);
+            }
+        } else if cfg.spoofing {
+            planted = crate::spoof::generate(&world, &fleet, &mut writer);
+        }
+        let (interner, paths) = writer.finish_spill()?;
+        Ok(UnitRuns { interner, paths, planted })
+    };
+
+    let threads = threads.min(n_units);
+    let mut units: Vec<(usize, io::Result<UnitRuns>)> = Vec::with_capacity(n_units);
+    if threads == 1 {
+        for unit in 0..n_units {
+            units.push((unit, run_unit(unit)));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<(usize, io::Result<UnitRuns>)>> =
+            Mutex::new(Vec::with_capacity(n_units));
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let unit = next.fetch_add(1, Ordering::Relaxed);
+                    if unit >= n_units {
+                        break;
+                    }
+                    let out = run_unit(unit);
+                    results.lock().expect("no poisoned workers").push((unit, out));
+                });
+            }
+        });
+        units = results.into_inner().expect("workers joined");
+        units.sort_by_key(|&(unit, _)| unit);
+    }
+
+    // Runs enter the merge in (unit, run) order: a unit's runs are
+    // consecutive emission-position blocks, so this global order makes
+    // the merge byte-identical to concatenate-in-unit-order + stable
+    // sort — i.e. to the materialized path.
+    let mut truth = GroundTruth::default();
+    let mut spilled: Vec<PathBuf> = Vec::new();
+    let merged: io::Result<u64> = (|| {
+        let mut runs: Vec<MergeRun> = Vec::new();
+        for (_, result) in units {
+            let unit_runs = result?;
+            spilled.extend(unit_runs.paths.iter().cloned());
+            for (bot, count) in &unit_runs.planted {
+                *truth.spoofed_requests.entry(bot.clone()).or_default() += count;
+            }
+            for path in &unit_runs.paths {
+                let reader = BufReader::with_capacity(64 << 10, File::open(path)?);
+                // Raw mode: spill files preserve the unit interner's ids
+                // (`write_table`), so readers need no per-file dictionary
+                // copy — merge memory stays one dictionary per unit, not
+                // one per run.
+                let bin = colfmt::BinReader::new_raw(reader)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                runs.push(MergeRun::from_sorted_stream(unit_runs.interner.clone(), Box::new(bin)));
+            }
+        }
+        merge_runs(runs, sinks)
+    })();
+    if own_dir {
+        let _ = std::fs::remove_dir_all(&spill_dir);
+    } else {
+        for path in &spilled {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+    let rows = merged?;
+
+    for bot in &fleet {
+        truth.behaviors.insert(bot.spec.canonical.to_string(), bot.behavior.clone());
+        if bot.exempt {
+            truth.exempt.push(bot.spec.canonical.to_string());
+        }
+    }
+    Ok(SimStreamOutput { truth, rows })
 }
 
 /// Simulate one bot over the whole horizon. `unit` is the bot's fleet
@@ -801,5 +1077,76 @@ mod tests {
         // Only asserts the default is sane; the env override is covered
         // by the explicit-thread-count API used everywhere in tests.
         assert!(worker_threads() >= 1);
+    }
+
+    #[test]
+    fn worker_threads_default_never_exceeds_hardware() {
+        // The BENCH regression this pins: defaulting to 8 workers on a
+        // 1-core container was slower than running serial.
+        assert_eq!(worker_threads_from(None, 1), 1);
+        assert_eq!(worker_threads_from(None, 4), 4);
+        assert_eq!(worker_threads_from(None, 0), 1); // defensive floor
+    }
+
+    #[test]
+    fn worker_threads_explicit_setting_wins() {
+        // An explicit positive BOTSCOPE_THREADS wins even beyond the
+        // hardware (byte-identity makes oversubscription safe).
+        assert_eq!(worker_threads_from(Some("8"), 1), 8);
+        assert_eq!(worker_threads_from(Some(" 2 "), 16), 2);
+        // Zero, junk, and empty fall back to the hardware default.
+        assert_eq!(worker_threads_from(Some("0"), 3), 3);
+        assert_eq!(worker_threads_from(Some("lots"), 3), 3);
+        assert_eq!(worker_threads_from(Some(""), 3), 3);
+        assert_eq!(worker_threads_from(Some("-1"), 3), 3);
+    }
+
+    #[test]
+    fn streamed_simulate_matches_materialized() {
+        use botscope_weblog::sink::TableSink;
+
+        let cfg = small_cfg();
+        let schedule = base_schedule(&cfg);
+        let reference = simulate_table_with_threads(&cfg, &schedule, 1);
+        // Tiny runs force every unit to spill multiple times.
+        let opts = StreamOptions { rows_per_run: 64, spill_dir: None };
+        for threads in [1, 2, 8] {
+            let mut sink = TableSink::new();
+            let out = simulate_stream_with_threads(
+                &cfg,
+                &schedule,
+                threads,
+                &opts,
+                &mut [&mut sink as &mut dyn RowSink],
+            )
+            .expect("streaming simulate");
+            assert_eq!(out.rows as usize, reference.table.len(), "{threads} workers");
+            assert_eq!(sink.table.to_records(), reference.table.to_records(), "{threads} workers");
+            assert_eq!(out.truth.spoofed_requests, reference.truth.spoofed_requests);
+            assert_eq!(out.truth.behaviors, reference.truth.behaviors);
+            assert_eq!(out.truth.exempt, reference.truth.exempt);
+        }
+    }
+
+    #[test]
+    fn streamed_simulate_cleans_up_spill_files() {
+        let cfg = SimConfig { days: 1, ..small_cfg() };
+        let schedule = base_schedule(&cfg);
+        let dir = std::env::temp_dir().join(format!("botscope-spill-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let opts = StreamOptions { rows_per_run: 128, spill_dir: Some(dir.clone()) };
+        let mut sink = botscope_weblog::sink::CountingSink::default();
+        simulate_stream_with_threads(
+            &cfg,
+            &schedule,
+            1,
+            &opts,
+            &mut [&mut sink as &mut dyn RowSink],
+        )
+        .expect("streaming simulate");
+        assert!(sink.rows > 0);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert!(leftovers.is_empty(), "spill files not cleaned: {leftovers:?}");
+        std::fs::remove_dir(&dir).unwrap();
     }
 }

@@ -56,5 +56,8 @@ pub mod spoof;
 
 pub use belief::{BeliefAtlas, BeliefTimeline, BelievedPolicy, PolicyOracle, ScheduleOracle};
 pub use config::SimConfig;
-pub use engine::{child_seed, worker_threads, SimOutput, SimTableOutput};
+pub use engine::{
+    child_seed, worker_threads, worker_threads_from, SimOutput, SimStreamOutput, SimTableOutput,
+    StreamOptions,
+};
 pub use phases::{PhaseSchedule, PolicyVersion};

@@ -8,10 +8,16 @@
 //!   experiment on the high-traffic site, two weeks per version. Feeds
 //!   Tables 4/5/6/7/10 and Figures 9/11.
 
+use std::io;
+
+use botscope_weblog::sink::RowSink;
 use botscope_weblog::time::Timestamp;
 
 use crate::config::SimConfig;
-use crate::engine::{simulate, simulate_table, SimOutput, SimTableOutput};
+use crate::engine::{
+    simulate, simulate_stream_with_threads, simulate_table, SimOutput, SimStreamOutput,
+    SimTableOutput, StreamOptions,
+};
 use crate::phases::PhaseSchedule;
 use crate::site::EXPERIMENT_SITE;
 
@@ -46,6 +52,19 @@ pub fn full_study_table(cfg: &SimConfig) -> SimTableOutput {
     simulate_table(cfg, &schedule)
 }
 
+/// [`full_study`] streamed straight into sinks with bounded memory:
+/// workers spill sorted runs to disk and a k-way merge delivers the
+/// canonical row order without materializing the table.
+pub fn full_study_stream(
+    cfg: &SimConfig,
+    threads: usize,
+    opts: &StreamOptions,
+    sinks: &mut [&mut dyn RowSink],
+) -> io::Result<SimStreamOutput> {
+    let schedule = PhaseSchedule::always_base(EXPERIMENT_SITE, cfg.start, cfg.end());
+    simulate_stream_with_threads(cfg, &schedule, threads, opts, sinks)
+}
+
 /// Study 2: the controlled robots.txt experiment. `cfg.start`/`cfg.days`
 /// are overridden by the 8-week schedule (starting 2025-01-15, matching
 /// the paper's January baseline).
@@ -63,6 +82,31 @@ pub fn phase_study_table(cfg: &SimConfig) -> PhaseStudyTableOutput {
     let cfg = SimConfig { start: lo, days: hi.days_since(lo), ..cfg.clone() };
     let sim = simulate_table(&cfg, &schedule);
     PhaseStudyTableOutput { sim, schedule }
+}
+
+/// Streaming output of the phase study: planted truth, row count, and
+/// the schedule that produced the stream.
+#[derive(Debug, Clone)]
+pub struct PhaseStudyStreamOutput {
+    /// The streaming generator output (truth + row count).
+    pub sim: SimStreamOutput,
+    /// The 4-phase schedule.
+    pub schedule: PhaseSchedule,
+}
+
+/// [`phase_study`] streamed straight into sinks with bounded memory.
+pub fn phase_study_stream(
+    cfg: &SimConfig,
+    threads: usize,
+    opts: &StreamOptions,
+    sinks: &mut [&mut dyn RowSink],
+) -> io::Result<PhaseStudyStreamOutput> {
+    let start = Timestamp::from_date(2025, 1, 15);
+    let schedule = PhaseSchedule::paper_schedule(start, EXPERIMENT_SITE);
+    let (lo, hi) = schedule.bounds();
+    let cfg = SimConfig { start: lo, days: hi.days_since(lo), ..cfg.clone() };
+    let sim = simulate_stream_with_threads(&cfg, &schedule, threads, opts, sinks)?;
+    Ok(PhaseStudyStreamOutput { sim, schedule })
 }
 
 #[cfg(test)]

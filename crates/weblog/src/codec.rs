@@ -26,7 +26,14 @@ pub struct DecodeError {
 
 impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "CSV decode error at line {}: {}", self.line, self.message)
+        // Line 0 means "no line number", e.g. errors from the binary
+        // format (`crate::colfmt`), which reports byte offsets in the
+        // message instead.
+        if self.line == 0 {
+            write!(f, "decode error: {}", self.message)
+        } else {
+            write!(f, "CSV decode error at line {}: {}", self.line, self.message)
+        }
     }
 }
 

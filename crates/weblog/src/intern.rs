@@ -25,7 +25,7 @@ impl Sym {
         (self.0.get() - 1) as usize
     }
 
-    fn from_index(index: usize) -> Sym {
+    pub(crate) fn from_index(index: usize) -> Sym {
         let raw = u32::try_from(index + 1).expect("interner overflow: > u32::MAX - 1 strings");
         Sym(NonZeroU32::new(raw).expect("index + 1 is nonzero"))
     }

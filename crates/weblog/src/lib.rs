@@ -21,9 +21,17 @@
 //! * [`codec`] — a CSV reader/writer for record persistence, including a
 //!   streaming [`codec::decode_stream`] / [`codec::decode_table_read`]
 //!   path for logs too large to hold in memory,
+//! * [`colfmt`] — a compact binary on-disk format (string dictionary
+//!   pages + fixed-width symbol rows, versioned header): the same data
+//!   model as [`LogTable`], persisted; decodes with bounded memory and
+//!   hardened against corrupt input,
 //! * [`sink`] — row-streaming output ([`sink::RowSink`]): producers
-//!   with a deterministic row order write CSV/JSONL incrementally
+//!   with a deterministic row order write CSV/JSONL/binary incrementally
 //!   instead of materializing a full table first,
+//! * [`stream`] — the input-side dual ([`stream::RowStream`]): pull-based
+//!   interned-row readers over CSV, binary, or in-memory tables,
+//! * [`merge`] — the shared k-way merge of canonically sorted runs
+//!   ([`merge::merge_runs`]), byte-identical to materialize-then-sort,
 //! * [`session`] — 5-minute-gap sessionization (paper §3.2),
 //! * [`filter`] — the study's preprocessing filters (scanner removal,
 //!   date-range restriction),
@@ -56,14 +64,17 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod colfmt;
 pub mod fetchlog;
 pub mod filter;
 pub mod intern;
 pub mod iphash;
 pub mod jsonl;
+pub mod merge;
 pub mod record;
 pub mod session;
 pub mod sink;
+pub mod stream;
 pub mod summary;
 pub mod table;
 pub mod time;
@@ -71,8 +82,10 @@ pub mod time;
 pub use fetchlog::FetchEventLog;
 pub use intern::{StringInterner, Sym};
 pub use iphash::IpHasher;
+pub use merge::{merge_runs, MergeRun};
 pub use record::AccessRecord;
 pub use session::{sessionize, Session, SESSION_GAP_SECS};
+pub use stream::RowStream;
 pub use summary::DatasetSummary;
 pub use table::{LogTable, RecordRow};
 pub use time::Timestamp;

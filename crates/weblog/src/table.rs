@@ -83,6 +83,22 @@ impl LogTable {
         table
     }
 
+    /// Reassemble a table from an interner and rows previously split by
+    /// [`LogTable::into_parts`] (or built against a clone of `interner`).
+    /// Every symbol in `rows` must come from `interner`.
+    pub fn from_parts(interner: StringInterner, rows: Vec<RecordRow>) -> LogTable {
+        if let Some(row) = rows.first() {
+            debug_assert!(row.useragent.index() < interner.len());
+        }
+        LogTable { interner, rows }
+    }
+
+    /// Split the table into its interner and rows, e.g. to sort or spill
+    /// the rows while keeping the symbol space alive.
+    pub fn into_parts(self) -> (StringInterner, Vec<RecordRow>) {
+        (self.interner, self.rows)
+    }
+
     /// The interner.
     pub fn interner(&self) -> &StringInterner {
         &self.interner

@@ -3,8 +3,10 @@
 use botscope_weblog::codec::{
     decode, decode_stream, decode_table, decode_table_read, encode, HEADER,
 };
+use botscope_weblog::colfmt;
 use botscope_weblog::record::AccessRecord;
 use botscope_weblog::session::sessionize;
+use botscope_weblog::sink::RowSink;
 use botscope_weblog::summary::DatasetSummary;
 use botscope_weblog::table::LogTable;
 use botscope_weblog::time::Timestamp;
@@ -229,6 +231,144 @@ proptest! {
             table.robots_checks_by_useragent().values().map(|v| v.len()).sum();
         let expect = records.iter().filter(|r| r.is_robots_fetch()).count();
         prop_assert_eq!(robots_total, expect);
+    }
+
+    #[test]
+    fn binary_roundtrip_matches_csv_and_table(
+        records in prop::collection::vec(record_strategy(), 0..40),
+    ) {
+        let table = LogTable::from_records(&records);
+
+        // Materialized writer (full dictionary up front, ids preserved).
+        let mut bin = Vec::new();
+        colfmt::write_table(&mut bin, &table).expect("encode binary");
+        let back = colfmt::read_table(&bin[..]).expect("decode own binary");
+        prop_assert_eq!(back.to_records(), records.clone());
+
+        // Streaming writer (dictionary deltas, sink-side re-interning).
+        let mut sink = colfmt::BinSink::new(Vec::new()).expect("bin sink");
+        for r in &records {
+            sink.write_row(r).expect("write row");
+        }
+        sink.finish().expect("finish");
+        let streamed_bytes = sink.into_inner();
+        let back = colfmt::read_table(&streamed_bytes[..]).expect("decode streamed binary");
+        prop_assert_eq!(back.to_records(), records.clone());
+
+        // Row-by-row reader agrees with the CSV round trip record for
+        // record (interner remapping included: the reader builds its
+        // own dictionary, so symbol ids need not match the writer's).
+        let csv = encode(&records);
+        let from_csv = decode(&csv).expect("decode own CSV");
+        let mut reader = colfmt::BinReader::new(&bin[..]).expect("binary header");
+        let mut from_bin = Vec::new();
+        while let Some(row) = reader.next_row() {
+            let row = row.expect("clean row");
+            let i = reader.interner();
+            from_bin.push(AccessRecord {
+                useragent: i.resolve(row.useragent).to_string(),
+                timestamp: row.timestamp,
+                ip_hash: row.ip_hash,
+                asn: i.resolve(row.asn).to_string(),
+                sitename: i.resolve(row.sitename).to_string(),
+                uri_path: i.resolve(row.uri_path).to_string(),
+                status: row.status,
+                bytes: row.bytes,
+                referer: row.referer.map(|s| i.resolve(s).to_string()),
+            });
+        }
+        prop_assert_eq!(from_bin, from_csv);
+    }
+
+    #[test]
+    fn binary_concatenated_chunks_roundtrip(
+        a in prop::collection::vec(record_strategy(), 0..20),
+        b in prop::collection::vec(record_strategy(), 0..20),
+    ) {
+        // Two chunks through one sink exercise dictionary-delta pages:
+        // chunk b's new strings arrive in a later dict page and must
+        // remap onto the reader's interner cleanly.
+        let mut sink = colfmt::BinSink::new(Vec::new()).expect("bin sink").with_page_rows(7);
+        for r in a.iter().chain(&b) {
+            sink.write_row(r).expect("write row");
+        }
+        sink.finish().expect("finish");
+        let bytes = sink.into_inner();
+        let back = colfmt::read_table(&bytes[..]).expect("decode");
+        let expect: Vec<AccessRecord> = a.into_iter().chain(b).collect();
+        prop_assert_eq!(back.to_records(), expect);
+    }
+
+    #[test]
+    fn binary_mutation_never_panics(
+        records in prop::collection::vec(record_strategy(), 1..15),
+        pos in 0usize..100_000,
+        byte in any::<u8>(),
+    ) {
+        // Flip one byte anywhere in a valid binary log: decoding must
+        // return clean records or a DecodeError — never panic, and
+        // never allocate from a hostile length field.
+        let table = LogTable::from_records(&records);
+        let mut bytes = Vec::new();
+        colfmt::write_table(&mut bytes, &table).expect("encode binary");
+        let at = pos % bytes.len();
+        bytes[at] = byte;
+        match colfmt::read_table(&bytes[..]) {
+            Ok(table) => prop_assert!(table.len() <= records.len() + bytes.len()),
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+        // The raw (dictionary-skipping) reader must be just as safe.
+        match colfmt::BinReader::new_raw(&bytes[..]) {
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+            Ok(mut raw) => {
+                let mut n = 0usize;
+                while let Some(row) = raw.next_row() {
+                    match row {
+                        Ok(_) => n += 1,
+                        Err(e) => {
+                            prop_assert!(!e.to_string().is_empty());
+                            break;
+                        }
+                    }
+                }
+                prop_assert!(n <= records.len() + bytes.len());
+            }
+        }
+    }
+
+    #[test]
+    fn binary_truncation_never_panics(
+        records in prop::collection::vec(record_strategy(), 1..15),
+        keep in 0usize..100_000,
+    ) {
+        // Any prefix of a valid binary log decodes cleanly or fails
+        // with a DecodeError mentioning truncation — never a panic.
+        let table = LogTable::from_records(&records);
+        let mut bytes = Vec::new();
+        colfmt::write_table(&mut bytes, &table).expect("encode binary");
+        bytes.truncate(keep % (bytes.len() + 1));
+        match colfmt::read_table(&bytes[..]) {
+            Ok(table) => prop_assert!(table.len() <= records.len()),
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+
+    #[test]
+    fn csv_decode_errors_carry_one_based_line_numbers(
+        records in prop::collection::vec(record_strategy(), 0..12),
+        at in 0usize..13,
+    ) {
+        // Insert one malformed body line into a valid log: the reported
+        // line number must point at it exactly, counting the header as
+        // line 1.
+        let at = at.min(records.len());
+        let mut lines: Vec<String> = encode(&records).lines().map(String::from).collect();
+        lines.insert(1 + at, "not,a,record".into());
+        let text = lines.join("\n");
+        let err = decode(&text).expect_err("malformed line must fail");
+        prop_assert_eq!(err.line, 1 + at + 1, "header is line 1, body starts at 2");
+        let err_read = decode_table_read(text.as_bytes()).expect_err("reader path too");
+        prop_assert_eq!(err_read.line, err.line);
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! botscope check <robots.txt> <agent> <path>...   access decisions
 //! botscope audit <robots.txt>                     lint a policy file
 //! botscope diff <old> <new> [agent...]            what changed, for whom
-//! botscope analyze <access.csv>                   per-bot compliance report
-//! botscope simulate [days] [scale] [out.csv] [seed]   generate synthetic logs
+//! botscope analyze [--phase-report] <log|->       per-bot compliance report
+//! botscope simulate [days] [scale] [out] [seed]   generate synthetic logs
 //! botscope monitor [--sites N] [--days N] ...     run the monitoring daemon
 //! ```
 
@@ -36,13 +36,32 @@ USAGE:
   botscope diff <old-robots.txt> <new-robots.txt> [agent]...
       Report decision flips over the file's own rule paths.
       Agents default to: Googlebot GPTBot ClaudeBot Bytespider *anybot*.
-  botscope analyze <access.csv>
+  botscope analyze [--phase-report [--table]] <log|->
       Standardize user agents and report per-bot pacing and spoof signals.
+      The input is the workspace CSV schema or the columnar binary
+      format (auto-detected from the magic bytes); \"-\" reads stdin.
       CSV columns: useragent,timestamp,ip_hash,asn,sitename,uri_path,status,bytes,referer
-  botscope simulate [days=7] [scale=0.05] [out.csv] [seed=9309]
-      Generate a synthetic access log (stdout or out.csv; pass \"-\" for
-      out.csv to pipe a seeded run to stdout). The same seed always
+        --phase-report   treat the log as the 8-week phase study and
+                         print the paper's experiment tables via the
+                         single-pass streaming analyzer (bounded memory)
+        --table          with --phase-report: materialize the table and
+                         run the in-memory engine instead — the report
+                         is byte-identical, so the two paths can be
+                         cmp-verified against each other
+  botscope simulate [days=7] [scale=0.05] [out] [seed=9309] [flags]
+      Generate a synthetic access log (stdout or out; pass \"-\" for
+      out to pipe a seeded run to stdout). The same seed always
       yields a byte-identical log.
+        --format F       csv (default) or bin, the columnar binary
+                         format (smaller, dictionary-compressed)
+        --stream         bounded-memory generation: workers spill
+                         sorted runs to disk and a k-way merge streams
+                         rows to the output without ever materializing
+                         the full table
+        --phase-study    generate the 8-week four-phase robots.txt
+                         experiment instead of the flat estate study
+                         (days is ignored; pair with `analyze
+                         --phase-report`)
   botscope simulate --coupled [options]
       Generate the 8-week phase study in *coupled* mode: a monitoring
       daemon first derives each bot's believed policy per site from
@@ -196,15 +215,53 @@ fn cmd_diff(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
-    let [file] = args else {
-        return Err("usage: botscope analyze <access.csv>".into());
+    let mut phase_report = false;
+    let mut use_table = false;
+    let mut input: Option<&str> = None;
+    for arg in args {
+        match arg.as_str() {
+            "--phase-report" => phase_report = true,
+            "--table" => use_table = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown analyze flag {other:?} (see `botscope help`)"))
+            }
+            path => {
+                if input.replace(path).is_some() {
+                    return Err("analyze takes exactly one input (see `botscope help`)".into());
+                }
+            }
+        }
+    }
+    let Some(file) = input else {
+        return Err("usage: botscope analyze [--phase-report [--table]] <log.csv|log.bin|->".into());
     };
-    // Stream the CSV into the interned table so multi-GB logs never
+    if use_table && !phase_report {
+        return Err("--table only applies together with --phase-report".into());
+    }
+
+    let mut reader: Box<dyn std::io::BufRead> = if file == "-" {
+        Box::new(std::io::stdin().lock())
+    } else {
+        std::fs::File::open(file)
+            .map(|f| Box::new(std::io::BufReader::new(f)) as Box<dyn std::io::BufRead>)
+            .map_err(|e| format!("cannot read {file}: {e}"))?
+    };
+    // Sniff the columnar magic so either format works, even on a pipe.
+    let is_binary = std::io::BufRead::fill_buf(&mut reader)
+        .map_err(|e| format!("cannot read {file}: {e}"))?
+        .starts_with(&botscope::weblog::colfmt::MAGIC);
+
+    if phase_report {
+        return analyze_phase_report(reader, is_binary, use_table);
+    }
+
+    // Stream the input into the interned table so multi-GB logs never
     // need a full in-memory copy of their text or their strings.
-    let reader = std::fs::File::open(file)
-        .map(std::io::BufReader::new)
-        .map_err(|e| format!("cannot read {file}: {e}"))?;
-    let table = codec::decode_table_read(reader).map_err(|e| e.to_string())?;
+    let table = if is_binary {
+        botscope::weblog::colfmt::read_table(reader).map_err(|e| e.to_string())?
+    } else {
+        codec::decode_table_read(reader).map_err(|e| e.to_string())?
+    };
     println!("{} records", table.len());
     let logs = standardize_table(&table);
     println!(
@@ -241,23 +298,116 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Write `table` as CSV to `path` (`-` = stdout).
-fn write_csv(path: &str, table: &botscope::weblog::LogTable) -> Result<(), String> {
-    fn write<W: std::io::Write>(
+/// `analyze --phase-report`: reconstruct the paper's 8-week schedule
+/// and print its experiment tables, either from the single-pass
+/// streaming analyzer (the default, bounded memory) or from the
+/// materialized in-memory engine (`--table`). Both paths print the
+/// exact same bytes for the same log.
+fn analyze_phase_report(
+    reader: Box<dyn std::io::BufRead>,
+    is_binary: bool,
+    use_table: bool,
+) -> Result<(), String> {
+    use botscope::core::analyze::Experiment;
+    use botscope::weblog::Timestamp;
+
+    let start = Timestamp::from_date(2025, 1, 15);
+    let schedule = botscope::simnet::PhaseSchedule::paper_schedule(
+        start,
+        botscope::simnet::site::EXPERIMENT_SITE,
+    );
+    let exp = if use_table {
+        let table = if is_binary {
+            botscope::weblog::colfmt::read_table(reader).map_err(|e| e.to_string())?
+        } else {
+            codec::decode_table_read(reader).map_err(|e| e.to_string())?
+        };
+        Experiment::analyze_table_with_threads(
+            &table,
+            &schedule,
+            botscope::simnet::worker_threads(),
+        )
+    } else if is_binary {
+        let mut stream =
+            botscope::weblog::colfmt::BinReader::new(reader).map_err(|e| e.to_string())?;
+        Experiment::analyze_stream(&mut stream, &schedule).map_err(|e| e.to_string())?
+    } else {
+        let mut stream =
+            botscope::weblog::stream::CsvRowStream::new(reader).map_err(|e| e.to_string())?;
+        Experiment::analyze_stream(&mut stream, &schedule).map_err(|e| e.to_string())?
+    };
+    write_output("-", |w| w.write_all(phase_report_text(&exp).as_bytes()))
+}
+
+/// The deterministic phase-study report: a pure function of the
+/// analysis result, so streamed and materialized runs byte-compare.
+fn phase_report_text(exp: &botscope::core::analyze::Experiment) -> String {
+    use botscope::core::report;
+    let mut r = String::new();
+    for section in [
+        report::table4(exp),
+        report::table5(exp),
+        report::table6(exp),
+        report::table7(exp),
+        report::table9(exp),
+        report::table10(exp),
+        report::figure9(exp, false),
+        report::figure9(exp, true),
+    ] {
+        r.push_str(&section);
+        if !section.ends_with('\n') {
+            r.push('\n');
+        }
+        r.push('\n');
+    }
+    r
+}
+
+/// Run `f` against a buffered writer for `path` (`-` = stdout), then
+/// flush and surface every error — including the final flush, which a
+/// bare `BufWriter` drop would swallow. The single funnel for all data
+/// output.
+fn write_output<F>(path: &str, f: F) -> Result<(), String>
+where
+    F: FnOnce(&mut dyn std::io::Write) -> std::io::Result<()>,
+{
+    fn run<W: std::io::Write>(
         mut w: W,
-        table: &botscope::weblog::LogTable,
+        f: impl FnOnce(&mut dyn std::io::Write) -> std::io::Result<()>,
     ) -> std::io::Result<()> {
-        codec::write_table(&mut w, table)?;
+        f(&mut w)?;
         w.flush()
     }
-    if path == "-" {
+    let result = if path == "-" {
         let stdout = std::io::stdout();
-        write(std::io::BufWriter::new(stdout.lock()), table)
-            .map_err(|e| format!("cannot write to stdout: {e}"))
+        run(std::io::BufWriter::new(stdout.lock()), f)
     } else {
-        let file = std::fs::File::create(path).map_err(|e| format!("cannot write {path}: {e}"))?;
-        write(std::io::BufWriter::new(file), table).map_err(|e| format!("cannot write {path}: {e}"))
+        std::fs::File::create(path).and_then(|file| run(std::io::BufWriter::new(file), f))
+    };
+    let target = if path == "-" { "stdout" } else { path };
+    result.map_err(|e| format!("cannot write {target}: {e}"))
+}
+
+/// A boxed buffered writer for `path` (`-` = stdout), for sinks that
+/// own their writer; the sink's `finish` flushes it.
+fn writer_for(path: &str) -> Result<Box<dyn std::io::Write>, String> {
+    if path == "-" {
+        Ok(Box::new(std::io::BufWriter::new(std::io::stdout())))
+    } else {
+        std::fs::File::create(path)
+            .map(|f| Box::new(std::io::BufWriter::new(f)) as Box<dyn std::io::Write>)
+            .map_err(|e| format!("cannot write {path}: {e}"))
     }
+}
+
+/// Write `table` as CSV to `path` (`-` = stdout).
+fn write_csv(path: &str, table: &botscope::weblog::LogTable) -> Result<(), String> {
+    write_output(path, |mut w| codec::write_table(&mut w, table))
+}
+
+/// Write `table` in the columnar binary format to `path` (`-` = stdout).
+fn write_bin(path: &str, table: &botscope::weblog::LogTable) -> Result<(), String> {
+    write_output(path, |mut w| botscope::weblog::colfmt::write_table(&mut w, table))
 }
 
 fn cmd_monitor(args: &[String]) -> Result<(), String> {
@@ -315,23 +465,13 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
         write_csv(path, &out.table)?;
     }
     if let Some(path) = &jsonl_path {
-        fn write_jsonl<W: std::io::Write>(
-            mut w: W,
-            table: &botscope::weblog::LogTable,
-        ) -> std::io::Result<()> {
+        let table = &out.table;
+        write_output(path, |w| {
             for record in table.iter_records() {
                 writeln!(w, "{}", botscope::weblog::jsonl::encode_record(&record))?;
             }
-            w.flush()
-        }
-        let result = if path == "-" {
-            let stdout = std::io::stdout();
-            write_jsonl(std::io::BufWriter::new(stdout.lock()), &out.table)
-        } else {
-            std::fs::File::create(path)
-                .and_then(|f| write_jsonl(std::io::BufWriter::new(f), &out.table))
-        };
-        result.map_err(|e| format!("cannot write {path}: {e}"))?;
+            Ok(())
+        })?;
     }
     if let Some(path) = &changes_path {
         write_changes(path, &out.changes)?;
@@ -362,12 +502,7 @@ fn write_changes(path: &str, changes: &[botscope::monitor::ChangeDigest]) -> Res
             c.delay_changes
         );
     }
-    if path == "-" {
-        print!("{body}");
-        Ok(())
-    } else {
-        std::fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))
-    }
+    write_output(path, |w| w.write_all(body.as_bytes()))
 }
 
 /// The `--stream` path: fetch events flow through row sinks; only the
@@ -380,16 +515,6 @@ fn cmd_monitor_streaming(
     changes_path: &Option<String>,
 ) -> Result<(), String> {
     use botscope::weblog::sink::{CsvSink, JsonlSink, RowSink};
-
-    fn writer_for(path: &str) -> Result<Box<dyn std::io::Write>, String> {
-        if path == "-" {
-            Ok(Box::new(std::io::BufWriter::new(std::io::stdout())))
-        } else {
-            std::fs::File::create(path)
-                .map(|f| Box::new(std::io::BufWriter::new(f)) as Box<dyn std::io::Write>)
-                .map_err(|e| format!("cannot write {path}: {e}"))
-        }
-    }
 
     let mut csv = match out_path {
         Some(path) => {
@@ -660,17 +785,58 @@ fn cmd_simulate_coupled(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// On-disk log format selector for `simulate`.
+#[derive(Clone, Copy, PartialEq)]
+enum LogFormat {
+    Csv,
+    Bin,
+}
+
+impl LogFormat {
+    fn parse(s: &str) -> Option<LogFormat> {
+        match s {
+            "csv" => Some(LogFormat::Csv),
+            "bin" => Some(LogFormat::Bin),
+            _ => None,
+        }
+    }
+}
+
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
     if args.first().map(String::as_str) == Some("--coupled") {
         return cmd_simulate_coupled(&args[1..]);
     }
+    let mut stream = false;
+    let mut phase_study = false;
+    let mut format = LogFormat::Csv;
+    let mut positional: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--stream" => stream = true,
+            "--phase-study" => phase_study = true,
+            "--format" => {
+                let value = args
+                    .get(i + 1)
+                    .ok_or("--format needs a value (csv or bin, see `botscope help`)")?;
+                format = LogFormat::parse(value)
+                    .ok_or_else(|| format!("bad --format {value} (want csv or bin)"))?;
+                i += 1;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown simulate flag {other:?} (see `botscope help`)"))
+            }
+            value => positional.push(value),
+        }
+        i += 1;
+    }
     let days: u64 =
-        args.first().map(|s| s.parse().map_err(|_| "bad days")).transpose()?.unwrap_or(7);
+        positional.first().map(|s| s.parse().map_err(|_| "bad days")).transpose()?.unwrap_or(7);
     let scale: f64 =
-        args.get(1).map(|s| s.parse().map_err(|_| "bad scale")).transpose()?.unwrap_or(0.05);
+        positional.get(1).map(|s| s.parse().map_err(|_| "bad scale")).transpose()?.unwrap_or(0.05);
     // "-" selects stdout explicitly, so a seed can be combined with piping.
-    let out_path = args.get(2).filter(|p| p.as_str() != "-");
-    let seed: u64 = args
+    let out_path = positional.get(2).copied().unwrap_or("-");
+    let seed: u64 = positional
         .get(3)
         .map(|s| s.parse().map_err(|_| "bad seed"))
         .transpose()?
@@ -684,13 +850,66 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
 
     let cfg = SimConfig { days, scale, seed, ..SimConfig::default() };
     cfg.assert_valid();
-    let out = scenario::full_study_table(&cfg);
-    match out_path {
-        Some(path) => {
-            write_csv(path, &out.table)?;
-            eprintln!("{} records -> {path}", out.table.len());
+
+    if stream {
+        return simulate_streaming(&cfg, phase_study, format, out_path);
+    }
+
+    let table = if phase_study {
+        scenario::phase_study_table(&cfg).sim.table
+    } else {
+        scenario::full_study_table(&cfg).table
+    };
+    match format {
+        LogFormat::Csv => write_csv(out_path, &table)?,
+        LogFormat::Bin => write_bin(out_path, &table)?,
+    }
+    if out_path != "-" {
+        eprintln!("{} records -> {out_path}", table.len());
+    }
+    Ok(())
+}
+
+/// `simulate --stream`: generation workers spill canonically sorted
+/// runs to disk and the k-way merge streams rows straight into the
+/// output sink, so peak memory is bounded by the string dictionaries
+/// plus one run per worker — never the whole table.
+fn simulate_streaming(
+    cfg: &SimConfig,
+    phase_study: bool,
+    format: LogFormat,
+    out_path: &str,
+) -> Result<(), String> {
+    use botscope::simnet::{worker_threads, StreamOptions};
+    use botscope::weblog::colfmt::BinSink;
+    use botscope::weblog::sink::{CsvSink, RowSink};
+
+    let writer = writer_for(out_path)?;
+    let threads = worker_threads();
+    let opts = StreamOptions::default();
+    let run =
+        |sinks: &mut [&mut dyn RowSink]| -> Result<botscope::simnet::SimStreamOutput, String> {
+            let result = if phase_study {
+                scenario::phase_study_stream(cfg, threads, &opts, sinks).map(|out| out.sim)
+            } else {
+                scenario::full_study_stream(cfg, threads, &opts, sinks)
+            };
+            result.map_err(|e| format!("streaming simulate failed: {e}"))
+        };
+    // `merge_runs` calls `finish` on every sink, which flushes the
+    // buffered writer; errors propagate through the result.
+    let out = match format {
+        LogFormat::Csv => {
+            let mut sink = CsvSink::new(writer).map_err(|e| format!("cannot write header: {e}"))?;
+            run(&mut [&mut sink as &mut dyn RowSink])?
         }
-        None => write_csv("-", &out.table)?,
+        LogFormat::Bin => {
+            let mut sink = BinSink::new(writer).map_err(|e| format!("cannot write header: {e}"))?;
+            run(&mut [&mut sink as &mut dyn RowSink])?
+        }
+    };
+    if out_path != "-" {
+        eprintln!("{} records -> {out_path} (streamed)", out.rows);
     }
     Ok(())
 }

@@ -267,6 +267,114 @@ fn coupled_simulate_reports_attribution_and_is_thread_invariant() {
 }
 
 #[test]
+fn simulate_stream_matches_materialized_at_any_worker_count() {
+    let run = |threads: &str, extra: &[&str]| {
+        let mut args = vec!["simulate", "1", "0.02", "-", "42"];
+        args.extend_from_slice(extra);
+        let out = Command::new(env!("CARGO_BIN_EXE_botscope"))
+            .args(&args)
+            .env("BOTSCOPE_THREADS", threads)
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        out.stdout
+    };
+    let materialized = run("1", &[]);
+    for threads in ["1", "2", "8"] {
+        assert_eq!(
+            run(threads, &["--stream"]),
+            materialized,
+            "{threads} workers: streamed CSV must be byte-identical"
+        );
+    }
+}
+
+#[test]
+fn simulate_binary_format_analyzes_identically_and_is_smaller() {
+    let pid = std::process::id();
+    let csv = std::env::temp_dir().join(format!("botscope-test-{pid}-fmt.csv"));
+    let bin = std::env::temp_dir().join(format!("botscope-test-{pid}-fmt.bin"));
+    let out = botscope(&["simulate", "2", "0.02", csv.to_str().unwrap(), "42"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = botscope(&["simulate", "2", "0.02", bin.to_str().unwrap(), "42", "--format", "bin"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let csv_len = std::fs::metadata(&csv).expect("csv written").len();
+    let bin_len = std::fs::metadata(&bin).expect("bin written").len();
+    assert!(bin_len < csv_len, "binary ({bin_len} B) should beat CSV ({csv_len} B)");
+
+    let from_csv = botscope(&["analyze", csv.to_str().unwrap()]);
+    let from_bin = botscope(&["analyze", bin.to_str().unwrap()]);
+    assert!(from_csv.status.success() && from_bin.status.success());
+    assert_eq!(from_csv.stdout, from_bin.stdout, "formats must analyze identically");
+    let _ = std::fs::remove_file(csv);
+    let _ = std::fs::remove_file(bin);
+}
+
+#[test]
+fn phase_report_from_streamed_binary_matches_in_memory_engine() {
+    use std::process::Stdio;
+
+    let pid = std::process::id();
+    let bin = std::env::temp_dir().join(format!("botscope-test-{pid}-phase.bin"));
+    let csv = std::env::temp_dir().join(format!("botscope-test-{pid}-phase.csv"));
+    let out = botscope(&[
+        "simulate",
+        "7",
+        "0.02",
+        bin.to_str().unwrap(),
+        "42",
+        "--phase-study",
+        "--stream",
+        "--format",
+        "bin",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = botscope(&["simulate", "7", "0.02", csv.to_str().unwrap(), "42", "--phase-study"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Streaming analyzer over the binary file, fed through stdin ("-").
+    let streamed = Command::new(env!("CARGO_BIN_EXE_botscope"))
+        .args(["analyze", "--phase-report", "-"])
+        .stdin(Stdio::from(std::fs::File::open(&bin).expect("open bin")))
+        .output()
+        .expect("binary runs");
+    assert!(streamed.status.success(), "{}", String::from_utf8_lossy(&streamed.stderr));
+    let text = String::from_utf8_lossy(&streamed.stdout);
+    assert!(text.contains("Table 4."), "{text}");
+    assert!(text.contains("Table 10."), "{text}");
+
+    // In-memory engine over the materialized CSV: same bytes.
+    let tabled = botscope(&["analyze", "--phase-report", "--table", csv.to_str().unwrap()]);
+    assert!(tabled.status.success(), "{}", String::from_utf8_lossy(&tabled.stderr));
+    assert_eq!(
+        streamed.stdout, tabled.stdout,
+        "streamed and in-memory phase reports must be byte-identical"
+    );
+    let _ = std::fs::remove_file(bin);
+    let _ = std::fs::remove_file(csv);
+}
+
+#[test]
+fn simulate_and_analyze_reject_bad_flags_cleanly() {
+    let out = botscope(&["simulate", "1", "0.02", "-", "42", "--format", "xml"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --format"));
+
+    let out = botscope(&["simulate", "--turbo"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown simulate flag"));
+
+    let out = botscope(&["analyze", "--frobnicate", "x.csv"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown analyze flag"));
+
+    let out = botscope(&["analyze", "--table", "x.csv"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--phase-report"));
+}
+
+#[test]
 fn monitor_rejects_bad_flags_cleanly() {
     let out = botscope(&["monitor", "--scenario", "sunny"]);
     assert!(!out.status.success());
