@@ -148,5 +148,58 @@ fn bench_streaming(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_pipeline, bench_analysis, bench_streaming);
+/// The k-way merge behind every streamed path, serial vs the
+/// tournament-partitioned parallel variant (byte-identical output):
+/// the phase-study table split into 8 canonically sorted runs, merged
+/// into a counting sink.
+fn bench_merge(c: &mut Criterion) {
+    use botscope_weblog::sink::{CountingSink, RowSink};
+    use botscope_weblog::table::LogTable;
+    use botscope_weblog::{merge_runs, merge_runs_parallel, MergeRun};
+
+    let cfg = SimConfig { scale: 0.05, sites: 8, ..SimConfig::default() };
+    let table = phase_study_table(&cfg).sim.table;
+    let rows = table.len() as u64;
+
+    // Strided sub-tables of a canonically sorted table stay sorted, so
+    // they are valid merge runs with maximally interleaved keys — the
+    // merge's worst case.
+    const RUNS: usize = 8;
+    let mut subs: Vec<LogTable> = (0..RUNS).map(|_| LogTable::new()).collect();
+    for (i, record) in table.iter_records().enumerate() {
+        subs[i % RUNS].push_record(&record);
+    }
+
+    let mut g = c.benchmark_group("merge");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(rows));
+    let make_runs = || subs.iter().cloned().map(MergeRun::from_table).collect::<Vec<_>>();
+    g.bench_function("merge_runs_serial/8_runs", |b| {
+        b.iter_batched(
+            make_runs,
+            |runs| {
+                let mut counter = CountingSink::default();
+                merge_runs(runs, &mut [&mut counter as &mut dyn RowSink]).expect("merge")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let hardware = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    for workers in [2usize, hardware.min(8)] {
+        g.bench_function(format!("merge_runs_parallel/8_runs/workers={workers}"), |b| {
+            b.iter_batched(
+                make_runs,
+                |runs| {
+                    let mut counter = CountingSink::default();
+                    merge_runs_parallel(runs, &mut [&mut counter as &mut dyn RowSink], workers)
+                        .expect("merge")
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_analysis, bench_streaming, bench_merge);
 criterion_main!(benches);

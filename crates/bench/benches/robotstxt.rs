@@ -5,7 +5,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
 use botscope_robotstxt::parser::parse;
-use botscope_robotstxt::RobotsTxt;
+use botscope_robotstxt::{CompiledPolicy, RobotsTxt};
 use botscope_simnet::phases::PolicyVersion;
 
 fn paper_files(c: &mut Criterion) {
@@ -55,6 +55,23 @@ fn matching(c: &mut Criterion) {
         })
     });
 
+    // The same 16 checks through the compiled automaton — the
+    // interpreted-vs-compiled ablation pair.
+    let compiled = CompiledPolicy::compile(&doc);
+    c.bench_function("is_allowed_v2_compiled", |b| {
+        b.iter(|| {
+            let mut allowed = 0u32;
+            for agent in &agents {
+                for path in &paths {
+                    if compiled.check(black_box(agent), black_box(path)).allow {
+                        allowed += 1;
+                    }
+                }
+            }
+            allowed
+        })
+    });
+
     // Wildcard-heavy matching.
     let wild = RobotsTxt::parse(
         "User-agent: *\nDisallow: /*/*/deep/*.json$\nDisallow: /a*b*c*d\nAllow: /a*b/ok\n",
@@ -62,6 +79,14 @@ fn matching(c: &mut Criterion) {
     c.bench_function("is_allowed_wildcards", |b| {
         b.iter(|| wild.is_allowed(black_box("bot"), black_box("/x/y/deep/file.json")).allow)
     });
+    let wild_compiled = CompiledPolicy::compile(&wild);
+    c.bench_function("is_allowed_wildcards_compiled", |b| {
+        b.iter(|| wild_compiled.check(black_box("bot"), black_box("/x/y/deep/file.json")).allow)
+    });
+
+    // One-time compile cost, for the amortization story: how many
+    // checks a compile must serve before the automaton pays for itself.
+    c.bench_function("compile_v2", |b| b.iter(|| CompiledPolicy::compile(black_box(&doc))));
 }
 
 criterion_group!(benches, paper_files, large_file, matching);

@@ -1,0 +1,149 @@
+//! Digest-driven maintenance of a [`PolicyEstate`] admission cache.
+//!
+//! The daemon observes served-policy swaps and digests them into
+//! [`ChangeDigest`]s (§5.2's transition observations). An admission
+//! service that answers "may I crawl?" from compiled automata must
+//! drop exactly the compiled artifacts those transitions obsolete —
+//! recompiling the whole estate on every monitoring pass would erase
+//! the compile-once economics of [`CompiledPolicy`].
+//!
+//! [`apply_digests`] is that bridge: for each digest it re-registers
+//! the site's *new* document (the digest carries `to:
+//! PolicyVersion`), which drops the stale automaton; every untouched
+//! site keeps its compiled artifact. [`prime_estate`] is the
+//! bootstrap dual, registering a deployment snapshot wholesale.
+//!
+//! [`CompiledPolicy`]: botscope_robotstxt::CompiledPolicy
+
+use botscope_robotstxt::PolicyEstate;
+use botscope_simnet::PolicyVersion;
+
+use crate::daemon::ChangeDigest;
+
+/// Register a deployment snapshot: every `(site, live version)` pair
+/// becomes an estate entry. Compilation stays lazy — nothing is
+/// compiled until the first admission check against the site.
+pub fn prime_estate<'a, I>(estate: &mut PolicyEstate, deployment: I)
+where
+    I: IntoIterator<Item = (&'a str, PolicyVersion)>,
+{
+    for (site, version) in deployment {
+        estate.insert(site, version.robots_txt());
+    }
+}
+
+/// Fold a monitoring pass's [`ChangeDigest`]s into the estate.
+///
+/// Each digest replaces the site's document with the digest's `to`
+/// version, dropping any compiled artifact so the next admission
+/// check recompiles against the new policy. Sites the digests do not
+/// name are untouched (their artifacts stay warm). Digests for sites
+/// the estate has never seen insert them fresh — the monitor is the
+/// source of truth for what is deployed.
+///
+/// Returns the number of sites whose compiled artifact was actually
+/// dropped (i.e. that were present *and* compiled), which is the
+/// recompile debt this pass created.
+pub fn apply_digests(estate: &mut PolicyEstate, digests: &[ChangeDigest]) -> usize {
+    let mut dropped = 0;
+    for digest in digests {
+        let site = digest.site.as_str();
+        if estate.is_compiled(site) {
+            dropped += 1;
+        }
+        estate.insert(site, digest.to.robots_txt());
+    }
+    dropped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(site: &str, from: PolicyVersion, to: PolicyVersion) -> ChangeDigest {
+        ChangeDigest {
+            site: site.to_string(),
+            at: 0,
+            from,
+            to,
+            observers: 1,
+            tightened: 0,
+            loosened: 0,
+            delay_changes: 0,
+        }
+    }
+
+    #[test]
+    fn priming_registers_without_compiling() {
+        let mut estate = PolicyEstate::new();
+        prime_estate(
+            &mut estate,
+            [
+                ("a.example.edu", PolicyVersion::Base),
+                ("b.example.edu", PolicyVersion::V1CrawlDelay),
+            ],
+        );
+        assert_eq!(estate.len(), 2);
+        assert_eq!(estate.compiled_count(), 0);
+        assert_eq!(estate.compiles(), 0);
+    }
+
+    #[test]
+    fn only_digested_sites_recompile() {
+        let mut estate = PolicyEstate::new();
+        let sites = ["a.example.edu", "b.example.edu", "c.example.edu"];
+        prime_estate(&mut estate, sites.iter().map(|s| (*s, PolicyVersion::Base)));
+        // Warm every artifact.
+        for site in sites {
+            assert_eq!(estate.check(site, "GPTBot", "/news/item-001"), Some(true));
+        }
+        assert_eq!(estate.compiles(), 3);
+
+        let dropped = apply_digests(
+            &mut estate,
+            &[digest("b.example.edu", PolicyVersion::Base, PolicyVersion::V3DisallowAll)],
+        );
+        assert_eq!(dropped, 1);
+        // Only b lost its artifact; a and c stay warm.
+        assert_eq!(estate.compiled_count(), 2);
+
+        // The re-check answers from the *new* policy and costs exactly
+        // one recompile.
+        assert_eq!(estate.check("b.example.edu", "GPTBot", "/news/item-001"), Some(false));
+        assert_eq!(estate.check("a.example.edu", "GPTBot", "/news/item-001"), Some(true));
+        assert_eq!(estate.compiles(), 4);
+    }
+
+    #[test]
+    fn digest_for_unknown_site_inserts_it() {
+        let mut estate = PolicyEstate::new();
+        let dropped = apply_digests(
+            &mut estate,
+            &[digest("new.example.edu", PolicyVersion::Base, PolicyVersion::V2EndpointOnly)],
+        );
+        assert_eq!(dropped, 0);
+        assert_eq!(estate.len(), 1);
+        // Unknown sites stay the caller's problem; the v2 wildcard group
+        // denies content and allows page-data.
+        assert_eq!(estate.check("missing.example.edu", "SomeBot", "/x"), None);
+        assert_eq!(estate.check("new.example.edu", "SomeBot", "/news/item-001"), Some(false));
+        assert_eq!(
+            estate.check("new.example.edu", "SomeBot", "/page-data/item-001/page-data.json"),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn uncompiled_sites_create_no_recompile_debt() {
+        let mut estate = PolicyEstate::new();
+        prime_estate(&mut estate, [("a.example.edu", PolicyVersion::Base)]);
+        // Never checked, so never compiled: the digest swaps the doc but
+        // reports zero dropped artifacts.
+        let dropped = apply_digests(
+            &mut estate,
+            &[digest("a.example.edu", PolicyVersion::Base, PolicyVersion::V1CrawlDelay)],
+        );
+        assert_eq!(dropped, 0);
+        assert_eq!(estate.compiles(), 0);
+    }
+}

@@ -69,11 +69,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod coupled;
 pub mod daemon;
 pub mod scenario;
 pub mod transport;
 
+pub use admission::{apply_digests, prime_estate};
 pub use coupled::{
     run_coupled, run_coupled_with_threads, CoupledConfig, CoupledOutput, RefreshModel,
 };

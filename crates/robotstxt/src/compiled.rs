@@ -1,0 +1,633 @@
+//! Compiled policy automata: answer "may I crawl?" in a single path scan.
+//!
+//! The interpreted matcher ([`RobotsTxt::is_allowed`]) re-evaluates every
+//! rule of the applicable group against the path on every call. That is
+//! fine for analysis, but too slow for an admission layer answering
+//! millions of (bot, site, path) queries per second. This module compiles a
+//! parsed document once into a per-agent-group automaton over the
+//! percent-normalized pattern alphabet, with all RFC 9309 precedence logic
+//! (longest match, Allow wins ties, first-rule tie-break) resolved into the
+//! automaton's terminal ranks at **build** time:
+//!
+//! * Literal rules (`/path`), prefix rules (`/path*`) and anchored literal
+//!   rules (`/path$`) become terminals of a shared byte **trie**; a check
+//!   walks the path bytes once, folding the best terminal rank seen.
+//! * Rules with a true interior wildcard (`/a*b`) go to a short side list
+//!   evaluated against the same once-normalized path.
+//!
+//! A terminal rank packs `(specificity, verb, rule index)` into one `u64`
+//! such that the numeric **maximum** over all matching rules is exactly the
+//! rule the interpreted matcher would pick — so the query path has no
+//! precedence branches at all.
+//!
+//! [`PolicyEstate`] caches compiled policies per site, compiling lazily and
+//! recompiling only after [`PolicyEstate::invalidate`] (driven by the
+//! monitor's change digests).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::matcher::Decision;
+use crate::model::{RobotsTxt, Rule, RuleVerb};
+use crate::parser::parse;
+use crate::pattern::normalize_path;
+
+/// Packed precedence rank: `(specificity << 33) | (allow << 32) |
+/// (u32::MAX - rule_index)`. Higher specificity wins, then Allow over
+/// Disallow, then the earliest rule — the exact tie-break order of the
+/// interpreted matcher. `0` means "no match" (real ranks are always
+/// non-zero because empty patterns are never inserted).
+const NO_MATCH: u64 = 0;
+
+fn pack(spec: usize, verb: RuleVerb, rule_idx: u32) -> u64 {
+    ((spec as u64) << 33)
+        | (u64::from(verb == RuleVerb::Allow) << 32)
+        | u64::from(u32::MAX - rule_idx)
+}
+
+fn unpack_rule(rank: u64) -> usize {
+    (u32::MAX - (rank & u64::from(u32::MAX)) as u32) as usize
+}
+
+fn unpack_allow(rank: u64) -> bool {
+    (rank >> 32) & 1 == 1
+}
+
+/// One trie node. Children are kept as a small sorted list — policy tries
+/// are shallow and narrow, and a binary search over a `Vec<(u8, u32)>`
+/// beats a 256-entry table on cache footprint.
+#[derive(Debug, Clone, Default)]
+struct TrieNode {
+    children: Vec<(u8, u32)>,
+    /// Best rank among prefix rules ending at this node (matches every
+    /// path that reaches the node).
+    prefix: u64,
+    /// Best rank among `$`-anchored rules ending at this node (matches
+    /// only when the path ends here too).
+    exact: u64,
+}
+
+/// The automaton for one merged user-agent group.
+#[derive(Debug, Clone)]
+struct GroupAutomaton {
+    /// Merged rules in document order (for decision reporting).
+    rules: Vec<Rule>,
+    nodes: Vec<TrieNode>,
+    /// Rules with a true interior wildcard, evaluated as a side list.
+    wild: Vec<(usize, u64)>,
+    crawl_delay: Option<f64>,
+}
+
+impl GroupAutomaton {
+    fn build(rules: Vec<Rule>, crawl_delay: Option<f64>) -> Self {
+        let mut nodes = vec![TrieNode::default()];
+        let mut wild = Vec::new();
+        for (idx, rule) in rules.iter().enumerate() {
+            if rule.pattern.is_empty() {
+                continue;
+            }
+            let rank = pack(rule.pattern.specificity(), rule.verb, idx as u32);
+            let segments = rule.pattern.segments();
+            let tail_is_stars = segments[1..].iter().all(String::is_empty);
+            if segments.len() == 1 && rule.pattern.is_anchored() {
+                // `X$`: anchored literal — exact terminal.
+                insert(&mut nodes, segments[0].as_bytes(), rank, true);
+            } else if segments.len() == 1 || tail_is_stars {
+                // `X`, `X*`, `X**`, `X*$`: all prefix-of-X semantics.
+                insert(&mut nodes, segments[0].as_bytes(), rank, false);
+            } else {
+                wild.push((idx, rank));
+            }
+        }
+        Self { rules, nodes, wild, crawl_delay }
+    }
+
+    /// Best matching rank for an already-normalized path, or [`NO_MATCH`].
+    fn scan(&self, path: &str) -> u64 {
+        let bytes = path.as_bytes();
+        let mut best = NO_MATCH;
+        let mut node = &self.nodes[0];
+        let mut depth = 0;
+        loop {
+            best = best.max(node.prefix);
+            if depth == bytes.len() {
+                best = best.max(node.exact);
+                break;
+            }
+            match node.children.binary_search_by_key(&bytes[depth], |c| c.0) {
+                Ok(i) => {
+                    node = &self.nodes[node.children[i].1 as usize];
+                    depth += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        for &(idx, rank) in &self.wild {
+            if rank > best && self.rules[idx].pattern.matches_normalized(path) {
+                best = rank;
+            }
+        }
+        best
+    }
+}
+
+fn insert(nodes: &mut Vec<TrieNode>, key: &[u8], rank: u64, exact: bool) {
+    let mut cur = 0usize;
+    for &b in key {
+        cur = match nodes[cur].children.binary_search_by_key(&b, |c| c.0) {
+            Ok(i) => nodes[cur].children[i].1 as usize,
+            Err(i) => {
+                let next = nodes.len();
+                nodes.push(TrieNode::default());
+                nodes[cur].children.insert(i, (b, next as u32));
+                next
+            }
+        };
+    }
+    let slot = if exact { &mut nodes[cur].exact } else { &mut nodes[cur].prefix };
+    *slot = (*slot).max(rank);
+}
+
+/// A [`RobotsTxt`] compiled for fast admission checks.
+///
+/// Decision outcomes (allow/deny, matched rule, matched agent group) are
+/// byte-identical to [`RobotsTxt::is_allowed`]; only the evaluation
+/// strategy differs.
+///
+/// ```
+/// use botscope_robotstxt::compiled::CompiledPolicy;
+/// use botscope_robotstxt::RobotsTxt;
+///
+/// let doc = RobotsTxt::parse("User-agent: *\nDisallow: /page\nAllow: /page-data/\n");
+/// let compiled = CompiledPolicy::compile(&doc);
+/// assert!(!compiled.check("GPTBot", "/page").allow);
+/// assert!(compiled.check("GPTBot", "/page-data/app.json").allow);
+/// assert_eq!(compiled.check_many("GPTBot", &["/page", "/page-data/x", "/other"]), vec![0b110]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledPolicy {
+    /// Named group tokens (lowercase, first-appearance order) with their
+    /// automata. The wildcard group is kept separate.
+    tokens: Vec<(String, GroupAutomaton)>,
+    wildcard: Option<GroupAutomaton>,
+}
+
+/// Size counters for a compiled policy, for reporting compile cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompiledStats {
+    /// Distinct user-agent group tokens (including `*` if present).
+    pub tokens: usize,
+    /// Total merged rules across all group automata.
+    pub rules: usize,
+    /// Total trie nodes across all group automata.
+    pub trie_nodes: usize,
+    /// Total side-list (interior-wildcard) rules.
+    pub wild_rules: usize,
+}
+
+impl CompiledPolicy {
+    /// Compile a parsed document.
+    pub fn compile(doc: &RobotsTxt) -> Self {
+        let mut order: Vec<String> = Vec::new();
+        for g in &doc.groups {
+            for ua in &g.user_agents {
+                if !order.contains(ua) {
+                    order.push(ua.clone());
+                }
+            }
+        }
+        let mut tokens = Vec::new();
+        let mut wildcard = None;
+        for token in order {
+            let merged: Vec<Rule> = doc
+                .groups
+                .iter()
+                .filter(|g| g.user_agents.contains(&token))
+                .flat_map(|g| g.rules.iter().cloned())
+                .collect();
+            let delay = doc
+                .groups
+                .iter()
+                .filter(|g| g.user_agents.contains(&token))
+                .filter_map(|g| g.crawl_delay)
+                .fold(None, |acc: Option<f64>, d| Some(acc.map_or(d, |a| a.max(d))));
+            let automaton = GroupAutomaton::build(merged, delay);
+            if token == "*" {
+                wildcard = Some(automaton);
+            } else {
+                tokens.push((token, automaton));
+            }
+        }
+        Self { tokens, wildcard }
+    }
+
+    /// Parse and compile in one step.
+    pub fn from_text(text: &str) -> Self {
+        Self::compile(&parse(text))
+    }
+
+    /// Select the automaton for a crawler product token: longest
+    /// case-insensitive boundary-prefix group wins, `*` is the fallback.
+    /// Mirrors the interpreted matcher's group selection, allocation-free.
+    fn resolve(&self, agent_token: &str) -> Option<(&str, &GroupAutomaton)> {
+        let trimmed = agent_token.trim();
+        if trimmed.starts_with('*') {
+            return self.wildcard.as_ref().map(|g| ("*", g));
+        }
+        let end = trimmed
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '-' || c == '_'))
+            .unwrap_or(trimmed.len());
+        let crawler = &trimmed[..end];
+        let mut best: Option<(&str, &GroupAutomaton)> = None;
+        for (tok, g) in &self.tokens {
+            if token_matches_ci(tok, crawler) && best.is_none_or(|(b, _)| tok.len() > b.len()) {
+                best = Some((tok.as_str(), g));
+            }
+        }
+        best.or_else(|| self.wildcard.as_ref().map(|g| ("*", g)))
+    }
+
+    /// Decide whether `agent_token` may fetch `path`.
+    ///
+    /// Semantics are identical to [`RobotsTxt::is_allowed`], including the
+    /// implicit `/robots.txt` allowance and leading-slash tolerance.
+    pub fn check(&self, agent_token: &str, path: &str) -> Decision<'_> {
+        let path_owned;
+        let path = if path.starts_with('/') {
+            path
+        } else {
+            path_owned = format!("/{path}");
+            &path_owned
+        };
+        if path == "/robots.txt" {
+            return Decision::default_allow(None);
+        }
+        let Some((token, group)) = self.resolve(agent_token) else {
+            return Decision::default_allow(None);
+        };
+        let normalized = normalize_path(path);
+        let best = group.scan(&normalized);
+        if best == NO_MATCH {
+            return Decision::default_allow(Some(token));
+        }
+        Decision {
+            allow: unpack_allow(best),
+            matched_rule: Some(&group.rules[unpack_rule(best)]),
+            matched_agent: Some(token),
+        }
+    }
+
+    /// Batch admission check: bit `i` of word `i / 64` is set iff
+    /// `paths[i]` is allowed for `agent_token`. Group resolution happens
+    /// once for the whole batch.
+    pub fn check_many(&self, agent_token: &str, paths: &[&str]) -> Vec<u64> {
+        let mut mask = vec![0u64; paths.len().div_ceil(64)];
+        let group = self.resolve(agent_token).map(|(_, g)| g);
+        for (i, path) in paths.iter().enumerate() {
+            let allowed = match group {
+                None => true,
+                Some(g) => {
+                    let path_owned;
+                    let path: &str = if path.starts_with('/') {
+                        path
+                    } else {
+                        path_owned = format!("/{path}");
+                        &path_owned
+                    };
+                    if path == "/robots.txt" {
+                        true
+                    } else {
+                        let normalized = normalize_path(path);
+                        let best = g.scan(&normalized);
+                        best == NO_MATCH || unpack_allow(best)
+                    }
+                }
+            };
+            if allowed {
+                mask[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        mask
+    }
+
+    /// The crawl delay applying to `agent_token`, if any (max over the
+    /// merged groups, like the interpreted matcher).
+    pub fn crawl_delay(&self, agent_token: &str) -> Option<f64> {
+        self.resolve(agent_token).and_then(|(_, g)| g.crawl_delay)
+    }
+
+    /// Size counters, for compile-cost reporting.
+    pub fn stats(&self) -> CompiledStats {
+        let groups = self.tokens.iter().map(|(_, g)| g).chain(self.wildcard.iter());
+        let mut stats = CompiledStats {
+            tokens: self.tokens.len() + usize::from(self.wildcard.is_some()),
+            rules: 0,
+            trie_nodes: 0,
+            wild_rules: 0,
+        };
+        for g in groups {
+            stats.rules += g.rules.len();
+            stats.trie_nodes += g.nodes.len();
+            stats.wild_rules += g.wild.len();
+        }
+        stats
+    }
+}
+
+/// Case-insensitive boundary-prefix test: `group` (stored lowercase)
+/// applies to `crawler` when equal, or when `group` is a prefix ending at a
+/// `-`/`_` boundary. `crawler` is a pure-ASCII product-token prefix, so
+/// slicing at `group.len()` is safe.
+fn token_matches_ci(group: &str, crawler: &str) -> bool {
+    if group.len() > crawler.len() {
+        return false;
+    }
+    let (head, rest) = crawler.split_at(group.len());
+    head.eq_ignore_ascii_case(group)
+        && (rest.is_empty() || rest.starts_with('-') || rest.starts_with('_'))
+}
+
+/// A site-keyed cache of compiled policies.
+///
+/// Documents are registered with [`insert`](PolicyEstate::insert) (or
+/// [`insert_text`](PolicyEstate::insert_text)) and compiled **lazily** on
+/// first use. [`invalidate`](PolicyEstate::invalidate) drops the compiled
+/// artifact so the next check recompiles — the monitor's change digests
+/// drive this (see `botscope-monitor`'s estate adapter).
+#[derive(Debug, Clone, Default)]
+pub struct PolicyEstate {
+    sites: HashMap<String, EstateSlot>,
+    compiles: u64,
+}
+
+#[derive(Debug, Clone)]
+struct EstateSlot {
+    doc: Arc<RobotsTxt>,
+    compiled: Option<Arc<CompiledPolicy>>,
+}
+
+impl PolicyEstate {
+    /// An empty estate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a site's document. Any compiled artifact for
+    /// the site is dropped.
+    pub fn insert(&mut self, site: impl Into<String>, doc: RobotsTxt) {
+        self.sites.insert(site.into(), EstateSlot { doc: Arc::new(doc), compiled: None });
+    }
+
+    /// Parse and register a site's document text.
+    pub fn insert_text(&mut self, site: impl Into<String>, text: &str) {
+        self.insert(site, parse(text));
+    }
+
+    /// Drop the compiled artifact for `site`, forcing recompilation on the
+    /// next check. Returns whether the site was known.
+    pub fn invalidate(&mut self, site: &str) -> bool {
+        match self.sites.get_mut(site) {
+            Some(slot) => {
+                slot.compiled = None;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove a site entirely. Returns whether it was known.
+    pub fn remove(&mut self, site: &str) -> bool {
+        self.sites.remove(site).is_some()
+    }
+
+    /// The parsed document registered for `site`, if any.
+    pub fn doc(&self, site: &str) -> Option<&RobotsTxt> {
+        self.sites.get(site).map(|s| s.doc.as_ref())
+    }
+
+    /// The compiled policy for `site`, compiling on first use.
+    pub fn compiled(&mut self, site: &str) -> Option<Arc<CompiledPolicy>> {
+        let slot = self.sites.get_mut(site)?;
+        if slot.compiled.is_none() {
+            slot.compiled = Some(Arc::new(CompiledPolicy::compile(&slot.doc)));
+            self.compiles += 1;
+        }
+        slot.compiled.clone()
+    }
+
+    /// Admission check against a site's compiled policy. `None` when the
+    /// site is unknown (callers decide the fail-open/fail-closed policy).
+    pub fn check(&mut self, site: &str, agent_token: &str, path: &str) -> Option<bool> {
+        let compiled = self.compiled(site)?;
+        Some(compiled.check(agent_token, path).allow)
+    }
+
+    /// Number of registered sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether the estate has no sites.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Whether `site` currently holds a compiled artifact (false when the
+    /// site is unknown or registered but never checked).
+    pub fn is_compiled(&self, site: &str) -> bool {
+        self.sites.get(site).is_some_and(|s| s.compiled.is_some())
+    }
+
+    /// Number of sites currently holding a compiled artifact.
+    pub fn compiled_count(&self) -> usize {
+        self.sites.values().filter(|s| s.compiled.is_some()).count()
+    }
+
+    /// Total compilations performed over the estate's lifetime (cache
+    /// misses + recompiles after invalidation).
+    pub fn compiles(&self) -> u64 {
+        self.compiles
+    }
+
+    /// Registered site names, in arbitrary order.
+    pub fn sites(&self) -> impl Iterator<Item = &str> {
+        self.sites.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn both(robots: &str, agent: &str, path: &str) -> (bool, bool) {
+        let doc = parse(robots);
+        let compiled = CompiledPolicy::compile(&doc);
+        (doc.is_allowed(agent, path).allow, compiled.check(agent, path).allow)
+    }
+
+    fn assert_same_decision(robots: &str, agent: &str, path: &str) {
+        let doc = parse(robots);
+        let compiled = CompiledPolicy::compile(&doc);
+        let interp = doc.is_allowed(agent, path);
+        let comp = compiled.check(agent, path);
+        assert_eq!(interp.allow, comp.allow, "allow: {robots:?} {agent} {path}");
+        assert_eq!(
+            interp.matched_rule.map(|r| (r.verb, r.pattern.as_str().to_string())),
+            comp.matched_rule.map(|r| (r.verb, r.pattern.as_str().to_string())),
+            "rule: {robots:?} {agent} {path}"
+        );
+        assert_eq!(interp.matched_agent, comp.matched_agent, "agent: {robots:?} {agent} {path}");
+    }
+
+    #[test]
+    fn matches_interpreted_on_basics() {
+        let robots = "User-agent: Googlebot\nAllow: /\nCrawl-delay: 15\n\nUser-agent: *\nAllow: /allowed-data/\nDisallow: /restricted-data/\nCrawl-delay: 30\n";
+        for agent in ["Googlebot", "Bytespider", "GPTBot", "googlebot-news"] {
+            for path in ["/restricted-data/page", "/allowed-data/page", "/other", "/robots.txt"] {
+                assert_same_decision(robots, agent, path);
+            }
+        }
+        let compiled = CompiledPolicy::from_text(robots);
+        assert_eq!(compiled.crawl_delay("Googlebot"), Some(15.0));
+        assert_eq!(compiled.crawl_delay("GPTBot"), Some(30.0));
+    }
+
+    #[test]
+    fn precedence_ties_resolved_at_build_time() {
+        // Same pattern both verbs: Allow wins.
+        assert_eq!(both("User-agent: *\nDisallow: /x\nAllow: /x\n", "b", "/x"), (true, true));
+        assert_eq!(both("User-agent: *\nAllow: /x\nDisallow: /x\n", "b", "/x"), (true, true));
+        // Longer rule wins regardless of verb or order.
+        assert_eq!(
+            both("User-agent: *\nDisallow: /page\nAllow: /page-data/\n", "b", "/page-data/a"),
+            (true, true)
+        );
+        // Same-verb tie reports the earliest rule.
+        assert_same_decision("User-agent: *\nDisallow: /x\nDisallow: /x\n", "b", "/xy");
+    }
+
+    #[test]
+    fn wildcards_and_anchors() {
+        for (robots, path) in [
+            ("User-agent: *\nDisallow: /*.php$\n", "/folder/filename.php"),
+            ("User-agent: *\nDisallow: /*.php$\n", "/filename.php?x"),
+            ("User-agent: *\nDisallow: /fish*\n", "/fishheads"),
+            ("User-agent: *\nDisallow: /a*b*c\n", "/axxbxxc-and-more"),
+            ("User-agent: *\nDisallow: /a*b*c\n", "/a-c-b"),
+            ("User-agent: *\nDisallow: /x*$\n", "/xyz"),
+            ("User-agent: *\nDisallow: /fish$\n", "/fish"),
+            ("User-agent: *\nDisallow: /fish$\n", "/fish.html"),
+            ("User-agent: *\nDisallow: *\n", "/anything"),
+            ("User-agent: *\nAllow: /p\nDisallow: /*.html\n", "/page.html"),
+        ] {
+            assert_same_decision(robots, "bot", path);
+        }
+    }
+
+    #[test]
+    fn percent_normalized_alphabet() {
+        for (robots, path) in [
+            ("User-agent: *\nDisallow: /caf%c3%a9\n", "/café"),
+            ("User-agent: *\nDisallow: /café\n", "/caf%C3%A9"),
+            ("User-agent: *\nDisallow: /a%2Fb\n", "/a/b"),
+            ("User-agent: *\nDisallow: /a%2Fb\n", "/a%2fb"),
+            ("User-agent: *\nDisallow: /a%7Eb\n", "/a~b"),
+        ] {
+            assert_same_decision(robots, "bot", path);
+        }
+    }
+
+    #[test]
+    fn group_selection_matches() {
+        let robots = "User-agent: googlebot-news\nDisallow: /news-secret/\n\nUser-agent: googlebot\nDisallow: /general/\n\nUser-agent: *\nDisallow: /\n";
+        for agent in ["Googlebot-News", "Googlebot", "Googlebot-Image", "GPTBot", "*"] {
+            for path in ["/news-secret/x", "/general/x", "/anything"] {
+                assert_same_decision(robots, agent, path);
+            }
+        }
+        // No wildcard group: unknown bots unrestricted, decision has no agent.
+        assert_same_decision("User-agent: badbot\nDisallow: /\n", "goodbot", "/x");
+    }
+
+    #[test]
+    fn missing_slash_and_empty_rules() {
+        assert_same_decision("User-agent: *\nDisallow: /secret\n", "bot", "secret/files");
+        assert_same_decision("User-agent: *\nDisallow:\n", "bot", "/x");
+        assert_same_decision("", "bot", "/x");
+    }
+
+    #[test]
+    fn check_many_bitmask() {
+        let compiled = CompiledPolicy::from_text("User-agent: *\nDisallow: /private/\n");
+        let paths: Vec<String> = (0..70)
+            .map(|i| if i % 3 == 0 { format!("/private/{i}") } else { format!("/public/{i}") })
+            .collect();
+        let refs: Vec<&str> = paths.iter().map(String::as_str).collect();
+        let mask = compiled.check_many("bot", &refs);
+        assert_eq!(mask.len(), 2);
+        for (i, p) in refs.iter().enumerate() {
+            let expect = compiled.check("bot", p).allow;
+            assert_eq!(mask[i / 64] >> (i % 64) & 1 == 1, expect, "path {p}");
+        }
+        // Unknown-group batch: everything allowed.
+        let none = CompiledPolicy::from_text("User-agent: badbot\nDisallow: /\n");
+        assert_eq!(none.check_many("goodbot", &["/a", "/b"]), vec![0b11]);
+    }
+
+    #[test]
+    fn stats_counts() {
+        let compiled =
+            CompiledPolicy::from_text("User-agent: *\nDisallow: /a\nDisallow: /a*b\nAllow:\n");
+        let stats = compiled.stats();
+        assert_eq!(stats.tokens, 1);
+        assert_eq!(stats.rules, 3);
+        assert_eq!(stats.wild_rules, 1);
+        assert!(stats.trie_nodes >= 3);
+    }
+
+    #[test]
+    fn estate_compiles_lazily_and_invalidates() {
+        let mut estate = PolicyEstate::new();
+        estate.insert_text("a.example.edu", "User-agent: *\nDisallow: /x\n");
+        estate.insert_text("b.example.edu", "User-agent: *\nAllow: /\n");
+        assert_eq!(estate.len(), 2);
+        assert_eq!(estate.compiled_count(), 0);
+        assert_eq!(estate.compiles(), 0);
+
+        assert_eq!(estate.check("a.example.edu", "bot", "/x/y"), Some(false));
+        assert_eq!(estate.check("a.example.edu", "bot", "/ok"), Some(true));
+        assert_eq!(estate.compiles(), 1, "second check reuses the artifact");
+        assert_eq!(estate.compiled_count(), 1, "b is registered but not compiled");
+
+        // Invalidation forces exactly one recompile.
+        assert!(estate.invalidate("a.example.edu"));
+        assert_eq!(estate.compiled_count(), 0);
+        assert_eq!(estate.check("a.example.edu", "bot", "/x/y"), Some(false));
+        assert_eq!(estate.compiles(), 2);
+
+        // Replacing the document changes answers.
+        estate.insert_text("a.example.edu", "User-agent: *\nAllow: /x\nDisallow: /\n");
+        assert_eq!(estate.check("a.example.edu", "bot", "/x/y"), Some(true));
+        assert_eq!(estate.check("a.example.edu", "bot", "/other"), Some(false));
+        assert_eq!(estate.compiles(), 3);
+
+        assert_eq!(estate.check("unknown.example.edu", "bot", "/x"), None);
+        assert!(!estate.invalidate("unknown.example.edu"));
+        assert!(estate.remove("b.example.edu"));
+        assert_eq!(estate.len(), 1);
+    }
+
+    #[test]
+    fn anchored_root_and_star_edge_cases() {
+        for (robots, path) in [
+            ("User-agent: *\nDisallow: /$\n", "/"),
+            ("User-agent: *\nDisallow: /$\n", "/a"),
+            ("User-agent: *\nDisallow: *\n", "/"),
+            ("User-agent: *\nDisallow: /**\n", "/deep/path"),
+            ("User-agent: *\nDisallow: /a**$\n", "/abc"),
+            ("User-agent: *\nDisallow: *x\n", "/prefix-x-suffix"),
+        ] {
+            assert_same_decision(robots, "bot", path);
+        }
+    }
+}

@@ -51,6 +51,7 @@
 
 pub mod audit;
 pub mod builder;
+pub mod compiled;
 pub mod diff;
 pub mod fetch;
 pub mod lexer;
@@ -62,8 +63,9 @@ pub mod writer;
 
 pub use audit::{audit, AuditFinding};
 pub use builder::RobotsTxtBuilder;
+pub use compiled::{CompiledPolicy, PolicyEstate};
 pub use diff::{diff, PolicyChange};
 pub use fetch::{EffectivePolicy, FetchOutcome, RobotsCache};
-pub use matcher::Decision;
+pub use matcher::{Decision, OwnedDecision};
 pub use model::{Group, RobotsTxt, Rule, RuleVerb};
 pub use pattern::PathPattern;

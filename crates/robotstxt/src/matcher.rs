@@ -17,24 +17,50 @@
 
 use crate::model::{RobotsTxt, Rule, RuleVerb};
 use crate::parser::normalize_agent;
+use crate::pattern::normalize_path;
 
 /// The outcome of an access check.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Decision {
+///
+/// Borrows the matched rule and agent token from the document so the hot
+/// path performs no allocation; use [`Decision::to_owned`] when the outcome
+/// must outlive the document.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision<'a> {
     /// Whether the fetch is allowed.
     pub allow: bool,
     /// The rule that decided the outcome, if any (`None` means the default
     /// allow applied: no group matched, or no rule matched the path).
-    pub matched_rule: Option<Rule>,
+    pub matched_rule: Option<&'a Rule>,
     /// The user-agent token of the group set that applied (`"*"` for the
     /// wildcard group, `None` if the document has no applicable group).
-    pub matched_agent: Option<String>,
+    pub matched_agent: Option<&'a str>,
 }
 
-impl Decision {
-    fn default_allow(agent: Option<String>) -> Self {
+impl<'a> Decision<'a> {
+    pub(crate) fn default_allow(agent: Option<&'a str>) -> Self {
         Decision { allow: true, matched_rule: None, matched_agent: agent }
     }
+
+    /// Copy the decision out of the document's lifetime.
+    pub fn to_owned(&self) -> OwnedDecision {
+        OwnedDecision {
+            allow: self.allow,
+            matched_rule: self.matched_rule.cloned(),
+            matched_agent: self.matched_agent.map(str::to_string),
+        }
+    }
+}
+
+/// An owned [`Decision`], for callers that store outcomes past the
+/// document's lifetime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwnedDecision {
+    /// Whether the fetch is allowed.
+    pub allow: bool,
+    /// Owned copy of the deciding rule, if any.
+    pub matched_rule: Option<Rule>,
+    /// Owned copy of the applicable group token, if any.
+    pub matched_agent: Option<String>,
 }
 
 impl RobotsTxt {
@@ -44,7 +70,7 @@ impl RobotsTxt {
     /// a full `User-Agent` header; use `botscope-useragent` to extract a
     /// token from a header. `path` must begin with `/` (a missing slash is
     /// tolerated and treated as `/` + path).
-    pub fn is_allowed(&self, agent_token: &str, path: &str) -> Decision {
+    pub fn is_allowed(&self, agent_token: &str, path: &str) -> Decision<'_> {
         let path_owned;
         let path = if path.starts_with('/') {
             path
@@ -58,35 +84,42 @@ impl RobotsTxt {
             return Decision::default_allow(None);
         }
 
-        let Some((agent, rules)) = self.applicable_rules(agent_token) else {
+        let token = normalize_agent(agent_token);
+        let Some(agent) = self.winning_token(&token) else {
             return Decision::default_allow(None);
         };
 
+        // Normalize the path once; every rule below compares against the
+        // same normalized text.
+        let normalized = normalize_path(path);
+
         // Most-specific match wins; Allow wins ties.
         let mut best: Option<&Rule> = None;
-        for rule in rules {
-            if rule.pattern.is_empty() || !rule.pattern.matches(path) {
-                continue;
-            }
-            let better = match best {
-                None => true,
-                Some(b) => {
-                    let (rs, bs) = (rule.pattern.specificity(), b.pattern.specificity());
-                    rs > bs
-                        || (rs == bs
-                            && rule.verb == RuleVerb::Allow
-                            && b.verb == RuleVerb::Disallow)
+        for g in self.groups.iter().filter(|g| g.user_agents.iter().any(|ua| ua == agent)) {
+            for rule in &g.rules {
+                if rule.pattern.is_empty() || !rule.pattern.matches_normalized(&normalized) {
+                    continue;
                 }
-            };
-            if better {
-                best = Some(rule);
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        let (rs, bs) = (rule.pattern.specificity(), b.pattern.specificity());
+                        rs > bs
+                            || (rs == bs
+                                && rule.verb == RuleVerb::Allow
+                                && b.verb == RuleVerb::Disallow)
+                    }
+                };
+                if better {
+                    best = Some(rule);
+                }
             }
         }
 
         match best {
             Some(rule) => Decision {
                 allow: rule.verb == RuleVerb::Allow,
-                matched_rule: Some(rule.clone()),
+                matched_rule: Some(rule),
                 matched_agent: Some(agent),
             },
             None => Decision::default_allow(Some(agent)),
@@ -103,7 +136,7 @@ impl RobotsTxt {
         let winner = self.winning_token(&token)?;
         self.groups
             .iter()
-            .filter(|g| g.user_agents.contains(&winner))
+            .filter(|g| g.user_agents.iter().any(|ua| ua == winner))
             .filter_map(|g| g.crawl_delay)
             .fold(None, |acc: Option<f64>, d| Some(acc.map_or(d, |a| a.max(d))))
     }
@@ -112,7 +145,7 @@ impl RobotsTxt {
     /// group token. `None` when the document has no applicable group.
     pub fn applicable_rules(&self, agent_token: &str) -> Option<(String, Vec<&Rule>)> {
         let token = normalize_agent(agent_token);
-        let winner = self.winning_token(&token)?;
+        let winner = self.winning_token(&token)?.to_string();
         let rules = self
             .groups
             .iter()
@@ -124,7 +157,7 @@ impl RobotsTxt {
 
     /// Find the most specific group token matching the normalized crawler
     /// token: longest boundary-prefix wins; `*` is the fallback.
-    fn winning_token(&self, token: &str) -> Option<String> {
+    pub(crate) fn winning_token(&self, token: &str) -> Option<&str> {
         let mut best: Option<&str> = None;
         let mut saw_wildcard = false;
         for g in &self.groups {
@@ -139,8 +172,8 @@ impl RobotsTxt {
             }
         }
         match best {
-            Some(b) => Some(b.to_string()),
-            None if saw_wildcard => Some("*".to_string()),
+            Some(b) => Some(b),
+            None if saw_wildcard => Some("*"),
             None => None,
         }
     }
@@ -152,7 +185,7 @@ impl RobotsTxt {
 /// `googlebot` group when no more specific one exists, without letting a
 /// `google` group capture `googlebot`... unless the boundary allows it —
 /// `googlebot` does **not** start with `google-`/`google_`, so it does not.
-fn token_matches(group: &str, crawler: &str) -> bool {
+pub(crate) fn token_matches(group: &str, crawler: &str) -> bool {
     if group == crawler {
         return true;
     }
@@ -288,7 +321,18 @@ mod tests {
         let d = r.is_allowed("bot", "/secure/admin");
         assert!(!d.allow);
         assert_eq!(d.matched_rule.unwrap().pattern.as_str(), "/secure/*");
-        assert_eq!(d.matched_agent.as_deref(), Some("*"));
+        assert_eq!(d.matched_agent, Some("*"));
+    }
+
+    #[test]
+    fn decision_to_owned_outlives_document() {
+        let owned = {
+            let r = parse("User-agent: gptbot\nDisallow: /private/\n");
+            r.is_allowed("GPTBot", "/private/x").to_owned()
+        };
+        assert!(!owned.allow);
+        assert_eq!(owned.matched_rule.unwrap().pattern.as_str(), "/private/");
+        assert_eq!(owned.matched_agent.as_deref(), Some("gptbot"));
     }
 
     #[test]

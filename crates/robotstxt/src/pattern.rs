@@ -19,6 +19,7 @@
 //! which RFC 9309 requires to stay encoded so that `/a%2Fb` and `/a/b`
 //! remain distinct.
 
+use std::borrow::Cow;
 use std::fmt;
 
 /// A compiled `Allow`/`Disallow` rule value.
@@ -64,6 +65,18 @@ impl PathPattern {
         self.raw.len()
     }
 
+    /// Whether the pattern is anchored at the end with `$`.
+    pub fn is_anchored(&self) -> bool {
+        self.anchored
+    }
+
+    /// The pattern body split on `*` into literal segments (the trailing
+    /// `$` anchor removed). An empty trailing segment means the body ended
+    /// with `*`.
+    pub fn segments(&self) -> &[String] {
+        &self.segments
+    }
+
     /// Whether the pattern matches `path`.
     ///
     /// `path` is percent-normalized with the same rules as the pattern. A
@@ -80,10 +93,18 @@ impl PathPattern {
     /// assert!(!PathPattern::new("").matches("/anything"));
     /// ```
     pub fn matches(&self, path: &str) -> bool {
+        self.matches_normalized(&normalize_path(path))
+    }
+
+    /// Whether the pattern matches a path that has **already** been
+    /// percent-normalized (via [`normalize_path`] or [`normalize_percent`]).
+    ///
+    /// This is the hot-path entry: callers that evaluate many rules against
+    /// one path should normalize the path once and use this for every rule.
+    pub fn matches_normalized(&self, path: &str) -> bool {
         if self.raw.is_empty() {
             return false;
         }
-        let path = normalize_percent(path);
         let bytes = path.as_bytes();
 
         // Greedy wildcard matching over the `*`-split literal segments:
@@ -137,6 +158,17 @@ impl PathPattern {
 impl fmt::Display for PathPattern {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.raw)
+    }
+}
+
+/// Percent-normalize a request path, borrowing when normalization is the
+/// identity (no `%` and pure ASCII — the overwhelmingly common case for
+/// crawler request paths).
+pub fn normalize_path(path: &str) -> Cow<'_, str> {
+    if path.bytes().all(|b| b != b'%' && b < 0x80) {
+        Cow::Borrowed(path)
+    } else {
+        Cow::Owned(normalize_percent(path))
     }
 }
 
@@ -360,6 +392,35 @@ mod tests {
         assert!(m("/page?", "/page?id=1"));
         assert!(m("/*?lang=en", "/page?lang=en"));
         assert!(!m("/*?lang=en$", "/page?lang=en&x=1"));
+    }
+
+    #[test]
+    fn normalize_path_borrows_plain_ascii() {
+        assert!(matches!(normalize_path("/plain/ascii-path_01.html?q=1"), Cow::Borrowed(_)));
+        assert!(matches!(normalize_path("/has%20escape"), Cow::Owned(_)));
+        assert!(matches!(normalize_path("/café"), Cow::Owned(_)));
+        // The borrowed fast path must agree with full normalization.
+        for p in ["/plain", "/a~b!x", "/q?lang=en&x=1", "/100"] {
+            assert_eq!(normalize_path(p).as_ref(), normalize_percent(p));
+        }
+    }
+
+    #[test]
+    fn matches_normalized_skips_renormalization() {
+        let p = PathPattern::new("/caf%c3%a9");
+        assert!(p.matches_normalized("/caf%C3%A9"));
+        // Raw (un-normalized) input only matches via `matches`.
+        assert!(p.matches("/café"));
+        assert!(!p.matches_normalized("/café"));
+    }
+
+    #[test]
+    fn segment_accessors() {
+        let p = PathPattern::new("/a/*/b$");
+        assert!(p.is_anchored());
+        assert_eq!(p.segments(), &["/a/".to_string(), "/b".to_string()]);
+        assert!(!PathPattern::new("/a*").is_anchored());
+        assert_eq!(PathPattern::new("/a*").segments(), &["/a".to_string(), String::new()]);
     }
 
     #[test]

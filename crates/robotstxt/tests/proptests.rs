@@ -2,8 +2,30 @@
 
 use botscope_robotstxt::parser::parse;
 use botscope_robotstxt::pattern::{normalize_percent, PathPattern};
-use botscope_robotstxt::{RobotsTxt, RobotsTxtBuilder};
+use botscope_robotstxt::{CompiledPolicy, RobotsTxt, RobotsTxtBuilder};
 use proptest::prelude::*;
+
+/// The observable outcome of one check, in a form that owns its data:
+/// verdict, winning rule (verb + pattern text), and the agent group it
+/// came from.
+type Outcome = (bool, Option<(botscope_robotstxt::RuleVerb, String)>, Option<String>);
+
+fn outcome(d: &botscope_robotstxt::Decision<'_>) -> Outcome {
+    (
+        d.allow,
+        d.matched_rule.map(|r| (r.verb, r.pattern.as_str().to_string())),
+        d.matched_agent.map(str::to_string),
+    )
+}
+
+/// Assert the compiled automaton and the interpreted matcher agree on
+/// the full decision (not just the verdict) for one (agent, path).
+fn assert_compiled_equiv(doc: &RobotsTxt, compiled: &CompiledPolicy, agent: &str, path: &str) {
+    let interpreted = outcome(&doc.is_allowed(agent, path));
+    let automaton = outcome(&compiled.check(agent, path));
+    assert_eq!(interpreted, automaton, "agent={agent:?} path={path:?}");
+    assert_eq!(doc.crawl_delay(agent), compiled.crawl_delay(agent), "delay for {agent:?}");
+}
 
 /// Strategy for plausible path-pattern strings.
 fn pattern_strategy() -> impl Strategy<Value = String> {
@@ -400,6 +422,132 @@ proptest! {
             }
             // Unrelated ASCII paths stay allowed.
             prop_assert!(doc.is_allowed("bot", "/wiki-other").allow);
+        }
+    }
+
+    // ---- compiled automaton ≡ interpreted matcher ----
+
+    #[test]
+    fn compiled_agrees_on_random_documents(
+        pats in prop::collection::vec(pattern_strategy(), 0..10),
+        agents in prop::collection::vec("[a-z][a-z0-9-]{0,8}", 1..4),
+        delay in prop::option::of(1u32..600),
+        probe_agent in "[a-z][a-z0-9-]{0,10}",
+        path in path_strategy(),
+    ) {
+        // Multi-group documents with mixed verbs: the compiled policy
+        // must reproduce the interpreted decision *exactly* — verdict,
+        // winning rule, agent group, and crawl delay.
+        let mut body = String::new();
+        for (g, agent) in agents.iter().enumerate() {
+            body.push_str(&format!("User-agent: {agent}\n"));
+            if g == agents.len() - 1 {
+                body.push_str("User-agent: *\n");
+            }
+            for (i, p) in pats.iter().enumerate() {
+                if (i + g) % 2 == 0 {
+                    body.push_str(&format!("Disallow: {p}\n"));
+                } else {
+                    body.push_str(&format!("Allow: {p}\n"));
+                }
+            }
+            if let (Some(d), 0) = (delay, g % 2) {
+                body.push_str(&format!("Crawl-delay: {d}\n"));
+            }
+            body.push('\n');
+        }
+        let doc = parse(&body);
+        let compiled = CompiledPolicy::compile(&doc);
+        for agent in agents.iter().map(String::as_str).chain([probe_agent.as_str(), "unrelated"]) {
+            assert_compiled_equiv(&doc, &compiled, agent, &path);
+            assert_compiled_equiv(&doc, &compiled, agent, "/robots.txt");
+        }
+    }
+
+    #[test]
+    fn compiled_agrees_on_garbage_documents(
+        body in "\\PC{0,200}",
+        agent in "\\PC{0,16}",
+        path in "\\PC{0,40}",
+    ) {
+        let doc = parse(&body);
+        let compiled = CompiledPolicy::compile(&doc);
+        assert_compiled_equiv(&doc, &compiled, &agent, &path);
+    }
+
+    #[test]
+    fn compiled_agrees_at_precedence_ties(
+        base in "/[a-z0-9]{1,12}",
+        last in "[a-z0-9]{1,1}",
+    ) {
+        // The tie cases the rank packing exists for: identical patterns
+        // on both verbs, and equal-length literal-vs-starred patterns,
+        // in both rule orders.
+        let path = format!("{base}{last}");
+        let starred = format!("{base}*");
+        for body in [
+            format!("User-agent: *\nDisallow: {path}\nAllow: {path}\n"),
+            format!("User-agent: *\nAllow: {path}\nDisallow: {path}\n"),
+            format!("User-agent: *\nDisallow: {starred}\nAllow: {path}\n"),
+            format!("User-agent: *\nAllow: {starred}\nDisallow: {path}\n"),
+            format!("User-agent: *\nDisallow: {path}\nDisallow: {path}\n"),
+            format!("User-agent: *\nAllow: {base}\nDisallow: {path}\n"),
+        ] {
+            let doc = parse(&body);
+            let compiled = CompiledPolicy::compile(&doc);
+            for probe in [path.as_str(), base.as_str(), "/", "/unrelated"] {
+                assert_compiled_equiv(&doc, &compiled, "bot", probe);
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_agrees_on_utf8_spellings(
+        seg in "[à-öø-ÿα-ωа-яぁ-ゖ一-鿋]{1,5}",
+        probe in "[a-z0-9]{0,4}",
+    ) {
+        let raw_rule = format!("/wiki/{seg}");
+        let encoded_rule: String = raw_rule
+            .bytes()
+            .map(|b| if b >= 0x80 { format!("%{b:02x}") } else { (b as char).to_string() })
+            .collect();
+        let raw_path = format!("/wiki/{seg}{probe}");
+        let encoded_path: String = raw_path
+            .bytes()
+            .map(|b| if b >= 0x80 { format!("%{b:02X}") } else { (b as char).to_string() })
+            .collect();
+        for rule in [&raw_rule, &encoded_rule] {
+            let doc = parse(&format!("User-agent: *\nDisallow: {rule}\n"));
+            let compiled = CompiledPolicy::compile(&doc);
+            for path in [&raw_path, &encoded_path] {
+                assert_compiled_equiv(&doc, &compiled, "bot", path);
+            }
+            assert_compiled_equiv(&doc, &compiled, "bot", "/wiki-other");
+        }
+    }
+
+    #[test]
+    fn check_many_bitmask_agrees_with_single_checks(
+        pats in prop::collection::vec(pattern_strategy(), 0..8),
+        paths in prop::collection::vec(path_strategy(), 1..80),
+        agent in "[a-z]{1,10}",
+    ) {
+        let mut body = String::from("User-agent: *\n");
+        for (i, p) in pats.iter().enumerate() {
+            let verb = if i % 2 == 0 { "Disallow" } else { "Allow" };
+            body.push_str(&format!("{verb}: {p}\n"));
+        }
+        let compiled = CompiledPolicy::from_text(&body);
+        let refs: Vec<&str> = paths.iter().map(String::as_str).collect();
+        let mask = compiled.check_many(&agent, &refs);
+        prop_assert_eq!(mask.len(), refs.len().div_ceil(64));
+        for (i, path) in refs.iter().enumerate() {
+            let bit = (mask[i / 64] >> (i % 64)) & 1 == 1;
+            prop_assert_eq!(
+                bit,
+                compiled.check(&agent, path).allow,
+                "path #{} {:?}", i, path
+            );
         }
     }
 

@@ -6,6 +6,7 @@
 //! parse → group-select → match stack.
 
 use botscope_robotstxt::parser::parse;
+use botscope_robotstxt::CompiledPolicy;
 
 struct Case {
     name: &'static str,
@@ -218,6 +219,45 @@ fn spec_corpus() {
                 "{}: agent={} path={} expected {} got {}",
                 case.name, case.agent, case.path, case.allow, got
             ));
+        }
+    }
+    assert!(failures.is_empty(), "{} corpus failures:\n{}", failures.len(), failures.join("\n"));
+}
+
+/// Every spec case, replayed through the compiled automaton: the
+/// verdict must match the corpus AND the full decision (winning rule,
+/// agent group, crawl delay) must match the interpreted matcher.
+#[test]
+fn spec_corpus_compiled() {
+    let mut failures = Vec::new();
+    for case in CASES {
+        let doc = parse(case.robots);
+        let compiled = CompiledPolicy::compile(&doc);
+        let interpreted = doc.is_allowed(case.agent, case.path);
+        let automaton = compiled.check(case.agent, case.path);
+        if automaton.allow != case.allow {
+            failures.push(format!(
+                "{}: compiled verdict {} != corpus {}",
+                case.name, automaton.allow, case.allow
+            ));
+        }
+        let rule = |d: &botscope_robotstxt::Decision<'_>| {
+            d.matched_rule.map(|r| (r.verb, r.pattern.as_str().to_string()))
+        };
+        if rule(&automaton) != rule(&interpreted)
+            || automaton.matched_agent != interpreted.matched_agent
+        {
+            failures.push(format!(
+                "{}: compiled decision ({:?}, {:?}) != interpreted ({:?}, {:?})",
+                case.name,
+                rule(&automaton),
+                automaton.matched_agent,
+                rule(&interpreted),
+                interpreted.matched_agent
+            ));
+        }
+        if compiled.crawl_delay(case.agent) != doc.crawl_delay(case.agent) {
+            failures.push(format!("{}: crawl delay disagrees", case.name));
         }
     }
     assert!(failures.is_empty(), "{} corpus failures:\n{}", failures.len(), failures.join("\n"));

@@ -56,11 +56,12 @@ pub enum BelievedPolicy {
 
 impl BelievedPolicy {
     /// Whether `agent` may fetch `path` under this belief. `corpus`
-    /// resolves [`BelievedPolicy::Version`] to its parsed document.
+    /// resolves [`BelievedPolicy::Version`] through its active matcher
+    /// (the compiled automaton by default).
     pub fn allows(self, corpus: &PolicyCorpus, agent: &str, path: &str) -> bool {
         match self {
             BelievedPolicy::Unfetched | BelievedPolicy::AllowAll => true,
-            BelievedPolicy::Version(v) => corpus.doc(v).is_allowed(agent, path).allow,
+            BelievedPolicy::Version(v) => corpus.check(v, agent, path),
             // robots.txt itself stays fetchable even in disallow-all.
             BelievedPolicy::DisallowAll => path == "/robots.txt",
         }
@@ -69,8 +70,37 @@ impl BelievedPolicy {
     /// The crawl delay `agent` must honour under this belief, if any.
     pub fn crawl_delay(self, corpus: &PolicyCorpus, agent: &str) -> Option<f64> {
         match self {
-            BelievedPolicy::Version(v) => corpus.doc(v).crawl_delay(agent),
+            BelievedPolicy::Version(v) => corpus.delay(v, agent),
             _ => None,
+        }
+    }
+
+    /// Project this belief onto the generation engine's three behavioural
+    /// axes by probing the policy through the corpus matcher.
+    ///
+    /// `agent` is the bot's canonical product token and `exempt` the
+    /// engine's planted exemption flag: exempt bots read their own named
+    /// group, everyone else the wildcard group. (Group choice is gated on
+    /// the planted flag rather than pure matcher selection so that fleet
+    /// variants like `Googlebot-Image` — not on the exemption list, but a
+    /// boundary-prefix match for the exempt `googlebot` group — keep the
+    /// behaviour the study assigns them.)
+    pub fn lens(self, corpus: &PolicyCorpus, agent: &str, exempt: bool) -> PolicyLens {
+        match self {
+            BelievedPolicy::Unfetched | BelievedPolicy::AllowAll => PolicyLens::default(),
+            BelievedPolicy::DisallowAll => {
+                PolicyLens { disallow_all: true, endpoint_only: false, delayed: false }
+            }
+            BelievedPolicy::Version(v) => {
+                let token = if exempt { agent } else { "*" };
+                let content = corpus.check(v, token, PROBE_CONTENT);
+                let pagedata = corpus.check(v, token, PROBE_PAGEDATA);
+                PolicyLens {
+                    disallow_all: !content && !pagedata,
+                    endpoint_only: !content && pagedata,
+                    delayed: corpus.delay(v, token).is_some(),
+                }
+            }
         }
     }
 
@@ -81,6 +111,65 @@ impl BelievedPolicy {
             BelievedPolicy::Version(v) => v.label(),
             BelievedPolicy::AllowAll => "allow-all (4xx)",
             BelievedPolicy::DisallowAll => "disallow-all (5xx)",
+        }
+    }
+}
+
+/// Representative content path probed by [`BelievedPolicy::lens`]: blocked
+/// only by a full disallow.
+pub const PROBE_CONTENT: &str = "/news/item-001";
+
+/// Representative page-data endpoint probed by [`BelievedPolicy::lens`]:
+/// carved out by the V2 endpoint-only policy's `Allow: /page-data/*`.
+pub const PROBE_PAGEDATA: &str = "/page-data/item-001/page-data.json";
+
+/// A believed policy projected onto the generation engine's behavioural
+/// axes — derived through the policy matcher instead of hard-coded per
+/// [`PolicyVersion`] branches, so the engine reacts to what the policy
+/// *says* rather than which enum variant it is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PolicyLens {
+    /// The bot's whole content surface is disallowed (obedient bots fall
+    /// back to robots.txt-only traffic).
+    pub disallow_all: bool,
+    /// Content is disallowed but the page-data endpoint is carved out
+    /// (obedient bots shift to `/page-data/`).
+    pub endpoint_only: bool,
+    /// A crawl delay applies (obedient bots stretch inter-request gaps).
+    pub delayed: bool,
+}
+
+/// Every [`PolicyLens`] one bot can see, probed once up front so the
+/// per-session hot path is an array lookup instead of matcher calls.
+///
+/// A lens is a pure function of `(believed policy, bot)`, and the
+/// believed policy ranges over only the corpus versions plus three
+/// trivial states — so [`simulate`](crate::engine::simulate)-scale
+/// callers precompute the four version lenses per bot and resolve each
+/// session's belief against the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LensTable {
+    versions: [PolicyLens; PolicyVersion::ALL.len()],
+}
+
+impl LensTable {
+    /// Probe all four corpus versions for one bot.
+    pub fn for_bot(corpus: &PolicyCorpus, agent: &str, exempt: bool) -> LensTable {
+        LensTable {
+            versions: PolicyVersion::ALL
+                .map(|v| BelievedPolicy::Version(v).lens(corpus, agent, exempt)),
+        }
+    }
+
+    /// The lens for `believed` — identical to
+    /// [`BelievedPolicy::lens`] with the bot this table was built for.
+    pub fn lens(&self, believed: BelievedPolicy) -> PolicyLens {
+        match believed {
+            BelievedPolicy::Unfetched | BelievedPolicy::AllowAll => PolicyLens::default(),
+            BelievedPolicy::DisallowAll => {
+                PolicyLens { disallow_all: true, endpoint_only: false, delayed: false }
+            }
+            BelievedPolicy::Version(v) => self.versions[v.index()],
         }
     }
 }
@@ -306,6 +395,50 @@ mod tests {
             Some(30.0)
         );
         assert_eq!(BelievedPolicy::AllowAll.crawl_delay(&corpus, "GPTBot"), None);
+    }
+
+    #[test]
+    fn lens_reproduces_version_branches_for_the_fleet() {
+        use crate::fleet::build_fleet;
+        use crate::server::MatcherMode;
+
+        let beliefs = [
+            BelievedPolicy::Unfetched,
+            BelievedPolicy::AllowAll,
+            BelievedPolicy::DisallowAll,
+            BelievedPolicy::Version(PolicyVersion::Base),
+            BelievedPolicy::Version(PolicyVersion::V1CrawlDelay),
+            BelievedPolicy::Version(PolicyVersion::V2EndpointOnly),
+            BelievedPolicy::Version(PolicyVersion::V3DisallowAll),
+        ];
+        let compiled = PolicyCorpus::with_mode(MatcherMode::Compiled);
+        let interpreted = PolicyCorpus::with_mode(MatcherMode::Interpreted);
+        for bot in build_fleet() {
+            let agent = bot.spec.canonical;
+            for believed in beliefs {
+                let lens = believed.lens(&compiled, agent, bot.exempt);
+                assert_eq!(
+                    lens,
+                    believed.lens(&interpreted, agent, bot.exempt),
+                    "matcher modes disagree: {agent} {believed:?}"
+                );
+                // The lens must reproduce the engine's historical
+                // hard-coded per-variant branches exactly.
+                let expect_disallow = match believed {
+                    BelievedPolicy::DisallowAll => true,
+                    BelievedPolicy::Version(PolicyVersion::V3DisallowAll) => !bot.exempt,
+                    _ => false,
+                };
+                let expect_endpoint =
+                    matches!(believed, BelievedPolicy::Version(PolicyVersion::V2EndpointOnly))
+                        && !bot.exempt;
+                let expect_delayed =
+                    matches!(believed, BelievedPolicy::Version(PolicyVersion::V1CrawlDelay));
+                assert_eq!(lens.disallow_all, expect_disallow, "{agent} {believed:?}");
+                assert_eq!(lens.endpoint_only, expect_endpoint, "{agent} {believed:?}");
+                assert_eq!(lens.delayed, expect_delayed, "{agent} {believed:?}");
+            }
+        }
     }
 
     #[test]

@@ -34,13 +34,14 @@ use botscope_weblog::record::AccessRecord;
 use botscope_weblog::sink::RowSink;
 use botscope_weblog::table::{LogTable, RecordRow};
 use botscope_weblog::time::Timestamp;
-use botscope_weblog::{merge_runs, MergeRun};
+use botscope_weblog::{merge_runs_parallel, MergeRun};
 
 use crate::behavior::{BotBehavior, RobotsCheckPolicy};
-use crate::belief::{BelievedPolicy, PolicyOracle, ScheduleOracle};
+use crate::belief::{LensTable, PolicyOracle, ScheduleOracle};
 use crate::config::SimConfig;
 use crate::fleet::{build_fleet, SimBot};
-use crate::phases::{PhaseSchedule, PolicyVersion};
+use crate::phases::PhaseSchedule;
+use crate::server::PolicyCorpus;
 use crate::site::{Page, PageKind, Site, DIRECTORY_SITE, EXPERIMENT_SITE};
 
 /// Ground truth planted by the generator, for validation by tests and the
@@ -164,6 +165,9 @@ pub(crate) struct World<'a> {
     pub(crate) hasher: &'a IpHasher,
     estate: &'a [Site],
     pools: Vec<SitePools<'a>>,
+    /// The policy corpus every session's believed policy is projected
+    /// through (compiled automata by default, `BOTSCOPE_MATCHER` selects).
+    corpus: PolicyCorpus,
     /// Session-target weights per site (experiment site is the heavy one).
     site_weights: Vec<f64>,
     site_weight_total: f64,
@@ -181,6 +185,7 @@ impl<'a> World<'a> {
             hasher,
             estate,
             pools: estate.iter().map(SitePools::build).collect(),
+            corpus: PolicyCorpus::new(),
             site_weights,
             site_weight_total,
         }
@@ -617,7 +622,10 @@ pub fn simulate_stream_oracle<O: PolicyOracle>(
                 runs.push(MergeRun::from_sorted_stream(unit_runs.interner.clone(), Box::new(bin)));
             }
         }
-        merge_runs(runs, sinks)
+        // Tournament merge over the spilled runs, fanned across the same
+        // worker budget generation used; byte-identical to the serial
+        // merge at any worker count.
+        merge_runs_parallel(runs, sinks, threads)
     })();
     if own_dir {
         let _ = std::fs::remove_dir_all(&spill_dir);
@@ -686,10 +694,27 @@ fn simulate_bot<O: PolicyOracle>(
     // policy across their crawl of the estate).
     let mut last_check: Option<u64> = None;
 
+    // Probe the corpus once per bot: sessions resolve their believed
+    // policy against this table instead of re-running matcher probes.
+    let lenses = LensTable::for_bot(&world.corpus, bot.spec.canonical, bot.exempt);
+
     let mut t = exp_sample(rng, mean_gap_secs);
     while t < horizon_secs {
         let now = cfg.start.plus_secs(t as u64);
-        session(world, oracle, unit, bot, ua, asn, &ip_hash_of, rng, now, &mut last_check, out);
+        session(
+            world,
+            oracle,
+            unit,
+            bot,
+            ua,
+            asn,
+            &ip_hash_of,
+            rng,
+            now,
+            &lenses,
+            &mut last_check,
+            out,
+        );
         t += exp_sample(rng, mean_gap_secs);
     }
 }
@@ -753,6 +778,7 @@ fn session<O: PolicyOracle>(
     ip_hash_of: &dyn Fn(u32) -> u64,
     rng: &mut StdRng,
     start: Timestamp,
+    lenses: &LensTable,
     last_check: &mut Option<u64>,
     out: &mut ShardWriter,
 ) {
@@ -778,19 +804,22 @@ fn session<O: PolicyOracle>(
         }
     }
 
-    // The policy the bot *believes* is live: the schedule itself in the
-    // baseline, a monitored belief timeline in coupled mode.
+    // The policy the bot *believes* is live (the schedule itself in the
+    // baseline, a monitored belief timeline in coupled mode), projected
+    // onto the engine's behavioural axes via the policy matcher: the bot
+    // reacts to what the believed file *says*, not to which enum variant
+    // carried it.
     let believed = oracle.believed(unit, site_index, now);
+    let lens = lenses.lens(believed);
     let pages = 1 + exp_sample(rng, (bb.pages_per_session - 1.0).max(0.0)) as u64;
 
     for i in 0..pages {
         // Pacing between page fetches (the crawl-delay signal).
         if i > 0 {
-            let comply_pace = match believed {
-                BelievedPolicy::Version(PolicyVersion::V1CrawlDelay) => {
-                    rng.gen_bool(bb.compliance.crawl_delay)
-                }
-                _ => rng.gen_bool(bb.compliance.natural_slow),
+            let comply_pace = if lens.delayed {
+                rng.gen_bool(bb.compliance.crawl_delay)
+            } else {
+                rng.gen_bool(bb.compliance.natural_slow)
             };
             let delta = if comply_pace {
                 30.0 + exp_sample(rng, 25.0)
@@ -800,53 +829,44 @@ fn session<O: PolicyOracle>(
             now = now.plus_secs(delta.max(1.0) as u64);
         }
 
-        // Target selection under the believed policy.
-        let page: &Page = match believed {
-            BelievedPolicy::Version(PolicyVersion::V3DisallowAll) if !bot.exempt => {
-                if rng.gen_bool(bb.compliance.disallow) {
-                    // The bot obeys: instead of the page it re-consults the
-                    // policy file — the only permitted target. This is what
-                    // the paper's fully-compliant bots look like in the
-                    // logs (e.g. ChatGPT-User's all-robots.txt traffic
-                    // under disallow-all, Table 6).
-                    out.emit(ua, asn, site, ip_hash, "/robots.txt", 430, 200, None, now);
+        // Target selection under the believed policy. `disallow_all`
+        // covers both a served disallow-all file (for bots it does not
+        // exempt) and the RFC 9309 §2.3.1.4 unreachable state — in the
+        // latter there is no served file to grant the SEO agents their
+        // exemption, so even exempt bots face the gamble.
+        let page: &Page = if lens.disallow_all {
+            if rng.gen_bool(bb.compliance.disallow) {
+                // The bot obeys: instead of the page it re-consults the
+                // policy file — the only permitted target. This is what
+                // the paper's fully-compliant bots look like in the
+                // logs (e.g. ChatGPT-User's all-robots.txt traffic
+                // under disallow-all, Table 6).
+                out.emit(ua, asn, site, ip_hash, "/robots.txt", 430, 200, None, now);
+                continue;
+            }
+            pick_natural_page(pools, rng, bb.compliance.natural_pagedata)
+        } else if lens.endpoint_only {
+            if rng.gen_bool(bb.compliance.endpoint) {
+                let pd = &pools.page_data;
+                if pd.is_empty() {
                     continue;
                 }
-                pick_natural_page(pools, rng, bb.compliance.natural_pagedata)
-            }
-            BelievedPolicy::DisallowAll => {
-                // RFC 9309 §2.3.1.4: the file was unreachable (5xx /
-                // network), so a compliant crawler must fetch nothing —
-                // and there is no served file to grant the SEO agents
-                // their exemption, so even exempt bots face the gamble.
-                if rng.gen_bool(bb.compliance.disallow) {
-                    out.emit(ua, asn, site, ip_hash, "/robots.txt", 430, 200, None, now);
-                    continue;
-                }
-                pick_natural_page(pools, rng, bb.compliance.natural_pagedata)
-            }
-            BelievedPolicy::Version(PolicyVersion::V2EndpointOnly) if !bot.exempt => {
-                if rng.gen_bool(bb.compliance.endpoint) {
-                    let pd = &pools.page_data;
-                    if pd.is_empty() {
-                        continue;
-                    }
-                    pd[rng.gen_range(0..pd.len())]
+                pd[rng.gen_range(0..pd.len())]
+            } else {
+                // A non-compliant fetch under v2 goes where the bot was
+                // going anyway — which is *not* the page-data endpoint
+                // (that family is a compliance signal now, and the
+                // paper observes several bots shifting away from it:
+                // the negative endpoint z-scores of Table 10).
+                let pool = &pools.non_pagedata;
+                if pool.is_empty() {
+                    &pools.site.pages[0]
                 } else {
-                    // A non-compliant fetch under v2 goes where the bot was
-                    // going anyway — which is *not* the page-data endpoint
-                    // (that family is a compliance signal now, and the
-                    // paper observes several bots shifting away from it:
-                    // the negative endpoint z-scores of Table 10).
-                    let pool = &pools.non_pagedata;
-                    if pool.is_empty() {
-                        &pools.site.pages[0]
-                    } else {
-                        pool[rng.gen_range(0..pool.len())]
-                    }
+                    pool[rng.gen_range(0..pool.len())]
                 }
             }
-            _ => pick_natural_page(pools, rng, bb.compliance.natural_pagedata),
+        } else {
+            pick_natural_page(pools, rng, bb.compliance.natural_pagedata)
         };
 
         let jitter: f64 = rng.gen_range(0.5..1.5);
@@ -864,7 +884,7 @@ pub(crate) fn crawlable_pool<'w>(world: &'w World<'_>, site_index: usize) -> &'w
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::phases::PhaseSchedule;
+    use crate::phases::{PhaseSchedule, PolicyVersion};
 
     fn small_cfg() -> SimConfig {
         SimConfig::test_small()

@@ -8,18 +8,47 @@
 //! renders/parses the four policy files exactly once ([`PolicyCorpus`])
 //! so a 100k-site estate shares four bodies instead of building 100k.
 
+use botscope_robotstxt::compiled::CompiledPolicy;
 use botscope_robotstxt::RobotsTxt;
 use botscope_weblog::time::Timestamp;
 
 use crate::phases::{PhaseSchedule, PolicyVersion};
 
+/// Which matcher implementation answers policy checks.
+///
+/// The compiled automaton is the default; the interpreted rule-list scan is
+/// kept selectable (`BOTSCOPE_MATCHER=interpreted`) so CI can verify the
+/// two produce byte-identical simulation output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatcherMode {
+    /// Compiled per-group automata (`botscope_robotstxt::compiled`).
+    #[default]
+    Compiled,
+    /// Interpreted per-rule scan (`RobotsTxt::is_allowed`).
+    Interpreted,
+}
+
+impl MatcherMode {
+    /// Read the mode from `BOTSCOPE_MATCHER` (`compiled` | `interpreted`,
+    /// default compiled; unknown values fall back to the default).
+    pub fn from_env() -> MatcherMode {
+        match std::env::var("BOTSCOPE_MATCHER").as_deref() {
+            Ok("interpreted") => MatcherMode::Interpreted,
+            _ => MatcherMode::Compiled,
+        }
+    }
+}
+
 /// The four experimental policy files, rendered once (the text a server
-/// puts on the wire) and parsed once (the document a crawler-side cache
-/// evaluates and diffs).
+/// puts on the wire), parsed once (the document a crawler-side cache
+/// evaluates and diffs), and compiled once (the automaton every admission
+/// check runs against).
 #[derive(Debug, Clone)]
 pub struct PolicyCorpus {
     texts: [String; 4],
     docs: [RobotsTxt; 4],
+    compiled: [CompiledPolicy; 4],
+    mode: MatcherMode,
 }
 
 impl Default for PolicyCorpus {
@@ -29,11 +58,23 @@ impl Default for PolicyCorpus {
 }
 
 impl PolicyCorpus {
-    /// Render and parse all four versions.
+    /// Render, parse and compile all four versions; the matcher mode comes
+    /// from `BOTSCOPE_MATCHER` (compiled by default).
     pub fn new() -> PolicyCorpus {
+        PolicyCorpus::with_mode(MatcherMode::from_env())
+    }
+
+    /// Render, parse and compile all four versions with an explicit mode.
+    pub fn with_mode(mode: MatcherMode) -> PolicyCorpus {
         let docs = PolicyVersion::ALL.map(|v| v.robots_txt());
         let texts = [0, 1, 2, 3].map(|i: usize| docs[i].to_string());
-        PolicyCorpus { texts, docs }
+        let compiled = [0, 1, 2, 3].map(|i: usize| CompiledPolicy::compile(&docs[i]));
+        PolicyCorpus { texts, docs, compiled, mode }
+    }
+
+    /// The active matcher mode.
+    pub fn mode(&self) -> MatcherMode {
+        self.mode
     }
 
     /// The serialized robots.txt body of `version`.
@@ -44,6 +85,30 @@ impl PolicyCorpus {
     /// The parsed document of `version`.
     pub fn doc(&self, version: PolicyVersion) -> &RobotsTxt {
         &self.docs[version.index()]
+    }
+
+    /// The compiled automaton of `version`.
+    pub fn compiled(&self, version: PolicyVersion) -> &CompiledPolicy {
+        &self.compiled[version.index()]
+    }
+
+    /// Whether `agent` may fetch `path` under `version`, via the active
+    /// matcher. The two matchers are differentially tested to agree on
+    /// every decision, so the mode never changes simulation output.
+    pub fn check(&self, version: PolicyVersion, agent: &str, path: &str) -> bool {
+        match self.mode {
+            MatcherMode::Compiled => self.compiled[version.index()].check(agent, path).allow,
+            MatcherMode::Interpreted => self.docs[version.index()].is_allowed(agent, path).allow,
+        }
+    }
+
+    /// The crawl delay `version` declares for `agent`, via the active
+    /// matcher.
+    pub fn delay(&self, version: PolicyVersion, agent: &str) -> Option<f64> {
+        match self.mode {
+            MatcherMode::Compiled => self.compiled[version.index()].crawl_delay(agent),
+            MatcherMode::Interpreted => self.docs[version.index()].crawl_delay(agent),
+        }
     }
 }
 
@@ -166,6 +231,33 @@ mod tests {
         let texts: std::collections::BTreeSet<&str> =
             PolicyVersion::ALL.iter().map(|&v| corpus.text(v)).collect();
         assert_eq!(texts.len(), 4);
+    }
+
+    #[test]
+    fn matcher_modes_agree_on_corpus_decisions() {
+        let compiled = PolicyCorpus::with_mode(MatcherMode::Compiled);
+        let interpreted = PolicyCorpus::with_mode(MatcherMode::Interpreted);
+        let agents = ["Googlebot", "Googlebot-Image", "GPTBot", "ClaudeBot", "*", "ia_archiver"];
+        let paths = [
+            "/",
+            "/news/item-001",
+            "/page-data/item-001/page-data.json",
+            "/secure/admin",
+            "/404",
+            "/robots.txt",
+        ];
+        for v in PolicyVersion::ALL {
+            for agent in agents {
+                for path in paths {
+                    assert_eq!(
+                        compiled.check(v, agent, path),
+                        interpreted.check(v, agent, path),
+                        "{v:?} {agent} {path}"
+                    );
+                }
+                assert_eq!(compiled.delay(v, agent), interpreted.delay(v, agent), "{v:?} {agent}");
+            }
+        }
     }
 
     #[test]

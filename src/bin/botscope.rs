@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! botscope check <robots.txt> <agent> <path>...   access decisions
+//! botscope admit [--robots F] <queries.csv|->     batch admission checks
 //! botscope audit <robots.txt>                     lint a policy file
 //! botscope diff <old> <new> [agent...]            what changed, for whom
 //! botscope analyze [--phase-report] <log|->       per-bot compliance report
@@ -31,6 +32,16 @@ const USAGE: &str = "botscope — robots.txt compliance toolkit
 USAGE:
   botscope check <robots.txt> <agent> <path>...
       Print ALLOW/DENY (and crawl delay) for each path.
+  botscope admit [--robots FILE] [--quiet] <queries.csv|->
+      Batch \"may-I-crawl\" admission: each query row `agent,site,path`
+      (header optional; \"-\" reads stdin) is answered ALLOW/DENY on
+      stdout from compiled policy automata cached per site, compiled
+      lazily on first use. Sites default to the paper's policy corpus
+      (version picked by a stable hash of the site name); a throughput
+      and compile-cost summary goes to stderr.
+        --robots FILE    serve FILE as every site's robots.txt instead
+                         of the paper corpus
+        --quiet          suppress per-query output (throughput runs)
   botscope audit <robots.txt>
       Lint the policy: dead rules, contradictions, missing wildcard group.
   botscope diff <old-robots.txt> <new-robots.txt> [agent]...
@@ -107,6 +118,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("check") => cmd_check(&args[1..]),
+        Some("admit") => cmd_admit(&args[1..]),
         Some("audit") => cmd_audit(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
@@ -156,6 +168,130 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
             None => println!("{verdict} {path}  (default)"),
         }
     }
+    Ok(())
+}
+
+/// Deterministic corpus assignment for `admit` sites without an
+/// explicit robots file: FNV-1a over the site name picks one of the
+/// paper's four policy versions, so repeated runs (and the CLI tests)
+/// always see the same estate.
+fn admit_site_version(site: &str) -> botscope::simnet::PolicyVersion {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in site.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    botscope::simnet::PolicyVersion::ALL[(h % 4) as usize]
+}
+
+fn cmd_admit(args: &[String]) -> Result<(), String> {
+    use botscope::robots::PolicyEstate;
+
+    let mut quiet = false;
+    let mut robots_file: Option<&str> = None;
+    let mut input: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quiet" => quiet = true,
+            "--robots" => {
+                robots_file =
+                    Some(args.get(i + 1).ok_or("--robots needs a file (see `botscope help`)")?);
+                i += 1;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown admit flag {other:?} (see `botscope help`)"))
+            }
+            value => {
+                if input.replace(value).is_some() {
+                    return Err("admit takes exactly one query file (see `botscope help`)".into());
+                }
+            }
+        }
+        i += 1;
+    }
+    let Some(file) = input else {
+        return Err("usage: botscope admit [--robots FILE] [--quiet] <queries.csv|->".into());
+    };
+
+    let text = if file == "-" {
+        use std::io::Read as _;
+        let mut buf = String::new();
+        std::io::stdin().read_to_string(&mut buf).map_err(|e| format!("cannot read stdin: {e}"))?;
+        buf
+    } else {
+        read_file(file)?
+    };
+
+    // Parse every query up front so the timed loop measures admission
+    // checks (plus lazy compiles), not file IO. `splitn` keeps commas
+    // inside the path intact.
+    let mut queries: Vec<(&str, &str, &str)> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || (lineno == 0 && line == "agent,site,path") {
+            continue;
+        }
+        let mut fields = line.splitn(3, ',');
+        match (fields.next(), fields.next(), fields.next()) {
+            (Some(agent), Some(site), Some(path)) if !agent.is_empty() && !site.is_empty() => {
+                queries.push((agent, site, path));
+            }
+            _ => return Err(format!("line {}: want `agent,site,path`, got {line:?}", lineno + 1)),
+        }
+    }
+    if queries.is_empty() {
+        return Err("no queries (want `agent,site,path` rows)".into());
+    }
+
+    // Register every queried site; compilation stays lazy so the first
+    // check against each site pays its compile below, inside the timed
+    // loop — that cost is what the stderr summary reports.
+    let robots_text = robots_file.map(read_file).transpose()?;
+    let mut estate = PolicyEstate::new();
+    for &(_, site, _) in &queries {
+        if estate.doc(site).is_none() {
+            match &robots_text {
+                Some(text) => estate.insert_text(site, text),
+                None => estate.insert(site, admit_site_version(site).robots_txt()),
+            }
+        }
+    }
+    let sites = estate.len();
+
+    let started = std::time::Instant::now();
+    let mut verdicts = Vec::with_capacity(queries.len());
+    let mut allowed = 0u64;
+    for &(agent, site, path) in &queries {
+        // Sites were all primed above, so the estate always answers.
+        let allow = estate.check(site, agent, path).unwrap_or(false);
+        allowed += u64::from(allow);
+        verdicts.push(allow);
+    }
+    let elapsed = started.elapsed();
+
+    if !quiet {
+        write_output("-", |w| {
+            for (&(agent, site, path), &allow) in queries.iter().zip(&verdicts) {
+                let verdict = if allow { "ALLOW" } else { "DENY " };
+                writeln!(w, "{verdict} {agent} {site} {path}")?;
+            }
+            Ok(())
+        })?;
+    }
+
+    let secs = elapsed.as_secs_f64();
+    let rate = if secs > 0.0 { queries.len() as f64 / secs } else { f64::INFINITY };
+    eprintln!(
+        "{} queries over {} site(s): {} allowed, {} denied; {} policy compile(s); {:.3} ms ({:.0} checks/s)",
+        queries.len(),
+        sites,
+        allowed,
+        queries.len() as u64 - allowed,
+        estate.compiles(),
+        secs * 1e3,
+        rate
+    );
     Ok(())
 }
 

@@ -48,6 +48,66 @@ fn check_reports_decisions() {
 }
 
 #[test]
+fn admit_answers_batch_queries_from_compiled_policies() {
+    let robots = write_temp(
+        "admit-robots.txt",
+        "User-agent: GPTBot\nDisallow: /private/\n\nUser-agent: *\nAllow: /\n",
+    );
+    let queries = write_temp(
+        "admit-queries.csv",
+        "agent,site,path\n\
+         GPTBot,a.example.edu,/private/report\n\
+         GPTBot,a.example.edu,/public/page\n\
+         ClaudeBot,b.example.edu,/private/report\n",
+    );
+    let out = botscope(&["admit", "--robots", robots.to_str().unwrap(), queries.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("DENY  GPTBot a.example.edu /private/report"), "{text}");
+    assert!(text.contains("ALLOW GPTBot a.example.edu /public/page"), "{text}");
+    assert!(text.contains("ALLOW ClaudeBot b.example.edu /private/report"), "{text}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("3 queries over 2 site(s)"), "{err}");
+    assert!(err.contains("2 policy compile(s)"), "{err}");
+    assert!(err.contains("checks/s"), "{err}");
+    let _ = std::fs::remove_file(robots);
+    let _ = std::fs::remove_file(queries);
+}
+
+#[test]
+fn admit_corpus_defaults_are_deterministic_and_quiet_suppresses_verdicts() {
+    let queries = write_temp(
+        "admit-corpus.csv",
+        "GPTBot,site-00.example.edu,/news/item-001\n\
+         Googlebot,site-01.example.edu,/page-data/item-1/page-data.json\n",
+    );
+    let a = botscope(&["admit", queries.to_str().unwrap()]);
+    let b = botscope(&["admit", queries.to_str().unwrap()]);
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(a.stdout, b.stdout, "corpus assignment must be stable across runs");
+    assert_eq!(String::from_utf8_lossy(&a.stdout).lines().count(), 2);
+
+    let quiet = botscope(&["admit", "--quiet", queries.to_str().unwrap()]);
+    assert!(quiet.status.success());
+    assert!(quiet.stdout.is_empty(), "--quiet must suppress per-query verdicts");
+    assert!(String::from_utf8_lossy(&quiet.stderr).contains("2 queries"), "summary still prints");
+    let _ = std::fs::remove_file(queries);
+}
+
+#[test]
+fn admit_rejects_malformed_queries_cleanly() {
+    let queries = write_temp("admit-bad.csv", "GPTBot-only-one-field\n");
+    let out = botscope(&["admit", queries.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("want `agent,site,path`"));
+    let _ = std::fs::remove_file(queries);
+
+    let out = botscope(&["admit"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: botscope admit"));
+}
+
+#[test]
 fn check_missing_file_fails_cleanly() {
     let out = botscope(&["check", "/no/such/file", "bot", "/x"]);
     assert!(!out.status.success());
