@@ -45,10 +45,10 @@ fn ablation_match_precedence(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("ablation_precedence");
     g.bench_function("longest_match_rfc9309", |b| {
-        b.iter(|| paths.iter().filter(|p| doc.is_allowed("bot", black_box(p)).allow).count())
+        b.iter(|| paths.iter().filter(|p| doc.is_allowed("bot", black_box(p)).allow).count());
     });
     g.bench_function("first_match_naive", |b| {
-        b.iter(|| paths.iter().filter(|p| first_match(black_box(p))).count())
+        b.iter(|| paths.iter().filter(|p| first_match(black_box(p))).count());
     });
     g.finish();
 }
@@ -90,7 +90,7 @@ fn ablation_tau_stratification(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("ablation_tau");
     g.bench_function("tau_stratified", |b| {
-        b.iter(|| crawl_delay_counts_rows(black_box(&busiest), 30))
+        b.iter(|| crawl_delay_counts_rows(black_box(&busiest), 30));
     });
     g.bench_function("naive_pooled", |b| b.iter(|| naive(black_box(&busiest))));
     g.finish();
@@ -105,7 +105,7 @@ fn ablation_session_gap(c: &mut Criterion) {
         let sessions = table.sessionize(gap_min * 60).len();
         println!("[ablation] session gap {gap_min}min -> {sessions} sessions");
         g.bench_with_input(BenchmarkId::from_parameter(gap_min), &gap_min, |b, &gap| {
-            b.iter(|| black_box(&table).sessionize(gap * 60).len())
+            b.iter(|| black_box(&table).sessionize(gap * 60).len());
         });
     }
     g.finish();
@@ -122,7 +122,7 @@ fn ablation_spoof_threshold(c: &mut Criterion) {
         let flagged = detect_rows_with(&table, &per_bot, threshold, 10).findings.len();
         println!("[ablation] dominance threshold {threshold} -> {flagged} flagged bots");
         g.bench_with_input(BenchmarkId::from_parameter(threshold), &threshold, |b, &t| {
-            b.iter(|| detect_rows_with(&table, black_box(&per_bot), t, 10).findings.len())
+            b.iter(|| detect_rows_with(&table, black_box(&per_bot), t, 10).findings.len());
         });
     }
     g.finish();

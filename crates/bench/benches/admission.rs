@@ -47,13 +47,13 @@ fn bench_admission(c: &mut Criterion) {
                 }
             }
             allowed
-        })
+        });
     });
 
     // The batch bitmask path: agent resolved once, paths streamed.
     g.throughput(Throughput::Elements(path_refs.len() as u64));
     g.bench_function("check_many", |b| {
-        b.iter(|| compiled.check_many(black_box("GPTBot"), black_box(&path_refs)))
+        b.iter(|| compiled.check_many(black_box("GPTBot"), black_box(&path_refs)));
     });
 
     // The serving layer: site-keyed dispatch over a warm 36-site
@@ -77,7 +77,7 @@ fn bench_admission(c: &mut Criterion) {
                     u64::from(estate.check(black_box(site), agent, black_box(path)).unwrap());
             }
             allowed
-        })
+        });
     });
 
     // Cold start: register + lazily compile the whole estate, one check
@@ -100,7 +100,7 @@ fn bench_admission(c: &mut Criterion) {
                 (allowed, estate)
             },
             BatchSize::SmallInput,
-        )
+        );
     });
     g.finish();
 }

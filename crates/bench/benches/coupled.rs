@@ -29,7 +29,7 @@ fn bench_coupled(c: &mut Criterion) {
         let rows = run_coupled_with_threads(&cfg, 1).sim.table.len() as u64;
         g.throughput(Throughput::Elements(rows));
         g.bench_with_input(BenchmarkId::new("run_8w_12sites", scale), &cfg, |b, cfg| {
-            b.iter(|| run_coupled_with_threads(cfg, 1))
+            b.iter(|| run_coupled_with_threads(cfg, 1));
         });
     }
     g.finish();
@@ -45,7 +45,7 @@ fn bench_attribution(c: &mut Criterion) {
     g.bench_function("attribute_8w_12sites_0.25", |b| {
         b.iter(|| {
             black_box(attribute_table(&out.sim.table, &out.beliefs, &out.served, &corpus)).len()
-        })
+        });
     });
     g.finish();
 }

@@ -15,7 +15,7 @@ fn bench_generator(c: &mut Criterion) {
         let n = full_study(&cfg).records.len() as u64;
         g.throughput(Throughput::Elements(n));
         g.bench_with_input(BenchmarkId::new("full_study_10d", scale), &cfg, |b, cfg| {
-            b.iter(|| full_study(cfg))
+            b.iter(|| full_study(cfg));
         });
     }
     g.finish();

@@ -25,7 +25,7 @@ fn bench_daemon(c: &mut Criterion) {
         let events = run_with_threads(&cfg, 1).stats.fetches;
         g.throughput(Throughput::Elements(events));
         g.bench_with_input(BenchmarkId::new("daemon_46d", sites), &cfg, |b, cfg| {
-            b.iter(|| run_with_threads(cfg, 1))
+            b.iter(|| run_with_threads(cfg, 1));
         });
     }
     g.finish();
@@ -51,7 +51,7 @@ fn bench_transport(c: &mut Criterion) {
                 }
             }
             bytes
-        })
+        });
     });
     g.finish();
 }

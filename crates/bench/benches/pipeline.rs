@@ -43,7 +43,7 @@ fn bench_pipeline(c: &mut Criterion) {
             || busiest.clone(),
             |records| crawl_delay_counts(&records, 30),
             BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("endpoint_metric", |b| b.iter(|| endpoint_counts(black_box(&busiest))));
     g.bench_function("disallow_metric", |b| b.iter(|| disallow_counts(black_box(&busiest))));
@@ -61,7 +61,7 @@ fn bench_analysis(c: &mut Criterion) {
     let mut g = c.benchmark_group("analysis");
     g.sample_size(10);
     g.throughput(Throughput::Elements(out.sim.table.len() as u64));
-    let hardware = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let hardware = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let mut counts = vec![1usize];
     if hardware > 1 {
         counts.push(hardware.min(8));
@@ -74,7 +74,7 @@ fn bench_analysis(c: &mut Criterion) {
                     &out.schedule,
                     threads,
                 )
-            })
+            });
         });
     }
     g.finish();
@@ -112,7 +112,7 @@ fn bench_streaming(c: &mut Criterion) {
                 &mut [&mut sink as &mut dyn RowSink],
             )
             .expect("streaming simulate")
-        })
+        });
     });
 
     // Binary encode and decode of the materialized table.
@@ -124,7 +124,7 @@ fn bench_streaming(c: &mut Criterion) {
             botscope_weblog::colfmt::write_table(&mut buf, black_box(&out.sim.table))
                 .expect("encode");
             buf
-        })
+        });
     });
     g.bench_function("binary_decode_stream", |b| {
         b.iter(|| {
@@ -135,7 +135,7 @@ fn bench_streaming(c: &mut Criterion) {
                 n += 1;
             }
             n
-        })
+        });
     });
 
     // Single-pass analysis over the sorted in-memory stream.
@@ -143,7 +143,7 @@ fn bench_streaming(c: &mut Criterion) {
         b.iter(|| {
             let mut stream = TableRowStream::new(black_box(&out.sim.table));
             Experiment::analyze_stream(&mut stream, &out.schedule).expect("clean stream")
-        })
+        });
     });
     g.finish();
 }
@@ -182,9 +182,9 @@ fn bench_merge(c: &mut Criterion) {
                 merge_runs(runs, &mut [&mut counter as &mut dyn RowSink]).expect("merge")
             },
             BatchSize::SmallInput,
-        )
+        );
     });
-    let hardware = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let hardware = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     for workers in [2usize, hardware.min(8)] {
         g.bench_function(format!("merge_runs_parallel/8_runs/workers={workers}"), |b| {
             b.iter_batched(
@@ -195,7 +195,7 @@ fn bench_merge(c: &mut Criterion) {
                         .expect("merge")
                 },
                 BatchSize::SmallInput,
-            )
+            );
         });
     }
     g.finish();

@@ -52,7 +52,7 @@ fn matching(c: &mut Criterion) {
                 }
             }
             allowed
-        })
+        });
     });
 
     // The same 16 checks through the compiled automaton — the
@@ -69,7 +69,7 @@ fn matching(c: &mut Criterion) {
                 }
             }
             allowed
-        })
+        });
     });
 
     // Wildcard-heavy matching.
@@ -77,11 +77,11 @@ fn matching(c: &mut Criterion) {
         "User-agent: *\nDisallow: /*/*/deep/*.json$\nDisallow: /a*b*c*d\nAllow: /a*b/ok\n",
     );
     c.bench_function("is_allowed_wildcards", |b| {
-        b.iter(|| wild.is_allowed(black_box("bot"), black_box("/x/y/deep/file.json")).allow)
+        b.iter(|| wild.is_allowed(black_box("bot"), black_box("/x/y/deep/file.json")).allow);
     });
     let wild_compiled = CompiledPolicy::compile(&wild);
     c.bench_function("is_allowed_wildcards_compiled", |b| {
-        b.iter(|| wild_compiled.check(black_box("bot"), black_box("/x/y/deep/file.json")).allow)
+        b.iter(|| wild_compiled.check(black_box("bot"), black_box("/x/y/deep/file.json")).allow);
     });
 
     // One-time compile cost, for the amortization story: how many

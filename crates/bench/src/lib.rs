@@ -12,6 +12,9 @@
 //! The seed defaults to 9309 and can be overridden with the
 //! `BOTSCOPE_SEED` environment variable; scale with `BOTSCOPE_SCALE`.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use botscope_core::report::FullStudyReport;
 use botscope_core::Experiment;
 use botscope_simnet::scenario::full_study;

@@ -106,7 +106,7 @@ pub fn render(categories: &[CategoryAdaptation]) -> String {
     for c in categories {
         t.row(vec![
             c.category.name().to_string(),
-            c.median_lag_hours.map(|h| f(h, 1)).unwrap_or_else(|| "never".into()),
+            c.median_lag_hours.map_or_else(|| "never".into(), |h| f(h, 1)),
             format!("{:.0}%", c.never_saw_fraction * 100.0),
             c.observations.to_string(),
         ]);

@@ -624,7 +624,9 @@ mod tests {
     fn crawl_delay_recovers_planted_ordering() {
         let exp = test_experiment();
         let rows = &exp.per_directive[&Directive::CrawlDelay];
-        let get = |name: &str| rows.iter().find(|r| r.bot == name).and_then(|r| r.compliance());
+        let get = |name: &str| {
+            rows.iter().find(|r| r.bot == name).and_then(super::BotDirectiveResult::compliance)
+        };
         if let (Some(chat), Some(headless)) = (get("ChatGPT-User"), get("HeadlessChrome")) {
             assert!(chat > headless + 0.3, "planted 0.91 vs 0.036; measured {chat} vs {headless}");
         }

@@ -132,10 +132,8 @@ pub fn render(logs: &StandardizedLogs<'_>, spoof: &SpoofReport) -> String {
         &["Bot", "Trap hits", "Total", "Rate", "95% CI"],
     );
     for row in trap_report(logs, 20).into_iter().take(15) {
-        let ci = row
-            .rate_ci
-            .map(|c| format!("[{}, {}]", f(c.lo, 3), f(c.hi, 3)))
-            .unwrap_or_else(|| "-".into());
+        let ci =
+            row.rate_ci.map_or_else(|| "-".into(), |c| format!("[{}, {}]", f(c.lo, 3), f(c.hi, 3)));
         t.row(vec![
             row.bot.clone(),
             row.trap_hits.to_string(),

@@ -113,8 +113,7 @@ pub fn render(exp: &Experiment) -> String {
             table
                 .cells
                 .get(&(promise, d))
-                .map(|c| format!("{} ({} bots)", f(c.compliance, 3), c.bots))
-                .unwrap_or_else(|| "-".into())
+                .map_or_else(|| "-".into(), |c| format!("{} ({} bots)", f(c.compliance, 3), c.bots))
         };
         t.row(vec![
             promise.to_string(),

@@ -67,8 +67,7 @@ pub fn profiles(logs: &StandardizedLogs<'_>, horizon_end: u64) -> Vec<RecheckPro
         let mut covered = BTreeMap::new();
         for &h in &PAPER_WINDOWS_HOURS {
             let ok = window_coverage(&check_times, h * 3600, horizon_end)
-                .map(|c| c.fully_covered())
-                .unwrap_or(false);
+                .is_some_and(|c| c.fully_covered());
             covered.insert(h, ok);
         }
         out.push(RecheckProfile {
@@ -108,8 +107,7 @@ pub fn profiles_table_with(
         let mut covered = BTreeMap::new();
         for &h in &PAPER_WINDOWS_HOURS {
             let ok = window_coverage(&check_times, h * 3600, horizon_end)
-                .map(|c| c.fully_covered())
-                .unwrap_or(false);
+                .is_some_and(|c| c.fully_covered());
             covered.insert(h, ok);
         }
         out.push(RecheckProfile {
@@ -163,6 +161,36 @@ pub fn checked_robots(records: &[&AccessRecord]) -> bool {
 /// `(version, from_unix, to_unix)` spans, time-ascending — the shape
 /// `SitePolicyServer::version_windows` exports per monitored site.
 pub type SiteVersionWindows = BTreeMap<String, Vec<(PolicyVersion, u64, u64)>>;
+
+/// Coalesce deployment windows across non-behavioral transitions.
+///
+/// `is_behavioral(from, to)` decides whether swapping `from` for `to`
+/// changed any decision (the robots.txt semantic analyzer's
+/// `classify_change` is the intended oracle; this crate stays
+/// parser-agnostic by taking a closure). Contiguous spans whose
+/// boundary transition is *not* behavioral merge into one span that
+/// keeps the earlier version label — a bot that checked during either
+/// half saw the same effective policy, so Table 7's "checked while vN
+/// was live" columns should not credit (or debit) the cosmetic swap.
+pub fn coalesce_behavioral_windows(
+    windows: &SiteVersionWindows,
+    is_behavioral: impl Fn(PolicyVersion, PolicyVersion) -> bool,
+) -> SiteVersionWindows {
+    let mut out = SiteVersionWindows::new();
+    for (site, spans) in windows {
+        let mut merged: Vec<(PolicyVersion, u64, u64)> = Vec::with_capacity(spans.len());
+        for &(version, from, to) in spans {
+            match merged.last_mut() {
+                Some(prev) if prev.2 == from && !is_behavioral(prev.0, version) => {
+                    prev.2 = to;
+                }
+                _ => merged.push((version, from, to)),
+            }
+        }
+        out.insert(site.clone(), merged);
+    }
+    out
+}
 
 /// One bot's Table 7 digest-window row: per policy version, whether the
 /// bot fetched robots.txt *on a site while that site was serving the
@@ -392,6 +420,41 @@ mod tests {
         let a = row("Axios");
         assert_eq!(a.checks, 0);
         assert_eq!(a.checked[V::Base.index()], Some(false), "Table 7 never-checker row");
+    }
+
+    #[test]
+    fn coalesce_merges_only_cosmetic_contiguous_spans() {
+        use PolicyVersion as V;
+        let mut windows = SiteVersionWindows::new();
+        windows.insert(
+            "a.example.edu".into(),
+            vec![
+                (V::Base, 0, 1_000),
+                (V::V1CrawlDelay, 1_000, 2_000),
+                (V::V2EndpointOnly, 2_000, 3_000),
+            ],
+        );
+        // Gap between spans: never merged, even if cosmetic.
+        windows
+            .insert("b.example.edu".into(), vec![(V::Base, 0, 500), (V::V1CrawlDelay, 600, 900)]);
+
+        // Oracle: only Base -> V1 is cosmetic.
+        let cosmetic = |from: V, to: V| !(from == V::Base && to == V::V1CrawlDelay);
+        let merged = coalesce_behavioral_windows(&windows, cosmetic);
+        assert_eq!(
+            merged["a.example.edu"],
+            vec![(V::Base, 0, 2_000), (V::V2EndpointOnly, 2_000, 3_000)],
+            "cosmetic boundary folds into the earlier span"
+        );
+        assert_eq!(
+            merged["b.example.edu"],
+            vec![(V::Base, 0, 500), (V::V1CrawlDelay, 600, 900)],
+            "non-contiguous spans stay separate"
+        );
+
+        // All-behavioral oracle: identity.
+        let same = coalesce_behavioral_windows(&windows, |_, _| true);
+        assert_eq!(same, windows);
     }
 
     #[test]

@@ -261,11 +261,7 @@ impl FullStudyReport {
         );
         for (&cat, &n) in &self.recheck.checking_bots {
             let cell = |h: u64| {
-                self.recheck
-                    .proportions
-                    .get(&(cat, h))
-                    .map(|&p| f(p, 2))
-                    .unwrap_or_else(|| "-".into())
+                self.recheck.proportions.get(&(cat, h)).map_or_else(|| "-".into(), |&p| f(p, 2))
             };
             t.row(vec![
                 cat.name().to_string(),
@@ -332,8 +328,7 @@ pub fn table5(exp: &Experiment) -> String {
         let cell = |d: Directive| {
             cells
                 .get(&d)
-                .map(|c| format!("{} ({})", f(c.compliance, 3), c.weight))
-                .unwrap_or_else(|| "-".into())
+                .map_or_else(|| "-".into(), |c| format!("{} ({})", f(c.compliance, 3), c.weight))
         };
         t.row(vec![
             cat.name().to_string(),
@@ -343,9 +338,8 @@ pub fn table5(exp: &Experiment) -> String {
             f(*avg, 3),
         ]);
     }
-    let davg = |d: Directive| {
-        table.directive_average.get(&d).map(|&v| f(v, 3)).unwrap_or_else(|| "-".into())
-    };
+    let davg =
+        |d: Directive| table.directive_average.get(&d).map_or_else(|| "-".into(), |&v| f(v, 3));
     t.row(vec![
         "Directive average".to_string(),
         davg(Directive::CrawlDelay),
@@ -425,6 +419,30 @@ pub fn table7_from_monitor(matrix: &[crate::recheck::PhaseCheckRow]) -> String {
     use crate::tables::yes_no;
     let mut t = TextTable::new(
         "Table 7 (monitored). Checked robots.txt while each version was live",
+        &["Bot", "Category", "Checks", "Base", "v1", "v2", "v3"],
+    );
+    for row in matrix {
+        t.row(vec![
+            row.bot.clone(),
+            row.category.to_string(),
+            row.checks.to_string(),
+            yes_no(row.checked[0]),
+            yes_no(row.checked[1]),
+            yes_no(row.checked[2]),
+            yes_no(row.checked[3]),
+        ]);
+    }
+    t.render()
+}
+
+/// Behavioral-only Table 7: the same digest-window columns, but over
+/// deployment windows first coalesced across cosmetic transitions
+/// (see [`crate::recheck::coalesce_behavioral_windows`]), so a column
+/// only counts versions whose deployment actually changed a decision.
+pub fn table7_behavioral(matrix: &[crate::recheck::PhaseCheckRow]) -> String {
+    use crate::tables::yes_no;
+    let mut t = TextTable::new(
+        "Table 7 (monitored, behavioral transitions only). Checked robots.txt while each behaviorally distinct version was live",
         &["Bot", "Category", "Checks", "Base", "v1", "v2", "v3"],
     );
     for row in matrix {
@@ -536,7 +554,7 @@ pub fn figure9(exp: &Experiment, spoofed: bool) -> String {
                 r.bot.clone(),
                 ratio(r.baseline.ratio()),
                 ratio(r.experiment.ratio()),
-                r.ztest.as_ref().map(|z| f(z.effect(), 3)).unwrap_or_else(|| "N/A".into()),
+                r.ztest.as_ref().map_or_else(|| "N/A".into(), |z| f(z.effect(), 3)),
                 if r.significant() { "yes".into() } else { "no".into() },
             ]);
         }

@@ -13,7 +13,7 @@ impl TextTable {
     pub fn new(title: &str, headers: &[&str]) -> Self {
         Self {
             title: title.to_string(),
-            headers: headers.iter().map(|s| s.to_string()).collect(),
+            headers: headers.iter().map(std::string::ToString::to_string).collect(),
             rows: Vec::new(),
         }
     }

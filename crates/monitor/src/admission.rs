@@ -7,14 +7,18 @@
 //! recompiling the whole estate on every monitoring pass would erase
 //! the compile-once economics of [`CompiledPolicy`].
 //!
-//! [`apply_digests`] is that bridge: for each digest it re-registers
-//! the site's *new* document (the digest carries `to:
-//! PolicyVersion`), which drops the stale automaton; every untouched
-//! site keeps its compiled artifact. [`prime_estate`] is the
+//! [`apply_digests`] is that bridge: for each *behavioral* digest it
+//! re-registers the site's *new* document (the digest carries `to:
+//! PolicyVersion`), which drops the stale automaton. Digests the
+//! analyzer proved [`ChangeClass::Cosmetic`] are decision-equivalent
+//! for every agent and path, so the site's compiled artifact stays
+//! warm — no recompile debt is owed for a comment edit. Every
+//! untouched site keeps its artifact. [`prime_estate`] is the
 //! bootstrap dual, registering a deployment snapshot wholesale.
 //!
 //! [`CompiledPolicy`]: botscope_robotstxt::CompiledPolicy
 
+use botscope_robotstxt::analysis::ChangeClass;
 use botscope_robotstxt::PolicyEstate;
 use botscope_simnet::PolicyVersion;
 
@@ -32,28 +36,44 @@ where
     }
 }
 
+/// What one monitoring pass's digests did to the estate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DigestOutcome {
+    /// Sites whose compiled artifact was dropped (present *and*
+    /// compiled): the recompile debt this pass actually created.
+    pub dropped: usize,
+    /// Digests skipped because the transition was proven cosmetic —
+    /// the site's document and compiled artifact were left untouched.
+    pub cosmetic_skips: usize,
+}
+
 /// Fold a monitoring pass's [`ChangeDigest`]s into the estate.
 ///
-/// Each digest replaces the site's document with the digest's `to`
-/// version, dropping any compiled artifact so the next admission
-/// check recompiles against the new policy. Sites the digests do not
-/// name are untouched (their artifacts stay warm). Digests for sites
-/// the estate has never seen insert them fresh — the monitor is the
-/// source of truth for what is deployed.
+/// Behavioral digests replace the site's document with the digest's
+/// `to` version, dropping any compiled artifact so the next admission
+/// check recompiles against the new policy. Cosmetic digests for
+/// known sites are skipped outright — the analyzer proved the old
+/// automaton still decides every request identically, so it stays
+/// warm. Sites the digests do not name are untouched. Digests for
+/// sites the estate has never seen insert them fresh (whatever their
+/// class — the monitor is the source of truth for what is deployed).
 ///
-/// Returns the number of sites whose compiled artifact was actually
-/// dropped (i.e. that were present *and* compiled), which is the
-/// recompile debt this pass created.
-pub fn apply_digests(estate: &mut PolicyEstate, digests: &[ChangeDigest]) -> usize {
-    let mut dropped = 0;
+/// Returns the recompile debt actually owed plus the number of
+/// cosmetic transitions skipped.
+pub fn apply_digests(estate: &mut PolicyEstate, digests: &[ChangeDigest]) -> DigestOutcome {
+    let mut outcome = DigestOutcome::default();
     for digest in digests {
         let site = digest.site.as_str();
+        if digest.class == ChangeClass::Cosmetic && estate.doc(site).is_some() {
+            outcome.cosmetic_skips += 1;
+            continue;
+        }
         if estate.is_compiled(site) {
-            dropped += 1;
+            outcome.dropped += 1;
         }
         estate.insert(site, digest.to.robots_txt());
     }
-    dropped
+    outcome
 }
 
 #[cfg(test)]
@@ -70,7 +90,12 @@ mod tests {
             tightened: 0,
             loosened: 0,
             delay_changes: 0,
+            class: ChangeClass::Behavioral,
         }
+    }
+
+    fn cosmetic(site: &str, from: PolicyVersion, to: PolicyVersion) -> ChangeDigest {
+        ChangeDigest { class: ChangeClass::Cosmetic, ..digest(site, from, to) }
     }
 
     #[test]
@@ -99,11 +124,11 @@ mod tests {
         }
         assert_eq!(estate.compiles(), 3);
 
-        let dropped = apply_digests(
+        let outcome = apply_digests(
             &mut estate,
             &[digest("b.example.edu", PolicyVersion::Base, PolicyVersion::V3DisallowAll)],
         );
-        assert_eq!(dropped, 1);
+        assert_eq!(outcome, DigestOutcome { dropped: 1, cosmetic_skips: 0 });
         // Only b lost its artifact; a and c stay warm.
         assert_eq!(estate.compiled_count(), 2);
 
@@ -117,11 +142,11 @@ mod tests {
     #[test]
     fn digest_for_unknown_site_inserts_it() {
         let mut estate = PolicyEstate::new();
-        let dropped = apply_digests(
+        let outcome = apply_digests(
             &mut estate,
             &[digest("new.example.edu", PolicyVersion::Base, PolicyVersion::V2EndpointOnly)],
         );
-        assert_eq!(dropped, 0);
+        assert_eq!(outcome, DigestOutcome { dropped: 0, cosmetic_skips: 0 });
         assert_eq!(estate.len(), 1);
         // Unknown sites stay the caller's problem; the v2 wildcard group
         // denies content and allows page-data.
@@ -139,11 +164,66 @@ mod tests {
         prime_estate(&mut estate, [("a.example.edu", PolicyVersion::Base)]);
         // Never checked, so never compiled: the digest swaps the doc but
         // reports zero dropped artifacts.
-        let dropped = apply_digests(
+        let outcome = apply_digests(
             &mut estate,
             &[digest("a.example.edu", PolicyVersion::Base, PolicyVersion::V1CrawlDelay)],
         );
-        assert_eq!(dropped, 0);
+        assert_eq!(outcome, DigestOutcome { dropped: 0, cosmetic_skips: 0 });
         assert_eq!(estate.compiles(), 0);
+    }
+
+    #[test]
+    fn cosmetic_digests_keep_artifacts_warm() {
+        let mut estate = PolicyEstate::new();
+        let sites = ["a.example.edu", "b.example.edu"];
+        prime_estate(&mut estate, sites.iter().map(|s| (*s, PolicyVersion::Base)));
+        for site in sites {
+            assert_eq!(estate.check(site, "GPTBot", "/news/item-001"), Some(true));
+        }
+        assert_eq!(estate.compiles(), 2);
+
+        // A cosmetic transition owes nothing: no drop, no doc swap.
+        let outcome = apply_digests(
+            &mut estate,
+            &[cosmetic("a.example.edu", PolicyVersion::Base, PolicyVersion::Base)],
+        );
+        assert_eq!(outcome, DigestOutcome { dropped: 0, cosmetic_skips: 1 });
+        assert_eq!(estate.compiled_count(), 2);
+        // Re-checking costs zero additional compiles.
+        assert_eq!(estate.check("a.example.edu", "GPTBot", "/news/item-001"), Some(true));
+        assert_eq!(estate.compiles(), 2);
+    }
+
+    #[test]
+    fn cosmetic_digest_for_unknown_site_still_inserts() {
+        let mut estate = PolicyEstate::new();
+        let outcome = apply_digests(
+            &mut estate,
+            &[cosmetic("new.example.edu", PolicyVersion::Base, PolicyVersion::Base)],
+        );
+        assert_eq!(outcome, DigestOutcome { dropped: 0, cosmetic_skips: 0 });
+        assert_eq!(estate.len(), 1);
+        assert_eq!(estate.check("new.example.edu", "GPTBot", "/news/item-001"), Some(true));
+    }
+
+    #[test]
+    fn mixed_pass_counts_each_class() {
+        let mut estate = PolicyEstate::new();
+        let sites = ["a.example.edu", "b.example.edu", "c.example.edu"];
+        prime_estate(&mut estate, sites.iter().map(|s| (*s, PolicyVersion::Base)));
+        for site in sites {
+            estate.check(site, "GPTBot", "/");
+        }
+        let outcome = apply_digests(
+            &mut estate,
+            &[
+                digest("a.example.edu", PolicyVersion::Base, PolicyVersion::V3DisallowAll),
+                cosmetic("b.example.edu", PolicyVersion::Base, PolicyVersion::Base),
+                digest("d.example.edu", PolicyVersion::Base, PolicyVersion::V2EndpointOnly),
+            ],
+        );
+        assert_eq!(outcome, DigestOutcome { dropped: 1, cosmetic_skips: 1 });
+        assert_eq!(estate.len(), 4);
+        assert_eq!(estate.compiled_count(), 2); // b and c stay warm
     }
 }

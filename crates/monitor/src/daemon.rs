@@ -29,6 +29,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use botscope_asn::ip_for;
+use botscope_robotstxt::analysis::{classify_change, ChangeClass};
 use botscope_robotstxt::diff::{diff, summarize, PolicyChange};
 use botscope_robotstxt::fetch::{EffectivePolicy, FetchOutcome, RobotsCache};
 use botscope_simnet::belief::{BeliefAtlas, BeliefTimeline, BelievedPolicy};
@@ -230,6 +231,10 @@ pub struct ChangeDigest {
     pub loosened: usize,
     /// Agents whose crawl delay changed.
     pub delay_changes: usize,
+    /// Semantic classification of the transition: cosmetic edits are
+    /// decision-equivalent for every agent and path, behavioral ones are
+    /// not (proven by `robotstxt::analysis::classify_change`).
+    pub class: ChangeClass,
 }
 
 /// The daemon's output.
@@ -581,11 +586,11 @@ fn digest_changes(
 ) -> Vec<ChangeDigest> {
     let mut agents: Vec<&str> = fleet.iter().map(|b| b.spec.canonical).collect();
     agents.push("anybot");
-    let mut matrix: BTreeMap<(u8, u8), (usize, usize, usize)> = BTreeMap::new();
+    let mut matrix: BTreeMap<(u8, u8), (usize, usize, usize, ChangeClass)> = BTreeMap::new();
     let mut changes: Vec<ChangeDigest> = merged
         .into_iter()
         .map(|((site, from, to), (at, observers))| {
-            let (tightened, loosened, delay_changes) =
+            let (tightened, loosened, delay_changes, class) =
                 *matrix.entry((from, to)).or_insert_with(|| {
                     let old = transport.corpus().doc(PolicyVersion::ALL[from as usize]);
                     let new = transport.corpus().doc(PolicyVersion::ALL[to as usize]);
@@ -595,7 +600,7 @@ fn digest_changes(
                         .iter()
                         .filter(|c| matches!(c, PolicyChange::CrawlDelayChanged { .. }))
                         .count();
-                    (tightened, loosened, delays)
+                    (tightened, loosened, delays, classify_change(old, new))
                 });
             ChangeDigest {
                 site: transport.model(site as usize).name.clone(),
@@ -606,6 +611,7 @@ fn digest_changes(
                 tightened,
                 loosened,
                 delay_changes,
+                class,
             }
         })
         .collect();

@@ -75,7 +75,7 @@ pub mod daemon;
 pub mod scenario;
 pub mod transport;
 
-pub use admission::{apply_digests, prime_estate};
+pub use admission::{apply_digests, prime_estate, DigestOutcome};
 pub use coupled::{
     run_coupled, run_coupled_with_threads, CoupledConfig, CoupledOutput, RefreshModel,
 };

@@ -328,10 +328,10 @@ impl ServerModel {
                 ServeMode::Ok => serve_ok(&mut tl, ws, we),
                 ServeMode::ClientError(_) => tl.record(ws, BelievedPolicy::AllowAll),
                 ServeMode::ServerError(_) | ServeMode::Unreachable => {
-                    tl.record(ws, BelievedPolicy::DisallowAll)
+                    tl.record(ws, BelievedPolicy::DisallowAll);
                 }
                 ServeMode::Redirect(hops) if (hops as usize) <= MAX_REDIRECT_HOPS => {
-                    serve_ok(&mut tl, ws, we)
+                    serve_ok(&mut tl, ws, we);
                 }
                 ServeMode::Redirect(_) => tl.record(ws, BelievedPolicy::AllowAll),
                 ServeMode::Flapping(period) => {

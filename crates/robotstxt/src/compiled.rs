@@ -334,6 +334,124 @@ impl CompiledPolicy {
     }
 }
 
+/// Packed-rank helpers for analysis passes that walk automaton internals
+/// (see [`crate::analysis`]). The packing is the compiled matcher's whole
+/// precedence story: the numeric maximum over matching rules is the rule
+/// RFC 9309 selects.
+pub mod rank {
+    use crate::model::RuleVerb;
+
+    /// The rank of "no rule matched" (always allow).
+    pub const NO_MATCH: u64 = super::NO_MATCH;
+
+    /// Pack `(specificity, verb, rule index)` exactly as the trie does.
+    pub fn pack(specificity: usize, verb: RuleVerb, rule_index: u32) -> u64 {
+        super::pack(specificity, verb, rule_index)
+    }
+
+    /// Whether a (non-[`NO_MATCH`]) rank encodes an `Allow` rule.
+    pub fn allow(rank: u64) -> bool {
+        super::unpack_allow(rank)
+    }
+
+    /// The merged-rule index a (non-[`NO_MATCH`]) rank encodes.
+    pub fn rule_index(rank: u64) -> usize {
+        super::unpack_rule(rank)
+    }
+}
+
+/// Read-only view of one merged agent group's automaton, exposing the
+/// trie and side-list internals the semantic analyzer walks.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupView<'a> {
+    automaton: &'a GroupAutomaton,
+}
+
+impl<'a> GroupView<'a> {
+    /// The group's merged rules in document order.
+    pub fn rules(&self) -> &'a [Rule] {
+        &self.automaton.rules
+    }
+
+    /// The group's crawl delay, if any.
+    pub fn crawl_delay(&self) -> Option<f64> {
+        self.automaton.crawl_delay
+    }
+
+    /// Indices (into [`rules`](Self::rules)) of side-list rules — those
+    /// with a true interior wildcard that the trie cannot represent.
+    pub fn wild_rule_indices(&self) -> impl Iterator<Item = usize> + 'a {
+        self.automaton.wild.iter().map(|&(idx, _)| idx)
+    }
+
+    /// Whether the group has any side-list (interior-wildcard) rules.
+    pub fn has_wild(&self) -> bool {
+        !self.automaton.wild.is_empty()
+    }
+
+    /// Number of trie nodes (node 0 is the root).
+    pub fn node_count(&self) -> usize {
+        self.automaton.nodes.len()
+    }
+
+    /// The trie node at `index` (0 is the root).
+    ///
+    /// # Panics
+    /// Panics when `index >= node_count()`.
+    pub fn node(&self, index: usize) -> NodeView<'a> {
+        NodeView { node: &self.automaton.nodes[index] }
+    }
+
+    /// The best matching packed rank for an **already normalized** path
+    /// (see [`rank`]), exactly as an admission check would fold it.
+    pub fn scan_rank(&self, normalized_path: &str) -> u64 {
+        self.automaton.scan(normalized_path)
+    }
+}
+
+/// Read-only view of one trie node.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeView<'a> {
+    node: &'a TrieNode,
+}
+
+impl<'a> NodeView<'a> {
+    /// Outgoing edges as `(byte, child node index)`, byte-ascending.
+    pub fn children(&self) -> impl Iterator<Item = (u8, usize)> + 'a {
+        self.node.children.iter().map(|&(b, i)| (b, i as usize))
+    }
+
+    /// Best rank among prefix rules terminating at this node
+    /// ([`rank::NO_MATCH`] when none do).
+    pub fn prefix_rank(&self) -> u64 {
+        self.node.prefix
+    }
+
+    /// Best rank among `$`-anchored rules terminating at this node
+    /// ([`rank::NO_MATCH`] when none do).
+    pub fn exact_rank(&self) -> u64 {
+        self.node.exact
+    }
+}
+
+impl CompiledPolicy {
+    /// Every merged agent group as `(token, view)`, named tokens in
+    /// first-appearance order, the `*` group (if any) last.
+    pub fn groups(&self) -> impl Iterator<Item = (&str, GroupView<'_>)> {
+        self.tokens
+            .iter()
+            .map(|(t, g)| (t.as_str(), GroupView { automaton: g }))
+            .chain(self.wildcard.iter().map(|g| ("*", GroupView { automaton: g })))
+    }
+
+    /// Resolve a crawler product token to its applicable group view,
+    /// with the same longest-boundary-prefix selection as
+    /// [`check`](Self::check). Returns the winning group token.
+    pub fn resolve_view(&self, agent_token: &str) -> Option<(&str, GroupView<'_>)> {
+        self.resolve(agent_token).map(|(t, g)| (t, GroupView { automaton: g }))
+    }
+}
+
 /// Case-insensitive boundary-prefix test: `group` (stored lowercase)
 /// applies to `crawler` when equal, or when `group` is a prefix ending at a
 /// `-`/`_` boundary. `crawler` is a pure-ASCII product-token prefix, so

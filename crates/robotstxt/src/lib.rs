@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod audit;
 pub mod builder;
 pub mod compiled;
@@ -61,6 +62,11 @@ pub mod parser;
 pub mod pattern;
 pub mod writer;
 
+pub use analysis::{
+    analyze, classify_change, divergence_hazards, rule_liveness, semantic_diff, Analysis,
+    ChangeClass, DeviantModel, DiffVerdict, Finding, FindingCode, Hazard, Liveness, RuleLiveness,
+    SemanticDiff, Severity,
+};
 pub use audit::{audit, AuditFinding};
 pub use builder::RobotsTxtBuilder;
 pub use compiled::{CompiledPolicy, PolicyEstate};

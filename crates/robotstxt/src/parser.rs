@@ -103,7 +103,7 @@ pub fn parse(input: &str) -> RobotsTxt {
                         groups.last_mut().expect("in group").crawl_delay = Some(secs);
                     }
                     _ => {
-                        warnings.push(ParseWarning::BadCrawlDelay { line: spanned.line_no, value })
+                        warnings.push(ParseWarning::BadCrawlDelay { line: spanned.line_no, value });
                     }
                 }
                 state = State::InRules;

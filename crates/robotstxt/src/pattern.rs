@@ -142,7 +142,7 @@ impl PathPattern {
         }
         if self.anchored
             && self.segments.len() > 1
-            && self.segments.last().is_some_and(|s| s.is_empty())
+            && self.segments.last().is_some_and(std::string::String::is_empty)
         {
             // Pattern ended `*$` — the `*` eats the rest; always fine.
             return true;

@@ -99,7 +99,7 @@ pub fn child_seed(seed: u64, stream: u64) -> u64 {
 pub fn worker_threads() -> usize {
     worker_threads_from(
         std::env::var("BOTSCOPE_THREADS").ok().as_deref(),
-        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
     )
 }
 

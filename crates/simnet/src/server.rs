@@ -66,7 +66,7 @@ impl PolicyCorpus {
 
     /// Render, parse and compile all four versions with an explicit mode.
     pub fn with_mode(mode: MatcherMode) -> PolicyCorpus {
-        let docs = PolicyVersion::ALL.map(|v| v.robots_txt());
+        let docs = PolicyVersion::ALL.map(super::phases::PolicyVersion::robots_txt);
         let texts = [0, 1, 2, 3].map(|i: usize| docs[i].to_string());
         let compiled = [0, 1, 2, 3].map(|i: usize| CompiledPolicy::compile(&docs[i]));
         PolicyCorpus { texts, docs, compiled, mode }

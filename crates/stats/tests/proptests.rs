@@ -75,8 +75,8 @@ proptest! {
     #[test]
     fn mean_bounded_by_extremes(xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
         let m = mean(&xs).unwrap();
-        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         prop_assert!(m >= lo - 1e-6 && m <= hi + 1e-6);
     }
 

@@ -218,7 +218,7 @@ impl Standardizer {
             verdicts.push(None);
             token_lists.push(Some(tokens));
         }
-        for (token, slot) in token_scores.iter_mut() {
+        for (token, slot) in &mut token_scores {
             *slot = self.fuzzy_token(token);
         }
         for (verdict, tokens) in verdicts.iter_mut().zip(&token_lists) {
@@ -277,7 +277,7 @@ impl Default for Standardizer {
 /// Lowercase and strip separator characters so `Claude-Bot` and
 /// `claudebot` compare equal.
 fn normalize_token(s: &str) -> String {
-    s.chars().filter(|c| c.is_ascii_alphanumeric()).map(|c| c.to_ascii_lowercase()).collect()
+    s.chars().filter(char::is_ascii_alphanumeric).map(|c| c.to_ascii_lowercase()).collect()
 }
 
 #[cfg(test)]

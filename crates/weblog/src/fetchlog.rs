@@ -121,7 +121,7 @@ mod tests {
         assert_eq!(records[0].status, 200);
         assert_eq!(records[1].status, 503);
         assert_eq!(records[2].status, 0);
-        assert!(records.iter().all(|r| r.is_robots_fetch()));
+        assert!(records.iter().all(super::super::record::AccessRecord::is_robots_fetch));
     }
 
     #[test]

@@ -408,7 +408,7 @@ pub fn records_heap_bytes(records: &[AccessRecord]) -> usize {
                 + r.asn.capacity()
                 + r.sitename.capacity()
                 + r.uri_path.capacity()
-                + r.referer.as_ref().map_or(0, |s| s.capacity())
+                + r.referer.as_ref().map_or(0, std::string::String::capacity)
         })
         .sum()
 }

@@ -228,7 +228,7 @@ proptest! {
         prop_assert!(ua_groups.windows(2).all(|w| w[0].0 < w[1].0));
         // Every robots.txt fetch lands in the robots-times view.
         let robots_total: usize =
-            table.robots_checks_by_useragent().values().map(|v| v.len()).sum();
+            table.robots_checks_by_useragent().values().map(std::vec::Vec::len).sum();
         let expect = records.iter().filter(|r| r.is_robots_fetch()).count();
         prop_assert_eq!(robots_total, expect);
     }

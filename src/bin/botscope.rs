@@ -21,7 +21,6 @@ use botscope::core::recheck::{by_category, profiles_from_table};
 use botscope::core::spoofdetect::detect_rows;
 use botscope::monitor::daemon::{MonitorConfig, MonitorOutput, TtlPolicy};
 use botscope::monitor::ScenarioKind;
-use botscope::robots::audit::audit;
 use botscope::robots::diff::{diff, summarize};
 use botscope::robots::RobotsTxt;
 use botscope::simnet::{scenario, SimConfig};
@@ -42,8 +41,28 @@ USAGE:
         --robots FILE    serve FILE as every site's robots.txt instead
                          of the paper corpus
         --quiet          suppress per-query output (throughput runs)
-  botscope audit <robots.txt>
-      Lint the policy: dead rules, contradictions, missing wildcard group.
+  botscope audit [--json] [--severity S] [--deny S] <robots.txt>...
+      Statically analyze policies: syntactic lints plus automaton-walk
+      proofs — dead/shadowed rules with witness paths, rules only
+      /robots.txt can match, parser-divergence hazards (first-match,
+      wildcard-unaware, $-literal matchers), each with a concrete
+      witness path that reproduces the divergence.
+        --json           machine-readable findings on stdout
+        --severity S     only show findings at/above S (info|warning|error)
+        --deny S         exit nonzero when findings at/above S exist
+  botscope audit --estate [options]
+      Estate-scale analysis: analyze the paper's policy corpus, prove
+      every version transition cosmetic or behavioral, run the
+      monitoring daemon, classify its change digests, and replay them
+      against a warmed admission estate to report the recompile debt
+      actually owed (cosmetic digests keep artifacts warm).
+        --sites N        estate size (default 36)
+        --days N         horizon in simulated days (default 46)
+        --seed N         master seed (default 9309)
+        --bots N         monitored bots (default 6)
+        --scenario K     stable|outages|flapping|redirects|mixed (default mixed)
+        --swap-every N   every Nth site swaps policies mid-study (default 4)
+        --json / --severity / --deny  as above
   botscope diff <old-robots.txt> <new-robots.txt> [agent]...
       Report decision flips over the file's own rule paths.
       Agents default to: Googlebot GPTBot ClaudeBot Bytespider *anybot*.
@@ -296,19 +315,329 @@ fn cmd_admit(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_audit(args: &[String]) -> Result<(), String> {
-    let [file] = args else {
-        return Err("usage: botscope audit <robots.txt>".into());
-    };
-    let doc = RobotsTxt::parse(&read_file(file)?);
-    for w in &doc.warnings {
-        println!("parse: {w:?}");
+    use botscope::robots::analysis::Severity;
+
+    let mut json = false;
+    let mut estate = false;
+    let mut severity = Severity::Info;
+    let mut deny: Option<Severity> = None;
+    let mut files: Vec<&str> = Vec::new();
+    let mut cfg = MonitorConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--json" => {
+                json = true;
+                i += 1;
+                continue;
+            }
+            "--estate" => {
+                estate = true;
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        if !flag.starts_with("--") {
+            files.push(flag);
+            i += 1;
+            continue;
+        }
+        let value =
+            args.get(i + 1).ok_or_else(|| format!("{flag} needs a value (see `botscope help`)"))?;
+        match flag {
+            "--severity" => severity = value.parse()?,
+            "--deny" => deny = Some(value.parse()?),
+            "--sites" => cfg.sites = value.parse().map_err(|_| format!("bad --sites {value}"))?,
+            "--days" => cfg.days = value.parse().map_err(|_| format!("bad --days {value}"))?,
+            "--seed" => cfg.seed = value.parse().map_err(|_| format!("bad --seed {value}"))?,
+            "--bots" => cfg.bots = value.parse().map_err(|_| format!("bad --bots {value}"))?,
+            "--scenario" => {
+                cfg.scenario = ScenarioKind::parse(value).ok_or_else(|| {
+                    format!("bad --scenario {value} (want stable|outages|flapping|redirects|mixed)")
+                })?
+            }
+            "--swap-every" => {
+                cfg.swap_every = value.parse().map_err(|_| format!("bad --swap-every {value}"))?
+            }
+            other => return Err(format!("unknown audit flag {other:?} (see `botscope help`)")),
+        }
+        i += 2;
     }
-    let findings = audit(&doc);
-    if findings.is_empty() && doc.warnings.is_empty() {
-        println!("clean: {} group(s), {} rule(s), no findings", doc.groups.len(), doc.rule_count());
+
+    if estate {
+        return audit_estate(&cfg, json, severity, deny);
     }
-    for f in &findings {
-        println!("audit: {f:?}");
+    if files.is_empty() {
+        return Err(
+            "usage: botscope audit [--json] [--severity S] [--deny S] <robots.txt>...".into()
+        );
+    }
+    audit_files(&files, json, severity, deny)
+}
+
+/// Render one finding list as JSON objects (stable field order).
+fn findings_json(out: &mut String, analysis: &botscope::robots::analysis::Analysis) {
+    use std::fmt::Write as _;
+    out.push('[');
+    for (i, f) in analysis.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"severity\":\"{}\",\"code\":\"{}\"", f.severity, f.code);
+        if let Some(agent) = &f.agent {
+            let _ = write!(out, ",\"agent\":\"{}\"", json_escape(agent));
+        }
+        let _ = write!(out, ",\"message\":\"{}\"", json_escape(&f.message));
+        if let Some(w) = &f.witness {
+            let _ = write!(out, ",\"witness\":\"{}\"", json_escape(w));
+        }
+        out.push('}');
+    }
+    out.push(']');
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn audit_files(
+    files: &[&str],
+    json: bool,
+    severity: botscope::robots::analysis::Severity,
+    deny: Option<botscope::robots::analysis::Severity>,
+) -> Result<(), String> {
+    use botscope::robots::analysis::analyze;
+    use std::fmt::Write as _;
+
+    let mut denied = 0usize;
+    let mut json_out = String::from("{\"files\":[");
+    for (fi, file) in files.iter().enumerate() {
+        let doc = RobotsTxt::parse(&read_file(file)?);
+        let mut analysis = analyze(&doc);
+        analysis.findings.retain(|f| f.severity >= severity);
+        if let Some(threshold) = deny {
+            denied += analysis.at_or_above(threshold);
+        }
+        if json {
+            if fi > 0 {
+                json_out.push(',');
+            }
+            let _ = write!(
+                json_out,
+                "{{\"file\":\"{}\",\"complete\":{},\"parse_warnings\":{},\"findings\":",
+                json_escape(file),
+                analysis.complete,
+                doc.warnings.len()
+            );
+            findings_json(&mut json_out, &analysis);
+            json_out.push('}');
+            continue;
+        }
+        if files.len() > 1 {
+            println!("== {file}");
+        }
+        for w in &doc.warnings {
+            println!("parse: {w:?}");
+        }
+        if analysis.findings.is_empty() && doc.warnings.is_empty() {
+            println!(
+                "clean: {} group(s), {} rule(s), no findings",
+                doc.groups.len(),
+                doc.rule_count()
+            );
+        }
+        for f in &analysis.findings {
+            println!("{f}");
+        }
+    }
+    if json {
+        use std::fmt::Write as _;
+        let _ = write!(json_out, "],\"denied\":{denied}}}");
+        println!("{json_out}");
+    }
+    if denied > 0 {
+        let threshold = deny.expect("denied implies a threshold");
+        return Err(format!("audit: {denied} finding(s) at or above {threshold}"));
+    }
+    Ok(())
+}
+
+/// `audit --estate`: corpus analysis + transition proofs + digest
+/// classification + admission replay.
+fn audit_estate(
+    cfg: &MonitorConfig,
+    json: bool,
+    severity: botscope::robots::analysis::Severity,
+    deny: Option<botscope::robots::analysis::Severity>,
+) -> Result<(), String> {
+    use botscope::core::recheck::{coalesce_behavioral_windows, phase_check_matrix};
+    use botscope::core::report::table7_behavioral;
+    use botscope::monitor::{apply_digests, prime_estate};
+    use botscope::robots::analysis::{analyze, classify_change, ChangeClass};
+    use botscope::robots::PolicyEstate;
+    use botscope::simnet::server::PolicyCorpus;
+    use botscope::simnet::PolicyVersion;
+    use std::fmt::Write as _;
+
+    if cfg.sites == 0 || cfg.days == 0 || cfg.bots == 0 {
+        return Err("--sites, --days and --bots must be at least 1".into());
+    }
+
+    // 1. Analyze every corpus policy.
+    let corpus = PolicyCorpus::new();
+    let started = std::time::Instant::now();
+    let mut analyses = Vec::new();
+    let mut denied = 0usize;
+    for version in PolicyVersion::ALL {
+        let mut analysis = analyze(corpus.doc(version));
+        analysis.findings.retain(|f| f.severity >= severity);
+        if let Some(threshold) = deny {
+            denied += analysis.at_or_above(threshold);
+        }
+        analyses.push((version, analysis));
+    }
+    let analyze_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // 2. Prove every ordered version transition cosmetic or behavioral.
+    let mut behavioral_matrix = [[false; 4]; 4];
+    let mut behavioral_transitions = 0usize;
+    let mut cosmetic_transitions = 0usize;
+    for from in PolicyVersion::ALL {
+        for to in PolicyVersion::ALL {
+            if from == to {
+                continue;
+            }
+            let class = classify_change(corpus.doc(from), corpus.doc(to));
+            behavioral_matrix[from.index()][to.index()] = class == ChangeClass::Behavioral;
+            match class {
+                ChangeClass::Behavioral => behavioral_transitions += 1,
+                ChangeClass::Cosmetic => cosmetic_transitions += 1,
+            }
+        }
+    }
+
+    // 3. Run the monitor and classify its digests.
+    let out = botscope::monitor::run(cfg);
+    let behavioral_digests =
+        out.changes.iter().filter(|c| c.class == ChangeClass::Behavioral).count();
+    let cosmetic_digests = out.changes.len() - behavioral_digests;
+
+    // 4. Replay the digests against a warmed admission estate.
+    let mut estate = PolicyEstate::new();
+    let deployment: Vec<(&str, PolicyVersion)> = out
+        .site_windows
+        .iter()
+        .filter_map(|(site, spans)| spans.first().map(|&(v, _, _)| (site.as_str(), v)))
+        .collect();
+    prime_estate(&mut estate, deployment.iter().copied());
+    for (site, _) in &deployment {
+        estate.check(site, "GPTBot", "/");
+    }
+    let warmed = estate.compiled_count();
+    let outcome = apply_digests(&mut estate, &out.changes);
+
+    // 5. Behavioral-only Table 7: coalesce windows across cosmetic swaps.
+    let raw_spans: usize = out.site_windows.values().map(Vec::len).sum();
+    let coalesced = coalesce_behavioral_windows(&out.site_windows, |from, to| {
+        behavioral_matrix[from.index()][to.index()]
+    });
+    let coalesced_spans: usize = coalesced.values().map(Vec::len).sum();
+    let matrix = phase_check_matrix(&out.table, &coalesced);
+
+    if json {
+        let mut j = String::from("{\"policies\":[");
+        for (i, (version, analysis)) in analyses.iter().enumerate() {
+            if i > 0 {
+                j.push(',');
+            }
+            let _ = write!(
+                j,
+                "{{\"version\":\"{}\",\"complete\":{},\"findings\":",
+                version.label(),
+                analysis.complete
+            );
+            findings_json(&mut j, analysis);
+            j.push('}');
+        }
+        let _ = write!(
+            j,
+            "],\"transitions\":{{\"behavioral\":{behavioral_transitions},\"cosmetic\":{cosmetic_transitions}}}"
+        );
+        let _ = write!(
+            j,
+            ",\"digests\":{{\"total\":{},\"behavioral\":{behavioral_digests},\"cosmetic\":{cosmetic_digests}}}",
+            out.changes.len()
+        );
+        let _ = write!(
+            j,
+            ",\"admission\":{{\"sites\":{},\"warmed\":{warmed},\"dropped\":{},\"cosmetic_skips\":{}}}",
+            deployment.len(),
+            outcome.dropped,
+            outcome.cosmetic_skips
+        );
+        let _ = write!(
+            j,
+            ",\"windows\":{{\"raw\":{raw_spans},\"coalesced\":{coalesced_spans}}},\"denied\":{denied}}}"
+        );
+        println!("{j}");
+    } else {
+        println!(
+            "audit --estate: sites={} days={} seed={} scenario={:?} swap-every={}",
+            cfg.sites, cfg.days, cfg.seed, cfg.scenario, cfg.swap_every
+        );
+        println!();
+        println!("== corpus policies ({analyze_ms:.2} ms analyzer time)");
+        for (version, analysis) in &analyses {
+            if analysis.findings.is_empty() {
+                println!("{}: clean", version.label());
+            } else {
+                println!("{}: {} finding(s)", version.label(), analysis.findings.len());
+                for f in &analysis.findings {
+                    println!("  {f}");
+                }
+            }
+        }
+        println!();
+        println!(
+            "== version transitions: {behavioral_transitions} behavioral, {cosmetic_transitions} cosmetic (of 12 ordered pairs)"
+        );
+        println!(
+            "== monitored digests: {} total, {behavioral_digests} behavioral, {cosmetic_digests} cosmetic",
+            out.changes.len()
+        );
+        println!(
+            "== admission replay: {} site(s) primed, {warmed} artifact(s) warmed; dropped={} cosmetic_skips={}",
+            deployment.len(),
+            outcome.dropped,
+            outcome.cosmetic_skips
+        );
+        println!(
+            "== deployment windows: {raw_spans} span(s) -> {coalesced_spans} after cosmetic coalescing"
+        );
+        println!();
+        print!("{}", table7_behavioral(&matrix));
+    }
+
+    if denied > 0 {
+        let threshold = deny.expect("denied implies a threshold");
+        return Err(format!("audit: {denied} finding(s) at or above {threshold}"));
     }
     Ok(())
 }

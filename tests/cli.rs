@@ -119,13 +119,81 @@ fn audit_flags_problems_and_clean_files() {
     let bad = write_temp("audit-bad.txt", "User-agent: *\nDisallow: /x\nDisallow: /x\n");
     let out = botscope(&["audit", bad.to_str().unwrap()]);
     assert!(out.status.success());
-    assert!(String::from_utf8_lossy(&out.stdout).contains("DuplicateRule"));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("DuplicateRule"), "{text}");
+    assert!(text.contains("DeadRule"), "{text}");
     let _ = std::fs::remove_file(bad);
 
-    let good = write_temp("audit-good.txt", "User-agent: *\nDisallow: /secure/*\n");
+    // Wildcard-free single-rule policy: no lints, no divergence hazards.
+    let good = write_temp("audit-good.txt", "User-agent: *\nDisallow: /secure/\n");
     let out = botscope(&["audit", good.to_str().unwrap()]);
     assert!(String::from_utf8_lossy(&out.stdout).contains("clean"));
     let _ = std::fs::remove_file(good);
+}
+
+#[test]
+fn audit_deny_gates_exit_status() {
+    let bad = write_temp("audit-deny.txt", "User-agent: *\nDisallow: /x\nDisallow: /x\n");
+    let out = botscope(&["audit", "--deny", "warning", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("at or above warning"));
+
+    // Raising the bar to `error` lets warnings through.
+    let out = botscope(&["audit", "--deny", "error", bad.to_str().unwrap()]);
+    assert!(out.status.success());
+    let _ = std::fs::remove_file(bad);
+}
+
+#[test]
+fn audit_json_is_machine_readable() {
+    let file = write_temp("audit-json.txt", "User-agent: *\nDisallow: ne/ver\n");
+    let out = botscope(&["audit", "--json", file.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("{\"files\":["), "{text}");
+    assert!(text.contains("\"code\":\"UnreachableRule\""), "{text}");
+    assert!(text.contains("\"severity\":\"error\""), "{text}");
+    assert!(text.trim_end().ends_with("\"denied\":0}"), "{text}");
+    let _ = std::fs::remove_file(file);
+}
+
+#[test]
+fn audit_json_snapshot_matches_committed() {
+    // Same invocation CI runs: relative paths from the repo root, sorted.
+    let root = env!("CARGO_MANIFEST_DIR");
+    let mut files: Vec<String> = std::fs::read_dir(format!("{root}/tests/fixtures/audit"))
+        .expect("fixture dir")
+        .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".robots.txt"))
+        .map(|n| format!("tests/fixtures/audit/{n}"))
+        .collect();
+    files.sort();
+    let mut args: Vec<&str> = vec!["audit", "--json"];
+    args.extend(files.iter().map(String::as_str));
+    let out = Command::new(env!("CARGO_BIN_EXE_botscope"))
+        .current_dir(root)
+        .args(&args)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let expected = std::fs::read_to_string(format!("{root}/tests/fixtures/audit/snapshot.json"))
+        .expect("committed snapshot");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        expected,
+        "analyzer output drifted from tests/fixtures/audit/snapshot.json; \
+         regenerate it if the change is intentional"
+    );
+}
+
+#[test]
+fn audit_estate_reports_digest_classes_and_recompile_debt() {
+    let out = botscope(&["audit", "--estate", "--sites", "8", "--days", "16"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("version transitions: 12 behavioral"), "{text}");
+    assert!(text.contains("admission replay"), "{text}");
+    assert!(text.contains("behavioral transitions only"), "{text}");
 }
 
 #[test]
