@@ -270,6 +270,212 @@ pub fn phase_check_matrix(table: &LogTable, windows: &SiteVersionWindows) -> Vec
     out
 }
 
+// ---------------------------------------------------------------------
+// Streaming accumulators (bounded-memory §5.1 reports).
+// ---------------------------------------------------------------------
+
+/// Incremental [`window_coverage`] over one bot's robots.txt fetch
+/// times, arriving in nondecreasing order.
+///
+/// State is O(1): the anchor, the complete-window count (fixed the
+/// moment the anchor lands), the highest window index hit so far, and
+/// whether any window was skipped. For sorted input this is equivalent
+/// to the batch computation: the window index only ever advances, so a
+/// gap (`idx > hi + 1`) can never be filled by a later fetch.
+#[derive(Debug, Clone, Copy)]
+struct WindowAccum {
+    window_secs: u64,
+    anchored: bool,
+    first: u64,
+    total: u64,
+    counted_any: bool,
+    hi: u64,
+    missed: bool,
+}
+
+impl WindowAccum {
+    fn new(window_secs: u64) -> WindowAccum {
+        WindowAccum {
+            window_secs,
+            anchored: false,
+            first: 0,
+            total: 0,
+            counted_any: false,
+            hi: 0,
+            missed: false,
+        }
+    }
+
+    fn push(&mut self, t: u64, horizon_end: u64) {
+        if !self.anchored {
+            self.anchored = true;
+            self.first = t;
+            self.total = if t >= horizon_end { 0 } else { (horizon_end - t) / self.window_secs };
+            // The anchor fetch itself hits window 0 (when any complete
+            // window exists at all).
+            self.counted_any = self.total > 0;
+            return;
+        }
+        debug_assert!(t >= self.first, "rows must arrive in nondecreasing time order");
+        if t < self.first || t >= horizon_end {
+            return;
+        }
+        let idx = (t - self.first) / self.window_secs;
+        if idx >= self.total {
+            return;
+        }
+        if idx > self.hi + 1 {
+            self.missed = true;
+        }
+        if idx > self.hi {
+            self.hi = idx;
+        }
+    }
+
+    /// The batch predicate: every complete window contained a fetch.
+    fn fully_covered(&self) -> bool {
+        self.counted_any && !self.missed && self.hi + 1 == self.total
+    }
+}
+
+/// Per-bot streaming state: O(windows) coverage accumulators plus the
+/// Table 7 hit flags.
+#[derive(Debug, Clone)]
+struct BotAccum {
+    category: BotCategory,
+    checks: u64,
+    hit: [bool; 4],
+    windows: [WindowAccum; 5],
+}
+
+/// Bounded-memory accumulator for the §5.1 monitor reports.
+///
+/// Feed it the daemon's streamed fetch rows — in the k-way shard
+/// merge's canonical, time-ascending order — and it reproduces exactly
+/// what the materialized pipeline computes as
+/// [`by_category`]`(&`[`profiles_from_table`]`(..))` and
+/// [`phase_check_matrix`]: the per-category re-check coverage table and
+/// the monitored Table 7 matrix. State is O(bots × windows + sites),
+/// never O(rows), so `monitor --stream` prints the same report bytes as
+/// the materialized path without ever holding the table.
+pub struct RecheckAccumulator {
+    horizon_end: u64,
+    windows: SiteVersionWindows,
+    deployed: [bool; 4],
+    standardizer: botscope_useragent::Standardizer,
+    ua_cache: BTreeMap<String, Option<&'static botscope_useragent::BotSpec>>,
+    bots: BTreeMap<String, BotAccum>,
+}
+
+impl RecheckAccumulator {
+    /// An empty accumulator over `windows` (per-site deployment spans,
+    /// known before streaming starts) and the observation horizon.
+    pub fn new(windows: SiteVersionWindows, horizon_end: u64) -> RecheckAccumulator {
+        let mut deployed = [false; 4];
+        for spans in windows.values() {
+            for &(version, _, _) in spans {
+                deployed[version.index()] = true;
+            }
+        }
+        RecheckAccumulator {
+            horizon_end,
+            windows,
+            deployed,
+            standardizer: botscope_useragent::Standardizer::new(),
+            ua_cache: BTreeMap::new(),
+            bots: BTreeMap::new(),
+        }
+    }
+
+    /// Absorb one streamed record. Known bots register a row view even
+    /// when the row is not a robots.txt fetch (Table 7's never-checker
+    /// rows); anonymous agents are ignored, as in standardization.
+    pub fn push(&mut self, record: &AccessRecord) {
+        let Self { ua_cache, standardizer, .. } = self;
+        let spec = *ua_cache
+            .entry(record.useragent.clone())
+            .or_insert_with(|| standardizer.standardize(&record.useragent).map(|s| s.bot));
+        let Some(bot) = spec else {
+            return;
+        };
+        let accum = self.bots.entry(bot.canonical.to_string()).or_insert_with(|| BotAccum {
+            category: bot.category,
+            checks: 0,
+            hit: [false; 4],
+            windows: PAPER_WINDOWS_HOURS.map(|h| WindowAccum::new(h * 3600)),
+        });
+        if !record.is_robots_fetch() {
+            return;
+        }
+        accum.checks += 1;
+        let t = record.timestamp.unix();
+        for w in &mut accum.windows {
+            w.push(t, self.horizon_end);
+        }
+        if let Some(spans) = self.windows.get(&record.sitename) {
+            if let Some(&(version, _, _)) = spans.iter().find(|&&(_, from, to)| t >= from && t < to)
+            {
+                accum.hit[version.index()] = true;
+            }
+        }
+    }
+
+    /// Figure 10's aggregation — equal to
+    /// `by_category(&profiles_from_table(table, horizon_end))` over the
+    /// materialized equivalent of the stream.
+    pub fn by_category(&self) -> RecheckByCategory {
+        let mut out = RecheckByCategory::default();
+        let mut per_cat: BTreeMap<BotCategory, (usize, [usize; 5])> = BTreeMap::new();
+        for b in self.bots.values() {
+            if b.checks == 0 {
+                continue;
+            }
+            let entry = per_cat.entry(b.category).or_default();
+            entry.0 += 1;
+            for (i, w) in b.windows.iter().enumerate() {
+                entry.1[i] += usize::from(w.fully_covered());
+            }
+        }
+        for (cat, (n, covered)) in per_cat {
+            out.checking_bots.insert(cat, n);
+            for (i, &h) in PAPER_WINDOWS_HOURS.iter().enumerate() {
+                out.proportions.insert((cat, h), covered[i] as f64 / n as f64);
+            }
+        }
+        out
+    }
+
+    /// The monitored Table 7 matrix — equal to
+    /// `phase_check_matrix(table, windows)` over the materialized
+    /// equivalent of the stream.
+    pub fn phase_rows(&self) -> Vec<PhaseCheckRow> {
+        self.bots
+            .iter()
+            .map(|(name, b)| {
+                let mut checked = [None; 4];
+                for (i, slot) in checked.iter_mut().enumerate() {
+                    if self.deployed[i] {
+                        *slot = Some(b.hit[i]);
+                    }
+                }
+                PhaseCheckRow { bot: name.clone(), category: b.category, checked, checks: b.checks }
+            })
+            .collect()
+    }
+
+    /// The deployment windows the accumulator was built over.
+    pub fn site_windows(&self) -> &SiteVersionWindows {
+        &self.windows
+    }
+}
+
+impl botscope_weblog::sink::RowSink for RecheckAccumulator {
+    fn write_row(&mut self, record: &AccessRecord) -> std::io::Result<()> {
+        self.push(record);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

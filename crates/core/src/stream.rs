@@ -225,6 +225,12 @@ pub struct StreamAnalyzer {
     slot_by_name: BTreeMap<&'static str, u32>,
     phase_sessions: Vec<PhaseSessions>,
     last_t: u64,
+    /// Plain (non-atomic) telemetry tallies, flushed to the global
+    /// registry once at [`StreamAnalyzer::finish`] so the per-row path
+    /// carries zero instrumentation cost: rows seen, then rows landing
+    /// in the base window and each directive window.
+    obs_rows: u64,
+    obs_window_rows: [u64; 4],
 }
 
 impl StreamAnalyzer {
@@ -260,6 +266,8 @@ impl StreamAnalyzer {
             slot_by_name: BTreeMap::new(),
             phase_sessions,
             last_t: 0,
+            obs_rows: 0,
+            obs_window_rows: [0; 4],
         }
     }
 
@@ -292,6 +300,7 @@ impl StreamAnalyzer {
         let t = row.timestamp.unix();
         debug_assert!(t >= self.last_t, "stream must be time-sorted");
         self.last_t = t;
+        self.obs_rows += 1;
 
         let is_site = self.flags[row.sitename.index()] & FLAG_SITE != 0;
 
@@ -358,10 +367,12 @@ impl StreamAnalyzer {
         let (lo, hi) = self.windows.base;
         if t >= lo && t < hi {
             acc.buckets[0].push(row, robots, page_data);
+            self.obs_window_rows[0] += 1;
         }
         for (d, &(lo, hi)) in self.windows.directives.iter().enumerate() {
             if t >= lo && t < hi {
                 acc.buckets[d + 1].push(row, robots, page_data);
+                self.obs_window_rows[d + 1] += 1;
             }
         }
     }
@@ -370,6 +381,12 @@ impl StreamAnalyzer {
     /// `interner` must be the stream's final interner (a superset of
     /// every symbol pushed).
     pub fn finish(self, interner: &StringInterner) -> Experiment {
+        let obs = botscope_obs::global();
+        obs.counter("stream_rows_total").add(self.obs_rows);
+        for (i, window) in ["base", "crawl_delay", "endpoint", "disallow"].into_iter().enumerate() {
+            obs.counter(&format!("stream_window_rows_total{{window=\"{window}\"}}"))
+                .add(self.obs_window_rows[i]);
+        }
         let mut per_directive: BTreeMap<Directive, Vec<BotDirectiveResult>> =
             Directive::ALL.into_iter().map(|d| (d, Vec::new())).collect();
         let mut spoofed_per_directive = per_directive.clone();

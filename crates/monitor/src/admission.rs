@@ -73,6 +73,13 @@ pub fn apply_digests(estate: &mut PolicyEstate, digests: &[ChangeDigest]) -> Dig
         }
         estate.insert(site, digest.to.robots_txt());
     }
+    let obs = botscope_obs::global();
+    obs.counter("admission_digests_applied_total").add(digests.len() as u64);
+    obs.counter("admission_compiled_dropped_total").add(outcome.dropped as u64);
+    obs.counter("admission_cosmetic_skips_total").add(outcome.cosmetic_skips as u64);
+    // The debt this pass leaves outstanding: registered sites whose
+    // artifact the next admission sweep must recompile.
+    obs.gauge("robotstxt_compile_debt").set(estate.compile_debt() as u64);
     outcome
 }
 

@@ -453,15 +453,69 @@ fn site_windows_of(run: &DaemonRun<'_>) -> BTreeMap<String, Vec<(PolicyVersion, 
         .collect()
 }
 
+/// The deployment windows `cfg` *would* produce, without running the
+/// daemon: rebuilds the scripted estate (cheap — O(sites)) and reads
+/// each site's version windows. Streaming callers use this to construct
+/// report sinks *before* the run starts, since [`run_streaming`] owns
+/// its transport internally.
+pub fn config_site_windows(
+    cfg: &MonitorConfig,
+) -> BTreeMap<String, Vec<(PolicyVersion, u64, u64)>> {
+    cfg.assert_valid();
+    let transport = VirtualTransport::new(build_estate(cfg));
+    let horizon_end = cfg.horizon_end();
+    (0..transport.len())
+        .map(|site| {
+            let model = transport.model(site);
+            (model.name.clone(), model.policy.version_windows(horizon_end))
+        })
+        .collect()
+}
+
+/// Flush a finished run's aggregate counters into the global telemetry
+/// registry. Counters are additive, so repeated runs in one process
+/// (test harnesses, the coupled driver) accumulate; the per-scenario
+/// change-digest counter keys on the scenario label so mixed workloads
+/// stay distinguishable in one exposition.
+fn export_telemetry(cfg: &MonitorConfig, stats: &MonitorStats, changes: &[ChangeDigest]) {
+    let obs = botscope_obs::global();
+    obs.counter("monitor_agents_total").add(stats.agents);
+    obs.counter("monitor_fetches_total").add(stats.fetches);
+    obs.counter("monitor_fetch_outcomes_total{class=\"2xx\"}").add(stats.success);
+    obs.counter("monitor_fetch_outcomes_total{class=\"4xx\"}").add(stats.client_errors);
+    obs.counter("monitor_fetch_outcomes_total{class=\"5xx\"}").add(stats.server_errors);
+    obs.counter("monitor_fetch_outcomes_total{class=\"network\"}").add(stats.network_errors);
+    obs.counter("monitor_cache_revalidations_total").add(stats.revalidated);
+    obs.counter("monitor_revalidated_bytes_saved_total").add(stats.revalidated_bytes_saved);
+    obs.counter("monitor_redirects_followed_total").add(stats.redirects_followed);
+    obs.counter("monitor_redirects_capped_total").add(stats.redirects_capped);
+    obs.counter("monitor_backoff_retries_total").add(stats.backoff_retries);
+    // Every fetch is scheduled by exactly one of: the agent's first
+    // probe, its TTL expiring, or the failure backoff.
+    let ttl_expiries = stats.fetches.saturating_sub(stats.agents + stats.backoff_retries);
+    obs.counter("monitor_ttl_expiry_fetches_total").add(ttl_expiries);
+    obs.counter("monitor_policy_changes_observed_total").add(stats.policy_changes_observed);
+    let scenario = cfg.scenario.label();
+    obs.counter(&format!("monitor_change_digests_total{{scenario=\"{scenario}\"}}"))
+        .add(changes.len() as u64);
+    let behavioral = changes.iter().filter(|c| c.class == ChangeClass::Behavioral).count();
+    obs.counter(&format!("monitor_behavioral_digests_total{{scenario=\"{scenario}\"}}"))
+        .add(behavioral as u64);
+}
+
 /// Run to completion and assemble the merged output (plus the belief
 /// atlas when the run collects beliefs).
 pub(crate) fn run_daemon(
     run: &DaemonRun<'_>,
     threads: usize,
 ) -> (MonitorOutput, Option<BeliefAtlas>) {
+    let obs = botscope_obs::global();
+    let mut span = obs.span("monitor_run");
+    span.event_range(run.cfg.start.unix(), run.cfg.horizon_end());
     let hasher = IpHasher::from_seed(run.cfg.seed);
     let shards = run_shards(run, &hasher, threads);
     let (stats, changes) = merge_shard_summaries(run, &shards);
+    export_telemetry(run.cfg, &stats, &changes);
 
     let total_rows: usize = shards.iter().map(|s| s.log.len()).sum();
     let mut table = LogTable::with_capacity(total_rows, 1024);
@@ -540,9 +594,13 @@ pub fn run_streaming(
         ttl: TtlSource::Config,
         collect_beliefs: false,
     };
+    let obs = botscope_obs::global();
+    let mut span = obs.span("monitor_run");
+    span.event_range(cfg.start.unix(), cfg.horizon_end());
     let hasher = IpHasher::from_seed(cfg.seed);
     let shards = run_shards(&run, &hasher, threads);
     let (stats, changes) = merge_shard_summaries(&run, &shards);
+    export_telemetry(cfg, &stats, &changes);
     let site_windows = site_windows_of(&run);
 
     // Each shard becomes one canonically sorted run (MergeRun::from_table

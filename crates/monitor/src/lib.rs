@@ -80,8 +80,8 @@ pub use coupled::{
     run_coupled, run_coupled_with_threads, CoupledConfig, CoupledOutput, RefreshModel,
 };
 pub use daemon::{
-    run, run_streaming, run_with_beliefs, run_with_threads, ChangeDigest, MonitorConfig,
-    MonitorOutput, MonitorStats, MonitorSummary, TtlPolicy,
+    config_site_windows, run, run_streaming, run_with_beliefs, run_with_threads, ChangeDigest,
+    MonitorConfig, MonitorOutput, MonitorStats, MonitorSummary, TtlPolicy,
 };
 pub use scenario::ScenarioKind;
 pub use transport::{ServerModel, Validators, VirtualTransport};

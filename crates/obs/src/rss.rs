@@ -1,0 +1,65 @@
+//! Resident-set-size self-sampling from `/proc/self/status`.
+//!
+//! Linux-only by nature; on other platforms (or sandboxes without
+//! procfs) the samplers return `None` and the manifest reports zero.
+
+use std::fs;
+
+/// A point-in-time memory sample, in kilobytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemSample {
+    /// Current resident set size (`VmRSS`).
+    pub rss_kb: u64,
+    /// Peak resident set size (`VmHWM`, the high-water mark).
+    pub peak_rss_kb: u64,
+}
+
+/// Sample the current process; `None` when procfs is unavailable.
+pub fn sample_self() -> Option<MemSample> {
+    parse_status(&fs::read_to_string("/proc/self/status").ok()?)
+}
+
+fn parse_status(status: &str) -> Option<MemSample> {
+    let mut rss_kb = None;
+    let mut peak_rss_kb = None;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            rss_kb = parse_kb(rest);
+        } else if let Some(rest) = line.strip_prefix("VmHWM:") {
+            peak_rss_kb = parse_kb(rest);
+        }
+        if rss_kb.is_some() && peak_rss_kb.is_some() {
+            break;
+        }
+    }
+    Some(MemSample { rss_kb: rss_kb?, peak_rss_kb: peak_rss_kb? })
+}
+
+fn parse_kb(rest: &str) -> Option<u64> {
+    // "	  123456 kB"
+    rest.split_whitespace().next()?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_proc_status_excerpt() {
+        let status = "Name:\tbotscope\nVmPeak:\t  200000 kB\nVmHWM:\t  150000 kB\nVmRSS:\t  120000 kB\nThreads:\t8\n";
+        assert_eq!(parse_status(status), Some(MemSample { rss_kb: 120_000, peak_rss_kb: 150_000 }));
+    }
+
+    #[test]
+    fn missing_fields_yield_none() {
+        assert_eq!(parse_status("Name:\tx\n"), None);
+    }
+
+    #[test]
+    fn live_sample_on_linux() {
+        if let Some(s) = sample_self() {
+            assert!(s.rss_kb > 0, "a running process has resident pages");
+            assert!(s.peak_rss_kb >= s.rss_kb);
+        }
+    }
+}

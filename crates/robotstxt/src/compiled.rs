@@ -476,6 +476,7 @@ fn token_matches_ci(group: &str, crawler: &str) -> bool {
 pub struct PolicyEstate {
     sites: HashMap<String, EstateSlot>,
     compiles: u64,
+    cache_hits: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -526,9 +527,12 @@ impl PolicyEstate {
     /// The compiled policy for `site`, compiling on first use.
     pub fn compiled(&mut self, site: &str) -> Option<Arc<CompiledPolicy>> {
         let slot = self.sites.get_mut(site)?;
-        if slot.compiled.is_none() {
-            slot.compiled = Some(Arc::new(CompiledPolicy::compile(&slot.doc)));
-            self.compiles += 1;
+        match &slot.compiled {
+            Some(_) => self.cache_hits += 1,
+            None => {
+                slot.compiled = Some(Arc::new(CompiledPolicy::compile(&slot.doc)));
+                self.compiles += 1;
+            }
         }
         slot.compiled.clone()
     }
@@ -565,6 +569,18 @@ impl PolicyEstate {
     /// misses + recompiles after invalidation).
     pub fn compiles(&self) -> u64 {
         self.compiles
+    }
+
+    /// Lookups answered from an already-compiled artifact — the warm
+    /// path [`compiles`](PolicyEstate::compiles) never pays for.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Registered sites whose artifact is *not* currently compiled —
+    /// the recompile debt the next admission sweep would pay.
+    pub fn compile_debt(&self) -> usize {
+        self.sites.values().filter(|s| s.compiled.is_none()).count()
     }
 
     /// Registered site names, in arbitrary order.

@@ -377,6 +377,8 @@ pub fn simulate_table_oracle<O: PolicyOracle>(
 ) -> SimTableOutput {
     cfg.assert_valid();
     assert!(threads >= 1, "at least one worker required");
+    let obs = botscope_obs::global();
+    let gen_span = obs.phase("simnet_generate");
     let estate = Site::estate(cfg.sites);
     let fleet = build_fleet();
     let hasher = IpHasher::from_seed(cfg.seed);
@@ -435,7 +437,12 @@ pub fn simulate_table_oracle<O: PolicyOracle>(
         shards.sort_by_key(|&(unit, _)| unit);
     }
 
+    drop(gen_span);
+    obs.counter("simnet_units_total").add(n_units as u64);
+
     let total_rows: usize = shards.iter().map(|(_, s)| s.table.len()).sum();
+    obs.counter("simnet_rows_total").add(total_rows as u64);
+    let merge_span = obs.phase("simnet_absorb_sort");
     let mut table = LogTable::with_capacity(total_rows, 1024);
     let mut truth = GroundTruth::default();
     for (_, shard) in &shards {
@@ -445,6 +452,7 @@ pub fn simulate_table_oracle<O: PolicyOracle>(
         }
     }
     table.sort_canonical();
+    drop(merge_span);
 
     for bot in &fleet {
         truth.behaviors.insert(bot.spec.canonical.to_string(), bot.behavior.clone());
@@ -531,6 +539,8 @@ pub fn simulate_stream_oracle<O: PolicyOracle>(
     cfg.assert_valid();
     assert!(threads >= 1, "at least one worker required");
     assert!(opts.rows_per_run >= 1, "rows_per_run must be positive");
+    let obs = botscope_obs::global();
+    let gen_span = obs.phase("simnet_generate");
     let estate = Site::estate(cfg.sites);
     let fleet = build_fleet();
     let hasher = IpHasher::from_seed(cfg.seed);
@@ -601,6 +611,9 @@ pub fn simulate_stream_oracle<O: PolicyOracle>(
     // consecutive emission-position blocks, so this global order makes
     // the merge byte-identical to concatenate-in-unit-order + stable
     // sort — i.e. to the materialized path.
+    drop(gen_span);
+    obs.counter("simnet_units_total").add(n_units as u64);
+    let merge_span = obs.phase("simnet_spill_merge");
     let mut truth = GroundTruth::default();
     let mut spilled: Vec<PathBuf> = Vec::new();
     let merged: io::Result<u64> = (|| {
@@ -627,6 +640,8 @@ pub fn simulate_stream_oracle<O: PolicyOracle>(
         // merge at any worker count.
         merge_runs_parallel(runs, sinks, threads)
     })();
+    drop(merge_span);
+    obs.counter("simnet_spill_runs_total").add(spilled.len() as u64);
     if own_dir {
         let _ = std::fs::remove_dir_all(&spill_dir);
     } else {
@@ -635,6 +650,7 @@ pub fn simulate_stream_oracle<O: PolicyOracle>(
         }
     }
     let rows = merged?;
+    obs.counter("simnet_rows_total").add(rows);
 
     for bot in &fleet {
         truth.behaviors.insert(bot.spec.canonical.to_string(), bot.behavior.clone());

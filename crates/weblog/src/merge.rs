@@ -103,6 +103,9 @@ fn materialize(interner: &StringInterner, row: &RecordRow) -> AccessRecord {
 /// returns the number of rows merged. Decode errors from stream-backed
 /// runs surface as [`io::ErrorKind::InvalidData`].
 pub fn merge_runs(mut runs: Vec<MergeRun>, sinks: &mut [&mut dyn RowSink]) -> io::Result<u64> {
+    let obs = botscope_obs::global();
+    let _span = obs.span("weblog_merge");
+    obs.counter("weblog_merge_runs_total").add(runs.len() as u64);
     let per_run_ranks = build_rank_tables(&runs);
 
     // (timestamp, ua rank, ip hash, path rank, run index).
@@ -140,6 +143,7 @@ pub fn merge_runs(mut runs: Vec<MergeRun>, sinks: &mut [&mut dyn RowSink]) -> io
     for sink in sinks.iter_mut() {
         sink.finish()?;
     }
+    obs.counter("weblog_merge_rows_total").add(rows);
     Ok(rows)
 }
 
@@ -196,6 +200,10 @@ pub fn merge_runs_parallel(
     if groups <= 1 {
         return merge_runs(runs, sinks);
     }
+    let obs = botscope_obs::global();
+    let _span = obs.span("weblog_merge_parallel");
+    obs.counter("weblog_merge_runs_total").add(runs.len() as u64);
+    obs.counter("weblog_merge_groups_total").add(groups as u64);
     let per_run_ranks = build_rank_tables(&runs);
 
     // Contiguous partition: group g takes the next `base (+1)` runs in
@@ -257,6 +265,7 @@ pub fn merge_runs_parallel(
     for sink in sinks.iter_mut() {
         sink.finish()?;
     }
+    obs.counter("weblog_merge_rows_total").add(rows);
     Ok(rows)
 }
 

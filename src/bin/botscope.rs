@@ -13,6 +13,7 @@
 //! botscope monitor [--sites N] [--days N] ...     run the monitoring daemon
 //! ```
 
+use std::io::Write as _;
 use std::process::ExitCode;
 
 use botscope::core::metrics::{crawl_delay_counts_rows, CRAWL_DELAY_SECS};
@@ -122,8 +123,21 @@ USAGE:
         --jsonl FILE     write the fetch-event log as JSONL (\"-\" = stdout)
         --changes FILE   write detected policy changes as CSV (\"-\" = stdout)
         --stream         stream CSV/JSONL row by row through the k-way
-                         shard merge instead of materializing the table
-                         (bounded memory; skips the table-derived reports)
+                         shard merge instead of materializing the table;
+                         the table-derived reports are computed by
+                         bounded-memory accumulators on the same stream
+                         and print byte-identically to the default path
+
+GLOBAL FLAGS (any subcommand):
+  --metrics FILE   write a Prometheus-style text snapshot of every
+                   counter, gauge and histogram on exit
+  --manifest FILE  write a run-manifest JSON: config, seed, threads,
+                   counters, output digests, phase timings, peak RSS
+  --trace FILE     stream span events as JSONL while the run executes
+      FILE may be \"-\" to write to stderr. Stdout always stays
+      reserved for data artifacts, and telemetry never changes
+      artifact bytes: instrumented runs are byte-identical to
+      uninstrumented ones at any thread count.
 
 ENVIRONMENT:
   BOTSCOPE_THREADS
@@ -134,7 +148,15 @@ ENVIRONMENT:
 ";
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let started = std::time::Instant::now();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let telemetry = match Telemetry::extract(&mut args) {
+        Ok(t) => t,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
     let result = match args.first().map(String::as_str) {
         Some("check") => cmd_check(&args[1..]),
         Some("admit") => cmd_admit(&args[1..]),
@@ -149,12 +171,167 @@ fn main() -> ExitCode {
         }
         Some(other) => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
     };
+    let result = result.and_then(|()| telemetry.finish(&args, started));
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("error: {message}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Global telemetry flags, stripped from the argument list before
+/// subcommand dispatch so every subcommand stays flag-agnostic.
+///
+/// Diagnostics never touch stdout: `-` routes metrics, manifests and
+/// traces to *stderr*, keeping stdout reserved for data artifacts.
+/// Telemetry also never changes artifact bytes — instrumented runs
+/// are byte-identical to uninstrumented ones.
+struct Telemetry {
+    metrics: Option<String>,
+    manifest: Option<String>,
+    trace: Option<String>,
+}
+
+/// Whether `--manifest` is active: the output funnels then wrap every
+/// writer in a digest adapter and record `(target, bytes, sha256)`.
+static MANIFEST_ACTIVE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+fn manifest_active() -> bool {
+    MANIFEST_ACTIVE.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// A buffered diagnostics writer: a file, or stderr for `-`.
+fn diag_writer(path: &str) -> Result<Box<dyn std::io::Write + Send>, String> {
+    if path == "-" {
+        Ok(Box::new(std::io::BufWriter::new(std::io::stderr())))
+    } else {
+        std::fs::File::create(path)
+            .map(|f| Box::new(std::io::BufWriter::new(f)) as Box<dyn std::io::Write + Send>)
+            .map_err(|e| format!("cannot write {path}: {e}"))
+    }
+}
+
+impl Telemetry {
+    /// Strip `--metrics F`, `--manifest F` and `--trace F` from any
+    /// position in `args`, enable the registry when at least one is
+    /// present, and attach the trace sink up front so spans stream
+    /// while the run executes.
+    fn extract(args: &mut Vec<String>) -> Result<Telemetry, String> {
+        let mut t = Telemetry { metrics: None, manifest: None, trace: None };
+        let mut i = 0;
+        while i < args.len() {
+            let slot: &mut Option<String> = match args[i].as_str() {
+                "--metrics" => &mut t.metrics,
+                "--manifest" => &mut t.manifest,
+                "--trace" => &mut t.trace,
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            let flag = args.remove(i);
+            if i >= args.len() {
+                return Err(format!("{flag} needs a file (or \"-\" for stderr)"));
+            }
+            *slot = Some(args.remove(i));
+        }
+        if t.metrics.is_some() || t.manifest.is_some() || t.trace.is_some() {
+            botscope::obs::global().set_enabled(true);
+        }
+        if t.manifest.is_some() {
+            MANIFEST_ACTIVE.store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+        if let Some(path) = &t.trace {
+            botscope::obs::global().set_trace(diag_writer(path)?);
+        }
+        Ok(t)
+    }
+
+    /// After the subcommand succeeds: flush the trace, render the
+    /// metrics snapshot, and write the run manifest.
+    fn finish(&self, args: &[String], started: std::time::Instant) -> Result<(), String> {
+        let obs = botscope::obs::global();
+        if !obs.enabled() {
+            return Ok(());
+        }
+        obs.close_trace().map_err(|e| format!("cannot flush trace: {e}"))?;
+        if let Some(path) = &self.metrics {
+            let text = obs.render_prometheus();
+            let mut w = diag_writer(path)?;
+            w.write_all(text.as_bytes())
+                .and_then(|()| w.flush())
+                .map_err(|e| format!("cannot write metrics: {e}"))?;
+        }
+        if let Some(path) = &self.manifest {
+            let manifest = build_manifest(args, started);
+            let mut w = diag_writer(path)?;
+            w.write_all(manifest.render().as_bytes())
+                .and_then(|()| w.flush())
+                .map_err(|e| format!("cannot write manifest: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Assemble the run manifest: identity and config first (the stable
+/// prefix CI snapshots), volatile perf numbers last.
+fn build_manifest(
+    args: &[String],
+    started: std::time::Instant,
+) -> botscope::obs::manifest::RunManifest {
+    use botscope::obs::manifest::{PerfSection, RunManifest};
+
+    let obs = botscope::obs::global();
+    let rest = args.get(1..).unwrap_or_default();
+    let mut config = std::collections::BTreeMap::new();
+    let mut seed = None;
+    let mut i = 0;
+    while i < rest.len() {
+        if let Some(name) = rest[i].strip_prefix("--") {
+            // Mirror the subcommand parsers without naming every flag:
+            // a following non-flag token is that flag's value, a flag
+            // with no value is a bare switch.
+            match rest.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    if name == "seed" {
+                        seed = v.parse().ok();
+                    }
+                    config.insert(name.to_string(), v.clone());
+                    i += 2;
+                    continue;
+                }
+                _ => {
+                    config.insert(name.to_string(), "true".to_string());
+                }
+            }
+        }
+        i += 1;
+    }
+    if let Ok(threads) = std::env::var("BOTSCOPE_THREADS") {
+        config.insert("env.BOTSCOPE_THREADS".to_string(), threads);
+    }
+    let mut counters = obs.snapshot_counters();
+    counters.extend(obs.snapshot_gauges());
+    let mem = botscope::obs::rss::sample_self().unwrap_or_default();
+    RunManifest {
+        tool: "botscope".to_string(),
+        version: env!("CARGO_PKG_VERSION").to_string(),
+        command: args.first().cloned().unwrap_or_default(),
+        args: rest.to_vec(),
+        seed,
+        threads: botscope::simnet::worker_threads(),
+        config,
+        counters,
+        outputs: obs.snapshot_outputs(),
+        perf: PerfSection {
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            host_cores: botscope::obs::bench::host_cores(),
+            rss_kb: mem.rss_kb,
+            peak_rss_kb: mem.peak_rss_kb,
+            phases: obs.snapshot_phases(),
+        },
     }
 }
 
@@ -278,6 +455,8 @@ fn cmd_admit(args: &[String]) -> Result<(), String> {
     }
     let sites = estate.len();
 
+    let obs = botscope::obs::global();
+    let check_span = obs.span("admit_check");
     let started = std::time::Instant::now();
     let mut verdicts = Vec::with_capacity(queries.len());
     let mut allowed = 0u64;
@@ -288,6 +467,12 @@ fn cmd_admit(args: &[String]) -> Result<(), String> {
         verdicts.push(allow);
     }
     let elapsed = started.elapsed();
+    drop(check_span);
+    obs.counter("admit_queries_total").add(queries.len() as u64);
+    obs.counter("admit_allowed_total").add(allowed);
+    obs.counter("robotstxt_compiles_total").add(estate.compiles());
+    obs.counter("robotstxt_cache_hits_total").add(estate.cache_hits());
+    obs.gauge("robotstxt_compile_debt").set(estate.compile_debt() as u64);
 
     if !quiet {
         write_output("-", |w| {
@@ -552,6 +737,11 @@ fn audit_estate(
     }
     let warmed = estate.compiled_count();
     let outcome = apply_digests(&mut estate, &out.changes);
+    let obs = botscope::obs::global();
+    obs.counter("robotstxt_compiles_total").add(estate.compiles());
+    obs.counter("robotstxt_cache_hits_total").add(estate.cache_hits());
+    obs.counter("audit_behavioral_digests_total").add(behavioral_digests as u64);
+    obs.counter("audit_cosmetic_digests_total").add(cosmetic_digests as u64);
 
     // 5. Behavioral-only Table 7: coalesce windows across cosmetic swaps.
     let raw_spans: usize = out.site_windows.values().map(Vec::len).sum();
@@ -837,31 +1027,80 @@ where
     F: FnOnce(&mut dyn std::io::Write) -> std::io::Result<()>,
 {
     fn run<W: std::io::Write>(
-        mut w: W,
+        w: W,
+        target: &str,
         f: impl FnOnce(&mut dyn std::io::Write) -> std::io::Result<()>,
     ) -> std::io::Result<()> {
-        f(&mut w)?;
-        w.flush()
+        if manifest_active() {
+            // Fingerprint the artifact as it streams out; the digest
+            // adapter is pass-through, so the bytes never change.
+            let mut w = botscope::obs::digest::DigestWriter::new(w);
+            f(&mut w)?;
+            w.flush()?;
+            botscope::obs::global().record_output(target, w.bytes(), w.hex_digest());
+            Ok(())
+        } else {
+            let mut w = w;
+            f(&mut w)?;
+            w.flush()
+        }
     }
+    let target = if path == "-" { "stdout" } else { path };
     let result = if path == "-" {
         let stdout = std::io::stdout();
-        run(std::io::BufWriter::new(stdout.lock()), f)
+        run(std::io::BufWriter::new(stdout.lock()), target, f)
     } else {
-        std::fs::File::create(path).and_then(|file| run(std::io::BufWriter::new(file), f))
+        std::fs::File::create(path).and_then(|file| run(std::io::BufWriter::new(file), target, f))
     };
-    let target = if path == "-" { "stdout" } else { path };
     result.map_err(|e| format!("cannot write {target}: {e}"))
+}
+
+/// Pass-through writer that records its artifact `(target, bytes,
+/// sha256)` into the registry when dropped — the owning sink decides
+/// when writing ends, so Drop is the only reliable hook.
+struct RecordingWriter {
+    target: String,
+    inner: botscope::obs::digest::DigestWriter<Box<dyn std::io::Write>>,
+}
+
+impl std::io::Write for RecordingWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        std::io::Write::write(&mut self.inner, buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        std::io::Write::flush(&mut self.inner)
+    }
+}
+
+impl Drop for RecordingWriter {
+    fn drop(&mut self) {
+        botscope::obs::global().record_output(
+            &self.target,
+            self.inner.bytes(),
+            self.inner.hex_digest(),
+        );
+    }
 }
 
 /// A boxed buffered writer for `path` (`-` = stdout), for sinks that
 /// own their writer; the sink's `finish` flushes it.
 fn writer_for(path: &str) -> Result<Box<dyn std::io::Write>, String> {
-    if path == "-" {
-        Ok(Box::new(std::io::BufWriter::new(std::io::stdout())))
+    let inner: Box<dyn std::io::Write> = if path == "-" {
+        Box::new(std::io::BufWriter::new(std::io::stdout()))
     } else {
         std::fs::File::create(path)
             .map(|f| Box::new(std::io::BufWriter::new(f)) as Box<dyn std::io::Write>)
-            .map_err(|e| format!("cannot write {path}: {e}"))
+            .map_err(|e| format!("cannot write {path}: {e}"))?
+    };
+    if manifest_active() {
+        let target = if path == "-" { "stdout" } else { path };
+        Ok(Box::new(RecordingWriter {
+            target: target.to_string(),
+            inner: botscope::obs::digest::DigestWriter::new(inner),
+        }))
+    } else {
+        Ok(inner)
     }
 }
 
@@ -942,10 +1181,11 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
         write_changes(path, &out.changes)?;
     }
 
-    // The human report goes to stdout unless stdout carries data.
+    // Summary stats always go to stderr; the table-derived report
+    // artifacts go to stdout unless stdout already carries data.
     let data_on_stdout =
         [&out_path, &jsonl_path, &changes_path].iter().any(|p| p.as_deref() == Some("-"));
-    print_monitor_report(&cfg, &out, data_on_stdout);
+    print_monitor_report(&cfg, &out, data_on_stdout)?;
     Ok(())
 }
 
@@ -970,9 +1210,13 @@ fn write_changes(path: &str, changes: &[botscope::monitor::ChangeDigest]) -> Res
     write_output(path, |w| w.write_all(body.as_bytes()))
 }
 
-/// The `--stream` path: fetch events flow through row sinks; only the
+/// The `--stream` path: fetch events flow through row sinks, and the
 /// table-derived reports (re-check coverage, monitored Table 7) are
-/// skipped, since the merged table never exists.
+/// computed by a bounded-memory [`RecheckAccumulator`] riding the same
+/// stream — the merged table never exists, yet stdout carries the same
+/// report bytes as the materialized path.
+///
+/// [`RecheckAccumulator`]: botscope::core::recheck::RecheckAccumulator
 fn cmd_monitor_streaming(
     cfg: &MonitorConfig,
     out_path: &Option<String>,
@@ -989,6 +1233,12 @@ fn cmd_monitor_streaming(
     };
     let mut jsonl =
         jsonl_path.as_deref().map(|path| writer_for(path).map(JsonlSink::new)).transpose()?;
+    // The accumulator needs each site's deployment windows *before*
+    // streaming starts; they are a pure function of the config.
+    let mut recheck = botscope::core::recheck::RecheckAccumulator::new(
+        botscope::monitor::config_site_windows(cfg),
+        cfg.horizon_end(),
+    );
     let mut sinks: Vec<&mut dyn RowSink> = Vec::new();
     if let Some(sink) = csv.as_mut() {
         sinks.push(sink);
@@ -996,10 +1246,7 @@ fn cmd_monitor_streaming(
     if let Some(sink) = jsonl.as_mut() {
         sinks.push(sink);
     }
-    let mut counter = botscope::weblog::sink::CountingSink::default();
-    if sinks.is_empty() {
-        sinks.push(&mut counter);
-    }
+    sinks.push(&mut recheck);
 
     let summary =
         botscope::monitor::run_streaming(cfg, botscope::simnet::worker_threads(), &mut sinks)
@@ -1010,7 +1257,7 @@ fn cmd_monitor_streaming(
         write_changes(path, &summary.changes)?;
     }
 
-    let to_stderr = [out_path, jsonl_path, changes_path].iter().any(|p| p.as_deref() == Some("-"));
+    // Summary stats are diagnostics: always stderr.
     use std::fmt::Write as _;
     let s = &summary.stats;
     let mut r = String::new();
@@ -1038,19 +1285,29 @@ fn cmd_monitor_streaming(
     );
     let _ = writeln!(
         r,
-        "policy changes: {} observations, {} distinct transitions (table-derived reports skipped in --stream mode)",
+        "policy changes: {} observations, {} distinct transitions",
         s.policy_changes_observed,
         summary.changes.len()
     );
-    if to_stderr {
-        eprint!("{r}");
-    } else {
-        print!("{r}");
-    }
-    Ok(())
+    eprint!("{r}");
+
+    let data_on_stdout =
+        [out_path, jsonl_path, changes_path].iter().any(|p| p.as_deref() == Some("-"));
+    let matrix = recheck.phase_rows();
+    let agg = recheck.by_category();
+    emit_monitor_report_tables(recheck.site_windows(), &matrix, &agg, data_on_stdout)
 }
 
-fn print_monitor_report(cfg: &MonitorConfig, out: &MonitorOutput, to_stderr: bool) {
+/// Monitor reporting, split per the output contract: run *stats* are
+/// diagnostics and always go to stderr; the table-derived *reports*
+/// (monitored Table 7, re-check coverage) are artifacts and go to
+/// stdout through the [`write_output`] funnel — unless a data flag
+/// already claimed stdout, in which case they fall back to stderr.
+fn print_monitor_report(
+    cfg: &MonitorConfig,
+    out: &MonitorOutput,
+    data_on_stdout: bool,
+) -> Result<(), String> {
     use std::fmt::Write as _;
     let s = &out.stats;
     let mut r = String::new();
@@ -1111,22 +1368,42 @@ fn print_monitor_report(cfg: &MonitorConfig, out: &MonitorOutput, to_stderr: boo
         let _ = writeln!(r, "  ... and {} more", out.changes.len() - 8);
     }
 
+    eprint!("{r}");
+
+    let matrix = botscope::core::recheck::phase_check_matrix(&out.table, &out.site_windows);
+    let profiles = profiles_from_table(&out.table, out.horizon_end);
+    let agg = by_category(&profiles);
+    emit_monitor_report_tables(&out.site_windows, &matrix, &agg, data_on_stdout)
+}
+
+/// Render the monitor's table-derived report artifacts — the monitored
+/// Table 7 (only meaningful when the estate deploys swaps) and the §5.1
+/// re-check coverage table — and emit them on stdout through the
+/// [`write_output`] funnel (stderr when stdout already carries data).
+/// Both the materialized and the streaming monitor paths funnel through
+/// here, so their stdout bytes are identical by construction.
+fn emit_monitor_report_tables(
+    site_windows: &botscope::core::recheck::SiteVersionWindows,
+    matrix: &[botscope::core::recheck::PhaseCheckRow],
+    agg: &botscope::core::recheck::RecheckByCategory,
+    data_on_stdout: bool,
+) -> Result<(), String> {
+    use std::fmt::Write as _;
+    let mut report = String::new();
+
     // Table 7 digest windows from monitored logs: did each bot fetch
-    // robots.txt on some site *while* each policy version was live
-    // there? Only meaningful when the estate deploys swaps.
-    if out.site_windows.values().any(|w| w.len() > 1) {
-        let matrix = botscope::core::recheck::phase_check_matrix(&out.table, &out.site_windows);
-        let _ = writeln!(r, "{}", botscope::core::report::table7_from_monitor(&matrix));
+    // robots.txt on some site *while* each policy version was live?
+    if site_windows.values().any(|w| w.len() > 1) {
+        let _ = writeln!(report, "{}", botscope::core::report::table7_from_monitor(matrix));
     }
 
     // Figure 10 from *monitored* logs: share of checking bots per
     // category that re-checked within every window.
-    let profiles = profiles_from_table(&out.table, out.horizon_end);
-    let agg = by_category(&profiles);
     if !agg.checking_bots.is_empty() {
-        let _ = writeln!(r, "re-check coverage from monitored logs (share of bots per window):");
+        let _ =
+            writeln!(report, "re-check coverage from monitored logs (share of bots per window):");
         let _ = writeln!(
-            r,
+            report,
             "  {:<24} {:>5} {:>6} {:>6} {:>6} {:>6} {:>6}",
             "category", "bots", "12h", "24h", "48h", "72h", "168h"
         );
@@ -1136,14 +1413,18 @@ fn print_monitor_report(cfg: &MonitorConfig, out: &MonitorOutput, to_stderr: boo
                 let p = agg.proportions.get(&(*cat, h)).copied().unwrap_or(0.0);
                 let _ = write!(line, " {p:>6.2}");
             }
-            let _ = writeln!(r, "{line}");
+            let _ = writeln!(report, "{line}");
         }
     }
 
-    if to_stderr {
-        eprint!("{r}");
+    if report.is_empty() {
+        return Ok(());
+    }
+    if data_on_stdout {
+        eprint!("{report}");
+        Ok(())
     } else {
-        print!("{r}");
+        write_output("-", |w| w.write_all(report.as_bytes()))
     }
 }
 

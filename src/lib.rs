@@ -17,6 +17,7 @@
 //! | [`simnet`] | `botscope-simnet` | deterministic synthetic traffic generator (the data substrate) |
 //! | [`core`] | `botscope-core` | the compliance-measurement pipeline and report generation |
 //! | [`monitor`] | `botscope-monitor` | virtual robots.txt transport + live monitoring daemon |
+//! | [`obs`] | `botscope-obs` | flight-recorder telemetry: counters, spans, run manifests |
 //!
 //! ## Quickstart: is this bot allowed?
 //!
@@ -93,4 +94,9 @@ pub mod core {
 /// Virtual-network transport and robots.txt monitoring daemon.
 pub mod monitor {
     pub use botscope_monitor::*;
+}
+
+/// Flight-recorder telemetry: counters, spans, manifests, exporters.
+pub mod obs {
+    pub use botscope_obs::*;
 }

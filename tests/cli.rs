@@ -295,11 +295,13 @@ fn simulate_then_analyze_roundtrip() {
 
 #[test]
 fn monitor_reports_and_streams_csv() {
+    // Summary stats go to stderr; stdout carries only report artifacts.
     let out = botscope(&["monitor", "--sites", "8", "--days", "5", "--bots", "3"]);
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stats = String::from_utf8_lossy(&out.stderr);
+    assert!(stats.contains("monitored 8 sites x 3 bots over 5 days"), "{stats}");
+    assert!(stats.contains("fetches"), "{stats}");
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("monitored 8 sites x 3 bots over 5 days"), "{text}");
-    assert!(text.contains("fetches"), "{text}");
     assert!(text.contains("re-check coverage from monitored logs"), "{text}");
 
     // `--out -` streams the fetch log as CSV on stdout, report on stderr.
@@ -310,6 +312,7 @@ fn monitor_reports_and_streams_csv() {
     assert!(csv.lines().skip(1).all(|l| l.is_empty() || l.contains("/robots.txt")), "{csv}");
     let report = String::from_utf8_lossy(&out.stderr);
     assert!(report.contains("monitored 8 sites"), "{report}");
+    assert!(report.contains("re-check coverage from monitored logs"), "{report}");
 }
 
 #[test]
@@ -519,4 +522,108 @@ fn monitor_rejects_bad_flags_cleanly() {
     let out = botscope(&["monitor", "--frobnicate", "1"]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown monitor flag"));
+}
+
+#[test]
+fn global_telemetry_flags_reject_missing_values() {
+    for flag in ["--metrics", "--manifest", "--trace"] {
+        let out = botscope(&["monitor", "--sites", "2", flag]);
+        assert!(!out.status.success(), "{flag} without a value must fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("needs a file"), "{flag}: {err}");
+    }
+}
+
+/// `--metrics`/`--trace`/`--manifest` must never perturb the data
+/// artifacts: stdout is byte-identical with telemetry on vs off, at
+/// every worker count, for every instrumented pipeline.
+#[test]
+fn telemetry_flags_do_not_perturb_output_at_any_worker_count() {
+    let pid = std::process::id();
+    let queries = write_temp(
+        "telemetry-queries.csv",
+        "GPTBot,site-00.example.edu,/news/item-001\n\
+         Googlebot,site-01.example.edu,/page-data/item-1/page-data.json\n",
+    );
+    let queries = queries.to_str().expect("utf-8 temp path").to_string();
+    let scenarios: [(&str, Vec<&str>); 3] = [
+        ("simulate", vec!["simulate", "1", "0.02", "-", "42", "--stream"]),
+        ("monitor", vec!["monitor", "--sites", "12", "--days", "5", "--bots", "3", "--out", "-"]),
+        ("admit", vec!["admit", &queries]),
+    ];
+    for (name, args) in &scenarios {
+        for threads in ["1", "2", "8"] {
+            let run = |telemetry: &[String]| {
+                let out = Command::new(env!("CARGO_BIN_EXE_botscope"))
+                    .args(args)
+                    .args(telemetry)
+                    .env("BOTSCOPE_THREADS", threads)
+                    .output()
+                    .expect("binary runs");
+                assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+                out.stdout
+            };
+            let plain = run(&[]);
+            let sink = |kind: &str| {
+                std::env::temp_dir()
+                    .join(format!("botscope-test-{pid}-telemetry-{name}-{threads}.{kind}"))
+                    .to_string_lossy()
+                    .into_owned()
+            };
+            let telemetry = [
+                "--metrics".to_string(),
+                sink("prom"),
+                "--trace".to_string(),
+                sink("trace"),
+                "--manifest".to_string(),
+                sink("manifest"),
+            ];
+            let instrumented = run(&telemetry);
+            assert_eq!(
+                plain, instrumented,
+                "{name} at {threads} workers: telemetry flags must not change stdout"
+            );
+            for kind in ["prom", "trace", "manifest"] {
+                let _ = std::fs::remove_file(sink(kind));
+            }
+        }
+    }
+    let _ = std::fs::remove_file(queries);
+}
+
+/// The committed fixture pins the manifest's stable prefix (everything
+/// before the volatile `perf` section) for one canonical monitor run.
+/// Regenerate with:
+///
+/// ```text
+/// BOTSCOPE_THREADS=2 botscope monitor --sites 8 --days 5 --bots 3 \
+///   --manifest /tmp/m.json >/dev/null 2>&1
+/// sed -n '/^  "perf"/q;p' /tmp/m.json | grep -v '^  "manifest_digest"' \
+///   > tests/fixtures/manifest/monitor.json
+/// ```
+#[test]
+fn manifest_stable_prefix_matches_committed_fixture() {
+    let path =
+        std::env::temp_dir().join(format!("botscope-test-{}-fixture.manifest", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_botscope"))
+        .args(["monitor", "--sites", "8", "--days", "5", "--bots", "3"])
+        .arg("--manifest")
+        .arg(&path)
+        .env("BOTSCOPE_THREADS", "2")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let rendered = std::fs::read_to_string(&path).expect("manifest written");
+    let _ = std::fs::remove_file(&path);
+    let expected = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/manifest/monitor.json"
+    ))
+    .expect("committed fixture");
+    assert_eq!(
+        botscope::obs::manifest::stable_prefix(&rendered),
+        expected,
+        "manifest stable prefix drifted from tests/fixtures/manifest/monitor.json; \
+         regenerate it if the change is intentional"
+    );
 }

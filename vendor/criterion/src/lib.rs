@@ -16,8 +16,12 @@
 //! * `cargo bench -- --test` runs every benchmark exactly once (upstream's
 //!   smoke semantics) — CI uses it as a cheap bench-rot gate;
 //! * `BOTSCOPE_BENCH_JSON=<path>` writes the run's results as a JSON array
-//!   (label, mean_ns, iters, throughput_per_iter), which is how the
-//!   committed `BENCH_*.json` baselines are produced.
+//!   of schema-v2 lines (label, mean_ns, iters, throughput_per_iter,
+//!   host_cores, manifest_digest), which is how the committed
+//!   `BENCH_*.json` baselines are produced. The line format is owned by
+//!   `botscope-obs::bench`; this crate re-implements it locally so it
+//!   stays dependency-free, and a pinning test holds the two renderers
+//!   byte-identical.
 
 #![forbid(unsafe_code)]
 
@@ -39,8 +43,66 @@ fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--test")
 }
 
+/// One measured result held until `flush_json` renders the whole file
+/// (the manifest digest covers every label, so rendering is deferred).
+struct JsonResult {
+    label: String,
+    mean_ns: f64,
+    iters: u64,
+    throughput_per_iter: f64,
+}
+
 /// Results accumulated for the optional JSON baseline sink.
-static JSON_RESULTS: Mutex<Vec<String>> = Mutex::new(Vec::new());
+static JSON_RESULTS: Mutex<Vec<JsonResult>> = Mutex::new(Vec::new());
+
+/// BENCH line schema version; must match `botscope-obs::bench`.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
+
+/// Host logical core count (1 when undetectable).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// FNV-1a 64-bit over `data`.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Mini-manifest digest over the sorted labels, core count, and the
+/// botscope run-shape environment. Local copy of
+/// `botscope-obs::bench::mini_manifest_digest` — keep byte-identical.
+pub fn mini_manifest_digest(labels: &[String], host_cores: usize) -> String {
+    let mut sorted: Vec<&str> = labels.iter().map(String::as_str).collect();
+    sorted.sort_unstable();
+    let mut blob = sorted.join("\n");
+    let env = |k: &str| std::env::var(k).unwrap_or_else(|_| "-".to_string());
+    use std::fmt::Write as _;
+    let _ = write!(
+        blob,
+        "\n|cores={host_cores}|seed={}|scale={}|threads={}",
+        env("BOTSCOPE_SEED"),
+        env("BOTSCOPE_SCALE"),
+        env("BOTSCOPE_THREADS")
+    );
+    format!("fnv64:{:016x}", fnv1a64(blob.as_bytes()))
+}
+
+/// Render one schema-v2 line. Local copy of
+/// `botscope-obs::bench::render_line` — keep byte-identical.
+fn render_line_v2(r: &JsonResult, host_cores: usize, manifest_digest: &str) -> String {
+    format!(
+        "  {{\"schema_version\": {BENCH_SCHEMA_VERSION}, \"label\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}, \"throughput_per_iter\": {:.1}, \"host_cores\": {host_cores}, \"manifest_digest\": \"{manifest_digest}\"}}",
+        json_escape(&r.label),
+        r.mean_ns,
+        r.iters,
+        r.throughput_per_iter,
+    )
+}
 
 /// Write accumulated results as a JSON array to `$BOTSCOPE_BENCH_JSON`,
 /// if set. Called by `criterion_main!` after all groups run; baselines
@@ -48,14 +110,34 @@ static JSON_RESULTS: Mutex<Vec<String>> = Mutex::new(Vec::new());
 pub fn flush_json() {
     let Ok(path) = std::env::var("BOTSCOPE_BENCH_JSON") else { return };
     let results = JSON_RESULTS.lock().expect("no poisoned benches");
-    let body = format!("[\n{}\n]\n", results.join(",\n"));
+    let cores = host_cores();
+    let labels: Vec<String> = results.iter().map(|r| r.label.clone()).collect();
+    let digest = mini_manifest_digest(&labels, cores);
+    let lines: Vec<String> = results.iter().map(|r| render_line_v2(r, cores, &digest)).collect();
+    let body = format!("[\n{}\n]\n", lines.join(",\n"));
     if let Err(e) = std::fs::write(&path, body) {
         eprintln!("warning: cannot write bench baseline {path}: {e}");
     }
 }
 
+/// Minimal JSON string escaping; mirrors `botscope-obs::json_escape`.
 fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Top-level benchmark driver.
@@ -273,13 +355,13 @@ fn run_one(
     let per_iter = throughput.map(|t| match t {
         Throughput::Elements(n) | Throughput::Bytes(n) => n,
     });
-    JSON_RESULTS.lock().expect("no poisoned benches").push(format!(
-        "  {{\"label\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}, \"throughput_per_iter\": {}}}",
-        json_escape(label),
-        bencher.mean_ns,
-        bencher.iters,
-        per_iter.map_or("null".to_string(), |n| n.to_string()),
-    ));
+    JSON_RESULTS.lock().expect("no poisoned benches").push(JsonResult {
+        label: label.to_string(),
+        mean_ns: bencher.mean_ns,
+        iters: bencher.iters,
+        // A bench with no declared throughput processes one item/iter.
+        throughput_per_iter: per_iter.map_or(1.0, |n| n as f64),
+    });
 }
 
 fn format_ns(ns: f64) -> String {
@@ -334,6 +416,35 @@ mod tests {
         let mut c = Criterion { filter: None };
         c.bench_function("smoke", |b| b.iter(|| ran += 1));
         assert!(ran > 0);
+    }
+
+    #[test]
+    fn schema_v2_renderer_matches_obs_bench_byte_for_byte() {
+        use botscope_obs::bench as obs;
+        assert_eq!(BENCH_SCHEMA_VERSION, obs::BENCH_SCHEMA_VERSION);
+
+        let labels = vec!["obs/span_enabled".to_string(), "obs/counter_disabled".to_string()];
+        let cores = 7;
+        // Same process, same environment: the digests must agree.
+        assert_eq!(mini_manifest_digest(&labels, cores), obs::mini_manifest_digest(&labels, cores));
+
+        let local = JsonResult {
+            label: "pipeline/merge \"quoted\"".into(),
+            mean_ns: 123.456,
+            iters: 98_765,
+            throughput_per_iter: 4096.0,
+        };
+        let owned = obs::BenchLine {
+            label: local.label.clone(),
+            mean_ns: local.mean_ns,
+            iters: local.iters,
+            throughput_per_iter: local.throughput_per_iter,
+        };
+        let digest = mini_manifest_digest(&labels, cores);
+        assert_eq!(
+            render_line_v2(&local, cores, &digest),
+            obs::render_line(&owned, cores, &digest)
+        );
     }
 
     #[test]
