@@ -1,0 +1,120 @@
+//! Paper-scale perf gate for the coupled pipeline.
+//!
+//! Runs the full 8-week coupled study (belief daemon → belief-driven
+//! generation) plus per-bot violation attribution, single-core by
+//! default, and reports steady-state wall time (one untimed warmup
+//! run, then the mean over `reps` timed runs).
+//!
+//! ```text
+//! coupledbench [scale=1.0] [sites=36] [reps=3] [threads=1]
+//! ```
+//!
+//! The ROADMAP acceptance bound — scale 1.0, 36 sites, with
+//! attribution, in under 1 s of single-core steady-state compute — is
+//! enforced whenever the run is at (or above) that shape: the process
+//! exits non-zero if the bound is missed, so CI can gate on it.
+//!
+//! With `BOTSCOPE_BENCH_JSON=<path>` set, results are also written as
+//! schema-v2 `BENCH_*.json` lines (`coupled/scale_<s>_attributed` and
+//! `attribution/attribute_8w_<n>sites_<s>`), the same format the
+//! vendored criterion harness emits.
+
+use std::time::Instant;
+
+use botscope_core::attribution::attribute_table_with_threads;
+use botscope_monitor::{run_coupled_with_threads, CoupledConfig, RefreshModel, ScenarioKind};
+use botscope_obs::bench::{render_bench_json, BenchLine};
+use botscope_simnet::server::PolicyCorpus;
+use botscope_simnet::SimConfig;
+
+/// The ROADMAP bound: paper scale with attribution, single core, < 1 s.
+const BOUND_NS: f64 = 1_000_000_000.0;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale: f64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let sites: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(36);
+    let reps: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3).max(1);
+    let threads: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1).max(1);
+
+    let cfg = CoupledConfig {
+        sim: SimConfig { scale, sites, ..SimConfig::default() },
+        scenario: ScenarioKind::Mixed,
+        refresh: RefreshModel::Fleet,
+    };
+    let corpus = PolicyCorpus::new();
+    eprintln!("coupled study: scale={scale} sites={sites} reps={reps} threads={threads}");
+
+    // Warmup: first run pays allocator growth and page faults; the
+    // bound is stated against steady state.
+    let warm = run_coupled_with_threads(&cfg, threads);
+    let rows = warm.sim.table.len();
+    drop(warm);
+
+    let mut total_ns = 0f64;
+    let mut attr_ns = 0f64;
+    for rep in 0..reps {
+        let t0 = Instant::now();
+        let out = run_coupled_with_threads(&cfg, threads);
+        let t1 = Instant::now();
+        let counts = attribute_table_with_threads(
+            &out.sim.table,
+            &out.beliefs,
+            &out.served,
+            &corpus,
+            threads,
+        );
+        let dt_attr = t1.elapsed();
+        let dt = t0.elapsed();
+        total_ns += dt.as_nanos() as f64;
+        attr_ns += dt_attr.as_nanos() as f64;
+        println!(
+            "rep={rep} rows={} bots_scored={} wall_s={:.3} (attribution_s={:.3}, {:.0} krows/s)",
+            out.sim.table.len(),
+            counts.len(),
+            dt.as_secs_f64(),
+            dt_attr.as_secs_f64(),
+            out.sim.table.len() as f64 / dt.as_secs_f64() / 1e3,
+        );
+    }
+    let mean_ns = total_ns / reps as f64;
+    let mean_attr_ns = attr_ns / reps as f64;
+    println!(
+        "mean: {:.3} s coupled+attribution ({:.3} s attribution alone) over {reps} reps",
+        mean_ns / 1e9,
+        mean_attr_ns / 1e9
+    );
+
+    if let Ok(path) = std::env::var("BOTSCOPE_BENCH_JSON") {
+        let lines = vec![
+            BenchLine {
+                label: format!("coupled/scale_{scale:?}_attributed"),
+                mean_ns,
+                iters: u64::from(reps),
+                throughput_per_iter: rows as f64,
+            },
+            BenchLine {
+                label: format!("attribution/attribute_8w_{sites}sites_{scale:?}"),
+                mean_ns: mean_attr_ns,
+                iters: u64::from(reps),
+                throughput_per_iter: rows as f64,
+            },
+        ];
+        let doc = render_bench_json(&lines);
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("warning: cannot write bench baseline {path}: {e}");
+        }
+    }
+
+    // The acceptance bound applies to the paper-scale single-core shape.
+    if scale >= 1.0 && sites >= 36 && threads == 1 {
+        if mean_ns > BOUND_NS {
+            eprintln!(
+                "FAIL: paper-scale coupled study with attribution took {:.3} s (bound 1 s)",
+                mean_ns / 1e9
+            );
+            std::process::exit(1);
+        }
+        println!("PASS: {:.3} s < 1 s paper-scale bound", mean_ns / 1e9);
+    }
+}

@@ -31,16 +31,21 @@ use botscope_weblog::session::SESSION_GAP_SECS;
 use botscope_weblog::table::{LogTable, RecordRow};
 use botscope_weblog::time::Timestamp;
 
+use botscope_simnet::belief::{BeliefAtlas, BeliefTimeline};
 use botscope_simnet::engine::{worker_threads, GroundTruth};
 use botscope_simnet::phases::{is_exempt_agent, PhaseSchedule, PolicyVersion};
 use botscope_simnet::scenario::{phase_study_table, PhaseStudyTableOutput};
+use botscope_simnet::server::PolicyCorpus;
 use botscope_simnet::SimConfig;
 
+use crate::attribution::{excusal_mask, PolicyBasis};
 use crate::metrics::{
     crawl_delay_counts, crawl_delay_counts_rows, disallow_counts, disallow_counts_rows,
     endpoint_counts, endpoint_counts_rows, DirectiveCounts, PathClasses, CRAWL_DELAY_SECS,
 };
-use crate::pipeline::{run_indexed, standardize_table_with_threads, BotRowView};
+use crate::pipeline::{
+    run_indexed, standardize_rows, standardize_table_with_threads, BotRowView, StandardizedTable,
+};
 use crate::spoofdetect::{
     analyze_bot_rows, SpoofFinding, SpoofReport, DOMINANCE_THRESHOLD, MIN_DETECT_REQUESTS,
 };
@@ -187,6 +192,22 @@ pub struct Experiment {
 /// under any robots.txt version").
 pub const MIN_ACCESSES: usize = 5;
 
+/// Borrowed belief-layer inputs for basis-corrected analysis
+/// ([`Experiment::analyze_table_with_basis`]).
+pub struct BeliefContext<'a> {
+    /// Per-(bot, site) believed-policy timelines from the monitor.
+    pub beliefs: &'a BeliefAtlas,
+    /// Served ground-truth timelines per estate site.
+    pub served: &'a [BeliefTimeline],
+    /// The policy corpus the timelines reference.
+    pub corpus: &'a PolicyCorpus,
+}
+
+/// The experiment site's hostname under `schedule`.
+fn experiment_site_name(schedule: &PhaseSchedule) -> String {
+    format!("site-{:02}.example.edu", schedule.experiment_site)
+}
+
 impl Experiment {
     /// Generate the phase study with `cfg` and analyze it.
     pub fn run(cfg: &SimConfig) -> Experiment {
@@ -222,9 +243,7 @@ impl Experiment {
         threads: usize,
     ) -> Experiment {
         assert!(threads >= 1, "at least one worker required");
-        let site_name = format!("site-{:02}.example.edu", schedule.experiment_site);
-        let classes = PathClasses::new(table);
-        let site = table.interner().get(&site_name);
+        let site = table.interner().get(&experiment_site_name(schedule));
         let site_rows: Vec<&RecordRow> = match site {
             Some(site) => table.rows().iter().filter(|r| r.sitename == site).collect(),
             None => Vec::new(),
@@ -238,6 +257,60 @@ impl Experiment {
         // Every per-bot slice below is carved out of this pass; nothing
         // downstream touches a raw user-agent string again.
         let all_logs = standardize_table_with_threads(table, threads);
+        Self::analyze_standardized(table, schedule, threads, &all_logs, site_rows)
+    }
+
+    /// Analyze under a policy basis. `Served` is the plain
+    /// [`Experiment::analyze_table_with_threads`] path; `Believed`
+    /// first drops every row the belief layer *excuses* (stale-cache
+    /// and fetch-artifact violations, per
+    /// [`excusal_mask`](crate::attribution::excusal_mask)) and analyzes
+    /// the remainder — Tables 5/6/10 recomputed under
+    /// attribution-corrected compliance. With beliefs that track the
+    /// served timelines exactly (instant refresh, always-healthy
+    /// weather) no row is excused and the two bases coincide.
+    pub fn analyze_table_with_basis(
+        table: &LogTable,
+        schedule: &PhaseSchedule,
+        ctx: &BeliefContext<'_>,
+        basis: PolicyBasis,
+        threads: usize,
+    ) -> Experiment {
+        match basis {
+            PolicyBasis::Served => Experiment::analyze_table_with_threads(table, schedule, threads),
+            PolicyBasis::Believed => {
+                let mask = excusal_mask(table, ctx.beliefs, ctx.served, ctx.corpus, threads);
+                let kept: Vec<&RecordRow> = table
+                    .rows()
+                    .iter()
+                    .zip(&mask)
+                    .filter_map(|(row, &excused)| (!excused).then_some(row))
+                    .collect();
+                let all_logs = standardize_rows(table, kept.iter().copied());
+                let site = table.interner().get(&experiment_site_name(schedule));
+                let site_rows: Vec<&RecordRow> = match site {
+                    Some(site) => kept.iter().filter(|r| r.sitename == site).copied().collect(),
+                    None => Vec::new(),
+                };
+                Self::analyze_standardized(table, schedule, threads, &all_logs, site_rows)
+            }
+        }
+    }
+
+    /// Shared back half of the analysis: phase windows, the per-bot
+    /// fan-out, and the deterministic merge. `all_logs` and `site_rows`
+    /// are the (possibly basis-filtered) standardized views and
+    /// experiment-site rows; `table` stays the full interned table so
+    /// symbol lookups resolve.
+    fn analyze_standardized(
+        table: &LogTable,
+        schedule: &PhaseSchedule,
+        threads: usize,
+        all_logs: &StandardizedTable<'_>,
+        site_rows: Vec<&RecordRow>,
+    ) -> Experiment {
+        let classes = PathClasses::new(table);
+        let site = table.interner().get(&experiment_site_name(schedule));
         let views: Vec<&BotRowView<'_>> = all_logs.bots.values().collect();
 
         let phase_of = |version: PolicyVersion| -> (Timestamp, Timestamp) {

@@ -28,6 +28,17 @@
 //! arXiv:2503.06035): a scraper crawling through a disallow on a stale
 //! cache is operating exactly as RFC 9309 permits.
 //!
+//! **Execution shape.** [`attribute_table`] and [`score_table`] fan out
+//! per-bot stages over `std::thread::scope` workers with a
+//! deterministic bot-name merge, exactly as
+//! [`Experiment::analyze_table`](crate::analyze::Experiment::analyze_table)
+//! does. Timelines are stepwise and log rows arrive in chronological
+//! order, so per-(bot, site) [`TimelineCursor`]s replace the per-row
+//! binary searches with amortized-O(1) forward steps. The original
+//! serial binary-search code survives as
+//! [`attribute_table_reference`]/[`score_table_reference`], pinned
+//! against the parallel path by the `attribution_equiv` proptests.
+//!
 //! **Granularity caveat.** Scoring is per access, at the access's own
 //! instant — the only vantage point a log analyst has. The generation
 //! engine, like a real crawler, applies one believed policy per crawl
@@ -43,12 +54,14 @@
 use std::collections::{BTreeMap, HashMap};
 
 use botscope_simnet::belief::{BeliefAtlas, BeliefTimeline, BelievedPolicy};
+use botscope_simnet::engine::worker_threads;
 use botscope_simnet::server::PolicyCorpus;
+use botscope_useragent::Standardizer;
 use botscope_weblog::intern::Sym;
 use botscope_weblog::table::{LogTable, RecordRow};
 
 use crate::metrics::DirectiveCounts;
-use crate::pipeline::standardize_table;
+use crate::pipeline::{run_indexed, standardize_table, standardize_table_with_threads, BotRowView};
 
 /// Which policy a metric is computed against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +97,13 @@ impl AttributionCounts {
     /// Total served-policy violations.
     pub fn violations_served(&self) -> u64 {
         self.deliberate + self.stale_cache + self.fetch_artifact
+    }
+
+    /// Served violations the belief layer excuses (stale cache or
+    /// fetch-layer entitlement) — the rows a believed-basis analysis
+    /// drops from the non-compliant pool.
+    pub fn excused(&self) -> u64 {
+        self.stale_cache + self.fetch_artifact
     }
 
     /// Share of served violations that were deliberate (`None` with no
@@ -151,12 +171,240 @@ fn site_index_of(table: &LogTable, n_sites: usize) -> Vec<Option<usize>> {
     map
 }
 
+// ---------------------------------------------------------------------
+// Monotone timeline cursors.
+// ---------------------------------------------------------------------
+
+/// Amortized-O(1) stepwise-timeline lookup for time-ascending sweeps.
+///
+/// [`BeliefTimeline::at`] binary-searches its segment list on every
+/// call. Log rows arrive in (near-)chronological order, so a cursor
+/// that remembers its seat and only steps forward answers each lookup
+/// in amortized O(1). A query earlier than the seated segment re-seats
+/// by binary search and counts a reset — the τ-group crawl-delay sweep
+/// rewinds once per group; the row sweep essentially never does.
+struct TimelineCursor<'a> {
+    segments: &'a [(u64, BelievedPolicy)],
+    /// Index of the segment the last query landed in.
+    idx: usize,
+}
+
+impl<'a> TimelineCursor<'a> {
+    fn new(timeline: &'a BeliefTimeline) -> TimelineCursor<'a> {
+        // Timelines always carry a segment from t=0, so index 0 is a
+        // valid seat for any query.
+        TimelineCursor { segments: timeline.segments(), idx: 0 }
+    }
+
+    /// The policy live at `t` — identical to [`BeliefTimeline::at`].
+    fn at(&mut self, t: u64, stats: &mut SweepStats) -> BelievedPolicy {
+        stats.lookups += 1;
+        if self.segments[self.idx].0 > t {
+            // Time ran backwards past the seated segment: re-seat.
+            stats.resets += 1;
+            self.idx = self.segments.partition_point(|&(from, _)| from <= t).saturating_sub(1);
+        } else {
+            while self.idx + 1 < self.segments.len() && self.segments[self.idx + 1].0 <= t {
+                self.idx += 1;
+            }
+        }
+        self.segments[self.idx].1
+    }
+}
+
+/// One sweep's per-site cursors over a timeline family.
+struct SiteCursors<'a> {
+    cursors: Vec<TimelineCursor<'a>>,
+}
+
+impl<'a> SiteCursors<'a> {
+    fn over_beliefs(beliefs: &'a BeliefAtlas, bot: usize, n_sites: usize) -> SiteCursors<'a> {
+        SiteCursors {
+            cursors: (0..n_sites).map(|s| TimelineCursor::new(beliefs.timeline(bot, s))).collect(),
+        }
+    }
+
+    fn over_served(served: &'a [BeliefTimeline], n_sites: usize) -> SiteCursors<'a> {
+        SiteCursors { cursors: served[..n_sites].iter().map(TimelineCursor::new).collect() }
+    }
+
+    fn at(&mut self, site: usize, t: u64, stats: &mut SweepStats) -> BelievedPolicy {
+        self.cursors[site].at(t, stats)
+    }
+}
+
+/// Telemetry accumulated by one sweep stage. Stages return their stats
+/// and the caller merges them serially in bot-name order, so counter
+/// totals are worker-count invariant.
+#[derive(Debug, Clone, Copy)]
+struct SweepStats {
+    rows: u64,
+    lookups: u64,
+    resets: u64,
+    event_lo: u64,
+    event_hi: u64,
+}
+
+impl Default for SweepStats {
+    fn default() -> SweepStats {
+        SweepStats { rows: 0, lookups: 0, resets: 0, event_lo: u64::MAX, event_hi: 0 }
+    }
+}
+
+impl SweepStats {
+    fn observe_row(&mut self, t: u64) {
+        self.rows += 1;
+        self.event_lo = self.event_lo.min(t);
+        self.event_hi = self.event_hi.max(t);
+    }
+
+    fn merge(&mut self, other: SweepStats) {
+        self.rows += other.rows;
+        self.lookups += other.lookups;
+        self.resets += other.resets;
+        self.event_lo = self.event_lo.min(other.event_lo);
+        self.event_hi = self.event_hi.max(other.event_hi);
+    }
+
+    /// Flush into the global registry under a per-pass label.
+    fn flush(&self, pass: &str) {
+        let obs = botscope_obs::global();
+        obs.counter(&format!("attribution_rows_total{{pass=\"{pass}\"}}")).add(self.rows);
+        obs.counter(&format!("attribution_policy_lookups_total{{pass=\"{pass}\"}}"))
+            .add(self.lookups);
+        obs.counter(&format!("attribution_cursor_resets_total{{pass=\"{pass}\"}}"))
+            .add(self.resets);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Violation attribution.
+// ---------------------------------------------------------------------
+
 /// Attribute every fleet bot's page accesses in `table` against the
 /// monitored beliefs and the served ground truth. Bots absent from the
 /// atlas (anonymous traffic, unknown agents) and rows on sites outside
 /// the estate are skipped; robots.txt fetches are always allowed and
-/// not counted.
+/// not counted. Fans out over [`worker_threads`] scoped workers.
 pub fn attribute_table(
+    table: &LogTable,
+    beliefs: &BeliefAtlas,
+    served: &[BeliefTimeline],
+    corpus: &PolicyCorpus,
+) -> BTreeMap<String, AttributionCounts> {
+    attribute_table_with_threads(table, beliefs, served, corpus, worker_threads())
+}
+
+/// [`attribute_table`] with an explicit worker count: one stage per
+/// bot over `std::thread::scope` workers, merged in bot-name order.
+/// Output is identical at any worker count.
+pub fn attribute_table_with_threads(
+    table: &LogTable,
+    beliefs: &BeliefAtlas,
+    served: &[BeliefTimeline],
+    corpus: &PolicyCorpus,
+    threads: usize,
+) -> BTreeMap<String, AttributionCounts> {
+    let obs = botscope_obs::global();
+    let mut span = obs.span("attribution_attribute_table");
+    let logs = standardize_table_with_threads(table, threads);
+    let robots = table.interner().get("/robots.txt");
+    let n_sites = served.len().min(beliefs.n_sites());
+    let site_of = site_index_of(table, n_sites);
+    let bot_index: BTreeMap<&str, usize> =
+        beliefs.bots.iter().enumerate().map(|(i, name)| (name.as_str(), i)).collect();
+
+    let views: Vec<&BotRowView<'_>> = logs.bots.values().collect();
+    let results: Vec<Option<(AttributionCounts, SweepStats)>> =
+        run_indexed(views.len(), threads, |i| {
+            let view = views[i];
+            let &bot = bot_index.get(view.name.as_str())?;
+            Some(attribute_bot(table, view, bot, beliefs, served, corpus, robots, &site_of))
+        });
+
+    let mut stats = SweepStats::default();
+    let mut out = BTreeMap::new();
+    for (view, result) in views.iter().zip(results) {
+        let Some((counts, bot_stats)) = result else {
+            continue;
+        };
+        stats.merge(bot_stats);
+        if counts.accesses > 0 {
+            out.insert(view.name.clone(), counts);
+        }
+    }
+    stats.flush("attribute");
+    if stats.rows > 0 {
+        span.event_range(stats.event_lo, stats.event_hi);
+    }
+    out
+}
+
+/// One bot's attribution sweep: rows are chronological, so the
+/// per-(bot, site) cursors only step forward.
+#[allow(clippy::too_many_arguments)]
+fn attribute_bot(
+    table: &LogTable,
+    view: &BotRowView<'_>,
+    bot: usize,
+    beliefs: &BeliefAtlas,
+    served: &[BeliefTimeline],
+    corpus: &PolicyCorpus,
+    robots: Option<Sym>,
+    site_of: &[Option<usize>],
+) -> (AttributionCounts, SweepStats) {
+    let n_sites = served.len().min(beliefs.n_sites());
+    let mut cache = AllowCache::new(corpus, &view.name);
+    let mut believed_at = SiteCursors::over_beliefs(beliefs, bot, n_sites);
+    let mut served_at = SiteCursors::over_served(served, n_sites);
+    let mut counts = AttributionCounts::default();
+    let mut stats = SweepStats::default();
+    for row in &view.rows {
+        if Some(row.uri_path) == robots {
+            continue;
+        }
+        let Some(site) = site_of[row.sitename.index()] else {
+            continue;
+        };
+        let t = row.timestamp.unix();
+        stats.observe_row(t);
+        let believed = believed_at.at(site, t, &mut stats);
+        let served_policy = served_at.at(site, t, &mut stats);
+        let allowed_believed = cache.allows(table, believed, row.uri_path);
+        let allowed_served = cache.allows(table, served_policy, row.uri_path);
+
+        counts.accesses += 1;
+        if !allowed_believed {
+            counts.believed_violations += 1;
+        }
+        if allowed_served {
+            counts.allowed_served += 1;
+            continue;
+        }
+        // A served-policy violation: attribute it.
+        if !allowed_believed || believed == BelievedPolicy::Unfetched {
+            counts.deliberate += 1;
+        } else {
+            match believed {
+                BelievedPolicy::Version(_) => counts.stale_cache += 1,
+                BelievedPolicy::AllowAll => counts.fetch_artifact += 1,
+                // Unfetched handled above; DisallowAll allows only
+                // robots.txt, so an allowed-believed page fetch
+                // under it cannot exist.
+                BelievedPolicy::Unfetched | BelievedPolicy::DisallowAll => {
+                    unreachable!("allowed page fetch under {believed:?}")
+                }
+            }
+        }
+    }
+    (counts, stats)
+}
+
+/// Serial binary-search reference for [`attribute_table`]: the original
+/// single-threaded implementation with per-row [`BeliefTimeline::at`]
+/// lookups, kept as an independently-written oracle for the
+/// `attribution_equiv` proptests. Not a production path.
+pub fn attribute_table_reference(
     table: &LogTable,
     beliefs: &BeliefAtlas,
     served: &[BeliefTimeline],
@@ -196,16 +444,12 @@ pub fn attribute_table(
                 counts.allowed_served += 1;
                 continue;
             }
-            // A served-policy violation: attribute it.
             if !allowed_believed || believed == BelievedPolicy::Unfetched {
                 counts.deliberate += 1;
             } else {
                 match believed {
                     BelievedPolicy::Version(_) => counts.stale_cache += 1,
                     BelievedPolicy::AllowAll => counts.fetch_artifact += 1,
-                    // Unfetched handled above; DisallowAll allows only
-                    // robots.txt, so an allowed-believed page fetch
-                    // under it cannot exist.
                     BelievedPolicy::Unfetched | BelievedPolicy::DisallowAll => {
                         unreachable!("allowed page fetch under {believed:?}")
                     }
@@ -218,6 +462,10 @@ pub fn attribute_table(
     }
     out
 }
+
+// ---------------------------------------------------------------------
+// Basis scoring.
+// ---------------------------------------------------------------------
 
 /// Believed- and served-basis compliance of one bot, in the §4.2
 /// success/trial vocabulary.
@@ -238,8 +486,140 @@ pub struct PolicyScore {
 /// target") and crawl-delay metrics to arbitrary policy timelines.
 /// Computing both bases and differencing them is the coupled analysis:
 /// believed-basis compliance measures intent, served-basis compliance
-/// measures effect.
+/// measures effect. Fans out over [`worker_threads`] scoped workers.
 pub fn score_table(
+    table: &LogTable,
+    beliefs: &BeliefAtlas,
+    served: &[BeliefTimeline],
+    corpus: &PolicyCorpus,
+    basis: PolicyBasis,
+) -> BTreeMap<String, PolicyScore> {
+    score_table_with_threads(table, beliefs, served, corpus, basis, worker_threads())
+}
+
+/// [`score_table`] with an explicit worker count: per-bot stages,
+/// bot-name merge, worker-count-invariant output.
+pub fn score_table_with_threads(
+    table: &LogTable,
+    beliefs: &BeliefAtlas,
+    served: &[BeliefTimeline],
+    corpus: &PolicyCorpus,
+    basis: PolicyBasis,
+    threads: usize,
+) -> BTreeMap<String, PolicyScore> {
+    let obs = botscope_obs::global();
+    let mut span = obs.span("attribution_score_table");
+    let logs = standardize_table_with_threads(table, threads);
+    let n_sites = served.len().min(beliefs.n_sites());
+    let site_of = site_index_of(table, n_sites);
+    let bot_index: BTreeMap<&str, usize> =
+        beliefs.bots.iter().enumerate().map(|(i, name)| (name.as_str(), i)).collect();
+
+    let views: Vec<&BotRowView<'_>> = logs.bots.values().collect();
+    let results: Vec<Option<(PolicyScore, SweepStats)>> = run_indexed(views.len(), threads, |i| {
+        let view = views[i];
+        let &bot = bot_index.get(view.name.as_str())?;
+        Some(score_bot(table, view, bot, beliefs, served, corpus, basis, &site_of))
+    });
+
+    let mut stats = SweepStats::default();
+    let mut out = BTreeMap::new();
+    for (view, result) in views.iter().zip(results) {
+        let Some((score, bot_stats)) = result else {
+            continue;
+        };
+        stats.merge(bot_stats);
+        if score.allowed.trials > 0 {
+            out.insert(view.name.clone(), score);
+        }
+    }
+    stats.flush("score");
+    if stats.rows > 0 {
+        span.event_range(stats.event_lo, stats.event_hi);
+    }
+    out
+}
+
+/// One bot's basis score. The row sweep is chronological (cursors step
+/// forward); the crawl-delay pass walks τ groups in key order, each
+/// group time-sorted, so the cursor re-seats at most once per group.
+#[allow(clippy::too_many_arguments)]
+fn score_bot(
+    table: &LogTable,
+    view: &BotRowView<'_>,
+    bot: usize,
+    beliefs: &BeliefAtlas,
+    served: &[BeliefTimeline],
+    corpus: &PolicyCorpus,
+    basis: PolicyBasis,
+    site_of: &[Option<usize>],
+) -> (PolicyScore, SweepStats) {
+    let n_sites = served.len().min(beliefs.n_sites());
+    let mut basis_at = match basis {
+        PolicyBasis::Believed => SiteCursors::over_beliefs(beliefs, bot, n_sites),
+        PolicyBasis::Served => SiteCursors::over_served(served, n_sites),
+    };
+    let mut cache = AllowCache::new(corpus, &view.name);
+    let mut score = PolicyScore::default();
+    let mut stats = SweepStats::default();
+
+    // Allowed-target metric, and τ-group collection in one sweep. The
+    // grouping map is ordered so the crawl-delay pass below visits
+    // groups deterministically (cursor-reset telemetry stays
+    // worker-count and run-to-run invariant).
+    let mut by_tau: BTreeMap<(usize, u64, usize), Vec<&RecordRow>> = BTreeMap::new();
+    for &row in &view.rows {
+        let Some(site) = site_of[row.sitename.index()] else {
+            continue;
+        };
+        let t = row.timestamp.unix();
+        stats.observe_row(t);
+        let policy = basis_at.at(site, t, &mut stats);
+        score.allowed.trials += 1;
+        if cache.allows(table, policy, row.uri_path) {
+            score.allowed.successes += 1;
+        }
+        by_tau.entry((row.asn.index(), row.ip_hash, row.useragent.index())).or_default().push(row);
+    }
+
+    // Crawl-delay under the basis policy: a delta is a trial only
+    // when the policy live (on the later access's site, at its
+    // instant) sets a delay for this bot; single-access τ groups
+    // under a live delay count as one compliant instance, matching
+    // the §4.2 convention.
+    for rows in by_tau.values_mut() {
+        rows.sort_by_key(|r| r.timestamp);
+        if rows.len() == 1 {
+            let row = rows[0];
+            let site = site_of[row.sitename.index()].expect("filtered above");
+            let policy = basis_at.at(site, row.timestamp.unix(), &mut stats);
+            if policy.crawl_delay(corpus, &view.name).is_some() {
+                score.crawl_delay.successes += 1;
+                score.crawl_delay.trials += 1;
+            }
+            continue;
+        }
+        for pair in rows.windows(2) {
+            let later = pair[1];
+            let site = site_of[later.sitename.index()].expect("filtered above");
+            let policy = basis_at.at(site, later.timestamp.unix(), &mut stats);
+            let Some(required) = policy.crawl_delay(corpus, &view.name) else {
+                continue;
+            };
+            let delta = later.timestamp.unix() - pair[0].timestamp.unix();
+            score.crawl_delay.trials += 1;
+            if delta as f64 >= required {
+                score.crawl_delay.successes += 1;
+            }
+        }
+    }
+    (score, stats)
+}
+
+/// Serial binary-search reference for [`score_table`]: the original
+/// single-threaded implementation, kept as an independently-written
+/// oracle for the `attribution_equiv` proptests. Not a production path.
+pub fn score_table_reference(
     table: &LogTable,
     beliefs: &BeliefAtlas,
     served: &[BeliefTimeline],
@@ -265,7 +645,6 @@ pub fn score_table(
         let mut cache = AllowCache::new(corpus, &view.name);
         let mut score = PolicyScore::default();
 
-        // Allowed-target metric, and τ-group collection in one sweep.
         let mut by_tau: HashMap<(Sym, u64, Sym), Vec<&RecordRow>> = HashMap::new();
         for &row in &view.rows {
             let Some(site) = site_of[row.sitename.index()] else {
@@ -279,11 +658,6 @@ pub fn score_table(
             by_tau.entry((row.asn, row.ip_hash, row.useragent)).or_default().push(row);
         }
 
-        // Crawl-delay under the basis policy: a delta is a trial only
-        // when the policy live (on the later access's site, at its
-        // instant) sets a delay for this bot; single-access τ groups
-        // under a live delay count as one compliant instance, matching
-        // the §4.2 convention.
         let mut groups: Vec<Vec<&RecordRow>> = by_tau.into_values().collect();
         for rows in &mut groups {
             rows.sort_by_key(|r| r.timestamp);
@@ -317,6 +691,102 @@ pub fn score_table(
         }
     }
     out
+}
+
+// ---------------------------------------------------------------------
+// Row-level excusal mask (believed-basis analysis support).
+// ---------------------------------------------------------------------
+
+/// Per-row excusal verdicts against the served ground truth: `true`
+/// marks a served-policy violation the belief layer excuses (stale
+/// cache or fetch-layer entitlement) — exactly the rows a
+/// believed-basis experiment analysis drops from the non-compliant
+/// pool. Robots.txt fetches, anonymous rows, unmonitored bots, foreign
+/// sites, allowed fetches, and deliberate violations are all `false`.
+///
+/// Verdicts are pure per row, so the mask is worker-count invariant;
+/// the row grid is fixed (independent of `threads`) so cursor
+/// telemetry is too.
+pub fn excusal_mask(
+    table: &LogTable,
+    beliefs: &BeliefAtlas,
+    served: &[BeliefTimeline],
+    corpus: &PolicyCorpus,
+    threads: usize,
+) -> Vec<bool> {
+    let rows = table.rows();
+    let n = rows.len();
+    let n_sites = served.len().min(beliefs.n_sites());
+    let site_of = site_index_of(table, n_sites);
+    let robots = table.interner().get("/robots.txt");
+    let bot_index: BTreeMap<&str, usize> =
+        beliefs.bots.iter().enumerate().map(|(i, name)| (name.as_str(), i)).collect();
+
+    // Map each distinct user-agent symbol to its atlas bot (None =
+    // anonymous or unmonitored), once.
+    let standardizer = Standardizer::new();
+    let mut bot_of: Vec<Option<usize>> = vec![None; table.interner().len()];
+    let mut seen = vec![false; table.interner().len()];
+    for row in rows {
+        let idx = row.useragent.index();
+        if !seen[idx] {
+            seen[idx] = true;
+            bot_of[idx] = standardizer
+                .standardize(table.resolve(row.useragent))
+                .and_then(|s| bot_index.get(s.bot.canonical).copied());
+        }
+    }
+
+    // Contiguous row chunks: rows are chronological, so each chunk's
+    // cursors sweep forward from a fresh seat.
+    const CHUNK: usize = 1 << 16;
+    let chunks = n.div_ceil(CHUNK).max(1);
+    let parts: Vec<(Vec<bool>, SweepStats)> = run_indexed(chunks, threads, |c| {
+        let lo = c * CHUNK;
+        let hi = ((c + 1) * CHUNK).min(n);
+        let mut stats = SweepStats::default();
+        let mut caches: Vec<Option<AllowCache<'_>>> =
+            (0..beliefs.bots.len()).map(|_| None).collect();
+        let mut believed_cur: Vec<Option<SiteCursors<'_>>> =
+            (0..beliefs.bots.len()).map(|_| None).collect();
+        let mut served_cur = SiteCursors::over_served(served, n_sites);
+        let mut mask = vec![false; hi - lo];
+        for (slot, row) in rows[lo..hi].iter().enumerate() {
+            let Some(bot) = bot_of[row.useragent.index()] else {
+                continue;
+            };
+            if Some(row.uri_path) == robots {
+                continue;
+            }
+            let Some(site) = site_of[row.sitename.index()] else {
+                continue;
+            };
+            let t = row.timestamp.unix();
+            stats.observe_row(t);
+            let believed = believed_cur[bot]
+                .get_or_insert_with(|| SiteCursors::over_beliefs(beliefs, bot, n_sites))
+                .at(site, t, &mut stats);
+            let served_policy = served_cur.at(site, t, &mut stats);
+            let cache =
+                caches[bot].get_or_insert_with(|| AllowCache::new(corpus, &beliefs.bots[bot]));
+            let allowed_believed = cache.allows(table, believed, row.uri_path);
+            if cache.allows(table, served_policy, row.uri_path) {
+                continue;
+            }
+            mask[slot] = allowed_believed
+                && matches!(believed, BelievedPolicy::Version(_) | BelievedPolicy::AllowAll);
+        }
+        (mask, stats)
+    });
+
+    let mut stats = SweepStats::default();
+    let mut mask = Vec::with_capacity(n);
+    for (part, part_stats) in parts {
+        mask.extend(part);
+        stats.merge(part_stats);
+    }
+    stats.flush("excusal");
+    mask
 }
 
 #[cfg(test)]
@@ -354,6 +824,22 @@ mod tests {
     }
 
     #[test]
+    fn cursor_matches_binary_search_everywhere() {
+        let mut tl = BeliefTimeline::new();
+        tl.record(100, v(PolicyVersion::Base));
+        tl.record(500, BelievedPolicy::AllowAll);
+        tl.record(900, v(PolicyVersion::V3DisallowAll));
+        let mut stats = SweepStats::default();
+        let mut cursor = TimelineCursor::new(&tl);
+        // Forward sweep, then rewinds, then forward again.
+        for t in [0, 99, 100, 499, 500, 901, 10, 500, 899, 2_000, 0] {
+            assert_eq!(cursor.at(t, &mut stats), tl.at(t), "t={t}");
+        }
+        assert_eq!(stats.lookups, 11);
+        assert!(stats.resets >= 2, "rewinds re-seat: {stats:?}");
+    }
+
+    #[test]
     fn stale_cache_crawl_is_an_artifact_not_a_violation() {
         // Served swaps Base → v3 at t=1000; the bot's belief stays at
         // the stale Base document throughout. Page fetches after the
@@ -382,6 +868,10 @@ mod tests {
         assert_eq!(c.believed_violations, 0, "its own belief allowed everything");
         assert_eq!(c.violations_served(), 2);
         assert_eq!(c.deliberate_share(), Some(0.0));
+
+        // The excusal mask marks exactly the two stale-cache rows.
+        let mask = excusal_mask(&table, &beliefs, &served, &corpus, 1);
+        assert_eq!(mask, vec![false, true, true, false]);
     }
 
     #[test]
@@ -398,6 +888,9 @@ mod tests {
         assert_eq!(c.believed_violations, 2);
         assert_eq!(c.stale_cache + c.fetch_artifact, 0);
         assert_eq!(c.deliberate_share(), Some(1.0));
+        // Deliberate violations are never excused.
+        let mask = excusal_mask(&table, &beliefs, &served, &corpus, 1);
+        assert_eq!(mask, vec![false, false]);
     }
 
     #[test]
@@ -423,6 +916,8 @@ mod tests {
         let c = attribute_table(&table, &beliefs, &served, &corpus)["GPTBot"];
         assert_eq!(c.fetch_artifact, 1, "{c:?}");
         assert_eq!(c.deliberate, 0);
+        let mask = excusal_mask(&table, &beliefs, &served, &corpus, 1);
+        assert_eq!(mask, vec![true], "fetch artifacts are excused");
     }
 
     #[test]
@@ -502,5 +997,7 @@ mod tests {
         let out = attribute_table(&table, &beliefs, &served, &corpus);
         assert_eq!(out.len(), 1);
         assert_eq!(out["GPTBot"].accesses, 1);
+        let mask = excusal_mask(&table, &beliefs, &served, &corpus, 2);
+        assert_eq!(mask, vec![false, false, false]);
     }
 }

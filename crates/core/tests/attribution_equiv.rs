@@ -1,0 +1,243 @@
+//! Equivalence of the parallel, cursor-based attribution pipeline with
+//! its serial binary-search reference — across worker counts — and of
+//! the believed-basis experiment analysis with a post-hoc correction of
+//! the served-basis input.
+//!
+//! Belief atlases and served timelines are synthesized from a seed (an
+//! xorshift walk over policy states), independently of the generated
+//! traffic, so the equivalence is exercised on timelines the traffic
+//! never "agreed" with: every attribution class (deliberate,
+//! stale-cache, fetch-artifact) shows up.
+
+use botscope_core::analyze::{BeliefContext, Experiment};
+use botscope_core::attribution::{
+    attribute_table_reference, attribute_table_with_threads, excusal_mask, score_table_reference,
+    score_table_with_threads, PolicyBasis,
+};
+use botscope_core::pipeline::standardize_table;
+use botscope_simnet::belief::{BeliefAtlas, BeliefTimeline, BelievedPolicy};
+use botscope_simnet::phases::PolicyVersion;
+use botscope_simnet::scenario::phase_study_table;
+use botscope_simnet::server::PolicyCorpus;
+use botscope_simnet::SimConfig;
+use botscope_weblog::record::AccessRecord;
+
+use proptest::prelude::*;
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Tiny deterministic generator for timeline synthesis.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> XorShift {
+        XorShift(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// A pseudo-random believed policy, covering every variant.
+fn random_policy(rng: &mut XorShift) -> BelievedPolicy {
+    match rng.below(6) {
+        0 => BelievedPolicy::Version(PolicyVersion::Base),
+        1 => BelievedPolicy::Version(PolicyVersion::V1CrawlDelay),
+        2 => BelievedPolicy::Version(PolicyVersion::V2EndpointOnly),
+        3 => BelievedPolicy::Version(PolicyVersion::V3DisallowAll),
+        4 => BelievedPolicy::AllowAll,
+        _ => BelievedPolicy::DisallowAll,
+    }
+}
+
+/// A stepwise timeline with up to `max_transitions` pseudo-random
+/// transitions inside `[lo, hi)`.
+fn random_timeline(rng: &mut XorShift, lo: u64, hi: u64, max_transitions: u64) -> BeliefTimeline {
+    let mut tl = match rng.below(4) {
+        0 => BeliefTimeline::new(), // Unfetched until the first record
+        _ => BeliefTimeline::always(random_policy(rng)),
+    };
+    let n = rng.below(max_transitions + 1);
+    let mut times: Vec<u64> =
+        (0..n).map(|_| lo + rng.below(hi.saturating_sub(lo).max(1))).collect();
+    times.sort_unstable();
+    for t in times {
+        tl.record(t, random_policy(rng));
+    }
+    tl
+}
+
+/// Generated traffic plus synthetic belief/served state.
+struct Fixture {
+    table: botscope_weblog::table::LogTable,
+    schedule: botscope_simnet::phases::PhaseSchedule,
+    beliefs: BeliefAtlas,
+    served: Vec<BeliefTimeline>,
+}
+
+fn fixture(seed: u64, scale: f64, sites: usize) -> Fixture {
+    let cfg = SimConfig { seed, scale, sites, ..SimConfig::default() };
+    let out = phase_study_table(&cfg);
+    let (lo, hi) = out.schedule.bounds();
+    let (lo, hi) = (lo.unix(), hi.unix());
+
+    // Atlas bots: every canonical bot the generated table contains, so
+    // no view is skipped for being unmonitored.
+    let bots: Vec<String> = standardize_table(&out.sim.table).bots.keys().cloned().collect();
+
+    let mut rng = XorShift::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x00C0_FFEE);
+    let served: Vec<BeliefTimeline> =
+        (0..sites).map(|_| random_timeline(&mut rng, lo, hi, 8)).collect();
+    let mut beliefs = BeliefAtlas::new(bots, sites);
+    for bot in 0..beliefs.bots.len() {
+        for site in 0..sites {
+            *beliefs.timeline_mut(bot, site) = random_timeline(&mut rng, lo, hi, 8);
+        }
+    }
+    Fixture { table: out.sim.table, schedule: out.schedule, beliefs, served }
+}
+
+/// Parallel attribute/score ≡ their serial references at 1/2/8 workers.
+fn check_attribution_equiv(fx: &Fixture) {
+    let corpus = PolicyCorpus::new();
+    let attr_ref = attribute_table_reference(&fx.table, &fx.beliefs, &fx.served, &corpus);
+    assert!(
+        attr_ref.values().any(|c| c.violations_served() > 0),
+        "synthetic timelines should produce violations"
+    );
+    for threads in WORKER_COUNTS {
+        let attr =
+            attribute_table_with_threads(&fx.table, &fx.beliefs, &fx.served, &corpus, threads);
+        assert_eq!(attr, attr_ref, "attribute_table at {threads} workers");
+        for basis in [PolicyBasis::Believed, PolicyBasis::Served] {
+            let score_ref =
+                score_table_reference(&fx.table, &fx.beliefs, &fx.served, &corpus, basis);
+            let score = score_table_with_threads(
+                &fx.table,
+                &fx.beliefs,
+                &fx.served,
+                &corpus,
+                basis,
+                threads,
+            );
+            assert_eq!(score, score_ref, "score_table {basis:?} at {threads} workers");
+        }
+    }
+}
+
+/// Believed-basis analysis ≡ dropping the excused rows by hand and
+/// re-running the plain served-basis analysis on a re-interned table.
+fn check_believed_basis_equiv(fx: &Fixture) {
+    let corpus = PolicyCorpus::new();
+    let ctx = BeliefContext { beliefs: &fx.beliefs, served: &fx.served, corpus: &corpus };
+
+    let mask = excusal_mask(&fx.table, &fx.beliefs, &fx.served, &corpus, 2);
+    let kept: Vec<AccessRecord> = fx
+        .table
+        .rows()
+        .iter()
+        .zip(&mask)
+        .filter(|&(_, &excused)| !excused)
+        .map(|(row, _)| fx.table.materialize(row))
+        .collect();
+    let posthoc_table = botscope_weblog::table::LogTable::from_records(&kept);
+    let posthoc = Experiment::analyze_table_with_threads(&posthoc_table, &fx.schedule, 1);
+
+    for threads in WORKER_COUNTS {
+        let believed = Experiment::analyze_table_with_basis(
+            &fx.table,
+            &fx.schedule,
+            &ctx,
+            PolicyBasis::Believed,
+            threads,
+        );
+        assert_eq!(believed.per_directive, posthoc.per_directive, "{threads} workers");
+        assert_eq!(
+            believed.spoofed_per_directive, posthoc.spoofed_per_directive,
+            "{threads} workers"
+        );
+        assert_eq!(believed.spoof_volume, posthoc.spoof_volume, "{threads} workers");
+        assert_eq!(believed.phase_traffic, posthoc.phase_traffic, "{threads} workers");
+        assert_eq!(believed.spoof_report, posthoc.spoof_report, "{threads} workers");
+    }
+}
+
+/// With beliefs that mirror the served timelines exactly, nothing is
+/// excused and the believed basis degenerates to the served one.
+#[test]
+fn believed_basis_degenerates_when_beliefs_track_served() {
+    let cfg = SimConfig { scale: 0.1, sites: 4, ..SimConfig::default() };
+    let out = phase_study_table(&cfg);
+    let (lo, hi) = out.schedule.bounds();
+    let mut rng = XorShift::new(42);
+    let served: Vec<BeliefTimeline> =
+        (0..4).map(|_| random_timeline(&mut rng, lo.unix(), hi.unix(), 8)).collect();
+    let bots: Vec<String> = standardize_table(&out.sim.table).bots.keys().cloned().collect();
+    let mut beliefs = BeliefAtlas::new(bots, 4);
+    for bot in 0..beliefs.bots.len() {
+        for (site, timeline) in served.iter().enumerate() {
+            *beliefs.timeline_mut(bot, site) = timeline.clone();
+        }
+    }
+    let corpus = PolicyCorpus::new();
+    let mask = excusal_mask(&out.sim.table, &beliefs, &served, &corpus, 2);
+    assert!(mask.iter().all(|&m| !m), "beliefs ≡ served excuses nothing");
+
+    let ctx = BeliefContext { beliefs: &beliefs, served: &served, corpus: &corpus };
+    let believed = Experiment::analyze_table_with_basis(
+        &out.sim.table,
+        &out.schedule,
+        &ctx,
+        PolicyBasis::Believed,
+        2,
+    );
+    let served_exp = Experiment::analyze_table_with_basis(
+        &out.sim.table,
+        &out.schedule,
+        &ctx,
+        PolicyBasis::Served,
+        2,
+    );
+    assert_eq!(believed.per_directive, served_exp.per_directive);
+    assert_eq!(believed.phase_traffic, served_exp.phase_traffic);
+    assert_eq!(believed.spoof_report, served_exp.spoof_report);
+}
+
+#[test]
+fn parallel_attribution_matches_reference_at_default_seed() {
+    let fx = fixture(9309, 0.15, 4);
+    check_attribution_equiv(&fx);
+}
+
+#[test]
+fn believed_basis_matches_posthoc_at_default_seed() {
+    let fx = fixture(9309, 0.15, 4);
+    check_believed_basis_equiv(&fx);
+}
+
+proptest! {
+    // Generation dominates each case's runtime; a handful of cases over
+    // seed × scale × sites covers sparse and dense tables against
+    // timelines with every believed-policy variant.
+    #![proptest_config(ProptestConfig { cases: 5 })]
+    #[test]
+    fn attribution_equivalences_hold_on_generated_tables(
+        seed in 0u64..1_000_000,
+        scale_pct in 2u32..10,
+        sites in 2usize..6,
+    ) {
+        let fx = fixture(seed, scale_pct as f64 / 100.0, sites);
+        check_attribution_equiv(&fx);
+        check_believed_basis_equiv(&fx);
+    }
+}

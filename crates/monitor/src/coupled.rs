@@ -123,10 +123,13 @@ pub fn run_coupled(cfg: &CoupledConfig) -> CoupledOutput {
 /// [`run_coupled`] with an explicit worker count. Output is
 /// byte-identical for a fixed seed regardless of `threads`.
 pub fn run_coupled_with_threads(cfg: &CoupledConfig, threads: usize) -> CoupledOutput {
+    let obs = botscope_obs::global();
     // The coupled study runs the paper's 8-week experiment window.
     let start = Timestamp::from_date(2025, 1, 15);
     let schedule = PhaseSchedule::paper_schedule(start, EXPERIMENT_SITE);
     let (lo, hi) = schedule.bounds();
+    let mut run_span = obs.span("coupled_run");
+    run_span.event_range(lo.unix(), hi.unix() + 86_400);
     let sim_cfg = SimConfig { start: lo, days: hi.days_since(lo), ..cfg.sim.clone() };
     sim_cfg.assert_valid();
 
@@ -145,6 +148,11 @@ pub fn run_coupled_with_threads(cfg: &CoupledConfig, threads: usize) -> CoupledO
     let served = transport.effective_timelines(lo.unix(), hi.unix() + 86_400);
 
     let fleet = build_fleet();
+    let belief_span = {
+        let mut span = obs.phase("coupled_belief_stage");
+        span.event_range(lo.unix(), hi.unix());
+        span
+    };
     let (beliefs, monitor_stats) = match cfg.refresh {
         RefreshModel::Instant => {
             // Generation is driven by `ServedOracle` directly (below);
@@ -187,12 +195,20 @@ pub fn run_coupled_with_threads(cfg: &CoupledConfig, threads: usize) -> CoupledO
         }
     };
 
-    let sim = match cfg.refresh {
-        RefreshModel::Instant => {
-            simulate_table_oracle(&sim_cfg, &ServedOracle { sites: &served }, threads)
+    drop(belief_span);
+    obs.counter("coupled_belief_transitions_total").add(beliefs.total_transitions() as u64);
+
+    let sim = {
+        let mut span = obs.phase("coupled_generate_stage");
+        span.event_range(lo.unix(), hi.unix() + 86_400);
+        match cfg.refresh {
+            RefreshModel::Instant => {
+                simulate_table_oracle(&sim_cfg, &ServedOracle { sites: &served }, threads)
+            }
+            RefreshModel::Fleet => simulate_table_oracle(&sim_cfg, &beliefs, threads),
         }
-        RefreshModel::Fleet => simulate_table_oracle(&sim_cfg, &beliefs, threads),
     };
+    obs.counter("coupled_records_total").add(sim.table.len() as u64);
     CoupledOutput { sim, schedule, beliefs, served, monitor_stats }
 }
 

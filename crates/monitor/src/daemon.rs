@@ -165,9 +165,9 @@ pub struct MonitorStats {
     pub fetches: u64,
     /// 2xx outcomes.
     pub success: u64,
-    /// Subset of `success` that only re-validated an unchanged body
-    /// (a conditional request answered `304 Not Modified`, or an
-    /// unchanged body re-served from behind a redirect chain).
+    /// Subset of `success` that only re-validated an unchanged body —
+    /// a conditional request answered `304 Not Modified`, whether the
+    /// body sits at the origin or behind a redirect chain.
     pub revalidated: u64,
     /// Body bytes the estate never transferred because conditional
     /// requests were answered `304 Not Modified`.
@@ -789,8 +789,10 @@ fn run_agents(run: &DaemonRun<'_>, hasher: &IpHasher, lo: usize, hi: usize) -> S
                 {
                     // Unchanged body AND the cache still holds its parsed
                     // policy, but the transfer couldn't be elided — the
-                    // body came from behind a redirect chain, which the
-                    // transport never revalidates. No re-parse needed.
+                    // agent held no validators to present (conditional
+                    // requests answer 304 even behind redirect chains,
+                    // so this is a defensive fallback). No re-parse
+                    // needed.
                     stats.revalidated += 1;
                 } else {
                     if let Some(previous) = agent.last_version {
@@ -1007,6 +1009,13 @@ mod tests {
         assert!(out.stats.redirects_capped > 0, "some scripted chains exceed five hops");
         // Capped chains resolve to "unavailable", logged with their 3xx.
         assert!(out.table.iter_records().any(|r| r.status == 301));
+        // Within-budget chains revalidate at the final hop: unchanged
+        // bodies behind 3xx come back 304 with the transfer elided, so
+        // bytes-saved accounting covers CDN-fronted sites too.
+        assert!(out.stats.revalidated > 0, "{:?}", out.stats);
+        assert!(out.stats.revalidated_bytes_saved > 0, "{:?}", out.stats);
+        let saw_304 = out.table.iter_records().any(|r| r.status == 304 && r.bytes == 0);
+        assert!(saw_304, "304s behind chains reach the log");
     }
 
     #[test]

@@ -186,10 +186,11 @@ impl ServerModel {
     /// (`If-None-Match` / `If-Modified-Since`). A healthy server whose
     /// live body still matches the presented `ETag` answers
     /// `304 Not Modified` and transfers nothing; the saved body size is
-    /// reported in [`VirtualFetch::saved_bytes`]. Bodies served from
-    /// behind redirect chains are never revalidated (the chain target,
-    /// not the entry point, owns the validators), and error windows
-    /// ignore validators entirely.
+    /// reported in [`VirtualFetch::saved_bytes`]. Validators travel to
+    /// the *final* hop of a redirect chain (the chain target owns the
+    /// body), so CDN-fronted estates revalidate too — unless the chain
+    /// exceeds the five-hop budget, in which case the body is never
+    /// reached. Error windows ignore validators entirely.
     pub fn fetch_conditional(
         &self,
         corpus: &PolicyCorpus,
@@ -245,13 +246,25 @@ impl ServerModel {
             ServeMode::Redirect(hops) => {
                 // Serve the body behind `hops` consecutive redirects; the
                 // resolver enforces the five-hop budget, so chains of 6+
-                // come back "unavailable" and `version` stays None.
+                // come back "unavailable" and `version` stays None. The
+                // final hop — and only it — consults the presented
+                // validators, exactly as the healthy branch does: an
+                // unchanged body behind a 3xx chain is a 304 with the
+                // transfer elided.
+                let served = self.validators_at(now);
+                let revalidate = conditional.is_some_and(|v| v.etag == served.etag);
                 let mut followed = 1u8;
+                let mut saved_bytes = 0u64;
                 let resolved =
                     resolve_redirects(RawResponse::Redirect(301, "/hop-1".into()), |_target| {
                         if followed < hops {
                             followed += 1;
                             RawResponse::Redirect(301, format!("/hop-{followed}"))
+                        } else if revalidate {
+                            let v = self.policy.version_at(now);
+                            version = Some(v);
+                            saved_bytes = corpus.text(v).len() as u64;
+                            RawResponse::NotModified
                         } else {
                             let (response, v) = self.healthy_response(corpus, now);
                             version = Some(v);
@@ -260,6 +273,7 @@ impl ServerModel {
                     });
                 if resolved.capped {
                     version = None;
+                    saved_bytes = 0;
                 }
                 let bytes = match &resolved.outcome {
                     botscope_robotstxt::FetchOutcome::Success(body) => body.len() as u64,
@@ -272,7 +286,7 @@ impl ServerModel {
                     resolved,
                     version,
                     bytes,
-                    saved_bytes: 0,
+                    saved_bytes,
                     validators: version.map(|_| self.validators_at(now)),
                     latency_ms,
                 };
@@ -584,6 +598,50 @@ mod tests {
         let fresh = after_swap.validators.unwrap();
         assert_eq!(fresh.etag, etag_of(PolicyVersion::V1CrawlDelay));
         assert_eq!(fresh.last_modified, start.plus_secs(14 * 86_400).unix());
+    }
+
+    #[test]
+    fn conditional_fetch_revalidates_behind_redirect_chain() {
+        // An unchanged body served from behind a 3-hop chain: the final
+        // hop answers 304, the transfer is elided, and the whole chain
+        // is still walked (hops counted, per-hop latency paid).
+        let mut m = healthy_model();
+        m.windows = vec![ConditionWindow { start: 0, end: u64::MAX, mode: ServeMode::Redirect(3) }];
+        let c = corpus();
+        let first = m.fetch(&c, 1_000, 7);
+        assert_eq!(first.resolved.status, 200);
+        assert_eq!(first.resolved.hops, 3);
+        let validators = first.validators.expect("2xx behind a chain carries validators");
+
+        let second = m.fetch_conditional(&c, 2_000, 7, Some(validators));
+        assert_eq!(second.resolved.status, 304);
+        assert_eq!(second.resolved.outcome, FetchOutcome::NotModified);
+        assert_eq!(second.resolved.hops, 3, "the 304 sits behind the same chain");
+        assert_eq!(second.version, Some(PolicyVersion::Base));
+        assert_eq!(second.bytes, 0);
+        assert_eq!(second.saved_bytes, first.bytes, "the 304 saved the whole body");
+        assert_eq!(second.validators, Some(validators));
+        assert!(second.latency_ms >= m.latency.base_ms * 4, "per-hop latency still paid");
+
+        // A stale ETag behind the same chain misses: full body again.
+        let stale = Validators { etag: etag_of(PolicyVersion::V3DisallowAll), last_modified: 0 };
+        let miss = m.fetch_conditional(&c, 3_000, 7, Some(stale));
+        assert_eq!(miss.resolved.status, 200);
+        assert_eq!(miss.bytes, first.bytes);
+        assert_eq!(miss.saved_bytes, 0);
+    }
+
+    #[test]
+    fn over_budget_chains_never_revalidate() {
+        let mut m = healthy_model();
+        m.windows = vec![ConditionWindow { start: 0, end: u64::MAX, mode: ServeMode::Redirect(6) }];
+        let c = corpus();
+        let validators = Validators { etag: etag_of(PolicyVersion::Base), last_modified: 0 };
+        let f = m.fetch_conditional(&c, 1_000, 0, Some(validators));
+        assert!(f.resolved.capped);
+        assert_eq!(f.version, None, "capped chain never reaches the body");
+        assert_eq!(f.saved_bytes, 0);
+        assert_eq!(f.validators, None);
     }
 
     #[test]

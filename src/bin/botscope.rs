@@ -105,6 +105,10 @@ USAGE:
         --seed N         master seed (default 9309)
         --scenario K     stable|outages|flapping|redirects|mixed (default mixed)
         --refresh M      fleet|instant belief refresh (default fleet)
+        --basis B        believed|served compliance basis for the
+                         printed Tables 5/6/10 (default served);
+                         believed drops stale-cache and fetch-artifact
+                         rows from the non-compliant pool
         --out FILE       write the generated log as CSV (\"-\" = stdout)
   botscope monitor [options]
       Run the robots.txt monitoring daemon over the virtual estate:
@@ -1431,11 +1435,13 @@ fn emit_monitor_report_tables(
 /// `simulate --coupled`: belief-driven generation plus attribution
 /// scoring against served ground truth.
 fn cmd_simulate_coupled(args: &[String]) -> Result<(), String> {
+    use botscope::core::attribution::PolicyBasis;
     use botscope::monitor::{CoupledConfig, RefreshModel, ScenarioKind};
 
     let mut cfg = CoupledConfig::default();
     cfg.sim.scale = 0.05;
     let mut out_path: Option<String> = None;
+    let mut basis = PolicyBasis::Served;
 
     let mut i = 0;
     while i < args.len() {
@@ -1460,6 +1466,13 @@ fn cmd_simulate_coupled(args: &[String]) -> Result<(), String> {
                     .ok_or_else(|| format!("bad --refresh {value} (want fleet|instant)"))?
             }
             "--out" => out_path = Some(value.clone()),
+            "--basis" => {
+                basis = match value.as_str() {
+                    "believed" => PolicyBasis::Believed,
+                    "served" => PolicyBasis::Served,
+                    _ => return Err(format!("bad --basis {value} (want believed|served)")),
+                }
+            }
             other => return Err(format!("unknown --coupled flag {other:?} (see `botscope help`)")),
         }
         i += 2;
@@ -1522,6 +1535,35 @@ fn cmd_simulate_coupled(args: &[String]) -> Result<(), String> {
         violating
     );
     let _ = writeln!(r, "{}", botscope::core::report::attribution_report(&counts));
+
+    // Tables 5/6/10 under the selected basis: served is the plain
+    // analysis; believed drops the excused (stale-cache / fetch-
+    // artifact) rows before scoring.
+    let ctx = botscope::core::analyze::BeliefContext {
+        beliefs: &out.beliefs,
+        served: &out.served,
+        corpus: &corpus,
+    };
+    let exp = botscope::core::analyze::Experiment::analyze_table_with_basis(
+        &out.sim.table,
+        &out.schedule,
+        &ctx,
+        basis,
+        botscope::simnet::worker_threads(),
+    );
+    match basis {
+        PolicyBasis::Served => {
+            let _ = writeln!(r, "compliance tables (served basis):");
+        }
+        PolicyBasis::Believed => {
+            let excused: u64 = counts.values().map(|c| c.excused()).sum();
+            let _ =
+                writeln!(r, "compliance tables (believed basis, {excused} excused rows dropped):");
+        }
+    }
+    let _ = writeln!(r, "{}", botscope::core::report::table5(&exp));
+    let _ = writeln!(r, "{}", botscope::core::report::table6(&exp));
+    let _ = writeln!(r, "{}", botscope::core::report::table10(&exp));
 
     if out_path.as_deref() == Some("-") {
         eprint!("{r}");

@@ -390,11 +390,57 @@ fn coupled_simulate_reports_attribution_and_is_thread_invariant() {
     assert!(report.contains("belief transitions"), "{report}");
     assert!(report.contains("Stale cache"), "{report}");
     assert_eq!(serial.stdout, run("2").stdout, "2 workers must match serial output");
+    assert_eq!(serial.stdout, run("8").stdout, "8 workers must match serial output");
 
     // Unknown coupled flags fail cleanly.
     let out = botscope(&["simulate", "--coupled", "--refresh", "psychic"]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("bad --refresh"));
+    let out = botscope(&["simulate", "--coupled", "--basis", "wishful"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --basis"));
+}
+
+#[test]
+fn coupled_believed_basis_degenerates_under_instant_refresh() {
+    // Instant refresh + always-healthy weather: beliefs track the
+    // served timelines exactly, so nothing is excused and the believed
+    // basis must reproduce the served-basis tables verbatim.
+    let run = |basis: &str| {
+        let out = botscope(&[
+            "simulate",
+            "--coupled",
+            "--scale",
+            "0.02",
+            "--sites",
+            "4",
+            "--refresh",
+            "instant",
+            "--scenario",
+            "stable",
+            "--basis",
+            basis,
+        ]);
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let believed = run("believed");
+    let served = run("served");
+    assert!(
+        believed.contains("compliance tables (believed basis, 0 excused rows dropped):"),
+        "{believed}"
+    );
+    assert!(served.contains("compliance tables (served basis):"), "{served}");
+    // Identical everywhere except the one banner line.
+    let tables_after_banner = |report: &str| -> String {
+        let (_, tail) = report.split_once("compliance tables").expect("banner present");
+        tail.split_once('\n').expect("banner line ends").1.to_string()
+    };
+    assert_eq!(
+        tables_after_banner(&believed),
+        tables_after_banner(&served),
+        "believed basis must degenerate to served tables under instant refresh"
+    );
 }
 
 #[test]
